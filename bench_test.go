@@ -1,0 +1,369 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (§6), plus the ablations called out in DESIGN.md §7.
+//
+// Figure benches run one miniature experiment per iteration and attach the
+// headline quantity (accuracy, inference accuracy, neighbour count) via
+// b.ReportMetric, so `go test -bench` both times the pipeline and shows
+// the reproduced result. See EXPERIMENTS.md for paper-vs-measured numbers.
+package mixnn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"mixnn/internal/attack"
+	"mixnn/internal/core"
+	"mixnn/internal/enclave"
+	"mixnn/internal/experiment"
+	"mixnn/internal/nn"
+	"mixnn/internal/privacy"
+	"mixnn/internal/stats"
+)
+
+// benchSpec returns a reduced quick spec so one bench iteration is one
+// short federated run.
+func benchSpec(b *testing.B, key string, rounds int) experiment.DatasetSpec {
+	b.Helper()
+	spec, err := experiment.DatasetByKey(key, experiment.ScaleQuick, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec.FL.Rounds = rounds
+	spec.AttackEpochs = 2
+	spec.AuxPerClass = 48
+	return spec
+}
+
+// --- Figure 5: utility per arm -------------------------------------------
+
+func BenchmarkFig5Utility(b *testing.B) {
+	for _, dataset := range []string{"cifar10", "motionsense", "mobiact", "lfw"} {
+		for _, arm := range experiment.Arms() {
+			b.Run(fmt.Sprintf("%s/%s", dataset, arm.Key), func(b *testing.B) {
+				spec := benchSpec(b, dataset, 2)
+				var acc float64
+				for i := 0; i < b.N; i++ {
+					res, err := experiment.RunUtility(spec, arm, int64(i)+1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					acc = res.FinalAccuracy()
+				}
+				b.ReportMetric(acc, "accuracy")
+			})
+		}
+	}
+}
+
+// --- Figure 6: per-participant accuracy CDF ------------------------------
+
+func BenchmarkFig6AccuracyCDF(b *testing.B) {
+	spec := benchSpec(b, "cifar10", 2)
+	var median float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunUtility(spec, experiment.Arms()[0], int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		per := res.PerClientAt(spec.FL.Rounds - 1)
+		_ = stats.CDF(per)
+		median = stats.Percentile(per, 50)
+	}
+	b.ReportMetric(median, "median-accuracy")
+}
+
+// --- Figure 7: active ∇Sim inference per arm ------------------------------
+
+func BenchmarkFig7Inference(b *testing.B) {
+	for _, dataset := range []string{"cifar10", "motionsense", "mobiact", "lfw"} {
+		for _, arm := range experiment.Arms() {
+			b.Run(fmt.Sprintf("%s/%s", dataset, arm.Key), func(b *testing.B) {
+				spec := benchSpec(b, dataset, 2)
+				var acc float64
+				for i := 0; i < b.N; i++ {
+					res, err := experiment.RunInference(spec, arm, true, 1, int64(i)+1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					acc = res.FinalAccuracy()
+				}
+				b.ReportMetric(acc, "inference-accuracy")
+			})
+		}
+	}
+}
+
+// --- Figure 8: background-knowledge ratio sweep ---------------------------
+
+func BenchmarkFig8Background(b *testing.B) {
+	for _, ratio := range []float64{0.2, 1.0} {
+		b.Run(fmt.Sprintf("ratio=%.1f", ratio), func(b *testing.B) {
+			spec := benchSpec(b, "cifar10", 2)
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunInference(spec, experiment.Arms()[0], true, ratio, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.FinalAccuracy()
+			}
+			b.ReportMetric(acc, "inference-accuracy")
+		})
+	}
+}
+
+// --- Figure 9: close-neighbour CDF ----------------------------------------
+
+func BenchmarkFig9Neighbours(b *testing.B) {
+	for _, dataset := range []string{"cifar10", "motionsense"} {
+		b.Run(dataset, func(b *testing.B) {
+			spec := benchSpec(b, dataset, 1)
+			var mean float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunNeighbours(spec, experiment.DefaultNeighbourRadius, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				total := 0
+				for _, n := range res.Neighbours {
+					total += n
+				}
+				mean = float64(total) / float64(len(res.Neighbours))
+			}
+			b.ReportMetric(mean, "mean-neighbours")
+		})
+	}
+}
+
+// --- §6.5 system performance ----------------------------------------------
+
+// BenchmarkProxyDecrypt isolates the enclave decryption of one
+// CIFAR-model-sized update — the dominant §6.5 cost (0.17 of 0.19 s in the
+// paper's setup).
+func BenchmarkProxyDecrypt(b *testing.B) {
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	encl, err := enclave.New(enclave.Config{}, platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	update := experiment.PerfModels(experiment.ScaleQuick)[0].Arch.New(1).SnapshotParams()
+	raw, err := nn.EncodeParamSet(update)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ct, err := enclave.Encrypt(encl.PublicKey(), raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := encl.Decrypt(ct); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyStore isolates decode-and-buffer (the §6.5 "storage" step).
+func BenchmarkProxyStore(b *testing.B) {
+	update := experiment.PerfModels(experiment.ScaleQuick)[0].Arch.New(1).SnapshotParams()
+	raw, err := nn.EncodeParamSet(update)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := nn.DecodeParamSet(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyMix isolates the mixing operation (the §6.5 0.03 s step).
+func BenchmarkProxyMix(b *testing.B) {
+	arch := experiment.PerfModels(experiment.ScaleQuick)[0].Arch
+	updates := make([]nn.ParamSet, 8)
+	for i := range updates {
+		updates[i] = arch.New(int64(i)).SnapshotParams()
+	}
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BatchMix(updates, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProxyEndToEnd reproduces the §6.5 table: encrypted updates
+// through a real HTTP proxy into a real aggregation server, for both model
+// sizes.
+func BenchmarkProxyEndToEnd(b *testing.B) {
+	for _, m := range experiment.PerfModels(experiment.ScaleQuick) {
+		b.Run(m.Name, func(b *testing.B) {
+			var res experiment.PerfResult
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = experiment.RunSystemPerf(m.Name, m.Arch, 4, 2, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.UpdateBytes)/1024, "update-KB")
+			b.ReportMetric(res.DecryptMillis, "decrypt-ms")
+			b.ReportMetric(res.MixMillis, "mix-ms")
+			b.ReportMetric(res.EndToEndMillis, "e2e-ms")
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md §7) ----------------------------------------------
+
+// BenchmarkAblationGranularity compares mixing granularities: per-layer
+// (paper), per-tensor (finer) and whole-model (sender unlinking only) by
+// the inference accuracy they leave to an active ∇Sim.
+func BenchmarkAblationGranularity(b *testing.B) {
+	for _, g := range []core.Granularity{core.GranularityLayer, core.GranularityTensor, core.GranularityModel} {
+		b.Run(g.String(), func(b *testing.B) {
+			spec := benchSpec(b, "cifar10", 2)
+			arm := experiment.Arm{Key: "mixnn-" + g.String(), Transform: core.Transform{Granularity: g}}
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunInference(spec, arm, true, 1, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.FinalAccuracy()
+			}
+			b.ReportMetric(acc, "inference-accuracy")
+		})
+	}
+}
+
+// BenchmarkAblationBufferK sweeps the streaming mixer's list capacity k.
+func BenchmarkAblationBufferK(b *testing.B) {
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			spec := benchSpec(b, "cifar10", 2)
+			arm := experiment.StreamArm(k)
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunInference(spec, arm, true, 1, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.FinalAccuracy()
+			}
+			b.ReportMetric(acc, "inference-accuracy")
+		})
+	}
+}
+
+// BenchmarkAblationActivePassive compares the two ∇Sim variants on the
+// unprotected pipeline.
+func BenchmarkAblationActivePassive(b *testing.B) {
+	for _, active := range []bool{true, false} {
+		name := "passive"
+		if active {
+			name = "active"
+		}
+		b.Run(name, func(b *testing.B) {
+			spec := benchSpec(b, "cifar10", 2)
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunInference(spec, experiment.Arms()[0], active, 1, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.FinalAccuracy()
+			}
+			b.ReportMetric(acc, "inference-accuracy")
+		})
+	}
+}
+
+// BenchmarkAblationNoiseScale sweeps the noisy baseline's sigma, the
+// trade-off MixNN avoids.
+func BenchmarkAblationNoiseScale(b *testing.B) {
+	for _, sigma := range []float64{0.01, 0.1, 1.0} {
+		b.Run(fmt.Sprintf("sigma=%.2f", sigma), func(b *testing.B) {
+			spec := benchSpec(b, "cifar10", 2)
+			arm := experiment.Arm{Key: "noisy", Transform: privacy.NoisyTransform{Sigma: sigma}}
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunUtility(spec, arm, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc = res.FinalAccuracy()
+			}
+			b.ReportMetric(acc, "accuracy")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the core pipeline stages --------------------------
+
+func BenchmarkStreamMixerAdd(b *testing.B) {
+	arch := experiment.PerfModels(experiment.ScaleQuick)[0].Arch
+	update := arch.New(1).SnapshotParams()
+	rng := rand.New(rand.NewSource(1))
+	m, err := core.NewStreamMixer(8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Add(update); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalTraining(b *testing.B) {
+	spec := benchSpec(b, "cifar10", 1)
+	sim, _, err := experiment.BuildFederation(spec, experiment.Arms()[0], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunRound(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAttackReferenceTraining(b *testing.B) {
+	spec := benchSpec(b, "cifar10", 1)
+	adv, err := attack.New(attack.Config{
+		Arch:        spec.Arch,
+		Source:      spec.Source,
+		AuxPerClass: 48,
+		Epochs:      1,
+		BatchSize:   16,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = adv
+	sim, attrs, err := experiment.BuildFederation(spec, experiment.Arms()[0], 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.Observer = adv
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunRound(i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := adv.Accuracy(attrs); err != nil {
+		b.Fatal(err)
+	}
+}

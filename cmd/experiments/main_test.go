@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"mixnn/internal/experiment"
+)
+
+func TestParseRatios(t *testing.T) {
+	got, err := parseRatios("0.2, 0.4,1.0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.2, 0.4, 1.0}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	if _, err := parseRatios("0.2,abc"); err == nil {
+		t.Fatal("bad ratio accepted")
+	}
+}
+
+func TestSelectDatasets(t *testing.T) {
+	all, err := selectDatasets("all", experiment.ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 4 {
+		t.Fatalf("all = %d datasets", len(all))
+	}
+	one, err := selectDatasets("lfw", experiment.ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Key != "lfw" {
+		t.Fatalf("one = %+v", one)
+	}
+	if _, err := selectDatasets("nope", experiment.ScaleQuick, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestWriteCSVHelper(t *testing.T) {
+	dir := t.TempDir()
+	err := writeCSV(dir, "out.csv", func(w io.Writer) error {
+		_, err := w.Write([]byte("a,b\n1,2\n"))
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "out.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "a,b\n1,2\n" {
+		t.Fatalf("content = %q", data)
+	}
+	// Empty dir is a no-op.
+	if err := writeCSV("", "out.csv", func(io.Writer) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-scale", "medium"}); err == nil {
+		t.Fatal("bad scale accepted")
+	}
+	if err := run([]string{"-fig", "12"}); err == nil {
+		t.Fatal("bad figure accepted")
+	}
+	if err := run([]string{"-dataset", "imagenet"}); err == nil {
+		t.Fatal("bad dataset accepted")
+	}
+}

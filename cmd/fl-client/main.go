@@ -1,0 +1,137 @@
+// Command fl-client runs one federated participant: it verifies the MixNN
+// proxy's attestation, then loops — fetch the global model, train locally
+// on its private partition, encrypt the update for the enclave and send it
+// through the proxy.
+//
+// The participant's private data is its deterministic partition of the
+// synthetic dataset (-dataset/-scale/-seed must match the server):
+//
+//	fl-client -id 0 -rounds 3 -proxy http://localhost:8441 \
+//	    -server http://localhost:8440 -trust trust.json
+package main
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"mixnn/internal/experiment"
+	"mixnn/internal/fl"
+	"mixnn/internal/proxy"
+)
+
+// trustBundle mirrors the file written by mixnn-proxy -trust-out.
+type trustBundle struct {
+	AuthorityPubDER []byte `json:"authority_pub_der"`
+	MeasurementHex  string `json:"measurement"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "fl-client:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("fl-client", flag.ContinueOnError)
+	var (
+		proxyURL  = fs.String("proxy", "http://localhost:8441", "MixNN proxy base URL")
+		serverURL = fs.String("server", "http://localhost:8440", "aggregation server base URL")
+		dataset   = fs.String("dataset", "motionsense", "dataset key")
+		scaleS    = fs.String("scale", "quick", "experiment scale: quick or full")
+		seed      = fs.Int64("seed", 1, "data/model seed (must match server)")
+		id        = fs.Int("id", 0, "participant index in the population")
+		rounds    = fs.Int("rounds", 3, "learning rounds to participate in")
+		trustFile = fs.String("trust", "trust.json", "trust bundle written by mixnn-proxy")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "overall deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scale := experiment.ScaleQuick
+	if *scaleS == "full" {
+		scale = experiment.ScaleFull
+	}
+	spec, err := experiment.DatasetByKey(*dataset, scale, *seed)
+	if err != nil {
+		return err
+	}
+	parts := spec.Source.Participants(*seed)
+	if *id < 0 || *id >= len(parts) {
+		return fmt.Errorf("participant id %d outside population [0,%d)", *id, len(parts))
+	}
+	cfg := spec.FL
+	cfg.Seed = *seed
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	client := fl.NewClient(parts[*id], spec.Arch, cfg)
+
+	authority, measurement, err := loadTrust(*trustFile)
+	if err != nil {
+		return err
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	transport := proxy.NewParticipant(*proxyURL, *serverURL, nil)
+	if err := transport.Attest(ctx, authority, measurement); err != nil {
+		return fmt.Errorf("attestation failed — refusing to send updates: %w", err)
+	}
+	log.Printf("fl-client %d: proxy enclave attested (measurement %s)", *id, hex.EncodeToString(measurement[:]))
+
+	for r := 0; r < *rounds; r++ {
+		round, global, err := transport.WaitForRound(ctx, r, 200*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		update, err := client.LocalTrain(global)
+		if err != nil {
+			return err
+		}
+		if err := transport.SendUpdate(ctx, update); err != nil {
+			return err
+		}
+		acc, err := client.TestAccuracy(update)
+		if err != nil {
+			return err
+		}
+		log.Printf("fl-client %d: round %d trained and sent (local test acc %.3f)", *id, round, acc)
+	}
+	return nil
+}
+
+func loadTrust(path string) (*ecdsa.PublicKey, [32]byte, error) {
+	var meas [32]byte
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, meas, fmt.Errorf("read trust bundle: %w", err)
+	}
+	var tb trustBundle
+	if err := json.Unmarshal(raw, &tb); err != nil {
+		return nil, meas, fmt.Errorf("parse trust bundle: %w", err)
+	}
+	pub, err := x509.ParsePKIXPublicKey(tb.AuthorityPubDER)
+	if err != nil {
+		return nil, meas, fmt.Errorf("parse authority key: %w", err)
+	}
+	ecPub, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, meas, fmt.Errorf("authority key is %T, want ECDSA", pub)
+	}
+	mb, err := hex.DecodeString(tb.MeasurementHex)
+	if err != nil || len(mb) != 32 {
+		return nil, meas, fmt.Errorf("malformed measurement in trust bundle")
+	}
+	copy(meas[:], mb)
+	return ecPub, meas, nil
+}

@@ -1,0 +1,106 @@
+// Command mixnn-proxy runs the MixNN proxy inside a simulated SGX enclave:
+// it decrypts participant updates, mixes their layers with the k-buffer
+// stream mixer, and forwards the mixed updates to the aggregation server.
+//
+// On startup it writes a trust bundle (attestation-authority public key +
+// enclave measurement) that participants use to verify the enclave before
+// encrypting updates for it:
+//
+//	mixnn-proxy -listen :8441 -upstream http://localhost:8440 \
+//	    -round-size 8 -k 4 -trust-out trust.json
+package main
+
+import (
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"mixnn/internal/enclave"
+	"mixnn/internal/proxy"
+)
+
+// TrustBundle is the out-of-band material a participant pins: the
+// (simulated) attestation authority key and the expected enclave
+// measurement.
+type TrustBundle struct {
+	AuthorityPubDER []byte `json:"authority_pub_der"`
+	MeasurementHex  string `json:"measurement"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mixnn-proxy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mixnn-proxy", flag.ContinueOnError)
+	var (
+		listen    = fs.String("listen", ":8441", "address to serve on")
+		upstream  = fs.String("upstream", "http://localhost:8440", "aggregation server base URL")
+		roundSize = fs.Int("round-size", 8, "participants per round (C)")
+		k         = fs.Int("k", 4, "per-layer mixing list capacity (<= round-size)")
+		constMs   = fs.Int("const-ms", 0, "constant per-update processing time in ms (side-channel hardening; 0 = off)")
+		identity  = fs.String("identity", "mixnn-proxy-v1", "enclave code identity (measured)")
+		trustOut  = fs.String("trust-out", "trust.json", "file to write the participant trust bundle to")
+		seed      = fs.Int64("seed", time.Now().UnixNano(), "mixing randomness seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		return err
+	}
+	encl, err := enclave.New(enclave.Config{
+		CodeIdentity:       *identity,
+		ConstantProcessing: time.Duration(*constMs) * time.Millisecond,
+	}, platform)
+	if err != nil {
+		return err
+	}
+
+	px, err := proxy.New(proxy.Config{
+		Upstream:  *upstream,
+		K:         *k,
+		RoundSize: *roundSize,
+		Seed:      *seed,
+	}, encl, platform)
+	if err != nil {
+		return err
+	}
+
+	authDER, err := x509.MarshalPKIXPublicKey(platform.AttestationPublicKey())
+	if err != nil {
+		return fmt.Errorf("marshal authority key: %w", err)
+	}
+	meas := encl.Measurement()
+	bundle, err := json.MarshalIndent(TrustBundle{
+		AuthorityPubDER: authDER,
+		MeasurementHex:  hex.EncodeToString(meas[:]),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*trustOut, bundle, 0o600); err != nil {
+		return fmt.Errorf("write trust bundle: %w", err)
+	}
+
+	log.Printf("mixnn-proxy: enclave measurement %s", hex.EncodeToString(meas[:]))
+	log.Printf("mixnn-proxy: trust bundle written to %s", *trustOut)
+	log.Printf("mixnn-proxy: k=%d round-size=%d upstream=%s listening on %s", *k, *roundSize, *upstream, *listen)
+	srv := &http.Server{
+		Addr:              *listen,
+		Handler:           px.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return srv.ListenAndServe()
+}

@@ -1,0 +1,60 @@
+// Attack demo: a malicious aggregation server runs the active ∇Sim
+// attribute-inference attack against the MotionSense-like population,
+// first on classic federated learning and then through the MixNN proxy
+// pipeline. Prints the inference accuracy per round for both.
+//
+//	go run ./examples/attackdemo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixnn"
+)
+
+func main() {
+	spec, err := mixnn.DatasetByKey("cifar10", mixnn.ScaleQuick, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("∇Sim active attack: inferring %q from model updates (%d participants)\n\n",
+		"preference group", len(spec.Source.Participants(1)))
+
+	for _, arm := range []mixnn.Arm{mixnn.ClassicArm(), mixnn.MixNNArm()} {
+		sim, attrs, err := mixnn.NewFederation(spec, arm, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		adv, err := mixnn.NewAttack(mixnn.AttackConfig{
+			Arch:         spec.Arch,
+			Source:       spec.Source,
+			AuxPerClass:  spec.AuxPerClass,
+			Epochs:       spec.AttackEpochs,
+			BatchSize:    spec.FL.BatchSize,
+			LearningRate: spec.FL.LearningRate,
+			Active:       true,
+			Seed:         99,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim.Observer = adv
+		sim.Disseminate = adv.Disseminator()
+
+		fmt.Printf("arm=%s\n", arm.Key)
+		for r := 0; r < spec.FL.Rounds; r++ {
+			if _, err := sim.RunRound(r); err != nil {
+				log.Fatal(err)
+			}
+			acc, err := adv.Accuracy(attrs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  round %d: inference accuracy %.3f\n", r+1, acc)
+		}
+		fmt.Println()
+	}
+	fmt.Println("Classic FL leaks the attribute; MixNN keeps the attacker at chance level.")
+}

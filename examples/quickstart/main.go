@@ -1,0 +1,37 @@
+// Quickstart: run the paper's three arms (classic FL, MixNN, noisy
+// gradient) on the synthetic CIFAR10 population and print the utility of
+// each — demonstrating MixNN's zero-cost protection in under a minute.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mixnn"
+)
+
+func main() {
+	spec, err := mixnn.DatasetByKey("cifar10", mixnn.ScaleQuick, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("dataset %s: %d participants, %d classes, sensitive attribute with %d classes\n",
+		spec.Key, len(spec.Source.Participants(1)), spec.Source.Classes(), spec.Source.AttrClasses())
+
+	for _, arm := range []mixnn.Arm{mixnn.ClassicArm(), mixnn.MixNNArm(), mixnn.NoisyArm(0)} {
+		sim, _, err := mixnn.NewFederation(spec, arm, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		metrics, err := sim.Run(spec.FL.Rounds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		final := metrics[len(metrics)-1]
+		fmt.Printf("%-7s final mean accuracy over %d rounds: %.3f\n", arm.Key, spec.FL.Rounds, final.MeanAccuracy)
+	}
+	fmt.Println("\nMixNN matches classic FL exactly (aggregation equivalence); noise destroys utility.")
+}

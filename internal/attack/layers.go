@@ -1,0 +1,127 @@
+package attack
+
+import (
+	"fmt"
+
+	"mixnn/internal/fl"
+	"mixnn/internal/tensor"
+)
+
+// Per-layer leakage analysis: ∇Sim normally scores whole-update
+// directions, but the MixNN design question is precisely how much each
+// layer leaks on its own — mixing at layer granularity only helps if no
+// single layer carries the whole footprint to the slot it lands in.
+// LayerObserver accumulates per-layer cosine scores alongside the
+// whole-update scores of NablaSim.
+type LayerObserver struct {
+	adv *NablaSim
+	// layerScores[slotKey][layer][class]
+	layerScores map[int][][]float64
+	layerNames  []string
+}
+
+var _ fl.Observer = (*LayerObserver)(nil)
+
+// NewLayerObserver wraps a ∇Sim adversary with per-layer accounting.
+// Wire the LayerObserver (not the wrapped adversary) into the simulation.
+func NewLayerObserver(adv *NablaSim) *LayerObserver {
+	return &LayerObserver{adv: adv, layerScores: make(map[int][][]float64)}
+}
+
+// ObserveRound implements fl.Observer: it updates both the wrapped
+// whole-update scores and the per-layer scores.
+func (o *LayerObserver) ObserveRound(rec fl.RoundRecord) {
+	o.adv.ObserveRound(rec)
+
+	o.adv.mu.Lock()
+	defer o.adv.mu.Unlock()
+	refs := o.adv.refs
+	if len(refs) == 0 {
+		return
+	}
+	nLayers := refs[0].NumLayers()
+	if o.layerNames == nil {
+		for _, lp := range refs[0].Layers {
+			o.layerNames = append(o.layerNames, lp.Name)
+		}
+	}
+
+	// Per-class, per-layer reference directions.
+	refDirs := make([][]*tensor.Tensor, len(refs))
+	for c, ref := range refs {
+		refDirs[c] = make([]*tensor.Tensor, nLayers)
+		delta := ref.Clone().Sub(rec.Disseminated)
+		for li := 0; li < nLayers; li++ {
+			refDirs[c][li] = delta.FlattenLayer(li)
+		}
+	}
+	for i, u := range rec.Updates {
+		if !u.Compatible(rec.Disseminated) {
+			continue
+		}
+		key := i
+		if i < len(rec.ClientIDs) {
+			key = rec.ClientIDs[i]
+		}
+		sc := o.layerScores[key]
+		if sc == nil {
+			sc = make([][]float64, nLayers)
+			for li := range sc {
+				sc[li] = make([]float64, len(refs))
+			}
+			o.layerScores[key] = sc
+		}
+		delta := u.Clone().Sub(rec.Disseminated)
+		for li := 0; li < nLayers; li++ {
+			dir := delta.FlattenLayer(li)
+			for c := range refs {
+				sc[li][c] += tensor.CosineSimilarity(dir, refDirs[c][li])
+			}
+		}
+	}
+}
+
+// LayerNames returns the layer names in score order (nil before any
+// observation).
+func (o *LayerObserver) LayerNames() []string {
+	o.adv.mu.Lock()
+	defer o.adv.mu.Unlock()
+	return append([]string(nil), o.layerNames...)
+}
+
+// LayerAccuracy returns, for each layer, the inference accuracy an
+// adversary achieves using that layer's scores alone.
+func (o *LayerObserver) LayerAccuracy(trueAttrs []int) ([]float64, error) {
+	o.adv.mu.Lock()
+	defer o.adv.mu.Unlock()
+	if len(o.layerScores) == 0 {
+		return nil, fmt.Errorf("attack: no rounds observed")
+	}
+	nLayers := len(o.layerNames)
+	out := make([]float64, nLayers)
+	for li := 0; li < nLayers; li++ {
+		correct, total := 0, 0
+		for key, sc := range o.layerScores {
+			if key < 0 || key >= len(trueAttrs) {
+				return nil, fmt.Errorf("attack: slot key %d outside population of %d", key, len(trueAttrs))
+			}
+			best, bestV := 0, sc[li][0]
+			for c, v := range sc[li][1:] {
+				if v > bestV {
+					best, bestV = c+1, v
+				}
+			}
+			total++
+			if best == trueAttrs[key] {
+				correct++
+			}
+		}
+		out[li] = float64(correct) / float64(total)
+	}
+	return out, nil
+}
+
+// Accuracy proxies the wrapped adversary's whole-update accuracy.
+func (o *LayerObserver) Accuracy(trueAttrs []int) (float64, error) {
+	return o.adv.Accuracy(trueAttrs)
+}

@@ -1,0 +1,86 @@
+package attack
+
+import (
+	"testing"
+
+	"mixnn/internal/fl"
+	"mixnn/internal/nn"
+)
+
+func TestLayerLeakageOnClassicFL(t *testing.T) {
+	src := &gaussSource{participants: 10, perClient: 64}
+	arch := nn.NewMLP("gauss", 8, []int{12}, 2)
+	cfg := fl.Config{Rounds: 3, LocalEpochs: 2, BatchSize: 16, LearningRate: 0.01, Optimizer: "adam", Seed: 3}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	parts := src.Participants(11)
+	clients := make([]*fl.Client, len(parts))
+	attrs := make([]int, len(parts))
+	for i, p := range parts {
+		clients[i] = fl.NewClient(p, arch, cfg)
+		attrs[i] = p.Attribute
+	}
+	server := fl.NewServer(arch.New(1000).SnapshotParams())
+	sim := fl.NewSimulation(server, clients, fl.Identity{}, 5)
+
+	adv, err := New(Config{
+		Arch: arch, Source: src, AuxPerClass: 96,
+		Epochs: 3, BatchSize: 16, LearningRate: 0.01,
+		Active: true, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewLayerObserver(adv)
+	sim.Observer = obs
+	sim.Disseminate = adv.Disseminator()
+
+	if _, err := sim.Run(3); err != nil {
+		t.Fatal(err)
+	}
+
+	names := obs.LayerNames()
+	if len(names) != 2 { // fc1, fc2 of the MLP
+		t.Fatalf("layer names = %v, want 2 layers", names)
+	}
+	perLayer, err := obs.LayerAccuracy(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perLayer) != len(names) {
+		t.Fatalf("per-layer accuracies = %d, want %d", len(perLayer), len(names))
+	}
+	// On this separable task at least one layer must individually leak
+	// far above chance — that is exactly why whole-layer routing without
+	// mixing would not protect anything.
+	best := 0.0
+	for _, a := range perLayer {
+		if a > best {
+			best = a
+		}
+	}
+	if best < 0.8 {
+		t.Fatalf("max per-layer leakage %.3f, want >= 0.8 on classic FL", best)
+	}
+
+	whole, err := obs.Accuracy(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole < 0.8 {
+		t.Fatalf("whole-update accuracy %.3f, want >= 0.8", whole)
+	}
+}
+
+func TestLayerAccuracyBeforeObservation(t *testing.T) {
+	src := &gaussSource{participants: 2, perClient: 8}
+	adv, err := New(Config{Arch: nn.NewMLP("g", 8, nil, 2), Source: src, AuxPerClass: 8, Epochs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := NewLayerObserver(adv)
+	if _, err := obs.LayerAccuracy([]int{0, 1}); err == nil {
+		t.Fatal("LayerAccuracy before observation succeeded")
+	}
+}

@@ -1,0 +1,293 @@
+// Package attack implements ∇Sim, the paper's §5 attribute-inference
+// attack exploiting the privacy vulnerability of SGD: the gradient
+// direction a participant returns is a fingerprint of its local data
+// distribution, and therefore of its sensitive attribute.
+//
+// The adversary (the aggregation server) holds background knowledge: for
+// each sensitive-attribute class it can draw auxiliary data from that
+// class's distribution. Each round it trains one reference model per class
+// starting from the disseminated model, and classifies every received
+// update by the cosine similarity between the update's direction and each
+// reference direction. Scores accumulate across rounds, amplifying the
+// fingerprint.
+//
+// The attack is passive (observe the honest protocol) or active (§5: the
+// malicious server disseminates the model "calculated for being
+// equidistant from the models associated to the sensitive attributes",
+// which maximises the separation of the returned directions).
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"mixnn/internal/data"
+	"mixnn/internal/fl"
+	"mixnn/internal/nn"
+	"mixnn/internal/tensor"
+)
+
+// Config parameterises a ∇Sim adversary.
+type Config struct {
+	// Arch is the main-task architecture (the adversary knows it — it
+	// defined the task).
+	Arch nn.Arch
+	// Source provides auxiliary data per attribute class.
+	Source data.Source
+	// AuxPerClass is the full background-knowledge pool per class.
+	AuxPerClass int
+	// BackgroundRatio is the fraction of the pool actually used (the
+	// Figure 8 sweep). Zero means 1.0.
+	BackgroundRatio float64
+	// Epochs of local training for each reference model (the paper trains
+	// attack models "for 5 learning rounds").
+	Epochs int
+	// BatchSize and LearningRate/Optimizer mirror the main task's
+	// hyper-parameters.
+	BatchSize    int
+	LearningRate float64
+	Optimizer    string
+	// Active selects the active variant (malicious dissemination).
+	Active bool
+	// Seed drives auxiliary sampling.
+	Seed int64
+}
+
+func (c *Config) fillDefaults() error {
+	if c.Source == nil {
+		return fmt.Errorf("attack: Config.Source is required")
+	}
+	if c.Arch.Build == nil {
+		return fmt.Errorf("attack: Config.Arch is required")
+	}
+	if c.AuxPerClass <= 0 {
+		c.AuxPerClass = 100
+	}
+	if c.BackgroundRatio == 0 {
+		c.BackgroundRatio = 1
+	}
+	if c.BackgroundRatio < 0 || c.BackgroundRatio > 1 {
+		return fmt.Errorf("attack: background ratio %g outside (0,1]", c.BackgroundRatio)
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 5
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.001
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = "adam"
+	}
+	return nil
+}
+
+// NablaSim is the ∇Sim adversary. It implements fl.Observer; wire its
+// Disseminator into the simulation for the active variant.
+type NablaSim struct {
+	cfg Config
+	aux []data.Dataset // one background-knowledge dataset per attribute class
+	net *nn.Network    // scratch network for reference training
+
+	mu sync.Mutex
+	// scores[slotKey][class] accumulates cosine similarity per observed
+	// slot. Slots are keyed by the client ID the server attributes them
+	// to (RoundRecord.ClientIDs) so the attack remains consistent when
+	// the server samples a subset of clients each round; records without
+	// IDs fall back to positional keys.
+	scores    map[int][]float64
+	refs      []nn.ParamSet // reference model parameters for the current round
+	refsFor   nn.ParamSet   // disseminated model the refs were built from
+	rounds    int
+	craftSeed int64
+}
+
+var _ fl.Observer = (*NablaSim)(nil)
+
+// New builds a ∇Sim adversary and materialises its background knowledge.
+func New(cfg Config) (*NablaSim, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	a := &NablaSim{cfg: cfg, net: cfg.Arch.New(cfg.Seed ^ 0x5f5f5f)}
+	n := int(float64(cfg.AuxPerClass)*cfg.BackgroundRatio + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	for attr := 0; attr < cfg.Source.AttrClasses(); attr++ {
+		a.aux = append(a.aux, cfg.Source.Auxiliary(attr, n, cfg.Seed+int64(attr)*17))
+	}
+	return a, nil
+}
+
+// Classes returns the number of sensitive-attribute classes.
+func (a *NablaSim) Classes() int { return len(a.aux) }
+
+// Rounds returns how many rounds have been observed.
+func (a *NablaSim) Rounds() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rounds
+}
+
+// buildReferences trains one reference model per attribute class starting
+// from the given model and returns their parameters. Deterministic given
+// the adversary's seed and round counter.
+func (a *NablaSim) buildReferences(from nn.ParamSet) ([]nn.ParamSet, error) {
+	refs := make([]nn.ParamSet, len(a.aux))
+	for attr, ds := range a.aux {
+		if err := a.net.SetParams(from); err != nil {
+			return nil, fmt.Errorf("attack: reference %d: %w", attr, err)
+		}
+		opt, err := nn.NewOptimizer(a.cfg.Optimizer, a.cfg.LearningRate)
+		if err != nil {
+			return nil, err
+		}
+		rng := rand.New(rand.NewSource(a.cfg.Seed + int64(attr)*101 + a.craftSeed))
+		for e := 0; e < a.cfg.Epochs; e++ {
+			for _, idx := range ds.Batches(a.cfg.BatchSize, rng) {
+				x, y := ds.Batch(idx)
+				a.net.TrainBatch(x, y, opt)
+			}
+		}
+		refs[attr] = a.net.SnapshotParams()
+	}
+	return refs, nil
+}
+
+// ensureReferences (re)builds the per-round reference models if the
+// disseminated model changed since they were last built.
+func (a *NablaSim) ensureReferences(disseminated nn.ParamSet) error {
+	if len(a.refs) > 0 && a.refsFor.NumLayers() > 0 && a.refsFor.ApproxEqual(disseminated, 0) {
+		return nil
+	}
+	refs, err := a.buildReferences(disseminated)
+	if err != nil {
+		return err
+	}
+	a.refs = refs
+	a.refsFor = disseminated.Clone()
+	return nil
+}
+
+// Disseminator returns the model-dissemination hook. In passive mode it is
+// honest (identity). In active mode it returns the crafted model:
+// the mean of the per-class reference models, which is equidistant from
+// all of them, so each participant's local training pulls its update
+// toward its own class's reference.
+func (a *NablaSim) Disseminator() fl.Disseminator {
+	return func(round int, global nn.ParamSet) nn.ParamSet {
+		if !a.cfg.Active {
+			return global
+		}
+		a.mu.Lock()
+		defer a.mu.Unlock()
+		a.craftSeed = int64(round)
+		refs, err := a.buildReferences(global)
+		if err != nil {
+			// A crafting failure degrades the attack to passive; the
+			// protocol must not break.
+			return global
+		}
+		crafted, err := nn.Average(refs)
+		if err != nil {
+			return global
+		}
+		// Build the scoring references against the crafted model.
+		a.refs = refs
+		a.refsFor = crafted.Clone()
+		return crafted
+	}
+}
+
+// ObserveRound implements fl.Observer: scores every received update slot
+// against the per-class reference directions.
+func (a *NablaSim) ObserveRound(rec fl.RoundRecord) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if err := a.ensureReferences(rec.Disseminated); err != nil {
+		return
+	}
+	if a.scores == nil {
+		a.scores = make(map[int][]float64)
+	}
+
+	refDirs := make([]*tensor.Tensor, len(a.refs))
+	for c, ref := range a.refs {
+		refDirs[c] = ref.Clone().Sub(rec.Disseminated).Flatten()
+	}
+	for i, u := range rec.Updates {
+		if !u.Compatible(rec.Disseminated) {
+			continue
+		}
+		key := i
+		if i < len(rec.ClientIDs) {
+			key = rec.ClientIDs[i]
+		}
+		sc := a.scores[key]
+		if sc == nil {
+			sc = make([]float64, len(a.refs))
+			a.scores[key] = sc
+		}
+		dir := u.Clone().Sub(rec.Disseminated).Flatten()
+		for c, rd := range refDirs {
+			sc[c] += tensor.CosineSimilarity(dir, rd)
+		}
+	}
+	a.rounds++
+}
+
+// Predict returns the attribute class inferred for each observed slot key
+// (argmax of the accumulated scores). With classic FL, slot key i is
+// participant i; after MixNN the attribution is meaningless, which is the
+// defence.
+func (a *NablaSim) Predict() map[int]int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[int]int, len(a.scores))
+	for key, sc := range a.scores {
+		best, bestV := 0, sc[0]
+		for c, v := range sc[1:] {
+			if v > bestV {
+				best, bestV = c+1, v
+			}
+		}
+		out[key] = best
+	}
+	return out
+}
+
+// Accuracy returns the inference accuracy against the true attributes,
+// indexed by client ID (the paper's Inference Accuracy). Only observed
+// slots count.
+func (a *NablaSim) Accuracy(trueAttrs []int) (float64, error) {
+	pred := a.Predict()
+	if len(pred) == 0 {
+		return 0, fmt.Errorf("attack: no rounds observed")
+	}
+	correct, total := 0, 0
+	for key, p := range pred {
+		if key < 0 || key >= len(trueAttrs) {
+			return 0, fmt.Errorf("attack: observed slot key %d outside population of %d", key, len(trueAttrs))
+		}
+		total++
+		if p == trueAttrs[key] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(total), nil
+}
+
+// Scores returns a copy of the accumulated score matrix keyed by slot.
+func (a *NablaSim) Scores() map[int][]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[int][]float64, len(a.scores))
+	for key, sc := range a.scores {
+		out[key] = append([]float64(nil), sc...)
+	}
+	return out
+}

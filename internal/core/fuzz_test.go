@@ -1,0 +1,44 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzStreamMixerState feeds arbitrary bytes to the state restorer: it must
+// reject garbage without panicking (the blob crosses the sealing boundary,
+// so a compromised host could feed anything).
+func FuzzStreamMixerState(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := NewStreamMixer(3, rng)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, u := range makeUpdates(2, 2, rng) {
+		if _, err := m.Add(u); err != nil {
+			f.Fatal(err)
+		}
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(blob)
+	f.Add([]byte("MXST"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fresh, err := NewStreamMixer(3, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.UnmarshalBinary(data); err != nil {
+			return
+		}
+		// Anything accepted must leave the mixer usable.
+		if fresh.Buffered() > fresh.K() {
+			t.Fatalf("restored buffer %d exceeds k %d", fresh.Buffered(), fresh.K())
+		}
+		_ = fresh.Drain()
+	})
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mixnn/internal/nn"
+)
+
+// Binary state format for StreamMixer (little-endian):
+//
+//	magic   [4]byte "MXST"
+//	k       uint32
+//	buffered uint32
+//	received, emitted uint64
+//	layers  uint32
+//	per layer: entries uint32, each entry a single-layer ParamSet encoding
+//
+// The MixNN proxy seals this blob with the enclave sealing key so the
+// mixing buffer survives a proxy restart without ever leaving trusted
+// custody in plaintext (§2.5's sealing applied to §4.3's lists).
+const stateMagic = "MXST"
+
+// MarshalBinary exports the mixer's buffered contents.
+func (m *StreamMixer) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteString(stateMagic)
+	for _, v := range []uint32{uint32(m.k), uint32(m.buffered)} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: marshal state: %w", err)
+		}
+	}
+	for _, v := range []uint64{uint64(m.received), uint64(m.emitted)} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: marshal state: %w", err)
+		}
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(m.lists))); err != nil {
+		return nil, fmt.Errorf("core: marshal state: %w", err)
+	}
+	for li, list := range m.lists {
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(len(list))); err != nil {
+			return nil, fmt.Errorf("core: marshal state: %w", err)
+		}
+		for _, lp := range list {
+			if err := nn.WriteParamSet(&buf, nn.ParamSet{Layers: []nn.LayerParams{lp}}); err != nil {
+				return nil, fmt.Errorf("core: marshal layer %d: %w", li, err)
+			}
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary restores a mixer from a MarshalBinary blob. The receiver
+// must be freshly constructed; its k must match the snapshot.
+func (m *StreamMixer) UnmarshalBinary(data []byte) error {
+	if m.received != 0 || m.lists != nil {
+		return fmt.Errorf("core: UnmarshalBinary on a non-fresh mixer")
+	}
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return fmt.Errorf("core: read state magic: %w", err)
+	}
+	if string(magic[:]) != stateMagic {
+		return fmt.Errorf("core: bad state magic %q", magic)
+	}
+	var k, buffered uint32
+	if err := binary.Read(r, binary.LittleEndian, &k); err != nil {
+		return fmt.Errorf("core: read k: %w", err)
+	}
+	if int(k) != m.k {
+		return fmt.Errorf("core: snapshot k=%d does not match mixer k=%d", k, m.k)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &buffered); err != nil {
+		return fmt.Errorf("core: read buffered: %w", err)
+	}
+	if buffered > k {
+		return fmt.Errorf("core: snapshot buffered %d exceeds k %d", buffered, k)
+	}
+	var received, emitted uint64
+	if err := binary.Read(r, binary.LittleEndian, &received); err != nil {
+		return fmt.Errorf("core: read received: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &emitted); err != nil {
+		return fmt.Errorf("core: read emitted: %w", err)
+	}
+	var layers uint32
+	if err := binary.Read(r, binary.LittleEndian, &layers); err != nil {
+		return fmt.Errorf("core: read layer count: %w", err)
+	}
+	const maxLayers = 4096
+	if layers > maxLayers {
+		return fmt.Errorf("core: snapshot layer count %d exceeds limit", layers)
+	}
+	lists := make([][]nn.LayerParams, layers)
+	var template nn.ParamSet
+	for li := range lists {
+		var entries uint32
+		if err := binary.Read(r, binary.LittleEndian, &entries); err != nil {
+			return fmt.Errorf("core: read entry count: %w", err)
+		}
+		if entries != buffered {
+			return fmt.Errorf("core: layer %d has %d entries, want %d (corrupt snapshot)", li, entries, buffered)
+		}
+		lists[li] = make([]nn.LayerParams, 0, m.k)
+		for e := uint32(0); e < entries; e++ {
+			ps, err := nn.ReadParamSet(r)
+			if err != nil {
+				return fmt.Errorf("core: read layer %d entry %d: %w", li, e, err)
+			}
+			if len(ps.Layers) != 1 {
+				return fmt.Errorf("core: layer %d entry %d holds %d layers, want 1", li, e, len(ps.Layers))
+			}
+			lists[li] = append(lists[li], ps.Layers[0])
+		}
+		template.Layers = append(template.Layers, nn.LayerParams{})
+	}
+	m.received = int(received)
+	m.emitted = int(emitted)
+	if buffered == 0 {
+		// Nothing buffered: behave like a fresh mixer (the next Add
+		// establishes the structure).
+		return nil
+	}
+	// Rebuild the structural template from the first buffered entry of
+	// each layer so compatibility checks keep working after restore.
+	for li := range lists {
+		template.Layers[li] = lists[li][0]
+	}
+	m.template = template
+	m.lists = lists
+	m.buffered = int(buffered)
+	return nil
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixnn/internal/nn"
+)
+
+func TestStreamMixerStateRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	updates := makeUpdates(6, 3, rng)
+	m, err := NewStreamMixer(4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer 4, emit on the next 2.
+	var emittedBefore []nn.ParamSet
+	for _, u := range updates {
+		out, err := m.Add(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			emittedBefore = append(emittedBefore, *out)
+		}
+	}
+
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewStreamMixer(4, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	if restored.Buffered() != m.Buffered() {
+		t.Fatalf("buffered = %d, want %d", restored.Buffered(), m.Buffered())
+	}
+	if restored.Received() != m.Received() || restored.Emitted() != m.Emitted() {
+		t.Fatalf("counters = %d/%d, want %d/%d",
+			restored.Received(), restored.Emitted(), m.Received(), m.Emitted())
+	}
+
+	// Conservation must hold across the snapshot boundary: the drained
+	// remainder plus the pre-snapshot emissions must average to the
+	// average of all inputs.
+	all := append(emittedBefore, restored.Drain()...)
+	if len(all) != len(updates) {
+		t.Fatalf("total emissions = %d, want %d", len(all), len(updates))
+	}
+	want, _ := nn.Average(updates)
+	got, err := nn.Average(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.ApproxEqual(got, 1e-9) {
+		t.Fatal("aggregate broken across snapshot/restore")
+	}
+}
+
+func TestStreamMixerStateRoundTripEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m, err := NewStreamMixer(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewStreamMixer(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.UnmarshalBinary(blob); err != nil {
+		t.Fatal(err)
+	}
+	// A restored-empty mixer must accept updates like a fresh one.
+	u := makeUpdates(1, 2, rng)[0]
+	if _, err := restored.Add(u); err != nil {
+		t.Fatalf("Add after empty restore: %v", err)
+	}
+}
+
+func TestStreamMixerStateRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m, err := NewStreamMixer(3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Add(makeUpdates(1, 2, rng)[0]); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := m.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("non-fresh receiver", func(t *testing.T) {
+		if err := m.UnmarshalBinary(blob); err == nil {
+			t.Fatal("restore into used mixer accepted")
+		}
+	})
+	t.Run("k mismatch", func(t *testing.T) {
+		other, err := NewStreamMixer(5, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := other.UnmarshalBinary(blob); err == nil {
+			t.Fatal("k mismatch accepted")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[0] = 'X'
+		fresh, err := NewStreamMixer(3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.UnmarshalBinary(bad); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		fresh, err := NewStreamMixer(3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := fresh.UnmarshalBinary(blob[:len(blob)/2]); err == nil {
+			t.Fatal("truncated blob accepted")
+		}
+	})
+}

@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixnn/internal/nn"
+)
+
+// StreamMixer is the paper's §4.3 enclave implementation of mixing: the
+// parameters of each layer are stored in per-layer lists of capacity k.
+// The first k updates fill the lists. Every further update causes the
+// mixer to pick at random and remove one element from each list, assemble
+// those elements into an outgoing update, and file the arriving update's
+// layers into the freed slots.
+//
+// A StreamMixer is not safe for concurrent use; the proxy serialises
+// access (which also matches the constant-time processing discipline).
+type StreamMixer struct {
+	k        int
+	rng      *rand.Rand
+	template nn.ParamSet // structure of the first update; guards compatibility
+	lists    [][]nn.LayerParams
+	buffered int
+	emitted  int
+	received int
+}
+
+// NewStreamMixer creates a mixer with per-layer lists of capacity k.
+func NewStreamMixer(k int, rng *rand.Rand) (*StreamMixer, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("core: stream mixer requires k > 0, got %d", k)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("core: stream mixer requires a rand source")
+	}
+	return &StreamMixer{k: k, rng: rng}, nil
+}
+
+// K returns the list capacity.
+func (m *StreamMixer) K() int { return m.k }
+
+// Buffered returns the number of updates currently held in the lists.
+func (m *StreamMixer) Buffered() int { return m.buffered }
+
+// Received returns the total number of updates accepted.
+func (m *StreamMixer) Received() int { return m.received }
+
+// Emitted returns the total number of mixed updates produced.
+func (m *StreamMixer) Emitted() int { return m.emitted }
+
+// Add accepts one participant update. While the lists are filling
+// (fewer than k buffered) it returns (nil, nil). Once the lists are full,
+// each Add returns exactly one mixed update assembled from randomly-drawn
+// buffered layers, with the arriving layers taking the freed slots.
+func (m *StreamMixer) Add(u nn.ParamSet) (*nn.ParamSet, error) {
+	if len(u.Layers) == 0 {
+		return nil, fmt.Errorf("core: empty update")
+	}
+	if m.lists == nil {
+		m.template = u
+		m.lists = make([][]nn.LayerParams, len(u.Layers))
+		for i := range m.lists {
+			m.lists[i] = make([]nn.LayerParams, 0, m.k)
+		}
+	} else if !m.template.Compatible(u) {
+		return nil, fmt.Errorf("core: update incompatible with mixer model structure")
+	}
+	m.received++
+
+	if m.buffered < m.k {
+		for li, lp := range u.Layers {
+			m.lists[li] = append(m.lists[li], lp)
+		}
+		m.buffered++
+		return nil, nil
+	}
+
+	out := nn.ParamSet{Layers: make([]nn.LayerParams, len(m.lists))}
+	for li := range m.lists {
+		pick := m.rng.Intn(len(m.lists[li]))
+		out.Layers[li] = m.lists[li][pick]
+		// Replace the drawn element with the arriving layer ("the empty
+		// element in each list is then filled out with information coming
+		// from the incoming update", §4.3).
+		m.lists[li][pick] = u.Layers[li]
+	}
+	m.emitted++
+	return &out, nil
+}
+
+// Drain empties the lists at the end of a round, emitting the remaining
+// buffered material as mixed updates (each assembled from one random
+// element per layer, without replacement). After Drain the mixer is ready
+// for a new round. The paper's proxy drains once all C participants of a
+// round have been forwarded, which restores L = C and therefore exact
+// aggregation equivalence.
+func (m *StreamMixer) Drain() []nn.ParamSet {
+	out := make([]nn.ParamSet, 0, m.buffered)
+	for m.buffered > 0 {
+		ps := nn.ParamSet{Layers: make([]nn.LayerParams, len(m.lists))}
+		for li := range m.lists {
+			pick := m.rng.Intn(len(m.lists[li]))
+			last := len(m.lists[li]) - 1
+			ps.Layers[li] = m.lists[li][pick]
+			m.lists[li][pick] = m.lists[li][last]
+			m.lists[li] = m.lists[li][:last]
+		}
+		m.buffered--
+		m.emitted++
+		out = append(out, ps)
+	}
+	return out
+}
+
+// StreamTransform adapts StreamMixer to the federated pipeline: it feeds
+// the round's updates through a fresh k-buffer stream and drains it, so the
+// server receives exactly as many updates as participants sent
+// (it satisfies fl.UpdateTransform).
+type StreamTransform struct {
+	// K is the list capacity; it must be at most the number of
+	// participants per round (otherwise the buffer never fills).
+	K int
+}
+
+// Name implements fl.UpdateTransform.
+func (t StreamTransform) Name() string { return "mixnn-stream" }
+
+// Apply implements fl.UpdateTransform.
+func (t StreamTransform) Apply(updates []nn.ParamSet, rng *rand.Rand) ([]nn.ParamSet, error) {
+	k := t.K
+	if k <= 0 || k > len(updates) {
+		k = len(updates)
+	}
+	m, err := NewStreamMixer(k, rng)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]nn.ParamSet, 0, len(updates))
+	for i, u := range updates {
+		mixed, err := m.Add(u)
+		if err != nil {
+			return nil, fmt.Errorf("core: stream update %d: %w", i, err)
+		}
+		if mixed != nil {
+			out = append(out, *mixed)
+		}
+	}
+	out = append(out, m.Drain()...)
+	return out, nil
+}

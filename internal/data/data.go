@@ -1,0 +1,165 @@
+// Package data provides the dataset substrates of the MixNN reproduction.
+//
+// The paper evaluates on CIFAR10, MotionSense, MobiAct and LFW. Those
+// corpora are not available offline, so this package generates synthetic
+// equivalents that preserve the properties the evaluation depends on:
+//
+//   - a learnable main classification task (class-conditional structure),
+//   - a sensitive attribute that systematically shifts each participant's
+//     local data distribution (the footprint ∇Sim exploits), and
+//   - the paper's participant populations and non-IID partitioning.
+//
+// Every generator is deterministic given its seed. See DESIGN.md §3 for the
+// substitution rationale.
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixnn/internal/tensor"
+)
+
+// Dataset is a supervised dataset: X holds one flat example per row and Y
+// the integer class labels.
+type Dataset struct {
+	X *tensor.Tensor
+	Y []int
+}
+
+// NewDataset allocates an empty dataset with n rows of width dim.
+func NewDataset(n, dim int) Dataset {
+	return Dataset{X: tensor.New(maxInt(n, 1), dim), Y: make([]int, n)}
+}
+
+// Len returns the number of examples.
+func (d Dataset) Len() int { return len(d.Y) }
+
+// Dim returns the example width.
+func (d Dataset) Dim() int { return d.X.Dim(1) }
+
+// Batch gathers the rows at the given indices into a new (X, Y) pair.
+func (d Dataset) Batch(idx []int) (*tensor.Tensor, []int) {
+	dim := d.Dim()
+	x := tensor.New(maxInt(len(idx), 1), dim)
+	y := make([]int, len(idx))
+	for bi, i := range idx {
+		copy(x.Data()[bi*dim:(bi+1)*dim], d.X.Data()[i*dim:(i+1)*dim])
+		y[bi] = d.Y[i]
+	}
+	return x, y
+}
+
+// Subset returns a copy of the rows at the given indices.
+func (d Dataset) Subset(idx []int) Dataset {
+	x, y := d.Batch(idx)
+	return Dataset{X: x, Y: y}
+}
+
+// Split partitions the dataset into a training set with ceil(frac*N)
+// examples and a test set with the rest, sampling without replacement
+// using rng. The paper uses 5/6 train, 1/6 test.
+func (d Dataset) Split(frac float64, rng *rand.Rand) (train, test Dataset) {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("data: split fraction %g outside [0,1]", frac))
+	}
+	perm := rng.Perm(d.Len())
+	nTrain := int(frac*float64(d.Len()) + 0.999999)
+	if nTrain > d.Len() {
+		nTrain = d.Len()
+	}
+	return d.Subset(perm[:nTrain]), d.Subset(perm[nTrain:])
+}
+
+// Shuffle permutes examples in place using rng.
+func (d Dataset) Shuffle(rng *rand.Rand) {
+	dim := d.Dim()
+	tmp := make([]float64, dim)
+	rng.Shuffle(d.Len(), func(i, j int) {
+		xi := d.X.Data()[i*dim : (i+1)*dim]
+		xj := d.X.Data()[j*dim : (j+1)*dim]
+		copy(tmp, xi)
+		copy(xi, xj)
+		copy(xj, tmp)
+		d.Y[i], d.Y[j] = d.Y[j], d.Y[i]
+	})
+}
+
+// Merge concatenates datasets (which must share example width).
+func Merge(ds ...Dataset) Dataset {
+	if len(ds) == 0 {
+		panic("data: Merge of zero datasets")
+	}
+	dim := ds[0].Dim()
+	total := 0
+	for _, d := range ds {
+		if d.Dim() != dim {
+			panic(fmt.Sprintf("data: Merge width mismatch: %d vs %d", d.Dim(), dim))
+		}
+		total += d.Len()
+	}
+	out := NewDataset(total, dim)
+	row := 0
+	for _, d := range ds {
+		copy(out.X.Data()[row*dim:], d.X.Data()[:d.Len()*dim])
+		copy(out.Y[row:], d.Y)
+		row += d.Len()
+	}
+	return out
+}
+
+// Batches yields mini-batch index slices covering a random permutation of
+// the dataset; the last batch may be smaller.
+func (d Dataset) Batches(batchSize int, rng *rand.Rand) [][]int {
+	if batchSize <= 0 {
+		panic(fmt.Sprintf("data: non-positive batch size %d", batchSize))
+	}
+	perm := rng.Perm(d.Len())
+	var out [][]int
+	for start := 0; start < len(perm); start += batchSize {
+		end := start + batchSize
+		if end > len(perm) {
+			end = len(perm)
+		}
+		out = append(out, perm[start:end])
+	}
+	return out
+}
+
+// Participant is one federated-learning client: its local train/test data
+// and its sensitive-attribute class (the label ∇Sim tries to infer).
+type Participant struct {
+	ID        int
+	Attribute int
+	Train     Dataset
+	Test      Dataset
+}
+
+// Source abstracts a dataset generator so experiments can run the same
+// pipeline over all four benchmark substitutes.
+type Source interface {
+	// Name identifies the dataset in experiment output ("cifar10", ...).
+	Name() string
+	// Input returns the example volume (channels, height, width).
+	Input() (c, h, w int)
+	// Classes returns the number of main-task classes.
+	Classes() int
+	// AttrClasses returns the number of sensitive-attribute classes.
+	AttrClasses() int
+	// AttrName returns a human-readable name for an attribute class.
+	AttrName(a int) string
+	// Participants generates the federated population.
+	Participants(seed int64) []Participant
+	// Auxiliary generates n examples drawn from the data distribution of
+	// one attribute class — the adversary's background knowledge (§3 of
+	// the paper: "a public dataset with similar raw data including the
+	// sensitive attribute").
+	Auxiliary(attr, n int, seed int64) Dataset
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,202 @@
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// FacesConfig configures the synthetic face dataset used as the LFW
+// substitute. Examples are 1×H×W grayscale face-like images. The main task
+// is smile detection (the paper's LFW task); the sensitive attribute is
+// gender, encoded as structural differences (hair band, jaw width) that are
+// independent of the smile feature.
+type FacesConfig struct {
+	H, W         int // image size (default 32×32, divisible by 4 for DeepFace)
+	Participants int // population size (default 20 as in §6.1.4)
+	TrainPer     int // training images per participant (default 160)
+	TestPer      int // test images per participant (default 32)
+	Noise        float64
+	Seed         int64
+}
+
+func (c *FacesConfig) fillDefaults() {
+	setDefault(&c.H, 32)
+	setDefault(&c.W, 32)
+	setDefault(&c.Participants, 20)
+	setDefault(&c.TrainPer, 160)
+	setDefault(&c.TestPer, 32)
+	if c.Noise == 0 {
+		c.Noise = 0.12
+	}
+}
+
+// Faces generates structured face images:
+//
+//	background 0.1, elliptical face at 0.6, two dark eyes,
+//	a mouth that curves upward when smiling and stays flat otherwise,
+//	a hair band whose thickness and a jaw whose width encode gender.
+//
+// Per-subject jitter (translation, intensity gain) makes participants
+// distinct individuals. The gender features shift every image of a
+// participant, so the participant's gradient carries a gender footprint —
+// the mechanism ∇Sim needs — while smiles vary within each participant.
+type Faces struct {
+	cfg FacesConfig
+}
+
+var _ Source = (*Faces)(nil)
+
+// NewFaces builds the generator.
+func NewFaces(cfg FacesConfig) *Faces {
+	cfg.fillDefaults()
+	return &Faces{cfg: cfg}
+}
+
+// Name implements Source.
+func (g *Faces) Name() string { return "lfw" }
+
+// Input implements Source.
+func (g *Faces) Input() (int, int, int) { return 1, g.cfg.H, g.cfg.W }
+
+// Classes implements Source (smile / no smile).
+func (g *Faces) Classes() int { return 2 }
+
+// AttrClasses implements Source.
+func (g *Faces) AttrClasses() int { return 2 }
+
+// AttrName implements Source.
+func (g *Faces) AttrName(a int) string {
+	if a == 0 {
+		return "male"
+	}
+	return "female"
+}
+
+type faceTraits struct {
+	dx, dy int     // translation jitter
+	gain   float64 // intensity gain
+}
+
+func drawFaceTraits(rng *rand.Rand) faceTraits {
+	return faceTraits{
+		dx:   rng.Intn(5) - 2,
+		dy:   rng.Intn(5) - 2,
+		gain: 0.85 + 0.3*rng.Float64(),
+	}
+}
+
+// renderFace writes one face into dst.
+func (g *Faces) renderFace(smile, gender int, tr faceTraits, rng *rand.Rand, dst []float64) {
+	h, w := g.cfg.H, g.cfg.W
+	cx := float64(w)/2 + float64(tr.dx)
+	cy := float64(h)/2 + float64(tr.dy)
+	// Jaw width encodes gender: male faces are wider.
+	rx := float64(w) * 0.34
+	if gender == 1 {
+		rx *= 0.82
+	}
+	ry := float64(h) * 0.40
+
+	set := func(x, y int, v float64) {
+		if x >= 0 && x < w && y >= 0 && y < h {
+			dst[y*w+x] = v
+		}
+	}
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			ex := (float64(x) - cx) / rx
+			ey := (float64(y) - cy) / ry
+			v := 0.1
+			if ex*ex+ey*ey <= 1 {
+				v = 0.6 * tr.gain
+			}
+			dst[y*w+x] = v
+		}
+	}
+
+	// Hair band: thickness encodes gender (female = longer hair → thicker).
+	hairRows := 2
+	if gender == 1 {
+		hairRows = 5
+	}
+	top := int(cy - ry)
+	for r := 0; r < hairRows; r++ {
+		y := top + r
+		for x := int(cx - rx); x <= int(cx+rx); x++ {
+			set(x, y, 0.9*tr.gain)
+		}
+	}
+
+	// Eyes: two dark spots at fixed face-relative positions.
+	eyeY := int(cy - ry*0.25)
+	for _, ex := range []int{int(cx - rx*0.45), int(cx + rx*0.45)} {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				set(ex+dx, eyeY+dy, 0.05)
+			}
+		}
+	}
+
+	// Mouth: a horizontal stroke; smiling mouths curve upward at the
+	// corners (quadratic dip in image coordinates).
+	mouthY := cy + ry*0.45
+	halfSpan := rx * 0.5
+	for ox := -halfSpan; ox <= halfSpan; ox++ {
+		y := mouthY
+		if smile == 1 {
+			y -= 3 * (ox * ox / (halfSpan * halfSpan)) // corners rise
+		}
+		set(int(cx+ox), int(y), 0.05)
+		set(int(cx+ox), int(y)+1, 0.05)
+	}
+
+	// Sensor noise.
+	for i := range dst {
+		dst[i] += rng.NormFloat64() * g.cfg.Noise
+		dst[i] = math.Max(0, math.Min(1.2, dst[i]))
+	}
+}
+
+// sampleSubject generates n balanced smile/no-smile images for a subject.
+func (g *Faces) sampleSubject(gender, n int, tr faceTraits, rng *rand.Rand) Dataset {
+	dim := g.cfg.H * g.cfg.W
+	ds := NewDataset(n, dim)
+	for i := 0; i < n; i++ {
+		ds.Y[i] = i % 2 // balanced smile labels
+		g.renderFace(ds.Y[i], gender, tr, rng, ds.X.Data()[i*dim:(i+1)*dim])
+	}
+	ds.Shuffle(rng)
+	return ds
+}
+
+// Participants implements Source; genders alternate for balance.
+func (g *Faces) Participants(seed int64) []Participant {
+	out := make([]Participant, 0, g.cfg.Participants)
+	for id := 0; id < g.cfg.Participants; id++ {
+		rng := rand.New(rand.NewSource(seed + int64(id)*4099))
+		gender := id % 2
+		tr := drawFaceTraits(rng)
+		out = append(out, Participant{
+			ID:        id,
+			Attribute: gender,
+			Train:     g.sampleSubject(gender, g.cfg.TrainPer, tr, rng),
+			Test:      g.sampleSubject(gender, g.cfg.TestPer, tr, rng),
+		})
+	}
+	return out
+}
+
+// Auxiliary implements Source: images of fresh subjects of one gender.
+func (g *Faces) Auxiliary(attr, n int, seed int64) Dataset {
+	rng := rand.New(rand.NewSource(seed ^ 0x7f4a7c15 + int64(attr)))
+	const auxSubjects = 4
+	parts := make([]Dataset, 0, auxSubjects)
+	per := (n + auxSubjects - 1) / auxSubjects
+	for s := 0; s < auxSubjects; s++ {
+		tr := drawFaceTraits(rng)
+		parts = append(parts, g.sampleSubject(attr, per, tr, rng))
+	}
+	merged := Merge(parts...)
+	return merged.Subset(rng.Perm(merged.Len())[:n])
+}

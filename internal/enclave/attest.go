@@ -1,0 +1,95 @@
+package enclave
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"fmt"
+)
+
+// Platform models the physical host: it owns the CPU fuse secret that
+// sealing keys derive from and the attestation authority that vouches for
+// enclaves running on genuine hardware (the IAS role in real SGX).
+type Platform struct {
+	fuseSecret [32]byte
+	iasKey     *ecdsa.PrivateKey
+}
+
+// NewPlatform creates a platform with a fresh fuse secret and attestation
+// signing key.
+func NewPlatform() (*Platform, error) {
+	p := &Platform{}
+	if _, err := rand.Read(p.fuseSecret[:]); err != nil {
+		return nil, fmt.Errorf("enclave: platform fuse secret: %w", err)
+	}
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: attestation key: %w", err)
+	}
+	p.iasKey = key
+	return p, nil
+}
+
+// AttestationPublicKey returns the verification key clients pin (the IAS
+// root in real deployments).
+func (p *Platform) AttestationPublicKey() *ecdsa.PublicKey { return &p.iasKey.PublicKey }
+
+// Report is a remote-attestation report: it binds the enclave measurement
+// and its encryption public key to a caller-chosen nonce, signed by the
+// platform's attestation authority. A client that verifies a Report knows
+// the public key belongs to an enclave running the expected code.
+type Report struct {
+	Measurement [32]byte
+	Nonce       []byte
+	PubKeyDER   []byte
+	Signature   []byte
+}
+
+// Attest produces a signed report for the enclave bound to the given nonce.
+func (p *Platform) Attest(e *Enclave, nonce []byte) (Report, error) {
+	der, err := x509.MarshalPKIXPublicKey(e.PublicKey())
+	if err != nil {
+		return Report{}, fmt.Errorf("enclave: marshal public key: %w", err)
+	}
+	r := Report{Measurement: e.Measurement(), Nonce: append([]byte(nil), nonce...), PubKeyDER: der}
+	digest := r.digest()
+	sig, err := ecdsa.SignASN1(rand.Reader, p.iasKey, digest[:])
+	if err != nil {
+		return Report{}, fmt.Errorf("enclave: sign report: %w", err)
+	}
+	r.Signature = sig
+	return r, nil
+}
+
+func (r Report) digest() [32]byte {
+	h := sha256.New()
+	h.Write(r.Measurement[:])
+	h.Write(r.Nonce)
+	h.Write(r.PubKeyDER)
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Verify checks the report signature against the attestation authority key,
+// the expected measurement and the nonce the verifier chose. It returns the
+// attested enclave public key on success.
+func (r Report) Verify(authority *ecdsa.PublicKey, expectedMeasurement [32]byte, nonce []byte) (interface{}, error) {
+	if r.Measurement != expectedMeasurement {
+		return nil, fmt.Errorf("enclave: measurement mismatch: enclave runs unexpected code")
+	}
+	if string(r.Nonce) != string(nonce) {
+		return nil, fmt.Errorf("enclave: attestation nonce mismatch (replayed report?)")
+	}
+	digest := r.digest()
+	if !ecdsa.VerifyASN1(authority, digest[:], r.Signature) {
+		return nil, fmt.Errorf("enclave: attestation signature invalid")
+	}
+	pub, err := x509.ParsePKIXPublicKey(r.PubKeyDER)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: parse attested key: %w", err)
+	}
+	return pub, nil
+}

@@ -1,0 +1,269 @@
+// Package enclave is a behavioural simulation of the Intel SGX enclave
+// that hosts the MixNN proxy (paper §2.5, §4.3).
+//
+// What is real: all cryptography. Participants encrypt updates with the
+// enclave's RSA-2048 public key (OAEP key wrap around AES-256-GCM);
+// attestation reports bind a SHA-256 measurement of the enclave's code
+// identity and are signed by a (simulated) attestation authority with
+// ECDSA P-256; sealing uses AES-GCM under a key derived from a simulated
+// CPU fuse secret and the measurement, so blobs sealed by one enclave
+// identity cannot be unsealed by another.
+//
+// What is simulated: the hardware resource envelope. The enclave tracks
+// EPC usage against the 96 MiB usable limit the paper cites and counts
+// paging events when the working set exceeds it, and it offers a
+// constant-duration processing gate that models the side-channel hardening
+// of §4.3 (every update takes the same wall-clock time to process).
+package enclave
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// UsableEPCBytes is the usable enclave page cache cited by the paper:
+// "only 96 MB out of the 128 reserved for the enclave can be used".
+const UsableEPCBytes = 96 << 20
+
+// Config parameterises a simulated enclave.
+type Config struct {
+	// CodeIdentity stands in for the enclave build being measured;
+	// the measurement is SHA-256 of this string.
+	CodeIdentity string
+	// MemoryLimitBytes is the usable EPC size (default UsableEPCBytes).
+	MemoryLimitBytes int
+	// RSABits sizes the enclave key pair (default 2048).
+	RSABits int
+	// ConstantProcessing, when positive, makes every Process call take at
+	// least this long (side-channel hardening, §4.3).
+	ConstantProcessing time.Duration
+}
+
+func (c *Config) fillDefaults() {
+	if c.CodeIdentity == "" {
+		c.CodeIdentity = "mixnn-proxy-v1"
+	}
+	if c.MemoryLimitBytes == 0 {
+		c.MemoryLimitBytes = UsableEPCBytes
+	}
+	if c.RSABits == 0 {
+		c.RSABits = 2048
+	}
+}
+
+// Stats reports the enclave's simulated resource state.
+type Stats struct {
+	MemoryUsedBytes  int
+	MemoryPeakBytes  int
+	MemoryLimitBytes int
+	// PageEvents counts Alloc calls that pushed usage past the EPC limit;
+	// on real SGX each would trigger costly EWB/ELDU paging.
+	PageEvents int
+}
+
+// Enclave is a simulated SGX enclave instance.
+type Enclave struct {
+	cfg         Config
+	priv        *rsa.PrivateKey
+	measurement [32]byte
+	sealKey     [32]byte
+
+	mu       sync.Mutex
+	memUsed  int
+	memPeak  int
+	pageEvts int
+}
+
+// New creates an enclave: generates its key pair, computes its measurement
+// and derives its sealing key from the platform's fuse secret.
+func New(cfg Config, platform *Platform) (*Enclave, error) {
+	cfg.fillDefaults()
+	priv, err := rsa.GenerateKey(rand.Reader, cfg.RSABits)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: generate key pair: %w", err)
+	}
+	e := &Enclave{cfg: cfg, priv: priv}
+	e.measurement = sha256.Sum256([]byte(cfg.CodeIdentity))
+	// Sealing key = H(fuse secret || measurement): per-platform and
+	// per-identity, like SGX's MRENCLAVE-bound sealing.
+	h := sha256.New()
+	h.Write(platform.fuseSecret[:])
+	h.Write(e.measurement[:])
+	copy(e.sealKey[:], h.Sum(nil))
+	return e, nil
+}
+
+// Measurement returns the enclave's code measurement (MRENCLAVE analogue).
+func (e *Enclave) Measurement() [32]byte { return e.measurement }
+
+// PublicKey returns the enclave's encryption public key (k_pub in the
+// paper); participants encrypt their parameter updates with it.
+func (e *Enclave) PublicKey() *rsa.PublicKey { return &e.priv.PublicKey }
+
+// hybrid ciphertext layout:
+//
+//	u16 wrappedKeyLen | wrappedKey | 12-byte nonce | AES-256-GCM ciphertext
+const gcmNonceSize = 12
+
+// Encrypt encrypts plaintext for the enclave holding pub: a fresh AES-256
+// key wrapped with RSA-OAEP(SHA-256) followed by the GCM payload. This is
+// what participants (and tests) call client-side.
+func Encrypt(pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
+	key := make([]byte, 32)
+	if _, err := rand.Read(key); err != nil {
+		return nil, fmt.Errorf("enclave: draw session key: %w", err)
+	}
+	wrapped, err := rsa.EncryptOAEP(sha256.New(), rand.Reader, pub, key, nil)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: wrap session key: %w", err)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: session cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: gcm: %w", err)
+	}
+	nonce := make([]byte, gcmNonceSize)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("enclave: draw nonce: %w", err)
+	}
+	out := make([]byte, 2, 2+len(wrapped)+gcmNonceSize+len(plaintext)+gcm.Overhead())
+	binary.LittleEndian.PutUint16(out, uint16(len(wrapped)))
+	out = append(out, wrapped...)
+	out = append(out, nonce...)
+	out = gcm.Seal(out, nonce, plaintext, nil)
+	return out, nil
+}
+
+// ErrCiphertext is returned for malformed or tampered ciphertexts.
+var ErrCiphertext = errors.New("enclave: invalid ciphertext")
+
+// Decrypt opens a hybrid ciphertext inside the enclave.
+func (e *Enclave) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) < 2 {
+		return nil, fmt.Errorf("%w: too short", ErrCiphertext)
+	}
+	wlen := int(binary.LittleEndian.Uint16(ciphertext))
+	rest := ciphertext[2:]
+	if len(rest) < wlen+gcmNonceSize {
+		return nil, fmt.Errorf("%w: truncated header", ErrCiphertext)
+	}
+	key, err := rsa.DecryptOAEP(sha256.New(), nil, e.priv, rest[:wlen], nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: key unwrap failed", ErrCiphertext)
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("%w: session cipher", ErrCiphertext)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("%w: gcm", ErrCiphertext)
+	}
+	nonce := rest[wlen : wlen+gcmNonceSize]
+	plain, err := gcm.Open(nil, nonce, rest[wlen+gcmNonceSize:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("%w: authentication failed", ErrCiphertext)
+	}
+	return plain, nil
+}
+
+// Seal encrypts data under the enclave's identity-bound sealing key so it
+// can persist outside trusted memory (paper §2.5).
+func (e *Enclave) Seal(data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(e.sealKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: seal cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: seal gcm: %w", err)
+	}
+	nonce := make([]byte, gcmNonceSize)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("enclave: seal nonce: %w", err)
+	}
+	return gcm.Seal(nonce, nonce, data, e.measurement[:]), nil
+}
+
+// Unseal decrypts a blob produced by Seal on the same platform and
+// enclave identity.
+func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	if len(blob) < gcmNonceSize {
+		return nil, fmt.Errorf("%w: sealed blob too short", ErrCiphertext)
+	}
+	block, err := aes.NewCipher(e.sealKey[:])
+	if err != nil {
+		return nil, fmt.Errorf("enclave: unseal cipher: %w", err)
+	}
+	gcm, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("enclave: unseal gcm: %w", err)
+	}
+	plain, err := gcm.Open(nil, blob[:gcmNonceSize], blob[gcmNonceSize:], e.measurement[:])
+	if err != nil {
+		return nil, fmt.Errorf("%w: unseal authentication failed", ErrCiphertext)
+	}
+	return plain, nil
+}
+
+// Alloc records n bytes of enclave memory use; crossing the EPC limit is
+// counted as a paging event (the expensive case the paper sizes k against).
+func (e *Enclave) Alloc(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.memUsed += n
+	if e.memUsed > e.memPeak {
+		e.memPeak = e.memUsed
+	}
+	if e.memUsed > e.cfg.MemoryLimitBytes {
+		e.pageEvts++
+	}
+}
+
+// Free releases n bytes of enclave memory.
+func (e *Enclave) Free(n int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.memUsed -= n
+	if e.memUsed < 0 {
+		e.memUsed = 0
+	}
+}
+
+// Stats returns the simulated resource counters.
+func (e *Enclave) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		MemoryUsedBytes:  e.memUsed,
+		MemoryPeakBytes:  e.memPeak,
+		MemoryLimitBytes: e.cfg.MemoryLimitBytes,
+		PageEvents:       e.pageEvts,
+	}
+}
+
+// Process runs fn and then, if ConstantProcessing is configured, blocks
+// until the constant duration has elapsed, so processing time does not leak
+// information about the update (§4.3: "the cost to process an update is
+// constantly the same").
+func (e *Enclave) Process(fn func() error) error {
+	start := time.Now()
+	err := fn()
+	if d := e.cfg.ConstantProcessing; d > 0 {
+		if rem := d - time.Since(start); rem > 0 {
+			time.Sleep(rem)
+		}
+	}
+	return err
+}

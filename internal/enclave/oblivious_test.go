@@ -1,0 +1,121 @@
+package enclave
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestObliviousStoreRoundTrip(t *testing.T) {
+	s, err := NewObliviousStore(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("abcdefgh")
+	if err := s.Put(2, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, want %q", got, want)
+	}
+	// Other slots untouched.
+	for _, idx := range []int{0, 1, 3} {
+		v, err := s.Get(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(v, make([]byte, 8)) {
+			t.Fatalf("slot %d corrupted: %q", idx, v)
+		}
+	}
+	if s.Accesses() != 5 {
+		t.Fatalf("accesses = %d, want 5", s.Accesses())
+	}
+}
+
+func TestObliviousStoreOverwrite(t *testing.T) {
+	s, err := NewObliviousStore(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("aaaa")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(1, []byte("bbbb")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "bbbb" {
+		t.Fatalf("overwrite failed: %q", got)
+	}
+}
+
+func TestObliviousStoreErrors(t *testing.T) {
+	if _, err := NewObliviousStore(0, 4); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+	if _, err := NewObliviousStore(4, 0); err == nil {
+		t.Fatal("zero slot size accepted")
+	}
+	s, err := NewObliviousStore(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(5, []byte("aaaa")); err == nil {
+		t.Fatal("out-of-range Put accepted")
+	}
+	if err := s.Put(0, []byte("too long data")); err == nil {
+		t.Fatal("wrong-size Put accepted")
+	}
+	if _, err := s.Get(-1); err == nil {
+		t.Fatal("negative Get accepted")
+	}
+}
+
+// Property: a sequence of Puts followed by Gets behaves like a plain array.
+func TestQuickObliviousStoreSemantics(t *testing.T) {
+	f := func(ops []uint16, payloads []byte) bool {
+		const n, size = 8, 4
+		s, err := NewObliviousStore(n, size)
+		if err != nil {
+			return false
+		}
+		shadow := make([][]byte, n)
+		for i := range shadow {
+			shadow[i] = make([]byte, size)
+		}
+		for k, op := range ops {
+			idx := int(op) % n
+			var payload [size]byte
+			for b := 0; b < size; b++ {
+				if len(payloads) > 0 {
+					payload[b] = payloads[(k+b)%len(payloads)]
+				}
+			}
+			if err := s.Put(idx, payload[:]); err != nil {
+				return false
+			}
+			copy(shadow[idx], payload[:])
+		}
+		for i := 0; i < n; i++ {
+			got, err := s.Get(i)
+			if err != nil {
+				return false
+			}
+			if !bytes.Equal(got, shadow[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mixnn/internal/core"
+	"mixnn/internal/fl"
+	"mixnn/internal/privacy"
+)
+
+// AblationResult is one row of an ablation study: a configuration label
+// plus the utility and leakage it produces.
+type AblationResult struct {
+	Study   string
+	Config  string
+	Utility float64 // final mean model accuracy
+	Leakage float64 // final active-∇Sim inference accuracy
+	Chance  float64 // random-guess level for the leakage column
+}
+
+// RunAblations executes the four design-choice studies of DESIGN.md §7 on
+// one dataset spec and returns all rows:
+//
+//  1. mixing granularity (layer / tensor / model),
+//  2. streaming buffer size k,
+//  3. active vs passive ∇Sim (on the unprotected arm),
+//  4. noise scale of the local-DP baseline.
+func RunAblations(spec DatasetSpec, seed int64) ([]AblationResult, error) {
+	var out []AblationResult
+
+	evalArm := func(study, config string, arm Arm, active bool) error {
+		util, err := RunUtility(spec, arm, seed)
+		if err != nil {
+			return fmt.Errorf("experiment: ablation %s/%s utility: %w", study, config, err)
+		}
+		inf, err := RunInference(spec, arm, active, 1, seed)
+		if err != nil {
+			return fmt.Errorf("experiment: ablation %s/%s inference: %w", study, config, err)
+		}
+		out = append(out, AblationResult{
+			Study:   study,
+			Config:  config,
+			Utility: util.FinalAccuracy(),
+			Leakage: inf.FinalAccuracy(),
+			Chance:  inf.Chance,
+		})
+		return nil
+	}
+
+	// 1. Granularity.
+	for _, g := range []core.Granularity{core.GranularityLayer, core.GranularityTensor, core.GranularityModel} {
+		arm := Arm{Key: "mixnn-" + g.String(), Transform: core.Transform{Granularity: g}}
+		if err := evalArm("granularity", g.String(), arm, true); err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Streaming buffer size.
+	population := len(spec.Source.Participants(seed))
+	for _, k := range []int{2, population / 2, population} {
+		if k < 1 {
+			k = 1
+		}
+		if err := evalArm("buffer-k", fmt.Sprintf("k=%d", k), StreamArm(k), true); err != nil {
+			return nil, err
+		}
+	}
+
+	// 3. Active vs passive on the unprotected arm.
+	flArm := Arm{Key: "fl", Transform: fl.Identity{}}
+	if err := evalArm("attack-mode", "active", flArm, true); err != nil {
+		return nil, err
+	}
+	if err := evalArm("attack-mode", "passive", flArm, false); err != nil {
+		return nil, err
+	}
+
+	// 4. Noise scale.
+	for _, sigma := range []float64{0.01, 0.1, privacy.DefaultSigma} {
+		arm := Arm{Key: "noisy", Transform: privacy.NoisyTransform{Sigma: sigma}}
+		if err := evalArm("noise-scale", fmt.Sprintf("sigma=%.2f", sigma), arm, true); err != nil {
+			return nil, err
+		}
+	}
+
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package experiment
+
+import "testing"
+
+func TestRunAblations(t *testing.T) {
+	spec := smallSpec(t, "cifar10")
+	spec.FL.Rounds = 2
+	rows, err := RunAblations(spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 granularities + 3 buffer sizes + 2 attack modes + 3 noise scales.
+	if len(rows) != 11 {
+		t.Fatalf("ablation rows = %d, want 11", len(rows))
+	}
+	studies := map[string]int{}
+	for _, r := range rows {
+		studies[r.Study]++
+		if r.Utility < 0 || r.Utility > 1 || r.Leakage < 0 || r.Leakage > 1 {
+			t.Fatalf("row out of range: %+v", r)
+		}
+	}
+	for study, want := range map[string]int{
+		"granularity": 3, "buffer-k": 3, "attack-mode": 2, "noise-scale": 3,
+	} {
+		if studies[study] != want {
+			t.Fatalf("study %q has %d rows, want %d", study, studies[study], want)
+		}
+	}
+
+	// The headline ablation claims:
+	byConfig := map[string]AblationResult{}
+	for _, r := range rows {
+		byConfig[r.Study+"/"+r.Config] = r
+	}
+	// All mixing granularities defeat the per-slot scoring attack (even
+	// whole-model permutation unlinks identities; layer mixing
+	// additionally resists re-association — Figure 9). The unprotected
+	// active arm must leak clearly more than layer mixing.
+	layer := byConfig["granularity/layer"]
+	active := byConfig["attack-mode/active"]
+	if active.Leakage <= layer.Leakage {
+		t.Fatalf("unprotected active attack (%.3f) should leak more than layer mixing (%.3f)",
+			active.Leakage, layer.Leakage)
+	}
+	// The paper's N(0,1) noise must hurt utility more than sigma=0.01.
+	small := byConfig["noise-scale/sigma=0.01"]
+	big := byConfig["noise-scale/sigma=1.00"]
+	if big.Utility >= small.Utility {
+		t.Fatalf("sigma=1 utility (%.3f) not worse than sigma=0.01 (%.3f)", big.Utility, small.Utility)
+	}
+}

@@ -1,0 +1,89 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func parseCSV(t *testing.T, buf *bytes.Buffer) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(buf).ReadAll()
+	if err != nil {
+		t.Fatalf("parse csv: %v", err)
+	}
+	return rows
+}
+
+func TestWriteUtilityCSV(t *testing.T) {
+	res := []UtilityResult{{
+		Dataset:   "cifar10",
+		Arm:       "mixnn",
+		Accuracy:  []float64{0.5, 0.7},
+		PerClient: [][]float64{{0.4, 0.6}, {0.65, 0.75}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteUtilityCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	// header + 2 rounds × (1 mean + 2 participants)
+	if len(rows) != 1+2*3 {
+		t.Fatalf("rows = %d, want 7", len(rows))
+	}
+	if rows[0][0] != "dataset" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[1][4] != "0.5" || rows[1][3] != "mean" {
+		t.Fatalf("first data row = %v", rows[1])
+	}
+}
+
+func TestWriteInferenceCSV(t *testing.T) {
+	res := []InferenceResult{{
+		Dataset: "lfw", Arm: "fl", Active: true, Ratio: 0.8,
+		InferenceAccuracy: []float64{0.6, 0.9}, Chance: 0.5,
+	}}
+	var buf bytes.Buffer
+	if err := WriteInferenceCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	if rows[1][2] != "active" || rows[2][5] != "0.9" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestWriteNeighboursCSV(t *testing.T) {
+	res := []NeighbourResult{{Dataset: "mobiact", Radius: 1, Neighbours: []int{2, 0, 5}}}
+	var buf bytes.Buffer
+	if err := WriteNeighboursCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, &buf)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	if rows[3][3] != "5" {
+		t.Fatalf("last row = %v", rows[3])
+	}
+}
+
+func TestWritePerfCSV(t *testing.T) {
+	res := []PerfResult{{
+		Model: "2conv+3fc", Participants: 8, K: 4, UpdateBytes: 1024,
+		DecryptMillis: 1.5, EndToEndMillis: 3.25, EnclavePeakBytes: 4096,
+	}}
+	var buf bytes.Buffer
+	if err := WritePerfCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2conv+3fc") || !strings.Contains(out, "3.25") {
+		t.Fatalf("csv missing fields:\n%s", out)
+	}
+}

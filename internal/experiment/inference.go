@@ -1,0 +1,114 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mixnn/internal/attack"
+)
+
+// InferenceResult is the outcome of a Figure 7/8 run: ∇Sim inference
+// accuracy after each learning round for one dataset and arm.
+type InferenceResult struct {
+	Dataset string
+	Arm     string
+	Active  bool
+	// Ratio is the background-knowledge ratio used (Figure 8's x-axis).
+	Ratio float64
+	// InferenceAccuracy[r] is the attack accuracy after observing r+1
+	// rounds (scores accumulate, §5).
+	InferenceAccuracy []float64
+	// Chance is the random-guess accuracy (majority attribute class share)
+	// against which leakage is judged.
+	Chance float64
+}
+
+// FinalAccuracy returns the accuracy after the last observed round.
+func (r InferenceResult) FinalAccuracy() float64 {
+	if len(r.InferenceAccuracy) == 0 {
+		return 0
+	}
+	return r.InferenceAccuracy[len(r.InferenceAccuracy)-1]
+}
+
+// RunInference executes the Figure 7 experiment (and, with ratio < 1, one
+// point of the Figure 8 sweep): federated training under a ∇Sim adversary,
+// recording inference accuracy round by round.
+func RunInference(spec DatasetSpec, arm Arm, active bool, ratio float64, seed int64) (InferenceResult, error) {
+	sim, attrs, err := BuildFederation(spec, arm, seed)
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	if ratio <= 0 {
+		ratio = 1
+	}
+	adv, err := attack.New(attack.Config{
+		Arch:            spec.Arch,
+		Source:          spec.Source,
+		AuxPerClass:     spec.AuxPerClass,
+		BackgroundRatio: ratio,
+		Epochs:          spec.AttackEpochs,
+		BatchSize:       spec.FL.BatchSize,
+		LearningRate:    spec.FL.LearningRate,
+		Optimizer:       spec.FL.Optimizer,
+		Active:          active,
+		Seed:            seed ^ 0x517cc1b7,
+	})
+	if err != nil {
+		return InferenceResult{}, err
+	}
+	sim.Observer = adv
+	sim.Disseminate = adv.Disseminator()
+
+	res := InferenceResult{
+		Dataset: spec.Key,
+		Arm:     arm.Key,
+		Active:  active,
+		Ratio:   ratio,
+		Chance:  chanceLevel(attrs),
+	}
+	for r := 0; r < spec.FL.Rounds; r++ {
+		if _, err := sim.RunRound(r); err != nil {
+			return InferenceResult{}, fmt.Errorf("experiment: inference %s/%s round %d: %w", spec.Key, arm.Key, r, err)
+		}
+		acc, err := adv.Accuracy(attrs)
+		if err != nil {
+			return InferenceResult{}, err
+		}
+		res.InferenceAccuracy = append(res.InferenceAccuracy, acc)
+	}
+	return res, nil
+}
+
+// RunBackgroundSweep executes the Figure 8 experiment: final inference
+// accuracy as a function of the background-knowledge ratio.
+func RunBackgroundSweep(spec DatasetSpec, arm Arm, active bool, ratios []float64, seed int64) ([]InferenceResult, error) {
+	if len(ratios) == 0 {
+		ratios = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	out := make([]InferenceResult, 0, len(ratios))
+	for _, r := range ratios {
+		res, err := RunInference(spec, arm, active, r, seed)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// chanceLevel returns the accuracy of always guessing the most common
+// attribute class — the paper's "random guess" reference line.
+func chanceLevel(attrs []int) float64 {
+	if len(attrs) == 0 {
+		return 0
+	}
+	counts := make(map[int]int)
+	best := 0
+	for _, a := range attrs {
+		counts[a]++
+		if counts[a] > best {
+			best = counts[a]
+		}
+	}
+	return float64(best) / float64(len(attrs))
+}

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mixnn/internal/fl"
+)
+
+// UtilityResult is the outcome of a Figure 5/6 run: model accuracy per
+// round for one dataset and arm, plus the per-participant accuracies
+// needed for the Figure 6 CDF.
+type UtilityResult struct {
+	Dataset string
+	Arm     string
+	// Accuracy[r] is the mean per-participant test accuracy after round r.
+	Accuracy []float64
+	// PerClient[r] are the per-participant accuracies after round r.
+	PerClient [][]float64
+}
+
+// FinalAccuracy returns the last round's mean accuracy.
+func (r UtilityResult) FinalAccuracy() float64 {
+	if len(r.Accuracy) == 0 {
+		return 0
+	}
+	return r.Accuracy[len(r.Accuracy)-1]
+}
+
+// PerClientAt returns the per-participant accuracies after the given round
+// (clamped to the last completed round), which is what Figure 6 plots at
+// round 6.
+func (r UtilityResult) PerClientAt(round int) []float64 {
+	if len(r.PerClient) == 0 {
+		return nil
+	}
+	if round >= len(r.PerClient) {
+		round = len(r.PerClient) - 1
+	}
+	if round < 0 {
+		round = 0
+	}
+	return append([]float64(nil), r.PerClient[round]...)
+}
+
+// BuildFederation assembles clients, server and pipeline for a spec/arm,
+// returning the simulation and the participants' true sensitive
+// attributes (ground truth for inference evaluation).
+func BuildFederation(spec DatasetSpec, arm Arm, seed int64) (*fl.Simulation, []int, error) {
+	cfg := spec.FL
+	cfg.Seed = seed
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	parts := spec.Source.Participants(seed)
+	if len(parts) == 0 {
+		return nil, nil, fmt.Errorf("experiment: dataset %q has no participants", spec.Key)
+	}
+	clients := make([]*fl.Client, len(parts))
+	attrs := make([]int, len(parts))
+	for i, p := range parts {
+		clients[i] = fl.NewClient(p, spec.Arch, cfg)
+		attrs[i] = p.Attribute
+	}
+	server := fl.NewServer(spec.Arch.New(seed ^ 0x6d78).SnapshotParams())
+	sim := fl.NewSimulation(server, clients, arm.Transform, seed*2+1)
+	sim.ClientsPerRound = cfg.ClientsPerRound
+	return sim, attrs, nil
+}
+
+// RunUtility executes the Figure 5/6 experiment for one dataset and arm:
+// train for the spec's number of rounds and record utility per round.
+func RunUtility(spec DatasetSpec, arm Arm, seed int64) (UtilityResult, error) {
+	sim, _, err := BuildFederation(spec, arm, seed)
+	if err != nil {
+		return UtilityResult{}, err
+	}
+	metrics, err := sim.Run(spec.FL.Rounds)
+	if err != nil {
+		return UtilityResult{}, fmt.Errorf("experiment: utility %s/%s: %w", spec.Key, arm.Key, err)
+	}
+	res := UtilityResult{Dataset: spec.Key, Arm: arm.Key}
+	for _, m := range metrics {
+		res.Accuracy = append(res.Accuracy, m.MeanAccuracy)
+		res.PerClient = append(res.PerClient, m.PerClient)
+	}
+	return res, nil
+}

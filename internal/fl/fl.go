@@ -1,0 +1,199 @@
+// Package fl implements the federated-learning scheme of the paper's §2.2:
+// an aggregation server disseminates a global model, participants refine it
+// locally with SGD/Adam over their private data, and the server averages
+// the returned parameter updates (FedAvg-style, McMahan et al.).
+//
+// The pipeline between participants and server is pluggable via
+// UpdateTransform, which is where the three evaluation arms differ:
+// identity (classic FL), noisy gradients (the local-DP baseline), and the
+// MixNN layer mixer.
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"mixnn/internal/data"
+	"mixnn/internal/nn"
+)
+
+// Config holds the hyper-parameters of one federated run (§6.1.4 of the
+// paper gives the per-dataset values).
+type Config struct {
+	Rounds       int     // learning rounds
+	LocalEpochs  int     // local epochs per round
+	BatchSize    int     // local mini-batch size
+	LearningRate float64 // optimizer learning rate
+	Optimizer    string  // "adam" (paper default) or "sgd"
+	Seed         int64   // base seed for client-side randomness
+	// ClientsPerRound samples this many participants uniformly without
+	// replacement each round (the paper aggregates 16 of CIFAR10's 20
+	// participants per round). Zero or >= population means everyone
+	// participates.
+	ClientsPerRound int
+}
+
+// Validate fills defaults and rejects nonsensical settings.
+func (c *Config) Validate() error {
+	if c.Rounds <= 0 {
+		return fmt.Errorf("fl: Rounds must be positive, got %d", c.Rounds)
+	}
+	if c.LocalEpochs <= 0 {
+		c.LocalEpochs = 1
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	if c.LearningRate == 0 {
+		c.LearningRate = 0.001
+	}
+	if c.Optimizer == "" {
+		c.Optimizer = "adam"
+	}
+	if _, err := nn.NewOptimizer(c.Optimizer, c.LearningRate); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Client is one federated participant: a private dataset and a local model
+// instance rebuilt from the disseminated global parameters each round.
+type Client struct {
+	ID        int
+	Attribute int // sensitive-attribute class (ground truth for evaluation)
+
+	net   *nn.Network
+	train data.Dataset
+	test  data.Dataset
+	cfg   Config
+	rng   *rand.Rand
+}
+
+// NewClient builds a participant from its partition of the dataset.
+func NewClient(p data.Participant, arch nn.Arch, cfg Config) *Client {
+	return &Client{
+		ID:        p.ID,
+		Attribute: p.Attribute,
+		net:       arch.New(cfg.Seed + int64(p.ID)),
+		train:     p.Train,
+		test:      p.Test,
+		cfg:       cfg,
+		rng:       rand.New(rand.NewSource(cfg.Seed*31 + int64(p.ID))),
+	}
+}
+
+// LocalTrain loads the disseminated global parameters, runs LocalEpochs of
+// mini-batch training on the client's private data and returns the updated
+// parameters — the paper's "parameter update" sent upstream. A fresh
+// optimizer is used each round, matching the per-round local training of
+// the reference implementation.
+func (c *Client) LocalTrain(global nn.ParamSet) (nn.ParamSet, error) {
+	if err := c.net.SetParams(global); err != nil {
+		return nn.ParamSet{}, fmt.Errorf("fl: client %d: %w", c.ID, err)
+	}
+	opt, err := nn.NewOptimizer(c.cfg.Optimizer, c.cfg.LearningRate)
+	if err != nil {
+		return nn.ParamSet{}, fmt.Errorf("fl: client %d: %w", c.ID, err)
+	}
+	for e := 0; e < c.cfg.LocalEpochs; e++ {
+		for _, idx := range c.train.Batches(c.cfg.BatchSize, c.rng) {
+			x, y := c.train.Batch(idx)
+			c.net.TrainBatch(x, y, opt)
+		}
+	}
+	return c.net.SnapshotParams(), nil
+}
+
+// TestAccuracy evaluates the given parameters on the client's local test
+// data (the per-participant accuracy of Figure 6).
+func (c *Client) TestAccuracy(params nn.ParamSet) (float64, error) {
+	if err := c.net.SetParams(params); err != nil {
+		return 0, fmt.Errorf("fl: client %d: %w", c.ID, err)
+	}
+	x, y := c.test.Batch(seq(c.test.Len()))
+	return c.net.Evaluate(x, y), nil
+}
+
+// TrainSize returns the number of local training examples.
+func (c *Client) TrainSize() int { return c.train.Len() }
+
+// Server is the aggregation server: it owns the global model and averages
+// incoming parameter updates.
+type Server struct {
+	mu     sync.Mutex
+	global nn.ParamSet
+}
+
+// NewServer initialises the server with the given global parameters
+// (typically a fresh arch.New(seed).SnapshotParams()).
+func NewServer(initial nn.ParamSet) *Server {
+	return &Server{global: initial.Clone()}
+}
+
+// Global returns a deep copy of the current global parameters.
+func (s *Server) Global() nn.ParamSet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.global.Clone()
+}
+
+// Aggregate replaces the global model with the mean of the updates
+// (the paper's Agr: column-wise mean, §4.2).
+func (s *Server) Aggregate(updates []nn.ParamSet) error {
+	avg, err := nn.Average(updates)
+	if err != nil {
+		return fmt.Errorf("fl: aggregate: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.global.Compatible(avg) {
+		return fmt.Errorf("fl: aggregate: updates incompatible with global model")
+	}
+	s.global = avg
+	return nil
+}
+
+// UpdateTransform processes the batch of client updates on their way to the
+// aggregation server. Slot i of the output is what the server attributes to
+// participant i — MixNN's protection is precisely that after mixing this
+// attribution is wrong for every layer.
+type UpdateTransform interface {
+	// Name identifies the arm in experiment output.
+	Name() string
+	// Apply returns the updates as the server will see them. It must
+	// return the same number of updates it was given and must not mutate
+	// the inputs.
+	Apply(updates []nn.ParamSet, rng *rand.Rand) ([]nn.ParamSet, error)
+}
+
+// Identity is the classic-FL arm: updates pass through untouched.
+type Identity struct{}
+
+// Name implements UpdateTransform.
+func (Identity) Name() string { return "fl" }
+
+// Apply implements UpdateTransform.
+func (Identity) Apply(updates []nn.ParamSet, _ *rand.Rand) ([]nn.ParamSet, error) {
+	out := make([]nn.ParamSet, len(updates))
+	copy(out, updates)
+	return out, nil
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// parallelism caps concurrent client training.
+func parallelism() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		return 1
+	}
+	return n
+}

@@ -1,0 +1,291 @@
+package fl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"mixnn/internal/data"
+	"mixnn/internal/nn"
+)
+
+// toyPopulation builds a small linearly-separable federated population:
+// two Gaussian blobs in 4-D, split across nClients participants whose
+// attribute is the blob their data over-represents.
+func toyPopulation(nClients, perClient int, seed int64) []data.Participant {
+	rng := rand.New(rand.NewSource(seed))
+	parts := make([]data.Participant, nClients)
+	for id := 0; id < nClients; id++ {
+		attr := id % 2
+		mk := func(n int) data.Dataset {
+			ds := data.NewDataset(n, 4)
+			for i := 0; i < n; i++ {
+				// Attribute skews the class mixture 80/20.
+				y := attr
+				if rng.Float64() < 0.2 {
+					y = 1 - attr
+				}
+				ds.Y[i] = y
+				for j := 0; j < 4; j++ {
+					center := -1.0
+					if y == 1 {
+						center = 1.0
+					}
+					ds.X.Data()[i*4+j] = center + rng.NormFloat64()*0.5
+				}
+			}
+			return ds
+		}
+		parts[id] = data.Participant{ID: id, Attribute: attr, Train: mk(perClient), Test: mk(perClient / 4)}
+	}
+	return parts
+}
+
+func toyArch() nn.Arch { return nn.NewMLP("toy", 4, []int{8}, 2) }
+
+func toyConfig() Config {
+	return Config{Rounds: 3, LocalEpochs: 1, BatchSize: 8, LearningRate: 0.01, Optimizer: "adam", Seed: 1}
+}
+
+func buildSim(t *testing.T, nClients int, tr UpdateTransform) *Simulation {
+	t.Helper()
+	cfg := toyConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	arch := toyArch()
+	parts := toyPopulation(nClients, 64, 42)
+	clients := make([]*Client, len(parts))
+	for i, p := range parts {
+		clients[i] = NewClient(p, arch, cfg)
+	}
+	server := NewServer(arch.New(999).SnapshotParams())
+	return NewSimulation(server, clients, tr, 7)
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		cfg     Config
+		wantErr bool
+	}{
+		{"valid", Config{Rounds: 1}, false},
+		{"zero rounds", Config{}, true},
+		{"bad optimizer", Config{Rounds: 1, Optimizer: "nope"}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := tt.cfg.Validate()
+			if (err != nil) != tt.wantErr {
+				t.Fatalf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{Rounds: 2}
+	if err := cfg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cfg.LocalEpochs != 1 || cfg.BatchSize != 32 || cfg.Optimizer != "adam" || cfg.LearningRate == 0 {
+		t.Fatalf("defaults not filled: %+v", cfg)
+	}
+}
+
+func TestFederatedTrainingImproves(t *testing.T) {
+	sim := buildSim(t, 4, Identity{})
+	initial, err := sim.evaluate(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, err := sim.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := metrics[len(metrics)-1]
+	if final.MeanAccuracy <= initial.MeanAccuracy {
+		t.Fatalf("accuracy did not improve: %g -> %g", initial.MeanAccuracy, final.MeanAccuracy)
+	}
+	if final.MeanAccuracy < 0.9 {
+		t.Fatalf("final accuracy %g too low for separable task", final.MeanAccuracy)
+	}
+	if len(final.PerClient) != 4 {
+		t.Fatalf("per-client accuracies = %d, want 4", len(final.PerClient))
+	}
+}
+
+func TestServerAggregateIsMean(t *testing.T) {
+	arch := toyArch()
+	server := NewServer(arch.New(1).SnapshotParams())
+	a := arch.New(2).SnapshotParams()
+	b := arch.New(3).SnapshotParams()
+	want, err := nn.Average([]nn.ParamSet{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := server.Aggregate([]nn.ParamSet{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if !server.Global().ApproxEqual(want, 1e-12) {
+		t.Fatal("Aggregate != mean of updates")
+	}
+}
+
+func TestServerAggregateRejectsIncompatible(t *testing.T) {
+	server := NewServer(toyArch().New(1).SnapshotParams())
+	other := nn.NewMLP("other", 3, []int{2}, 2).New(1).SnapshotParams()
+	if err := server.Aggregate([]nn.ParamSet{other}); err == nil {
+		t.Fatal("aggregate of incompatible update succeeded")
+	}
+	if err := server.Aggregate(nil); err == nil {
+		t.Fatal("aggregate of zero updates succeeded")
+	}
+}
+
+func TestServerGlobalIsCopy(t *testing.T) {
+	server := NewServer(toyArch().New(1).SnapshotParams())
+	g := server.Global()
+	g.Layers[0].Tensors[0].Data()[0] = 1e9
+	if server.Global().Layers[0].Tensors[0].Data()[0] == 1e9 {
+		t.Fatal("Global() exposed internal state")
+	}
+}
+
+// recordingObserver captures RoundRecords for assertions.
+type recordingObserver struct{ recs []RoundRecord }
+
+func (r *recordingObserver) ObserveRound(rec RoundRecord) { r.recs = append(r.recs, rec) }
+
+func TestObserverSeesEveryRound(t *testing.T) {
+	sim := buildSim(t, 3, Identity{})
+	obs := &recordingObserver{}
+	sim.Observer = obs
+	if _, err := sim.Run(2); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.recs) != 2 {
+		t.Fatalf("observer saw %d rounds, want 2", len(obs.recs))
+	}
+	for i, rec := range obs.recs {
+		if rec.Round != i {
+			t.Fatalf("round %d recorded as %d", i, rec.Round)
+		}
+		if len(rec.Updates) != 3 {
+			t.Fatalf("round %d: %d updates, want 3", i, len(rec.Updates))
+		}
+	}
+}
+
+func TestDisseminatorOverridesModel(t *testing.T) {
+	sim := buildSim(t, 2, Identity{})
+	crafted := toyArch().New(555).SnapshotParams()
+	var sent nn.ParamSet
+	sim.Disseminate = func(round int, global nn.ParamSet) nn.ParamSet { return crafted }
+	obs := &recordingObserver{}
+	sim.Observer = obs
+	if _, err := sim.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	sent = obs.recs[0].Disseminated
+	if !sent.ApproxEqual(crafted, 0) {
+		t.Fatal("disseminated model is not the crafted one")
+	}
+}
+
+// failingTransform simulates a broken pipeline stage.
+type failingTransform struct{ err error }
+
+func (f failingTransform) Name() string { return "failing" }
+func (f failingTransform) Apply(updates []nn.ParamSet, _ *rand.Rand) ([]nn.ParamSet, error) {
+	return nil, f.err
+}
+
+// shrinkingTransform violates the same-count contract.
+type shrinkingTransform struct{}
+
+func (shrinkingTransform) Name() string { return "shrinking" }
+func (shrinkingTransform) Apply(updates []nn.ParamSet, _ *rand.Rand) ([]nn.ParamSet, error) {
+	return updates[:1], nil
+}
+
+func TestSimulationSurfacesTransformErrors(t *testing.T) {
+	wantErr := errors.New("pipeline exploded")
+	sim := buildSim(t, 2, failingTransform{err: wantErr})
+	if _, err := sim.Run(1); err == nil || !errors.Is(err, wantErr) {
+		t.Fatalf("Run error = %v, want wrapped %v", err, wantErr)
+	}
+}
+
+func TestSimulationRejectsCountChangingTransform(t *testing.T) {
+	sim := buildSim(t, 3, shrinkingTransform{})
+	if _, err := sim.Run(1); err == nil {
+		t.Fatal("count-changing transform accepted")
+	}
+}
+
+func TestRunRejectsNonPositiveRounds(t *testing.T) {
+	sim := buildSim(t, 2, Identity{})
+	if _, err := sim.Run(0); err == nil {
+		t.Fatal("Run(0) succeeded")
+	}
+}
+
+func TestIdentityTransformPassesThrough(t *testing.T) {
+	arch := toyArch()
+	in := []nn.ParamSet{arch.New(1).SnapshotParams(), arch.New(2).SnapshotParams()}
+	out, err := Identity{}.Apply(in, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if !out[i].ApproxEqual(in[i], 0) {
+			t.Fatalf("update %d altered by identity transform", i)
+		}
+	}
+}
+
+func TestClientLocalTrainMovesParams(t *testing.T) {
+	cfg := toyConfig()
+	arch := toyArch()
+	p := toyPopulation(1, 32, 5)[0]
+	c := NewClient(p, arch, cfg)
+	global := arch.New(100).SnapshotParams()
+	update, err := c.LocalTrain(global)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if update.ApproxEqual(global, 1e-12) {
+		t.Fatal("local training returned the global model unchanged")
+	}
+	if !update.Compatible(global) {
+		t.Fatal("update structure differs from global model")
+	}
+}
+
+func TestClientLocalTrainRejectsWrongShape(t *testing.T) {
+	cfg := toyConfig()
+	c := NewClient(toyPopulation(1, 16, 6)[0], toyArch(), cfg)
+	bad := nn.NewMLP("bad", 7, []int{3}, 2).New(1).SnapshotParams()
+	if _, err := c.LocalTrain(bad); err == nil {
+		t.Fatal("LocalTrain accepted incompatible global model")
+	}
+}
+
+func TestSimulationDeterministicWithSeed(t *testing.T) {
+	run := func() []RoundMetrics {
+		sim := buildSim(t, 3, Identity{})
+		sim.Parallel = 1
+		m, err := sim.Run(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].MeanAccuracy != b[i].MeanAccuracy {
+			t.Fatalf("round %d: %g vs %g (not deterministic)", i, a[i].MeanAccuracy, b[i].MeanAccuracy)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package fl
+
+import (
+	"testing"
+)
+
+func TestClientSamplingSelectsSubset(t *testing.T) {
+	sim := buildSim(t, 6, Identity{})
+	sim.ClientsPerRound = 3
+	obs := &recordingObserver{}
+	sim.Observer = obs
+	if _, err := sim.Run(4); err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, rec := range obs.recs {
+		if len(rec.Updates) != 3 {
+			t.Fatalf("round %d: %d updates, want 3", rec.Round, len(rec.Updates))
+		}
+		if len(rec.ClientIDs) != 3 {
+			t.Fatalf("round %d: %d client IDs, want 3", rec.Round, len(rec.ClientIDs))
+		}
+		dup := make(map[int]bool)
+		for _, id := range rec.ClientIDs {
+			if dup[id] {
+				t.Fatalf("round %d: client %d sampled twice", rec.Round, id)
+			}
+			dup[id] = true
+			seen[id] = true
+		}
+	}
+	// Over 4 rounds of 3-of-6 sampling, more than 3 distinct clients
+	// should have participated (overwhelmingly likely).
+	if len(seen) <= 3 {
+		t.Fatalf("only %d distinct clients sampled over 4 rounds", len(seen))
+	}
+}
+
+func TestClientSamplingZeroMeansAll(t *testing.T) {
+	sim := buildSim(t, 4, Identity{})
+	sim.ClientsPerRound = 0
+	obs := &recordingObserver{}
+	sim.Observer = obs
+	if _, err := sim.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.recs[0].Updates) != 4 {
+		t.Fatalf("updates = %d, want all 4", len(obs.recs[0].Updates))
+	}
+}
+
+func TestClientSamplingOversizedMeansAll(t *testing.T) {
+	sim := buildSim(t, 4, Identity{})
+	sim.ClientsPerRound = 99
+	obs := &recordingObserver{}
+	sim.Observer = obs
+	if _, err := sim.Run(1); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.recs[0].Updates) != 4 {
+		t.Fatalf("updates = %d, want all 4", len(obs.recs[0].Updates))
+	}
+}

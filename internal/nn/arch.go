@@ -1,0 +1,192 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixnn/internal/tensor"
+)
+
+// Arch describes a model architecture that can be instantiated repeatedly
+// with independent random initialisations — federated participants, the
+// aggregation server and ∇Sim attack models all build structurally
+// identical networks from the same Arch.
+type Arch struct {
+	// Name identifies the architecture in experiment configs and logs.
+	Name string
+	// Build instantiates a fresh network using rng for weight init.
+	Build func(rng *rand.Rand) *Network
+}
+
+// New instantiates the architecture with the given seed.
+func (a Arch) New(seed int64) *Network { return a.Build(rand.New(rand.NewSource(seed))) }
+
+// ConvNetConfig parameterises the paper's main architecture: "a neural
+// network composed of two convolutional layers and three fully connected
+// layers" (§6.1.1), used for CIFAR10, MotionSense and MobiAct. Width knobs
+// let experiments scale compute without changing the layer structure.
+type ConvNetConfig struct {
+	InC, InH, InW  int // input volume
+	Classes        int
+	Filters1       int // channels of conv1
+	Filters2       int // channels of conv2
+	Hidden1        int // width of fc1
+	Hidden2        int // width of fc2
+	PoolH1, PoolW1 int // pooling window after conv1 (1 = no pooling along that axis)
+	PoolH2, PoolW2 int // pooling window after conv2
+	Conv3          int // optional third conv (channels); 0 disables. Models §6.5's "three convolutional layers" variant.
+}
+
+// Validate fills defaults and checks divisibility constraints.
+func (c *ConvNetConfig) Validate() error {
+	if c.InC <= 0 || c.InH <= 0 || c.InW <= 0 || c.Classes <= 1 {
+		return fmt.Errorf("nn: ConvNetConfig requires positive input dims and >=2 classes: %+v", *c)
+	}
+	setDefault := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	setDefault(&c.Filters1, 8)
+	setDefault(&c.Filters2, 16)
+	setDefault(&c.Hidden1, 64)
+	setDefault(&c.Hidden2, 32)
+	setDefault(&c.PoolH1, 1)
+	setDefault(&c.PoolW1, 1)
+	setDefault(&c.PoolH2, 1)
+	setDefault(&c.PoolW2, 1)
+	return nil
+}
+
+// NewConvNet returns the 2-conv + 3-FC architecture of §6.1.1 (plus an
+// optional third conv block for the §6.5 system-size experiment).
+func NewConvNet(name string, cfg ConvNetConfig) Arch {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return Arch{Name: name, Build: func(rng *rand.Rand) *Network {
+		var layers []Layer
+		h, w, ch := cfg.InH, cfg.InW, cfg.InC
+
+		conv1 := NewConv2D("conv1", tensor.ConvGeom{InC: ch, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}, cfg.Filters1, rng)
+		layers = append(layers, conv1, NewReLU("relu1"))
+		ch = cfg.Filters1
+		if cfg.PoolH1 > 1 || cfg.PoolW1 > 1 {
+			p := NewMaxPool2DRect("pool1", ch, h, w, cfg.PoolH1, cfg.PoolW1)
+			layers = append(layers, p)
+			h, w = p.OutH(), p.OutW()
+		}
+
+		conv2 := NewConv2D("conv2", tensor.ConvGeom{InC: ch, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}, cfg.Filters2, rng)
+		layers = append(layers, conv2, NewReLU("relu2"))
+		ch = cfg.Filters2
+		if cfg.PoolH2 > 1 || cfg.PoolW2 > 1 {
+			p := NewMaxPool2DRect("pool2", ch, h, w, cfg.PoolH2, cfg.PoolW2)
+			layers = append(layers, p)
+			h, w = p.OutH(), p.OutW()
+		}
+
+		if cfg.Conv3 > 0 {
+			conv3 := NewConv2D("conv3", tensor.ConvGeom{InC: ch, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}, cfg.Conv3, rng)
+			layers = append(layers, conv3, NewReLU("relu3"))
+			ch = cfg.Conv3
+		}
+
+		flat := ch * h * w
+		layers = append(layers,
+			NewFlatten("flatten"),
+			NewDense("fc1", flat, cfg.Hidden1, rng), NewReLU("relu4"),
+			NewDense("fc2", cfg.Hidden1, cfg.Hidden2, rng), NewReLU("relu5"),
+			NewDense("fc3", cfg.Hidden2, cfg.Classes, rng),
+		)
+		return NewNetwork(layers...)
+	}}
+}
+
+// DeepFaceConfig parameterises the DeepFace-style architecture used for
+// LFW: convolutional, max-pooling, locally-connected and fully-connected
+// layers (§6.1.1, Taigman et al.). Scaled down to synthetic-face size.
+type DeepFaceConfig struct {
+	InC, InH, InW int
+	Classes       int
+	Filters1      int // conv1 channels
+	Filters2      int // conv2 channels
+	Local3        int // locally-connected channels
+	Hidden        int // fc width
+}
+
+// Validate fills defaults and sanity-checks dimensions.
+func (c *DeepFaceConfig) Validate() error {
+	if c.InC <= 0 || c.InH <= 0 || c.InW <= 0 || c.Classes <= 1 {
+		return fmt.Errorf("nn: DeepFaceConfig requires positive input dims and >=2 classes: %+v", *c)
+	}
+	if c.InH%4 != 0 || c.InW%4 != 0 {
+		return fmt.Errorf("nn: DeepFaceConfig input %dx%d must be divisible by 4 (two 2x2 pools)", c.InH, c.InW)
+	}
+	setDefault := func(p *int, v int) {
+		if *p == 0 {
+			*p = v
+		}
+	}
+	setDefault(&c.Filters1, 8)
+	setDefault(&c.Filters2, 16)
+	setDefault(&c.Local3, 8)
+	setDefault(&c.Hidden, 64)
+	return nil
+}
+
+// NewDeepFace returns the DeepFace-style architecture:
+// conv → pool → conv → pool → locally-connected → fc → fc.
+func NewDeepFace(name string, cfg DeepFaceConfig) Arch {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return Arch{Name: name, Build: func(rng *rand.Rand) *Network {
+		h, w := cfg.InH, cfg.InW
+
+		conv1 := NewConv2D("conv1", tensor.ConvGeom{InC: cfg.InC, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}, cfg.Filters1, rng)
+		pool1 := NewMaxPool2D("pool1", cfg.Filters1, h, w, 2)
+		h, w = h/2, w/2
+
+		conv2 := NewConv2D("conv2", tensor.ConvGeom{InC: cfg.Filters1, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}, cfg.Filters2, rng)
+		pool2 := NewMaxPool2D("pool2", cfg.Filters2, h, w, 2)
+		h, w = h/2, w/2
+
+		// Pad 1 keeps the locally-connected layer well-defined even at the
+		// reduced spatial sizes of the synthetic-face models.
+		localGeom := tensor.ConvGeom{InC: cfg.Filters2, InH: h, InW: w, KH: 3, KW: 3, Stride: 1, Pad: 1}
+		local3 := NewLocallyConnected2D("local3", localGeom, cfg.Local3, rng)
+		lh, lw := localGeom.OutH(), localGeom.OutW()
+
+		flat := cfg.Local3 * lh * lw
+		return NewNetwork(
+			conv1, NewReLU("relu1"), pool1,
+			conv2, NewReLU("relu2"), pool2,
+			local3, NewReLU("relu3"),
+			NewFlatten("flatten"),
+			NewDense("fc1", flat, cfg.Hidden, rng), NewReLU("relu4"),
+			NewDense("fc2", cfg.Hidden, cfg.Classes, rng),
+		)
+	}}
+}
+
+// NewMLP returns a plain multi-layer perceptron; used by fast unit tests
+// and the quickstart example.
+func NewMLP(name string, in int, hidden []int, classes int) Arch {
+	if in <= 0 || classes <= 1 {
+		panic(fmt.Sprintf("nn: NewMLP requires positive input and >=2 classes, got %d/%d", in, classes))
+	}
+	return Arch{Name: name, Build: func(rng *rand.Rand) *Network {
+		var layers []Layer
+		prev := in
+		for i, hdim := range hidden {
+			layers = append(layers,
+				NewDense(fmt.Sprintf("fc%d", i+1), prev, hdim, rng),
+				NewReLU(fmt.Sprintf("relu%d", i+1)),
+			)
+			prev = hdim
+		}
+		layers = append(layers, NewDense(fmt.Sprintf("fc%d", len(hidden)+1), prev, classes, rng))
+		return NewNetwork(layers...)
+	}}
+}

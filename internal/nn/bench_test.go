@@ -1,0 +1,81 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixnn/internal/tensor"
+)
+
+func cifarNet(b *testing.B) (*Network, *tensor.Tensor, []int) {
+	b.Helper()
+	arch := NewConvNet("bench", ConvNetConfig{
+		InC: 3, InH: 32, InW: 32, Classes: 10,
+		PoolH1: 2, PoolW1: 2, PoolH2: 2, PoolW2: 2,
+	})
+	net := arch.New(1)
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(16, 3*32*32).RandN(rng, 0, 1)
+	y := make([]int, 16)
+	for i := range y {
+		y[i] = rng.Intn(10)
+	}
+	return net, x, y
+}
+
+func BenchmarkConvNetForward(b *testing.B) {
+	net, x, _ := cifarNet(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, false)
+	}
+}
+
+func BenchmarkConvNetTrainBatch(b *testing.B) {
+	net, x, y := cifarNet(b)
+	opt := NewAdam(0.001)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(x, y, opt)
+	}
+}
+
+func BenchmarkParamSetCodec(b *testing.B) {
+	net, _, _ := cifarNet(b)
+	ps := net.SnapshotParams()
+	raw, err := EncodeParamSet(ps)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(raw)))
+	b.Run("encode", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := EncodeParamSet(ps); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("decode", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeParamSet(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkAverage(b *testing.B) {
+	net, _, _ := cifarNet(b)
+	updates := make([]ParamSet, 20)
+	for i := range updates {
+		updates[i] = net.SnapshotParams()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Average(updates); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixnn/internal/tensor"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ps := randomParamSet(rng, 3, 5, 2)
+	raw, err := EncodeParamSet(ps)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if len(raw) != EncodedSize(ps) {
+		t.Fatalf("encoded %d bytes, EncodedSize predicted %d", len(raw), EncodedSize(ps))
+	}
+	got, err := DecodeParamSet(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !got.ApproxEqual(ps, 0) {
+		t.Fatal("round trip changed values")
+	}
+	if !got.Compatible(ps) {
+		t.Fatal("round trip changed structure")
+	}
+}
+
+func TestCodecSpecialValues(t *testing.T) {
+	ps := ParamSet{Layers: []LayerParams{{
+		Name: "weird",
+		Tensors: []*tensor.Tensor{tensor.MustFromSlice(
+			[]float64{0, math.Inf(1), math.Inf(-1), math.MaxFloat64, math.SmallestNonzeroFloat64, -0.0}, 6)},
+	}}}
+	raw, err := EncodeParamSet(ps)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeParamSet(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	gd := got.Layers[0].Tensors[0].Data()
+	pd := ps.Layers[0].Tensors[0].Data()
+	for i := range pd {
+		if math.Float64bits(gd[i]) != math.Float64bits(pd[i]) {
+			t.Fatalf("scalar %d: %x != %x", i, math.Float64bits(gd[i]), math.Float64bits(pd[i]))
+		}
+	}
+}
+
+func TestCodecNaNRoundTrip(t *testing.T) {
+	ps := ParamSet{Layers: []LayerParams{{
+		Name:    "nan",
+		Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{math.NaN()}, 1)},
+	}}}
+	raw, err := EncodeParamSet(ps)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := DecodeParamSet(raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !math.IsNaN(got.Layers[0].Tensors[0].Data()[0]) {
+		t.Fatal("NaN did not survive the round trip")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	valid, err := EncodeParamSet(randomParamSet(rng, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tests := []struct {
+		name string
+		data []byte
+	}{
+		{"empty", nil},
+		{"bad magic", append([]byte("XXXX"), valid[4:]...)},
+		{"bad version", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[4] = 99
+			return b
+		}()},
+		{"truncated header", valid[:6]},
+		{"truncated payload", valid[:len(valid)-5]},
+		{"huge layer count", func() []byte {
+			b := append([]byte(nil), valid...)
+			b[5], b[6], b[7], b[8] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}()},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeParamSet(tt.data); err == nil {
+				t.Fatal("decode of corrupt input succeeded")
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsOversizedTensor(t *testing.T) {
+	// Hand-craft a header that declares a tensor far beyond the element
+	// budget; the decoder must reject it before allocating.
+	var buf bytes.Buffer
+	buf.WriteString("MXPS")
+	buf.WriteByte(1)                          // version
+	buf.Write([]byte{1, 0, 0, 0})             // 1 layer
+	buf.Write([]byte{1, 0})                   // name length 1
+	buf.WriteByte('x')                        // name
+	buf.Write([]byte{1, 0, 0, 0})             // 1 tensor
+	buf.WriteByte(2)                          // rank 2
+	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // dim 0: ~2^31
+	buf.Write([]byte{0xff, 0xff, 0xff, 0x7f}) // dim 1: ~2^31
+	if _, err := DecodeParamSet(buf.Bytes()); err == nil {
+		t.Fatal("decode of oversized tensor succeeded")
+	}
+}
+
+func TestDecodeRejectsZeroDim(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("MXPS")
+	buf.WriteByte(1)
+	buf.Write([]byte{1, 0, 0, 0})
+	buf.Write([]byte{1, 0})
+	buf.WriteByte('x')
+	buf.Write([]byte{1, 0, 0, 0})
+	buf.WriteByte(1)              // rank 1
+	buf.Write([]byte{0, 0, 0, 0}) // dim 0 = 0
+	if _, err := DecodeParamSet(buf.Bytes()); err == nil {
+		t.Fatal("decode of zero-dim tensor succeeded")
+	}
+}
+
+// Property: encode/decode is the identity on random ParamSets.
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(seed int64, l8 uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nLayers := int(l8%4) + 1
+		sizes := make([]int, nLayers)
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(6)
+		}
+		ps := randomParamSet(rng, sizes...)
+		raw, err := EncodeParamSet(ps)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeParamSet(raw)
+		if err != nil {
+			return false
+		}
+		return got.ApproxEqual(ps, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

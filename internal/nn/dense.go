@@ -1,0 +1,92 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixnn/internal/tensor"
+)
+
+// Dense is a fully-connected layer: y = x·W + b with W of shape [in, out].
+type Dense struct {
+	name string
+	in   int
+	out  int
+
+	w, b   *tensor.Tensor
+	wg, bg *tensor.Tensor
+
+	cacheX *tensor.Tensor // input from the last training forward
+}
+
+// NewDense constructs a fully-connected layer with Glorot-uniform weights.
+func NewDense(name string, in, out int, rng *rand.Rand) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: Dense %q has non-positive dims %dx%d", name, in, out))
+	}
+	return &Dense{
+		name: name,
+		in:   in,
+		out:  out,
+		w:    tensor.New(in, out).GlorotUniform(rng, in, out),
+		b:    tensor.New(out),
+		wg:   tensor.New(in, out),
+		bg:   tensor.New(out),
+	}
+}
+
+var _ Layer = (*Dense)(nil)
+
+// Name implements Layer.
+func (d *Dense) Name() string { return d.name }
+
+// InDim returns the input width.
+func (d *Dense) InDim() int { return d.in }
+
+// OutDim returns the output width.
+func (d *Dense) OutDim() int { return d.out }
+
+// Forward implements Layer.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.in {
+		panic(fmt.Sprintf("nn: Dense %q expects [N,%d], got %v", d.name, d.in, x.Shape()))
+	}
+	if train {
+		d.cacheX = x
+	}
+	y := tensor.MatMul(x, d.w)
+	// Broadcast-add the bias to every row.
+	n := y.Dim(0)
+	yd, bd := y.Data(), d.b.Data()
+	for i := 0; i < n; i++ {
+		row := yd[i*d.out : (i+1)*d.out]
+		for j, bv := range bd {
+			row[j] += bv
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.cacheX == nil {
+		panic(fmt.Sprintf("nn: Dense %q Backward without training Forward", d.name))
+	}
+	// dW += xᵀ·dy ; db += column sums of dy ; dx = dy·Wᵀ.
+	d.wg.Add(tensor.MatMulTA(d.cacheX, grad))
+	n := grad.Dim(0)
+	gd, bgd := grad.Data(), d.bg.Data()
+	for i := 0; i < n; i++ {
+		row := gd[i*d.out : (i+1)*d.out]
+		for j, gv := range row {
+			bgd[j] += gv
+		}
+	}
+	return tensor.MatMulTB(grad, d.w)
+}
+
+// Params implements Layer.
+func (d *Dense) Params() []*tensor.Tensor { return []*tensor.Tensor{d.w, d.b} }
+
+// Grads implements Layer.
+func (d *Dense) Grads() []*tensor.Tensor { return []*tensor.Tensor{d.wg, d.bg} }

@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixnn/internal/tensor"
+)
+
+// Dropout randomly zeroes activations during training with probability p
+// and scales the survivors by 1/(1-p) (inverted dropout), so evaluation is
+// the identity. The paper's related work discusses overfitting-reduction
+// defences that trade utility for privacy; Dropout lets experiments
+// reproduce that style of mitigation.
+type Dropout struct {
+	name string
+	p    float64
+	rng  *rand.Rand
+
+	cacheMask []bool
+}
+
+// NewDropout constructs a dropout layer with drop probability p in [0, 1).
+func NewDropout(name string, p float64, rng *rand.Rand) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: Dropout %q probability %g outside [0,1)", name, p))
+	}
+	if rng == nil {
+		panic(fmt.Sprintf("nn: Dropout %q requires a rand source", name))
+	}
+	return &Dropout{name: name, p: p, rng: rng}
+}
+
+var _ Layer = (*Dropout)(nil)
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return d.name }
+
+// Forward implements Layer. In evaluation mode it is the identity.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.p == 0 {
+		if train {
+			d.cacheMask = nil // mark "all kept" for Backward
+		}
+		return x
+	}
+	y := x.Clone()
+	d.cacheMask = make([]bool, y.Size())
+	scale := 1 / (1 - d.p)
+	yd := y.Data()
+	for i := range yd {
+		if d.rng.Float64() < d.p {
+			yd[i] = 0
+		} else {
+			d.cacheMask[i] = true
+			yd[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.cacheMask == nil {
+		// p == 0 or eval-style forward during training: identity.
+		return grad
+	}
+	if grad.Size() != len(d.cacheMask) {
+		panic(fmt.Sprintf("nn: Dropout %q gradient size %d does not match cached %d", d.name, grad.Size(), len(d.cacheMask)))
+	}
+	dx := grad.Clone()
+	scale := 1 / (1 - d.p)
+	dd := dx.Data()
+	for i := range dd {
+		if d.cacheMask[i] {
+			dd[i] *= scale
+		} else {
+			dd[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params implements Layer (stateless).
+func (d *Dropout) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (stateless).
+func (d *Dropout) Grads() []*tensor.Tensor { return nil }

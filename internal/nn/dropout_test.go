@@ -1,0 +1,111 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mixnn/internal/tensor"
+)
+
+func TestDropoutEvalIsIdentity(t *testing.T) {
+	d := NewDropout("drop", 0.5, rand.New(rand.NewSource(1)))
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(4, 10).RandN(rng, 0, 1)
+	y := d.Forward(x, false)
+	if !tensor.Equal(x, y) {
+		t.Fatal("eval-mode dropout altered its input")
+	}
+}
+
+func TestDropoutTrainStatistics(t *testing.T) {
+	const p = 0.3
+	d := NewDropout("drop", p, rand.New(rand.NewSource(3)))
+	x := tensor.Ones(1, 20000)
+	y := d.Forward(x, true)
+
+	dropped, sum := 0, 0.0
+	for _, v := range y.Data() {
+		if v == 0 {
+			dropped++
+		}
+		sum += v
+	}
+	rate := float64(dropped) / float64(y.Size())
+	if math.Abs(rate-p) > 0.02 {
+		t.Fatalf("drop rate = %g, want ~%g", rate, p)
+	}
+	// Inverted scaling keeps the expectation: mean should stay ~1.
+	if mean := sum / float64(y.Size()); math.Abs(mean-1) > 0.02 {
+		t.Fatalf("mean after dropout = %g, want ~1", mean)
+	}
+	// Survivors are scaled by exactly 1/(1-p).
+	for _, v := range y.Data() {
+		if v != 0 && math.Abs(v-1/(1-p)) > 1e-12 {
+			t.Fatalf("survivor scaled to %g, want %g", v, 1/(1-p))
+		}
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	const p = 0.5
+	d := NewDropout("drop", p, rand.New(rand.NewSource(4)))
+	x := tensor.Ones(1, 100)
+	y := d.Forward(x, true)
+	grad := tensor.Ones(1, 100)
+	dx := d.Backward(grad)
+	for i, v := range y.Data() {
+		if v == 0 && dx.Data()[i] != 0 {
+			t.Fatalf("gradient flows through dropped unit %d", i)
+		}
+		if v != 0 && math.Abs(dx.Data()[i]-1/(1-p)) > 1e-12 {
+			t.Fatalf("kept unit %d gradient %g, want %g", i, dx.Data()[i], 1/(1-p))
+		}
+	}
+}
+
+func TestDropoutZeroProbability(t *testing.T) {
+	d := NewDropout("drop", 0, rand.New(rand.NewSource(5)))
+	x := tensor.Ones(2, 5)
+	if !tensor.Equal(d.Forward(x, true), x) {
+		t.Fatal("p=0 dropout altered input")
+	}
+	g := tensor.Ones(2, 5)
+	if !tensor.Equal(d.Backward(g), g) {
+		t.Fatal("p=0 dropout altered gradient")
+	}
+}
+
+func TestDropoutConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"p=1":     func() { NewDropout("d", 1, rand.New(rand.NewSource(1))) },
+		"p<0":     func() { NewDropout("d", -0.1, rand.New(rand.NewSource(1))) },
+		"nil rng": func() { NewDropout("d", 0.5, nil) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestDropoutInNetworkStillLearns(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	net := NewNetwork(
+		NewDense("fc1", 2, 16, rng), NewReLU("relu1"),
+		NewDropout("drop", 0.2, rand.New(rand.NewSource(7))),
+		NewDense("fc2", 16, 2, rng),
+	)
+	x, y := xorBatch()
+	opt := NewAdam(0.05)
+	for i := 0; i < 400; i++ {
+		net.TrainBatch(x, y, opt)
+	}
+	if acc := net.Evaluate(x, y); acc != 1 {
+		t.Fatalf("XOR accuracy with dropout = %g, want 1", acc)
+	}
+}

@@ -1,0 +1,61 @@
+package nn_test
+
+import (
+	"fmt"
+
+	"mixnn/internal/nn"
+	"mixnn/internal/tensor"
+)
+
+// ExampleNetwork trains a tiny network on XOR with Adam — the smallest
+// end-to-end use of the neural-network substrate.
+func ExampleNetwork() {
+	arch := nn.NewMLP("xor", 2, []int{8}, 2)
+	net := arch.New(7)
+
+	x := tensor.MustFromSlice([]float64{
+		0, 0,
+		0, 1,
+		1, 0,
+		1, 1,
+	}, 4, 2)
+	y := []int{0, 1, 1, 0}
+
+	opt := nn.NewAdam(0.05)
+	for i := 0; i < 300; i++ {
+		net.TrainBatch(x, y, opt)
+	}
+	fmt.Println("accuracy:", net.Evaluate(x, y))
+	// Output:
+	// accuracy: 1
+}
+
+// ExampleParamSet demonstrates the update arithmetic federated averaging
+// relies on.
+func ExampleParamSet() {
+	a := nn.ParamSet{Layers: []nn.LayerParams{
+		{Name: "fc1", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{1, 2}, 2)}},
+	}}
+	b := nn.ParamSet{Layers: []nn.LayerParams{
+		{Name: "fc1", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{3, 6}, 2)}},
+	}}
+
+	avg, err := nn.Average([]nn.ParamSet{a, b})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(avg.Layers[0].Tensors[0].Data())
+
+	raw, err := nn.EncodeParamSet(avg)
+	if err != nil {
+		panic(err)
+	}
+	back, err := nn.DecodeParamSet(raw)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("codec round trip:", back.ApproxEqual(avg, 0))
+	// Output:
+	// [2 4]
+	// codec round trip: true
+}

@@ -1,0 +1,40 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzDecodeParamSet hammers the codec with arbitrary bytes: it must never
+// panic or over-allocate, and anything it accepts must re-encode to a
+// decodable equivalent (the proxy decodes these bytes from untrusted
+// participants).
+func FuzzDecodeParamSet(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	valid, err := EncodeParamSet(randomParamSet(rng, 3, 2))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add([]byte("MXPS"))
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodeParamSet(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeParamSet(ps)
+		if err != nil {
+			t.Fatalf("decoded ParamSet failed to re-encode: %v", err)
+		}
+		back, err := DecodeParamSet(re)
+		if err != nil {
+			t.Fatalf("re-encoded ParamSet failed to decode: %v", err)
+		}
+		if !back.Compatible(ps) {
+			t.Fatal("re-encode round trip changed structure")
+		}
+	})
+}

@@ -1,0 +1,35 @@
+package nn
+
+import (
+	"mixnn/internal/tensor"
+)
+
+// Layer is one stage of a feed-forward network operating on batched inputs.
+//
+// Forward consumes a batch tensor of shape [N, inDim] (inputs are always
+// flattened row-major; convolutional layers interpret each row as a CHW
+// volume) and returns [N, outDim]. When train is true the layer caches
+// whatever it needs for the next Backward call.
+//
+// Backward consumes the loss gradient with respect to the layer's output,
+// accumulates gradients into Grads(), and returns the gradient with respect
+// to the layer's input. Callers must invoke Backward in reverse layer order
+// immediately after a training Forward.
+type Layer interface {
+	// Name identifies the layer inside a ParamSet; unique within a network.
+	Name() string
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the trainable tensors (nil for stateless layers).
+	// The returned slice aliases live layer state.
+	Params() []*tensor.Tensor
+	// Grads returns the gradient accumulators matching Params.
+	Grads() []*tensor.Tensor
+}
+
+// zeroGrads zeroes every tensor in gs; helper shared by layers.
+func zeroGrads(gs []*tensor.Tensor) {
+	for _, g := range gs {
+		g.Zero()
+	}
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixnn/internal/tensor"
+)
+
+// LocallyConnected2D is a convolution-like layer whose filter weights are
+// NOT shared across spatial positions — the layer type that distinguishes
+// the DeepFace architecture used for the LFW experiments. Weights have
+// shape [outC, outH*outW, inC*KH*KW] and bias [outC, outH*outW].
+type LocallyConnected2D struct {
+	name string
+	geom tensor.ConvGeom
+	outC int
+
+	w, b   *tensor.Tensor
+	wg, bg *tensor.Tensor
+
+	cacheCols []*tensor.Tensor
+}
+
+// NewLocallyConnected2D constructs a locally-connected layer with He-normal
+// weights.
+func NewLocallyConnected2D(name string, geom tensor.ConvGeom, outC int, rng *rand.Rand) *LocallyConnected2D {
+	if err := geom.Validate(); err != nil {
+		panic(fmt.Sprintf("nn: LocallyConnected2D %q: %v", name, err))
+	}
+	if outC <= 0 {
+		panic(fmt.Sprintf("nn: LocallyConnected2D %q has non-positive output channels", name))
+	}
+	fanIn := geom.InC * geom.KH * geom.KW
+	outHW := geom.OutH() * geom.OutW()
+	return &LocallyConnected2D{
+		name: name,
+		geom: geom,
+		outC: outC,
+		w:    tensor.New(outC, outHW, fanIn).HeNormal(rng, fanIn),
+		b:    tensor.New(outC, outHW),
+		wg:   tensor.New(outC, outHW, fanIn),
+		bg:   tensor.New(outC, outHW),
+	}
+}
+
+var _ Layer = (*LocallyConnected2D)(nil)
+
+// Name implements Layer.
+func (l *LocallyConnected2D) Name() string { return l.name }
+
+// InDim returns the flat input width.
+func (l *LocallyConnected2D) InDim() int { return l.geom.InC * l.geom.InH * l.geom.InW }
+
+// OutDim returns the flat output width.
+func (l *LocallyConnected2D) OutDim() int { return l.outC * l.geom.OutH() * l.geom.OutW() }
+
+// Forward implements Layer.
+func (l *LocallyConnected2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	inDim := l.InDim()
+	if x.Rank() != 2 || x.Dim(1) != inDim {
+		panic(fmt.Sprintf("nn: LocallyConnected2D %q expects [N,%d], got %v", l.name, inDim, x.Shape()))
+	}
+	n := x.Dim(0)
+	outHW := l.geom.OutH() * l.geom.OutW()
+	fanIn := l.geom.InC * l.geom.KH * l.geom.KW
+	y := tensor.New(n, l.OutDim())
+	if train {
+		l.cacheCols = make([]*tensor.Tensor, n)
+	}
+	wd, bd := l.w.Data(), l.b.Data()
+	for i := 0; i < n; i++ {
+		cols := tensor.Im2Col(x.Data()[i*inDim:(i+1)*inDim], l.geom) // [fanIn, outHW]
+		if train {
+			l.cacheCols[i] = cols
+		}
+		cd := cols.Data()
+		out := y.Data()[i*l.OutDim() : (i+1)*l.OutDim()]
+		for oc := 0; oc < l.outC; oc++ {
+			for p := 0; p < outHW; p++ {
+				wRow := wd[(oc*outHW+p)*fanIn : (oc*outHW+p+1)*fanIn]
+				s := bd[oc*outHW+p]
+				for r, wv := range wRow {
+					s += wv * cd[r*outHW+p]
+				}
+				out[oc*outHW+p] = s
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (l *LocallyConnected2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if l.cacheCols == nil {
+		panic(fmt.Sprintf("nn: LocallyConnected2D %q Backward without training Forward", l.name))
+	}
+	n := grad.Dim(0)
+	if n != len(l.cacheCols) {
+		panic(fmt.Sprintf("nn: LocallyConnected2D %q gradient batch %d does not match cached batch %d", l.name, n, len(l.cacheCols)))
+	}
+	outHW := l.geom.OutH() * l.geom.OutW()
+	fanIn := l.geom.InC * l.geom.KH * l.geom.KW
+	inDim := l.InDim()
+	dx := tensor.New(n, inDim)
+	wd, wgd, bgd := l.w.Data(), l.wg.Data(), l.bg.Data()
+	for i := 0; i < n; i++ {
+		cd := l.cacheCols[i].Data()
+		gd := grad.Data()[i*l.OutDim() : (i+1)*l.OutDim()]
+		dcols := tensor.New(fanIn, outHW)
+		dcd := dcols.Data()
+		for oc := 0; oc < l.outC; oc++ {
+			for p := 0; p < outHW; p++ {
+				g := gd[oc*outHW+p]
+				if g == 0 {
+					continue
+				}
+				bgd[oc*outHW+p] += g
+				wRow := wd[(oc*outHW+p)*fanIn : (oc*outHW+p+1)*fanIn]
+				wgRow := wgd[(oc*outHW+p)*fanIn : (oc*outHW+p+1)*fanIn]
+				for r := 0; r < fanIn; r++ {
+					wgRow[r] += g * cd[r*outHW+p]
+					dcd[r*outHW+p] += g * wRow[r]
+				}
+			}
+		}
+		copy(dx.Data()[i*inDim:(i+1)*inDim], tensor.Col2Im(dcols, l.geom))
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LocallyConnected2D) Params() []*tensor.Tensor { return []*tensor.Tensor{l.w, l.b} }
+
+// Grads implements Layer.
+func (l *LocallyConnected2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.wg, l.bg} }

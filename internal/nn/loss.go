@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mixnn/internal/tensor"
+)
+
+// Softmax writes the row-wise softmax of logits into a new tensor. Rows are
+// shifted by their max for numerical stability.
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	if logits.Rank() != 2 {
+		panic(fmt.Sprintf("nn: Softmax requires rank 2, got %v", logits.Shape()))
+	}
+	n, c := logits.Dim(0), logits.Dim(1)
+	out := logits.Clone()
+	od := out.Data()
+	for i := 0; i < n; i++ {
+		row := od[i*c : (i+1)*c]
+		max := math.Inf(-1)
+		for _, v := range row {
+			if v > max {
+				max = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - max)
+			row[j] = e
+			sum += e
+		}
+		for j := range row {
+			row[j] /= sum
+		}
+	}
+	return out
+}
+
+// CrossEntropyLoss returns the mean negative log-likelihood of the true
+// labels under the row-wise probability distributions probs.
+func CrossEntropyLoss(probs *tensor.Tensor, labels []int) float64 {
+	n, c := probs.Dim(0), probs.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	const eps = 1e-12
+	loss := 0.0
+	for i, y := range labels {
+		if y < 0 || y >= c {
+			panic(fmt.Sprintf("nn: label %d out of range [0,%d)", y, c))
+		}
+		loss -= math.Log(probs.Data()[i*c+y] + eps)
+	}
+	return loss / float64(n)
+}
+
+// SoftmaxCrossEntropy fuses softmax and cross-entropy so that the backward
+// pass is the numerically-stable (probs - onehot)/N.
+type SoftmaxCrossEntropy struct{}
+
+// Forward returns the mean loss and the softmax probabilities (needed by
+// Backward and by accuracy computations).
+func (SoftmaxCrossEntropy) Forward(logits *tensor.Tensor, labels []int) (float64, *tensor.Tensor) {
+	probs := Softmax(logits)
+	return CrossEntropyLoss(probs, labels), probs
+}
+
+// Backward returns the gradient of the mean loss with respect to the
+// logits: (probs - onehot(labels)) / N.
+func (SoftmaxCrossEntropy) Backward(probs *tensor.Tensor, labels []int) *tensor.Tensor {
+	n, c := probs.Dim(0), probs.Dim(1)
+	if len(labels) != n {
+		panic(fmt.Sprintf("nn: %d labels for batch of %d", len(labels), n))
+	}
+	grad := probs.Clone()
+	gd := grad.Data()
+	inv := 1 / float64(n)
+	for i, y := range labels {
+		gd[i*c+y] -= 1
+	}
+	for i := range gd {
+		gd[i] *= inv
+	}
+	return grad
+}
+
+// Accuracy returns the fraction of rows of logits (or probabilities — any
+// monotone score works) whose argmax equals the label.
+func Accuracy(scores *tensor.Tensor, labels []int) float64 {
+	pred := scores.ArgMaxRows()
+	if len(pred) != len(labels) {
+		panic(fmt.Sprintf("nn: %d predictions for %d labels", len(pred), len(labels)))
+	}
+	if len(labels) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(labels))
+}

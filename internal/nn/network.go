@@ -1,0 +1,141 @@
+package nn
+
+import (
+	"fmt"
+
+	"mixnn/internal/tensor"
+)
+
+// Network is an ordered stack of layers trained with softmax cross-entropy.
+type Network struct {
+	layers []Layer
+	loss   SoftmaxCrossEntropy
+}
+
+// NewNetwork builds a network from the given layers. Layer names carrying
+// parameters must be unique (they key the ParamSet representation).
+func NewNetwork(layers ...Layer) *Network {
+	seen := make(map[string]bool, len(layers))
+	for _, l := range layers {
+		if len(l.Params()) == 0 {
+			continue
+		}
+		if seen[l.Name()] {
+			panic(fmt.Sprintf("nn: duplicate parameterised layer name %q", l.Name()))
+		}
+		seen[l.Name()] = true
+	}
+	return &Network{layers: layers}
+}
+
+// Layers returns the layer stack (shared, not copied).
+func (n *Network) Layers() []Layer { return n.layers }
+
+// Forward runs the batch x through every layer. train selects whether
+// layers cache state for a subsequent Backward.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates the loss gradient through every layer in reverse,
+// accumulating parameter gradients.
+func (n *Network) Backward(grad *tensor.Tensor) {
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		grad = n.layers[i].Backward(grad)
+	}
+}
+
+// ZeroGrads clears every accumulated gradient.
+func (n *Network) ZeroGrads() {
+	for _, l := range n.layers {
+		zeroGrads(l.Grads())
+	}
+}
+
+// TrainBatch runs one optimisation step on a batch and returns the loss.
+func (n *Network) TrainBatch(x *tensor.Tensor, labels []int, opt Optimizer) float64 {
+	n.ZeroGrads()
+	logits := n.Forward(x, true)
+	loss, probs := n.loss.Forward(logits, labels)
+	n.Backward(n.loss.Backward(probs, labels))
+	params, grads := n.flatParams()
+	opt.Step(params, grads)
+	return loss
+}
+
+// Loss computes the mean softmax cross-entropy of the batch without
+// updating parameters.
+func (n *Network) Loss(x *tensor.Tensor, labels []int) float64 {
+	loss, _ := n.loss.Forward(n.Forward(x, false), labels)
+	return loss
+}
+
+// Predict returns the argmax class per row of x.
+func (n *Network) Predict(x *tensor.Tensor) []int {
+	return n.Forward(x, false).ArgMaxRows()
+}
+
+// Evaluate returns classification accuracy on (x, labels).
+func (n *Network) Evaluate(x *tensor.Tensor, labels []int) float64 {
+	return Accuracy(n.Forward(x, false), labels)
+}
+
+// flatParams returns the parallel (params, grads) slices across layers.
+func (n *Network) flatParams() ([]*tensor.Tensor, []*tensor.Tensor) {
+	var ps, gs []*tensor.Tensor
+	for _, l := range n.layers {
+		ps = append(ps, l.Params()...)
+		gs = append(gs, l.Grads()...)
+	}
+	return ps, gs
+}
+
+// Params returns the live parameters grouped by layer. Mutating the
+// returned tensors mutates the network.
+func (n *Network) Params() ParamSet {
+	var out ParamSet
+	for _, l := range n.layers {
+		if ps := l.Params(); len(ps) > 0 {
+			out.Layers = append(out.Layers, LayerParams{Name: l.Name(), Tensors: ps})
+		}
+	}
+	return out
+}
+
+// SnapshotParams returns a deep copy of the network parameters — the
+// "parameter update" a federated participant sends upstream.
+func (n *Network) SnapshotParams() ParamSet { return n.Params().Clone() }
+
+// SetParams copies the values of ps into the network parameters.
+// The structure must match the network exactly.
+func (n *Network) SetParams(ps ParamSet) error {
+	live := n.Params()
+	if !live.Compatible(ps) {
+		return fmt.Errorf("nn: SetParams: incompatible ParamSet")
+	}
+	for i, lp := range live.Layers {
+		for j, t := range lp.Tensors {
+			copy(t.Data(), ps.Layers[i].Tensors[j].Data())
+		}
+	}
+	return nil
+}
+
+// GradParams returns a deep copy of the accumulated gradients grouped by
+// layer, structurally parallel to Params().
+func (n *Network) GradParams() ParamSet {
+	var out ParamSet
+	for _, l := range n.layers {
+		if gs := l.Grads(); len(gs) > 0 {
+			tensors := make([]*tensor.Tensor, len(gs))
+			for i, g := range gs {
+				tensors[i] = g.Clone()
+			}
+			out.Layers = append(out.Layers, LayerParams{Name: l.Name(), Tensors: tensors})
+		}
+	}
+	return out
+}

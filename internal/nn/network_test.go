@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"mixnn/internal/tensor"
+)
+
+// xorBatch returns the classic XOR problem as a 4-sample batch.
+func xorBatch() (*tensor.Tensor, []int) {
+	x := tensor.MustFromSlice([]float64{
+		0, 0,
+		0, 1,
+		1, 0,
+		1, 1,
+	}, 4, 2)
+	return x, []int{0, 1, 1, 0}
+}
+
+func TestNetworkLearnsXORWithSGD(t *testing.T) {
+	net := NewMLP("xor", 2, []int{8}, 2).New(7)
+	x, y := xorBatch()
+	opt := NewSGD(0.5, 0.9)
+	for i := 0; i < 500; i++ {
+		net.TrainBatch(x, y, opt)
+	}
+	if acc := net.Evaluate(x, y); acc != 1 {
+		t.Fatalf("XOR accuracy after training = %g, want 1", acc)
+	}
+}
+
+func TestNetworkLearnsXORWithAdam(t *testing.T) {
+	net := NewMLP("xor", 2, []int{8}, 2).New(3)
+	x, y := xorBatch()
+	opt := NewAdam(0.05)
+	for i := 0; i < 300; i++ {
+		net.TrainBatch(x, y, opt)
+	}
+	if acc := net.Evaluate(x, y); acc != 1 {
+		t.Fatalf("XOR accuracy after training = %g, want 1", acc)
+	}
+}
+
+func TestTrainBatchDecreasesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	net := NewMLP("toy", 5, []int{10}, 3).New(4)
+	x := tensor.New(16, 5).RandN(rng, 0, 1)
+	y := make([]int, 16)
+	for i := range y {
+		y[i] = rng.Intn(3)
+	}
+	before := net.Loss(x, y)
+	opt := NewAdam(0.01)
+	for i := 0; i < 50; i++ {
+		net.TrainBatch(x, y, opt)
+	}
+	after := net.Loss(x, y)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %g -> %g", before, after)
+	}
+}
+
+func TestSnapshotSetParamsRoundTrip(t *testing.T) {
+	net := NewMLP("toy", 3, []int{4}, 2).New(5)
+	snap := net.SnapshotParams()
+
+	// Train a bit to move the live parameters away from the snapshot.
+	x, y := xorBatch()
+	x2 := tensor.MustFromSlice([]float64{0, 0, 0, 1, 1, 0, 1, 1}, 4, 2)
+	_ = x
+	opt := NewSGD(0.1, 0)
+	for i := 0; i < 10; i++ {
+		net.TrainBatch(tensor.MustFromSlice([]float64{1, 0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 1}, 4, 3), y, opt)
+	}
+	_ = x2
+	if net.Params().ApproxEqual(snap, 1e-12) {
+		t.Fatal("training did not change parameters")
+	}
+
+	if err := net.SetParams(snap); err != nil {
+		t.Fatalf("SetParams: %v", err)
+	}
+	if !net.Params().ApproxEqual(snap, 0) {
+		t.Fatal("SetParams did not restore the snapshot")
+	}
+
+	// Snapshot must be insulated from further training.
+	for i := 0; i < 5; i++ {
+		net.TrainBatch(tensor.MustFromSlice([]float64{1, 0, 0, 0, 1, 0, 0, 0, 1, 1, 1, 1}, 4, 3), y, opt)
+	}
+	restored := NewMLP("toy", 3, []int{4}, 2).New(99)
+	if err := restored.SetParams(snap); err != nil {
+		t.Fatalf("SetParams on sibling network: %v", err)
+	}
+}
+
+func TestSetParamsRejectsIncompatible(t *testing.T) {
+	a := NewMLP("a", 3, []int{4}, 2).New(1)
+	b := NewMLP("b", 5, []int{4}, 2).New(1)
+	if err := a.SetParams(b.SnapshotParams()); err == nil {
+		t.Fatal("SetParams accepted incompatible shape")
+	}
+}
+
+func TestDuplicateLayerNamePanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate parameterised layer names did not panic")
+		}
+	}()
+	NewNetwork(NewDense("fc", 2, 2, rng), NewDense("fc", 2, 2, rng))
+}
+
+func TestGradParamsMatchesStructure(t *testing.T) {
+	net := NewMLP("toy", 3, []int{4}, 2).New(6)
+	x := tensor.MustFromSlice([]float64{1, 0, 0, 0, 1, 0}, 2, 3)
+	net.TrainBatch(x, []int{0, 1}, NewSGD(0.1, 0))
+	g := net.GradParams()
+	if !g.Compatible(net.Params()) {
+		t.Fatal("GradParams structure differs from Params")
+	}
+	if g.Flatten().Norm() == 0 {
+		t.Fatal("gradients are identically zero after a training step")
+	}
+}
+
+func TestZeroGrads(t *testing.T) {
+	net := NewMLP("toy", 3, []int{4}, 2).New(8)
+	x := tensor.MustFromSlice([]float64{1, 0, 0, 0, 1, 0}, 2, 3)
+	net.TrainBatch(x, []int{0, 1}, NewSGD(0.1, 0))
+	net.ZeroGrads()
+	if got := net.GradParams().Flatten().Norm(); got != 0 {
+		t.Fatalf("gradient norm after ZeroGrads = %g, want 0", got)
+	}
+}
+
+func TestPredictConsistentWithEvaluate(t *testing.T) {
+	net := NewMLP("toy", 4, []int{6}, 3).New(9)
+	rng := rand.New(rand.NewSource(10))
+	x := tensor.New(8, 4).RandN(rng, 0, 1)
+	y := make([]int, 8)
+	preds := net.Predict(x)
+	copy(y, preds)
+	if acc := net.Evaluate(x, y); acc != 1 {
+		t.Fatalf("accuracy against own predictions = %g, want 1", acc)
+	}
+}
+
+func TestOptimizerStatefulness(t *testing.T) {
+	// Adam with zero gradient must not move parameters on the first step
+	// (m and v stay zero).
+	p := tensor.MustFromSlice([]float64{1, 2}, 2)
+	g := tensor.New(2)
+	before := p.Clone()
+	NewAdam(0.1).Step([]*tensor.Tensor{p}, []*tensor.Tensor{g})
+	if !tensor.ApproxEqual(p, before, 1e-12) {
+		t.Fatalf("Adam moved params with zero grad: %v", p)
+	}
+
+	// SGD with momentum accumulates velocity across steps.
+	p2 := tensor.MustFromSlice([]float64{0}, 1)
+	g2 := tensor.MustFromSlice([]float64{1}, 1)
+	sgd := NewSGD(0.1, 0.9)
+	sgd.Step([]*tensor.Tensor{p2}, []*tensor.Tensor{g2})
+	first := p2.Data()[0]
+	sgd.Step([]*tensor.Tensor{p2}, []*tensor.Tensor{g2})
+	second := p2.Data()[0] - first
+	if math.Abs(second) <= math.Abs(first) {
+		t.Fatalf("momentum did not accelerate: step1 %g step2 %g", first, second)
+	}
+}
+
+func TestNewOptimizer(t *testing.T) {
+	if _, err := NewOptimizer("adam", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOptimizer("sgd", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewOptimizer("adagrad", 0.1); err == nil {
+		t.Fatal("unknown optimizer accepted")
+	}
+}
+
+func TestArchReproducibility(t *testing.T) {
+	arch := NewMLP("repro", 4, []int{5}, 2)
+	a := arch.New(42).SnapshotParams()
+	b := arch.New(42).SnapshotParams()
+	if !a.ApproxEqual(b, 0) {
+		t.Fatal("same seed produced different initialisations")
+	}
+	c := arch.New(43).SnapshotParams()
+	if a.ApproxEqual(c, 1e-12) {
+		t.Fatal("different seeds produced identical initialisations")
+	}
+}
+
+func TestConvNetArchitectureShape(t *testing.T) {
+	arch := NewConvNet("cifar", ConvNetConfig{
+		InC: 3, InH: 32, InW: 32, Classes: 10,
+		PoolH1: 2, PoolW1: 2, PoolH2: 2, PoolW2: 2,
+	})
+	net := arch.New(1)
+	// Two conv + three dense = five parameterised layers (the paper's model).
+	ps := net.Params()
+	if ps.NumLayers() != 5 {
+		t.Fatalf("parameterised layers = %d, want 5", ps.NumLayers())
+	}
+	wantNames := []string{"conv1", "conv2", "fc1", "fc2", "fc3"}
+	for i, lp := range ps.Layers {
+		if lp.Name != wantNames[i] {
+			t.Fatalf("layer %d named %q, want %q", i, lp.Name, wantNames[i])
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.New(2, 3*32*32).RandN(rng, 0, 1)
+	out := net.Forward(x, false)
+	if out.Dim(0) != 2 || out.Dim(1) != 10 {
+		t.Fatalf("output shape %v, want [2 10]", out.Shape())
+	}
+}
+
+func TestConvNet3ConvVariant(t *testing.T) {
+	arch := NewConvNet("big", ConvNetConfig{
+		InC: 3, InH: 16, InW: 16, Classes: 10,
+		PoolH1: 2, PoolW1: 2, PoolH2: 2, PoolW2: 2,
+		Conv3: 8,
+	})
+	ps := arch.New(1).Params()
+	if ps.NumLayers() != 6 {
+		t.Fatalf("parameterised layers = %d, want 6 (3 conv + 3 fc)", ps.NumLayers())
+	}
+}
+
+func TestDeepFaceArchitectureShape(t *testing.T) {
+	arch := NewDeepFace("lfw", DeepFaceConfig{InC: 1, InH: 16, InW: 16, Classes: 2})
+	net := arch.New(1)
+	names := make(map[string]bool)
+	for _, lp := range net.Params().Layers {
+		names[lp.Name] = true
+	}
+	for _, want := range []string{"conv1", "conv2", "local3", "fc1", "fc2"} {
+		if !names[want] {
+			t.Fatalf("missing layer %q in DeepFace architecture", want)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	out := net.Forward(tensor.New(3, 256).RandN(rng, 0, 1), false)
+	if out.Dim(1) != 2 {
+		t.Fatalf("output classes = %d, want 2", out.Dim(1))
+	}
+}

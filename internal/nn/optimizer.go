@@ -1,0 +1,116 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mixnn/internal/tensor"
+)
+
+// Optimizer updates parameters in place from their accumulated gradients.
+// Implementations keep per-parameter state keyed by slice position, so an
+// optimizer instance must always be used with the same network.
+type Optimizer interface {
+	// Step applies one update. params and grads are parallel slices.
+	Step(params, grads []*tensor.Tensor)
+}
+
+// SGD is stochastic gradient descent with optional classical momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+
+	vel []*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD { return &SGD{LR: lr, Momentum: momentum} }
+
+var _ Optimizer = (*SGD)(nil)
+
+// Step implements Optimizer.
+func (s *SGD) Step(params, grads []*tensor.Tensor) {
+	checkStep(params, grads)
+	if s.Momentum == 0 {
+		for i, p := range params {
+			p.AddScaled(grads[i], -s.LR)
+		}
+		return
+	}
+	if s.vel == nil {
+		s.vel = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			s.vel[i] = tensor.New(p.Shape()...)
+		}
+	}
+	for i, p := range params {
+		v := s.vel[i]
+		v.Scale(s.Momentum).AddScaled(grads[i], -s.LR)
+		p.Add(v)
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) — the optimizer used by the
+// paper's experiments ("we use the Adam optimizer proposed by Tensorflow").
+type Adam struct {
+	LR    float64
+	Beta1 float64
+	Beta2 float64
+	Eps   float64
+
+	t    int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam constructs an Adam optimizer with the TensorFlow defaults
+// (beta1=0.9, beta2=0.999, eps=1e-7) and the given learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7}
+}
+
+var _ Optimizer = (*Adam)(nil)
+
+// Step implements Optimizer.
+func (a *Adam) Step(params, grads []*tensor.Tensor) {
+	checkStep(params, grads)
+	if a.m == nil {
+		a.m = make([]*tensor.Tensor, len(params))
+		a.v = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			a.m[i] = tensor.New(p.Shape()...)
+			a.v[i] = tensor.New(p.Shape()...)
+		}
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range params {
+		md, vd, gd, pd := a.m[i].Data(), a.v[i].Data(), grads[i].Data(), p.Data()
+		for j, g := range gd {
+			md[j] = a.Beta1*md[j] + (1-a.Beta1)*g
+			vd[j] = a.Beta2*vd[j] + (1-a.Beta2)*g*g
+			mHat := md[j] / bc1
+			vHat := vd[j] / bc2
+			pd[j] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}
+
+func checkStep(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic(fmt.Sprintf("nn: optimizer got %d params but %d grads", len(params), len(grads)))
+	}
+}
+
+// NewOptimizer constructs an optimizer by name ("sgd" or "adam"), matching
+// the experiment configuration strings.
+func NewOptimizer(name string, lr float64) (Optimizer, error) {
+	switch name {
+	case "sgd":
+		return NewSGD(lr, 0), nil
+	case "adam":
+		return NewAdam(lr), nil
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer %q", name)
+	}
+}

@@ -1,0 +1,247 @@
+// Package nn implements the neural-network substrate of the MixNN
+// reproduction: layers (dense, convolutional, locally-connected, pooling,
+// activations), the softmax cross-entropy loss, SGD and Adam optimisers,
+// and the ParamSet representation of per-layer model parameters that the
+// federated-learning pipeline and the MixNN mixer exchange.
+//
+// Everything is built on internal/tensor; there are no external
+// dependencies. Backward passes are verified against finite differences in
+// gradcheck_test.go.
+package nn
+
+import (
+	"fmt"
+
+	"mixnn/internal/tensor"
+)
+
+// LayerParams groups the trainable tensors of one layer under the layer's
+// name. The MixNN proxy mixes model updates at exactly this granularity:
+// a LayerParams value is the atomic unit that may be routed independently
+// of the other layers of the same participant.
+type LayerParams struct {
+	Name    string
+	Tensors []*tensor.Tensor
+}
+
+// Clone returns a deep copy.
+func (lp LayerParams) Clone() LayerParams {
+	out := LayerParams{Name: lp.Name, Tensors: make([]*tensor.Tensor, len(lp.Tensors))}
+	for i, t := range lp.Tensors {
+		out.Tensors[i] = t.Clone()
+	}
+	return out
+}
+
+// NumParams returns the total number of scalars in the layer.
+func (lp LayerParams) NumParams() int {
+	n := 0
+	for _, t := range lp.Tensors {
+		n += t.Size()
+	}
+	return n
+}
+
+// ParamSet is the full set of trainable parameters of a model, ordered by
+// layer. It is the unit exchanged between participants, the MixNN proxy and
+// the aggregation server (the paper's "parameter update").
+type ParamSet struct {
+	Layers []LayerParams
+}
+
+// Clone returns a deep copy.
+func (ps ParamSet) Clone() ParamSet {
+	out := ParamSet{Layers: make([]LayerParams, len(ps.Layers))}
+	for i, lp := range ps.Layers {
+		out.Layers[i] = lp.Clone()
+	}
+	return out
+}
+
+// NumLayers returns the number of layers with trainable parameters.
+func (ps ParamSet) NumLayers() int { return len(ps.Layers) }
+
+// NumParams returns the total number of scalars across all layers.
+func (ps ParamSet) NumParams() int {
+	n := 0
+	for _, lp := range ps.Layers {
+		n += lp.NumParams()
+	}
+	return n
+}
+
+// Compatible reports whether two ParamSets have identical structure (same
+// layers, names, tensor counts and shapes), i.e. whether arithmetic between
+// them is meaningful.
+func (ps ParamSet) Compatible(o ParamSet) bool {
+	if len(ps.Layers) != len(o.Layers) {
+		return false
+	}
+	for i, lp := range ps.Layers {
+		ol := o.Layers[i]
+		if lp.Name != ol.Name || len(lp.Tensors) != len(ol.Tensors) {
+			return false
+		}
+		for j, t := range lp.Tensors {
+			if !t.SameShape(ol.Tensors[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (ps ParamSet) mustCompatible(o ParamSet, op string) {
+	if !ps.Compatible(o) {
+		panic(fmt.Sprintf("nn: %s on incompatible ParamSets", op))
+	}
+}
+
+// Add adds o into ps element-wise and returns ps.
+func (ps ParamSet) Add(o ParamSet) ParamSet {
+	ps.mustCompatible(o, "Add")
+	for i, lp := range ps.Layers {
+		for j, t := range lp.Tensors {
+			t.Add(o.Layers[i].Tensors[j])
+		}
+	}
+	return ps
+}
+
+// Sub subtracts o from ps element-wise and returns ps.
+func (ps ParamSet) Sub(o ParamSet) ParamSet {
+	ps.mustCompatible(o, "Sub")
+	for i, lp := range ps.Layers {
+		for j, t := range lp.Tensors {
+			t.Sub(o.Layers[i].Tensors[j])
+		}
+	}
+	return ps
+}
+
+// Scale multiplies every scalar by alpha and returns ps.
+func (ps ParamSet) Scale(alpha float64) ParamSet {
+	for _, lp := range ps.Layers {
+		for _, t := range lp.Tensors {
+			t.Scale(alpha)
+		}
+	}
+	return ps
+}
+
+// AddScaled adds alpha*o into ps element-wise and returns ps.
+func (ps ParamSet) AddScaled(o ParamSet, alpha float64) ParamSet {
+	ps.mustCompatible(o, "AddScaled")
+	for i, lp := range ps.Layers {
+		for j, t := range lp.Tensors {
+			t.AddScaled(o.Layers[i].Tensors[j], alpha)
+		}
+	}
+	return ps
+}
+
+// Flatten concatenates every scalar of the ParamSet into a single rank-1
+// tensor. ∇Sim uses this to compute cosine similarities between whole
+// updates; Figure 9 uses it for Euclidean distances.
+func (ps ParamSet) Flatten() *tensor.Tensor {
+	out := tensor.New(maxInt(ps.NumParams(), 1))
+	off := 0
+	for _, lp := range ps.Layers {
+		for _, t := range lp.Tensors {
+			copy(out.Data()[off:], t.Data())
+			off += t.Size()
+		}
+	}
+	return out
+}
+
+// FlattenLayer concatenates the scalars of layer i into a rank-1 tensor.
+func (ps ParamSet) FlattenLayer(i int) *tensor.Tensor {
+	lp := ps.Layers[i]
+	out := tensor.New(maxInt(lp.NumParams(), 1))
+	off := 0
+	for _, t := range lp.Tensors {
+		copy(out.Data()[off:], t.Data())
+		off += t.Size()
+	}
+	return out
+}
+
+// ApproxEqual reports whether two compatible ParamSets agree element-wise
+// within absolute tolerance tol.
+func (ps ParamSet) ApproxEqual(o ParamSet, tol float64) bool {
+	if !ps.Compatible(o) {
+		return false
+	}
+	for i, lp := range ps.Layers {
+		for j, t := range lp.Tensors {
+			if !tensor.ApproxEqual(t, o.Layers[i].Tensors[j], tol) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Average returns the element-wise mean of the given ParamSets. This is the
+// aggregation function Agr of the paper's §4.2; the MixNN equivalence
+// theorem states Average(mixed) == Average(original).
+func Average(sets []ParamSet) (ParamSet, error) {
+	if len(sets) == 0 {
+		return ParamSet{}, fmt.Errorf("nn: Average of zero ParamSets")
+	}
+	for i := 1; i < len(sets); i++ {
+		if !sets[0].Compatible(sets[i]) {
+			return ParamSet{}, fmt.Errorf("nn: Average: ParamSet %d incompatible with ParamSet 0", i)
+		}
+	}
+	out := sets[0].Clone()
+	for _, s := range sets[1:] {
+		out.Add(s)
+	}
+	out.Scale(1 / float64(len(sets)))
+	return out, nil
+}
+
+// WeightedAverage returns the weighted element-wise mean of the ParamSets
+// (classic FedAvg weights updates by local dataset size). Note the design
+// constraint this exposes: MixNN's aggregation equivalence (§4.2) holds
+// only for the uniform mean — per-layer mixing permutes which participant
+// a weight multiplies, so non-uniform weights break equivalence (see
+// TestWeightedAverageBreaksUnderMixing in internal/core). Deployments
+// using MixNN must therefore aggregate uniformly, as the paper assumes.
+func WeightedAverage(sets []ParamSet, weights []float64) (ParamSet, error) {
+	if len(sets) == 0 {
+		return ParamSet{}, fmt.Errorf("nn: WeightedAverage of zero ParamSets")
+	}
+	if len(weights) != len(sets) {
+		return ParamSet{}, fmt.Errorf("nn: %d weights for %d ParamSets", len(weights), len(sets))
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 {
+			return ParamSet{}, fmt.Errorf("nn: negative weight %g", w)
+		}
+		total += w
+	}
+	if total == 0 {
+		return ParamSet{}, fmt.Errorf("nn: weights sum to zero")
+	}
+	for i := 1; i < len(sets); i++ {
+		if !sets[0].Compatible(sets[i]) {
+			return ParamSet{}, fmt.Errorf("nn: WeightedAverage: ParamSet %d incompatible with ParamSet 0", i)
+		}
+	}
+	out := sets[0].Clone().Scale(weights[0] / total)
+	for i, s := range sets[1:] {
+		out.AddScaled(s, weights[i+1]/total)
+	}
+	return out, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixnn/internal/tensor"
+)
+
+// randomParamSet builds a ParamSet with the given layer sizes for tests.
+func randomParamSet(rng *rand.Rand, layerSizes ...int) ParamSet {
+	var ps ParamSet
+	for i, sz := range layerSizes {
+		ps.Layers = append(ps.Layers, LayerParams{
+			Name: "layer" + string(rune('a'+i)),
+			Tensors: []*tensor.Tensor{
+				tensor.New(sz).RandN(rng, 0, 1),
+				tensor.New(sz, 2).RandN(rng, 0, 1),
+			},
+		})
+	}
+	return ps
+}
+
+func TestParamSetCloneIsDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randomParamSet(rng, 3, 4)
+	b := a.Clone()
+	b.Layers[0].Tensors[0].Data()[0] = 1e9
+	if a.Layers[0].Tensors[0].Data()[0] == 1e9 {
+		t.Fatal("Clone shares tensor storage")
+	}
+}
+
+func TestParamSetArithmetic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomParamSet(rng, 3)
+	b := randomParamSet(rng, 3)
+	b.Layers[0].Name = a.Layers[0].Name
+
+	sum := a.Clone().Add(b)
+	diff := sum.Clone().Sub(b)
+	if !diff.ApproxEqual(a, 1e-12) {
+		t.Fatal("(a+b)-b != a")
+	}
+
+	scaled := a.Clone().Scale(2)
+	doubled := a.Clone().Add(a)
+	if !scaled.ApproxEqual(doubled, 1e-12) {
+		t.Fatal("2*a != a+a")
+	}
+
+	axpy := a.Clone().AddScaled(b, -1)
+	manual := a.Clone().Sub(b)
+	if !axpy.ApproxEqual(manual, 1e-12) {
+		t.Fatal("AddScaled(b,-1) != Sub(b)")
+	}
+}
+
+func TestParamSetCompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randomParamSet(rng, 3, 4)
+
+	b := a.Clone()
+	if !a.Compatible(b) {
+		t.Fatal("clone not compatible")
+	}
+
+	c := a.Clone()
+	c.Layers[0].Name = "renamed"
+	if a.Compatible(c) {
+		t.Fatal("different names reported compatible")
+	}
+
+	d := a.Clone()
+	d.Layers = d.Layers[:1]
+	if a.Compatible(d) {
+		t.Fatal("different layer counts reported compatible")
+	}
+
+	e := a.Clone()
+	e.Layers[1].Tensors[0] = tensor.New(99)
+	if a.Compatible(e) {
+		t.Fatal("different shapes reported compatible")
+	}
+}
+
+func TestParamSetArithmeticPanicsOnIncompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randomParamSet(rng, 3)
+	b := randomParamSet(rng, 4)
+	for name, fn := range map[string]func(){
+		"Add":       func() { a.Clone().Add(b) },
+		"Sub":       func() { a.Clone().Sub(b) },
+		"AddScaled": func() { a.Clone().AddScaled(b, 1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("no panic on incompatible ParamSets")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestParamSetFlatten(t *testing.T) {
+	a := ParamSet{Layers: []LayerParams{
+		{Name: "l1", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{1, 2}, 2)}},
+		{Name: "l2", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{3}, 1), tensor.MustFromSlice([]float64{4, 5}, 2)}},
+	}}
+	flat := a.Flatten()
+	want := tensor.MustFromSlice([]float64{1, 2, 3, 4, 5}, 5)
+	if !tensor.Equal(flat, want) {
+		t.Fatalf("Flatten = %v, want %v", flat, want)
+	}
+	l2 := a.FlattenLayer(1)
+	wantL2 := tensor.MustFromSlice([]float64{3, 4, 5}, 3)
+	if !tensor.Equal(l2, wantL2) {
+		t.Fatalf("FlattenLayer(1) = %v, want %v", l2, wantL2)
+	}
+	if a.NumParams() != 5 || a.NumLayers() != 2 {
+		t.Fatalf("NumParams/NumLayers = %d/%d, want 5/2", a.NumParams(), a.NumLayers())
+	}
+}
+
+func TestAverage(t *testing.T) {
+	a := ParamSet{Layers: []LayerParams{{Name: "l", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{1, 2}, 2)}}}}
+	b := ParamSet{Layers: []LayerParams{{Name: "l", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{3, 6}, 2)}}}}
+	avg, err := Average([]ParamSet{a, b})
+	if err != nil {
+		t.Fatalf("Average: %v", err)
+	}
+	want := ParamSet{Layers: []LayerParams{{Name: "l", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{2, 4}, 2)}}}}
+	if !avg.ApproxEqual(want, 1e-12) {
+		t.Fatalf("Average = %+v", avg)
+	}
+	if !a.ApproxEqual(ParamSet{Layers: []LayerParams{{Name: "l", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{1, 2}, 2)}}}}, 0) {
+		t.Fatal("Average mutated its input")
+	}
+}
+
+func TestAverageErrors(t *testing.T) {
+	if _, err := Average(nil); err == nil {
+		t.Fatal("Average(nil) did not error")
+	}
+	rng := rand.New(rand.NewSource(5))
+	a := randomParamSet(rng, 2)
+	b := randomParamSet(rng, 3)
+	if _, err := Average([]ParamSet{a, b}); err == nil {
+		t.Fatal("Average of incompatible sets did not error")
+	}
+}
+
+// Property: Average is permutation-invariant — the heart of why MixNN
+// preserves utility.
+func TestQuickAveragePermutationInvariant(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%7) + 2
+		rng := rand.New(rand.NewSource(seed))
+		sets := make([]ParamSet, n)
+		base := randomParamSet(rng, 3, 2)
+		for i := range sets {
+			s := base.Clone()
+			for _, lp := range s.Layers {
+				for _, tt := range lp.Tensors {
+					tt.RandN(rng, 0, 1)
+				}
+			}
+			sets[i] = s
+		}
+		perm := rng.Perm(n)
+		shuffled := make([]ParamSet, n)
+		for i, p := range perm {
+			shuffled[i] = sets[p]
+		}
+		a1, err1 := Average(sets)
+		a2, err2 := Average(shuffled)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a1.ApproxEqual(a2, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"mixnn/internal/tensor"
+)
+
+// MaxPool2D is a channel-wise max pooling layer over CHW inputs with a
+// (possibly rectangular) KH×KW window and stride equal to the window
+// (non-overlapping), the configuration used by the paper's architectures.
+// Rectangular windows let the motion-sensor models pool along time only.
+type MaxPool2D struct {
+	name          string
+	c, h, w       int
+	kh, kw        int
+	outH, outW    int
+	cacheArgmax   []int // flat input index chosen per output element, batch-major
+	cacheBatchLen int
+}
+
+// NewMaxPool2D constructs a square max-pooling layer (window k×k).
+func NewMaxPool2D(name string, c, h, w, k int) *MaxPool2D {
+	return NewMaxPool2DRect(name, c, h, w, k, k)
+}
+
+// NewMaxPool2DRect constructs a max-pooling layer with window kh×kw.
+// Input dims must be divisible by the window dims.
+func NewMaxPool2DRect(name string, c, h, w, kh, kw int) *MaxPool2D {
+	if c <= 0 || h <= 0 || w <= 0 || kh <= 0 || kw <= 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D %q has non-positive dims", name))
+	}
+	if h%kh != 0 || w%kw != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2D %q input %dx%d not divisible by window %dx%d", name, h, w, kh, kw))
+	}
+	return &MaxPool2D{name: name, c: c, h: h, w: w, kh: kh, kw: kw, outH: h / kh, outW: w / kw}
+}
+
+var _ Layer = (*MaxPool2D)(nil)
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return p.name }
+
+// InDim returns the flat input width.
+func (p *MaxPool2D) InDim() int { return p.c * p.h * p.w }
+
+// OutDim returns the flat output width.
+func (p *MaxPool2D) OutDim() int { return p.c * p.outH * p.outW }
+
+// OutH returns the pooled height.
+func (p *MaxPool2D) OutH() int { return p.outH }
+
+// OutW returns the pooled width.
+func (p *MaxPool2D) OutW() int { return p.outW }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	inDim := p.InDim()
+	if x.Rank() != 2 || x.Dim(1) != inDim {
+		panic(fmt.Sprintf("nn: MaxPool2D %q expects [N,%d], got %v", p.name, inDim, x.Shape()))
+	}
+	n := x.Dim(0)
+	outDim := p.OutDim()
+	y := tensor.New(n, outDim)
+	if train {
+		p.cacheArgmax = make([]int, n*outDim)
+		p.cacheBatchLen = n
+	}
+	xd, yd := x.Data(), y.Data()
+	for i := 0; i < n; i++ {
+		in := xd[i*inDim : (i+1)*inDim]
+		out := yd[i*outDim : (i+1)*outDim]
+		oi := 0
+		for c := 0; c < p.c; c++ {
+			chn := in[c*p.h*p.w : (c+1)*p.h*p.w]
+			for oh := 0; oh < p.outH; oh++ {
+				for ow := 0; ow < p.outW; ow++ {
+					best := math.Inf(-1)
+					bestIdx := 0
+					for dh := 0; dh < p.kh; dh++ {
+						row := (oh*p.kh + dh) * p.w
+						for dw := 0; dw < p.kw; dw++ {
+							idx := row + ow*p.kw + dw
+							if chn[idx] > best {
+								best = chn[idx]
+								bestIdx = c*p.h*p.w + idx
+							}
+						}
+					}
+					out[oi] = best
+					if train {
+						p.cacheArgmax[i*outDim+oi] = bestIdx
+					}
+					oi++
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if p.cacheArgmax == nil {
+		panic(fmt.Sprintf("nn: MaxPool2D %q Backward without training Forward", p.name))
+	}
+	n := grad.Dim(0)
+	if n != p.cacheBatchLen {
+		panic(fmt.Sprintf("nn: MaxPool2D %q gradient batch %d does not match cached batch %d", p.name, n, p.cacheBatchLen))
+	}
+	inDim, outDim := p.InDim(), p.OutDim()
+	dx := tensor.New(n, inDim)
+	gd, dd := grad.Data(), dx.Data()
+	for i := 0; i < n; i++ {
+		for oi := 0; oi < outDim; oi++ {
+			dd[i*inDim+p.cacheArgmax[i*outDim+oi]] += gd[i*outDim+oi]
+		}
+	}
+	return dx
+}
+
+// Params implements Layer (stateless).
+func (p *MaxPool2D) Params() []*tensor.Tensor { return nil }
+
+// Grads implements Layer (stateless).
+func (p *MaxPool2D) Grads() []*tensor.Tensor { return nil }

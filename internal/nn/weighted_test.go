@@ -1,0 +1,63 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixnn/internal/tensor"
+)
+
+func TestWeightedAverageKnownValues(t *testing.T) {
+	a := ParamSet{Layers: []LayerParams{{Name: "l", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{0, 0}, 2)}}}}
+	b := ParamSet{Layers: []LayerParams{{Name: "l", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{4, 8}, 2)}}}}
+	got, err := WeightedAverage([]ParamSet{a, b}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ParamSet{Layers: []LayerParams{{Name: "l", Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{1, 2}, 2)}}}}
+	if !got.ApproxEqual(want, 1e-12) {
+		t.Fatalf("WeightedAverage = %+v", got)
+	}
+}
+
+func TestWeightedAverageUniformMatchesAverage(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sets := []ParamSet{randomParamSet(rng, 3), randomParamSet(rng, 3), randomParamSet(rng, 3)}
+	for i := 1; i < 3; i++ {
+		sets[i].Layers[0].Name = sets[0].Layers[0].Name
+	}
+	plain, err := Average(sets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := WeightedAverage(sets, []float64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.ApproxEqual(weighted, 1e-12) {
+		t.Fatal("uniform WeightedAverage != Average")
+	}
+}
+
+func TestWeightedAverageErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randomParamSet(rng, 2)
+	tests := []struct {
+		name    string
+		sets    []ParamSet
+		weights []float64
+	}{
+		{"empty", nil, nil},
+		{"count mismatch", []ParamSet{a}, []float64{1, 2}},
+		{"negative weight", []ParamSet{a}, []float64{-1}},
+		{"zero sum", []ParamSet{a}, []float64{0}},
+		{"incompatible", []ParamSet{a, randomParamSet(rng, 3)}, []float64{1, 1}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := WeightedAverage(tt.sets, tt.weights); err == nil {
+				t.Fatal("no error")
+			}
+		})
+	}
+}

@@ -1,0 +1,112 @@
+// Package privacy implements the comparative baseline of the paper's
+// §6.1.3: noisy gradients in the style of local differential privacy.
+// Each participant perturbs every scalar of its parameter update with
+// Gaussian noise before sending it upstream ("adding a Gaussian noise
+// N(0,1) on each scalars of the neural network weights", §6.1.4).
+//
+// The paper's point — reproduced by the Figure 5/7 experiments — is that
+// this protection trades utility for privacy, whereas MixNN does not.
+package privacy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixnn/internal/nn"
+)
+
+// NoisyTransform perturbs each update with element-wise Gaussian noise
+// (it satisfies fl.UpdateTransform).
+type NoisyTransform struct {
+	// Sigma is the noise standard deviation. The paper uses N(0,1); the
+	// ablation sweeps smaller scales. Zero means "use DefaultSigma".
+	Sigma float64
+}
+
+// DefaultSigma is the paper's noise scale.
+const DefaultSigma = 1.0
+
+// Name implements fl.UpdateTransform.
+func (t NoisyTransform) Name() string { return "noisy" }
+
+// Apply implements fl.UpdateTransform: returns noisy copies of the updates
+// (inputs are not mutated — the client still holds its true model).
+func (t NoisyTransform) Apply(updates []nn.ParamSet, rng *rand.Rand) ([]nn.ParamSet, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("privacy: noisy transform requires a rand source")
+	}
+	sigma := t.Sigma
+	if sigma == 0 {
+		sigma = DefaultSigma
+	}
+	if sigma < 0 {
+		return nil, fmt.Errorf("privacy: negative noise scale %g", sigma)
+	}
+	out := make([]nn.ParamSet, len(updates))
+	for i, u := range updates {
+		noisy := u.Clone()
+		for _, lp := range noisy.Layers {
+			for _, tt := range lp.Tensors {
+				d := tt.Data()
+				for j := range d {
+					d[j] += rng.NormFloat64() * sigma
+				}
+			}
+		}
+		out[i] = noisy
+	}
+	return out, nil
+}
+
+// ClippedNoisyTransform is the DP-SGD-style variant (an extension beyond
+// the paper's baseline): the update delta from the reference model is
+// L2-clipped to ClipNorm before Gaussian noise is added, which is the
+// standard Gaussian-mechanism calibration.
+type ClippedNoisyTransform struct {
+	// Reference is the model the deltas are measured against (the global
+	// model disseminated this round).
+	Reference nn.ParamSet
+	// ClipNorm bounds each update's delta L2 norm; must be positive.
+	ClipNorm float64
+	// Sigma is the noise scale applied after clipping.
+	Sigma float64
+}
+
+// Name implements fl.UpdateTransform.
+func (t ClippedNoisyTransform) Name() string { return "noisy-clipped" }
+
+// Apply implements fl.UpdateTransform.
+func (t ClippedNoisyTransform) Apply(updates []nn.ParamSet, rng *rand.Rand) ([]nn.ParamSet, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("privacy: clipped transform requires a rand source")
+	}
+	if t.ClipNorm <= 0 {
+		return nil, fmt.Errorf("privacy: clip norm must be positive, got %g", t.ClipNorm)
+	}
+	if t.Sigma < 0 {
+		return nil, fmt.Errorf("privacy: negative noise scale %g", t.Sigma)
+	}
+	if len(t.Reference.Layers) == 0 {
+		return nil, fmt.Errorf("privacy: clipped transform requires a reference model")
+	}
+	out := make([]nn.ParamSet, len(updates))
+	for i, u := range updates {
+		if !u.Compatible(t.Reference) {
+			return nil, fmt.Errorf("privacy: update %d incompatible with reference model", i)
+		}
+		delta := u.Clone().Sub(t.Reference)
+		if norm := delta.Flatten().Norm(); norm > t.ClipNorm {
+			delta.Scale(t.ClipNorm / norm)
+		}
+		for _, lp := range delta.Layers {
+			for _, tt := range lp.Tensors {
+				d := tt.Data()
+				for j := range d {
+					d[j] += rng.NormFloat64() * t.Sigma
+				}
+			}
+		}
+		out[i] = delta.Add(t.Reference)
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+// Package proxy implements the networked deployment of MixNN (Figure 3):
+// an HTTP aggregation server, the MixNN proxy running inside a (simulated)
+// SGX enclave, and the participant-side client that encrypts updates for
+// the attested enclave.
+package proxy
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"mixnn/internal/fl"
+	"mixnn/internal/nn"
+	"mixnn/internal/wire"
+)
+
+// AggServer is the HTTP aggregation server: it collects a fixed number of
+// updates per round, averages them, and serves the global model.
+// An optional fl.Observer sees each completed round's updates — this is
+// how the adversarial-server experiments instrument the networked path.
+type AggServer struct {
+	expect int
+
+	mu       sync.Mutex
+	server   *fl.Server
+	round    int
+	pending  []nn.ParamSet
+	observer fl.Observer
+	// disseminated is the model as served for the current round (what
+	// clients train on); recorded so observers get the exact base model.
+	disseminated nn.ParamSet
+}
+
+// NewAggServer builds the server with its initial global model and the
+// number of updates that completes a round.
+func NewAggServer(initial nn.ParamSet, expectPerRound int) (*AggServer, error) {
+	if expectPerRound <= 0 {
+		return nil, fmt.Errorf("proxy: expectPerRound must be positive, got %d", expectPerRound)
+	}
+	return &AggServer{
+		expect:       expectPerRound,
+		server:       fl.NewServer(initial),
+		disseminated: initial.Clone(),
+	}, nil
+}
+
+// SetObserver installs an observer of completed rounds (e.g. ∇Sim).
+func (s *AggServer) SetObserver(obs fl.Observer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.observer = obs
+}
+
+// SetDisseminated overrides the model served to clients for the current
+// round (the active-attack hook).
+func (s *AggServer) SetDisseminated(ps nn.ParamSet) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.disseminated = ps.Clone()
+}
+
+// Round returns the current round number (completed rounds).
+func (s *AggServer) Round() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.round
+}
+
+// Global returns the current global model.
+func (s *AggServer) Global() nn.ParamSet { return s.server.Global() }
+
+// Handler returns the HTTP API.
+func (s *AggServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	mux.HandleFunc("GET /v1/model", s.handleModel)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+func (s *AggServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
+	body, err := wire.ReadBody(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	ps, err := nn.DecodeParamSet(body)
+	if err != nil {
+		http.Error(w, fmt.Sprintf("decode update: %v", err), http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = append(s.pending, ps)
+	if len(s.pending) < s.expect {
+		w.WriteHeader(http.StatusAccepted)
+		return
+	}
+	// Round complete: observe, aggregate, advance.
+	if s.observer != nil {
+		s.observer.ObserveRound(fl.RoundRecord{
+			Round:        s.round,
+			Disseminated: s.disseminated,
+			Updates:      s.pending,
+		})
+	}
+	if err := s.server.Aggregate(s.pending); err != nil {
+		s.pending = nil
+		http.Error(w, fmt.Sprintf("aggregate: %v", err), http.StatusInternalServerError)
+		return
+	}
+	s.pending = nil
+	s.round++
+	s.disseminated = s.server.Global()
+	w.WriteHeader(http.StatusOK)
+}
+
+func (s *AggServer) handleModel(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	round := s.round
+	model := s.disseminated.Clone()
+	s.mu.Unlock()
+
+	w.Header().Set("Content-Type", wire.ContentTypeUpdate)
+	w.Header().Set(wire.HeaderRound, strconv.Itoa(round))
+	if err := nn.WriteParamSet(w, model); err != nil {
+		// Response already started; the client's decode will fail and it
+		// will retry.
+		return
+	}
+}
+
+func (s *AggServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := wire.ServerStatus{Round: s.round, UpdatesInRound: len(s.pending), ExpectPerRound: s.expect}
+	s.mu.Unlock()
+	wire.WriteJSON(w, st)
+}

@@ -1,0 +1,346 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"mixnn/internal/enclave"
+	"mixnn/internal/fl"
+	"mixnn/internal/nn"
+	"mixnn/internal/wire"
+)
+
+var (
+	fixOnce sync.Once
+	fixPlat *enclave.Platform
+	fixEncl *enclave.Enclave
+)
+
+// fixtures shares one platform/enclave across tests (RSA keygen is slow).
+func fixtures(t *testing.T) (*enclave.Platform, *enclave.Enclave) {
+	t.Helper()
+	fixOnce.Do(func() {
+		var err error
+		fixPlat, err = enclave.NewPlatform()
+		if err != nil {
+			t.Fatalf("NewPlatform: %v", err)
+		}
+		fixEncl, err = enclave.New(enclave.Config{}, fixPlat)
+		if err != nil {
+			t.Fatalf("New enclave: %v", err)
+		}
+	})
+	return fixPlat, fixEncl
+}
+
+func testArch() nn.Arch { return nn.NewMLP("net", 4, []int{6}, 2) }
+
+// testDeployment stands up an aggregation server and a MixNN proxy over
+// httptest and returns their URLs plus the AggServer for inspection.
+func testDeployment(t *testing.T, expect, k int) (*AggServer, *Proxy, string, string) {
+	t.Helper()
+	platform, encl := fixtures(t)
+
+	agg, err := NewAggServer(testArch().New(1).SnapshotParams(), expect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggSrv := httptest.NewServer(agg.Handler())
+	t.Cleanup(aggSrv.Close)
+
+	px, err := New(Config{Upstream: aggSrv.URL, K: k, RoundSize: expect, Seed: 42}, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxSrv := httptest.NewServer(px.Handler())
+	t.Cleanup(pxSrv.Close)
+
+	return agg, px, pxSrv.URL, aggSrv.URL
+}
+
+func TestEndToEndNetworkedRound(t *testing.T) {
+	platform, encl := fixtures(t)
+	const clients = 5
+	agg, _, proxyURL, serverURL := testDeployment(t, clients, 3)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Each participant attests the proxy, fetches the model, perturbs it
+	// (standing in for local training) and sends it encrypted.
+	updates := make([]nn.ParamSet, clients)
+	for i := 0; i < clients; i++ {
+		p := NewParticipant(proxyURL, serverURL, nil)
+		if err := p.Attest(ctx, platform.AttestationPublicKey(), encl.Measurement()); err != nil {
+			t.Fatalf("participant %d attest: %v", i, err)
+		}
+		round, model, err := p.FetchModel(ctx)
+		if err != nil {
+			t.Fatalf("participant %d fetch: %v", i, err)
+		}
+		if round != 0 {
+			t.Fatalf("initial round = %d, want 0", round)
+		}
+		u := model.Clone()
+		u.Layers[0].Tensors[0].AddScalar(float64(i + 1))
+		updates[i] = u
+		if err := p.SendUpdate(ctx, u); err != nil {
+			t.Fatalf("participant %d send: %v", i, err)
+		}
+	}
+
+	// All updates delivered: the round must have closed.
+	if agg.Round() != 1 {
+		t.Fatalf("server round = %d, want 1", agg.Round())
+	}
+	want, err := nn.Average(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Global().ApproxEqual(want, 1e-9) {
+		t.Fatal("aggregated global != mean of sent updates (equivalence broken over the network)")
+	}
+
+	// A participant can observe the new round.
+	p := NewParticipant(proxyURL, serverURL, nil)
+	round, _, err := p.WaitForRound(ctx, 1, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if round != 1 {
+		t.Fatalf("observed round = %d, want 1", round)
+	}
+}
+
+func TestProxyStatusCounters(t *testing.T) {
+	platform, encl := fixtures(t)
+	_, px, proxyURL, serverURL := testDeployment(t, 3, 2)
+
+	arch := testArch()
+	ctx := context.Background()
+	p := NewParticipant(proxyURL, serverURL, nil)
+	if err := p.Attest(ctx, platform.AttestationPublicKey(), encl.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := p.SendUpdate(ctx, arch.New(int64(i)).SnapshotParams()); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	st := px.Status()
+	if st.Received != 3 || st.Forwarded != 3 {
+		t.Fatalf("received/forwarded = %d/%d, want 3/3", st.Received, st.Forwarded)
+	}
+	if st.Buffered != 0 {
+		t.Fatalf("buffered after round close = %d, want 0", st.Buffered)
+	}
+	if st.UpdateBytes <= 0 {
+		t.Fatal("update size not recorded")
+	}
+	if st.K != 2 || st.RoundSize != 3 {
+		t.Fatalf("k/roundSize = %d/%d, want 2/3", st.K, st.RoundSize)
+	}
+}
+
+func TestProxyRejectsGarbage(t *testing.T) {
+	_, _, proxyURL, _ := testDeployment(t, 2, 2)
+	resp, err := http.Post(proxyURL+"/v1/update", wire.ContentTypeUpdate, strings.NewReader("not a ciphertext"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestProxyRejectsStructureChange(t *testing.T) {
+	platform, encl := fixtures(t)
+	_, _, proxyURL, serverURL := testDeployment(t, 4, 2)
+	ctx := context.Background()
+	p := NewParticipant(proxyURL, serverURL, nil)
+	if err := p.Attest(ctx, platform.AttestationPublicKey(), encl.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SendUpdate(ctx, testArch().New(1).SnapshotParams()); err != nil {
+		t.Fatal(err)
+	}
+	// A structurally different model must be rejected by the mixer.
+	other := nn.NewMLP("other", 3, []int{2}, 2).New(1).SnapshotParams()
+	if err := p.SendUpdate(ctx, other); err == nil {
+		t.Fatal("structurally different update accepted")
+	}
+}
+
+func TestProxyUpstreamFailure(t *testing.T) {
+	platform, encl := fixtures(t)
+	// Upstream that always fails.
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	t.Cleanup(bad.Close)
+
+	px, err := New(Config{Upstream: bad.URL, K: 1, RoundSize: 1, Seed: 1}, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxSrv := httptest.NewServer(px.Handler())
+	t.Cleanup(pxSrv.Close)
+
+	p := NewParticipant(pxSrv.URL, bad.URL, nil)
+	if err := p.Attest(context.Background(), platform.AttestationPublicKey(), encl.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	err = p.SendUpdate(context.Background(), testArch().New(1).SnapshotParams())
+	if err == nil {
+		t.Fatal("send with dead upstream succeeded")
+	}
+}
+
+func TestAttestationEndpointRequiresNonce(t *testing.T) {
+	_, _, proxyURL, _ := testDeployment(t, 2, 2)
+	resp, err := http.Get(proxyURL + "/v1/attestation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status without nonce = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestParticipantAttestRejectsWrongMeasurement(t *testing.T) {
+	platform, _ := fixtures(t)
+	_, _, proxyURL, serverURL := testDeployment(t, 2, 2)
+	p := NewParticipant(proxyURL, serverURL, nil)
+	var wrong [32]byte
+	wrong[0] = 0xFF
+	if err := p.Attest(context.Background(), platform.AttestationPublicKey(), wrong); err == nil {
+		t.Fatal("attestation with wrong measurement verified")
+	}
+}
+
+func TestParticipantSendWithoutKey(t *testing.T) {
+	p := NewParticipant("http://unused", "http://unused", nil)
+	if err := p.SendUpdate(context.Background(), testArch().New(1).SnapshotParams()); err == nil {
+		t.Fatal("send without pinned key succeeded")
+	}
+}
+
+func TestAggServerRejectsBadBody(t *testing.T) {
+	agg, err := NewAggServer(testArch().New(1).SnapshotParams(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(agg.Handler())
+	t.Cleanup(srv.Close)
+	resp, err := http.Post(srv.URL+"/v1/update", wire.ContentTypeUpdate, bytes.NewReader([]byte("junk")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestAggServerStatusEndpoint(t *testing.T) {
+	agg, err := NewAggServer(testArch().New(1).SnapshotParams(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(agg.Handler())
+	t.Cleanup(srv.Close)
+
+	raw, err := nn.EncodeParamSet(testArch().New(2).SnapshotParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/update", wire.ContentTypeUpdate, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first update status = %d, want 202", resp.StatusCode)
+	}
+
+	stResp, err := http.Get(srv.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stResp.Body.Close()
+	var st wire.ServerStatus
+	if err := wire.DecodeJSON(stResp.Body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Round != 0 || st.UpdatesInRound != 1 || st.ExpectPerRound != 3 {
+		t.Fatalf("status = %+v", st)
+	}
+}
+
+// roundObserver records what the adversarial server sees.
+type roundObserver struct {
+	mu   sync.Mutex
+	recs []fl.RoundRecord
+}
+
+func (o *roundObserver) ObserveRound(rec fl.RoundRecord) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.recs = append(o.recs, rec)
+}
+
+func TestAggServerObserverSeesMixedUpdates(t *testing.T) {
+	platform, encl := fixtures(t)
+	agg, _, proxyURL, serverURL := testDeployment(t, 3, 2)
+	obs := &roundObserver{}
+	agg.SetObserver(obs)
+
+	ctx := context.Background()
+	p := NewParticipant(proxyURL, serverURL, nil)
+	if err := p.Attest(ctx, platform.AttestationPublicKey(), encl.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+	arch := testArch()
+	for i := 0; i < 3; i++ {
+		if err := p.SendUpdate(ctx, arch.New(int64(10+i)).SnapshotParams()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if len(obs.recs) != 1 {
+		t.Fatalf("observer saw %d rounds, want 1", len(obs.recs))
+	}
+	if len(obs.recs[0].Updates) != 3 {
+		t.Fatalf("observer saw %d updates, want 3", len(obs.recs[0].Updates))
+	}
+}
+
+func TestNewProxyValidation(t *testing.T) {
+	platform, encl := fixtures(t)
+	tests := []struct {
+		name string
+		cfg  Config
+	}{
+		{"no upstream", Config{RoundSize: 2}},
+		{"bad round size", Config{Upstream: "http://x", RoundSize: 0}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := New(tt.cfg, encl, platform); err == nil {
+				t.Fatal("no error")
+			}
+		})
+	}
+	if _, err := New(Config{Upstream: "http://x", RoundSize: 2}, nil, nil); err == nil {
+		t.Fatal("nil enclave accepted")
+	}
+}

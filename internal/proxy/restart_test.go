@@ -1,0 +1,107 @@
+package proxy
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+
+	"mixnn/internal/nn"
+)
+
+// TestProxyRestartMidRound is the failure-injection test for the sealed
+// mixer state: a proxy dies after buffering half a round; a replacement
+// proxy (same enclave) restores the sealed state and finishes the round.
+// The server must still receive every participant's material exactly once
+// (aggregation equivalence across the crash).
+func TestProxyRestartMidRound(t *testing.T) {
+	platform, encl := fixtures(t)
+	const clients = 6
+
+	agg, err := NewAggServer(testArch().New(1).SnapshotParams(), clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggSrv := httptest.NewServer(agg.Handler())
+	t.Cleanup(aggSrv.Close)
+
+	cfg := Config{Upstream: aggSrv.URL, K: 3, RoundSize: clients, Seed: 9}
+	px1, err := New(cfg, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	px1Srv := httptest.NewServer(px1.Handler())
+
+	ctx := context.Background()
+	arch := testArch()
+	updates := make([]nn.ParamSet, clients)
+	for i := range updates {
+		updates[i] = arch.New(int64(100 + i)).SnapshotParams()
+	}
+
+	send := func(url string, u nn.ParamSet) error {
+		p := NewParticipant(url, aggSrv.URL, nil)
+		if err := p.Attest(ctx, platform.AttestationPublicKey(), encl.Measurement()); err != nil {
+			return err
+		}
+		return p.SendUpdate(ctx, u)
+	}
+
+	// First half of the round through proxy 1.
+	for i := 0; i < 3; i++ {
+		if err := send(px1Srv.URL, updates[i]); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	// Crash: seal state, kill the proxy.
+	blob, err := px1.SealState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	px1Srv.Close()
+
+	// Replacement proxy restores the sealed buffer.
+	px2, err := New(cfg, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := px2.RestoreState(blob); err != nil {
+		t.Fatal(err)
+	}
+	if px2.Status().Buffered != 3 {
+		t.Fatalf("restored buffer = %d, want 3", px2.Status().Buffered)
+	}
+	px2Srv := httptest.NewServer(px2.Handler())
+	t.Cleanup(px2Srv.Close)
+
+	// Second half through the replacement.
+	for i := 3; i < clients; i++ {
+		if err := send(px2Srv.URL, updates[i]); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+
+	if agg.Round() != 1 {
+		t.Fatalf("server round = %d, want 1 (round incomplete after restart)", agg.Round())
+	}
+	want, err := nn.Average(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Global().ApproxEqual(want, 1e-9) {
+		t.Fatal("aggregate wrong after proxy restart (material lost or duplicated)")
+	}
+}
+
+func TestRestoreStateRejectsForeignBlob(t *testing.T) {
+	platform, encl := fixtures(t)
+	srv := httptest.NewServer(nil)
+	t.Cleanup(srv.Close)
+	px, err := New(Config{Upstream: srv.URL, K: 2, RoundSize: 4, Seed: 1}, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := px.RestoreState([]byte("garbage")); err == nil {
+		t.Fatal("garbage blob accepted")
+	}
+}

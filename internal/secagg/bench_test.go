@@ -1,0 +1,56 @@
+package secagg
+
+import (
+	"math/rand"
+	"testing"
+
+	"mixnn/internal/core"
+)
+
+// BenchmarkSecAggOverhead times masking one update in an n-party session —
+// the per-client cost of the cryptographic alternative whose deployment
+// friction motivates MixNN (each client pays n-1 ECDH derivations plus a
+// full mask stream per peer, every round).
+func BenchmarkSecAggOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 16} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			sess, err := NewSession(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			update := randomUpdates(1, 2000, rng)[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.participants[0].Mask(update, sess.publics); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMixNNOverhead is the apples-to-apples comparison: mixing the
+// same updates with MixNN's batch mixer, which costs pointer shuffling
+// rather than per-peer cryptography.
+func BenchmarkMixNNOverhead(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{4, 16} {
+		b.Run(sizeName(n), func(b *testing.B) {
+			updates := randomUpdates(n, 2000, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.BatchMix(updates, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n < 10 {
+		return "n=0" + string(rune('0'+n))
+	}
+	return "n=" + string(rune('0'+n/10)) + string(rune('0'+n%10))
+}

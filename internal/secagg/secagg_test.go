@@ -1,0 +1,158 @@
+package secagg
+
+import (
+	"crypto/ecdh"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"mixnn/internal/nn"
+	"mixnn/internal/tensor"
+)
+
+func randomUpdates(n, size int, rng *rand.Rand) []nn.ParamSet {
+	out := make([]nn.ParamSet, n)
+	for i := range out {
+		out[i] = nn.ParamSet{Layers: []nn.LayerParams{
+			{Name: "a", Tensors: []*tensor.Tensor{tensor.New(size).RandN(rng, 0, 1)}},
+			{Name: "b", Tensors: []*tensor.Tensor{tensor.New(size, 2).RandN(rng, 0, 1)}},
+		}}
+	}
+	return out
+}
+
+func TestMasksCancelInAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	updates := randomUpdates(5, 20, rng)
+	sess, err := NewSession(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := sess.MaskAll(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := nn.Average(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := nn.Average(masked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.ApproxEqual(got, 1e-9) {
+		t.Fatal("masks did not cancel in the aggregate")
+	}
+}
+
+func TestIndividualMaskedUpdatesAreHidden(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	updates := randomUpdates(4, 500, rng)
+	sess, err := NewSession(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masked, err := sess.MaskAll(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range updates {
+		orig := updates[i].Flatten()
+		m := masked[i].Flatten()
+		// A masked update must be far from the original (each of 3 peer
+		// masks contributes variance ~1/3 per scalar)...
+		if tensor.EuclideanDistance(orig, m) < 1 {
+			t.Fatalf("participant %d: masked update too close to original", i)
+		}
+		// ...and essentially uncorrelated with it.
+		if cos := math.Abs(tensor.CosineSimilarity(orig, m.Subbed(orig))); cos > 0.2 {
+			t.Fatalf("participant %d: mask correlates with update (cos=%g)", i, cos)
+		}
+	}
+}
+
+func TestMaskDeterministicPerPair(t *testing.T) {
+	var seed [32]byte
+	seed[0] = 7
+	a := make([]float64, 100)
+	b := make([]float64, 100)
+	maskStream(seed, a)
+	maskStream(seed, b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("mask stream is not deterministic")
+		}
+		if a[i] < -1 || a[i] >= 1 {
+			t.Fatalf("mask value %g outside [-1,1)", a[i])
+		}
+	}
+	var seed2 [32]byte
+	seed2[0] = 8
+	c := make([]float64, 100)
+	maskStream(seed2, c)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	if _, err := NewSession(1); err == nil {
+		t.Fatal("session with 1 participant accepted")
+	}
+	sess, err := NewSession(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	if _, err := sess.MaskAll(randomUpdates(2, 4, rng)); err == nil {
+		t.Fatal("update-count mismatch accepted")
+	}
+}
+
+func TestMaskErrors(t *testing.T) {
+	p, err := NewParticipant(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	u := randomUpdates(1, 4, rng)[0]
+	if _, err := p.Mask(u, nil); err == nil {
+		t.Fatal("empty peer list accepted")
+	}
+	if _, err := p.Mask(u, []*ecdh.PublicKey{nil, nil}); err == nil {
+		t.Fatal("nil peer key accepted")
+	}
+}
+
+// Property: masks cancel for any population size.
+func TestQuickMaskCancellation(t *testing.T) {
+	f := func(seed int64, n8 uint8) bool {
+		n := int(n8%5) + 2
+		rng := rand.New(rand.NewSource(seed))
+		updates := randomUpdates(n, 8, rng)
+		sess, err := NewSession(n)
+		if err != nil {
+			return false
+		}
+		masked, err := sess.MaskAll(updates)
+		if err != nil {
+			return false
+		}
+		want, err1 := nn.Average(updates)
+		got, err2 := nn.Average(masked)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return want.ApproxEqual(got, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

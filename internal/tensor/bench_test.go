@@ -1,0 +1,46 @@
+package tensor
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := New(64, 64).RandN(rng, 0, 1)
+	y := New(64, 64).RandN(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(x, y)
+	}
+}
+
+func BenchmarkMatMulTA(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	x := New(64, 64).RandN(rng, 0, 1)
+	y := New(64, 64).RandN(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulTA(x, y)
+	}
+}
+
+func BenchmarkIm2Col(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	g := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	img := New(3*32*32).RandN(rng, 0, 1).Data()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Im2Col(img, g)
+	}
+}
+
+func BenchmarkCosineSimilarity(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	x := New(100_000).RandN(rng, 0, 1)
+	y := New(100_000).RandN(rng, 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CosineSimilarity(x, y)
+	}
+}

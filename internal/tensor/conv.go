@@ -1,0 +1,111 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window
+// applied to a CHW input.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height of the convolution.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width of the convolution.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate checks that the geometry produces a non-empty output.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims: %+v", g)
+	case g.KH <= 0 || g.KW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive kernel dims: %+v", g)
+	case g.Stride <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive stride: %+v", g)
+	case g.Pad < 0:
+		return fmt.Errorf("tensor: conv geometry has negative padding: %+v", g)
+	case g.OutH() <= 0 || g.OutW() <= 0:
+		return fmt.Errorf("tensor: conv geometry produces empty output: %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers a single CHW image (flat slice of length InC*InH*InW) into a
+// column matrix of shape [InC*KH*KW, OutH*OutW] so that convolution becomes a
+// matrix product: weights [outC, InC*KH*KW] · cols = output [outC, OutH*OutW].
+// Out-of-bounds (padding) positions contribute zeros.
+func Im2Col(img []float64, g ConvGeom) *Tensor {
+	outH, outW := g.OutH(), g.OutW()
+	cols := New(g.InC*g.KH*g.KW, outH*outW)
+	cd := cols.data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chn := img[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				dst := cd[row*outH*outW : (row+1)*outH*outW]
+				i := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.Stride + kh - g.Pad
+					if ih < 0 || ih >= g.InH {
+						i += outW
+						continue
+					}
+					base := ih * g.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.Stride + kw - g.Pad
+						if iw >= 0 && iw < g.InW {
+							dst[i] = chn[base+iw]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters a column-matrix gradient
+// [InC*KH*KW, OutH*OutW] back into an image gradient of length InC*InH*InW,
+// accumulating where windows overlap.
+func Col2Im(cols *Tensor, g ConvGeom) []float64 {
+	outH, outW := g.OutH(), g.OutW()
+	if cols.shape[0] != g.InC*g.KH*g.KW || cols.shape[1] != outH*outW {
+		panic(fmt.Sprintf("tensor: Col2Im shape %v does not match geometry %+v", cols.shape, g))
+	}
+	img := make([]float64, g.InC*g.InH*g.InW)
+	cd := cols.data
+	row := 0
+	for c := 0; c < g.InC; c++ {
+		chn := img[c*g.InH*g.InW : (c+1)*g.InH*g.InW]
+		for kh := 0; kh < g.KH; kh++ {
+			for kw := 0; kw < g.KW; kw++ {
+				src := cd[row*outH*outW : (row+1)*outH*outW]
+				i := 0
+				for oh := 0; oh < outH; oh++ {
+					ih := oh*g.Stride + kh - g.Pad
+					if ih < 0 || ih >= g.InH {
+						i += outW
+						continue
+					}
+					base := ih * g.InW
+					for ow := 0; ow < outW; ow++ {
+						iw := ow*g.Stride + kw - g.Pad
+						if iw >= 0 && iw < g.InW {
+							chn[base+iw] += src[i]
+						}
+						i++
+					}
+				}
+				row++
+			}
+		}
+	}
+	return img
+}

@@ -1,0 +1,35 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandN fills t with samples from N(mean, std²) drawn from rng and returns t.
+func (t *Tensor) RandN(rng *rand.Rand, mean, std float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = mean + std*rng.NormFloat64()
+	}
+	return t
+}
+
+// RandU fills t with samples from U[lo, hi) drawn from rng and returns t.
+func (t *Tensor) RandU(rng *rand.Rand, lo, hi float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = lo + (hi-lo)*rng.Float64()
+	}
+	return t
+}
+
+// GlorotUniform fills t with the Glorot/Xavier uniform initialisation for a
+// parameter connecting fanIn inputs to fanOut outputs and returns t.
+func (t *Tensor) GlorotUniform(rng *rand.Rand, fanIn, fanOut int) *Tensor {
+	limit := math.Sqrt(6.0 / float64(fanIn+fanOut))
+	return t.RandU(rng, -limit, limit)
+}
+
+// HeNormal fills t with the He initialisation (for ReLU networks) for a
+// parameter with fanIn inputs and returns t.
+func (t *Tensor) HeNormal(rng *rand.Rand, fanIn int) *Tensor {
+	return t.RandN(rng, 0, math.Sqrt(2.0/float64(fanIn)))
+}

@@ -1,0 +1,102 @@
+// Package wire defines the HTTP protocol spoken between participants, the
+// MixNN proxy and the aggregation server, plus bounded-read helpers for
+// handling untrusted bodies.
+//
+// Endpoints (all bodies are binary unless noted):
+//
+//	POST {proxy}/v1/update        encrypted update (enclave hybrid ciphertext)
+//	POST {server}/v1/update       plaintext encoded ParamSet (from the proxy)
+//	GET  {server}/v1/model        current global model; X-Mixnn-Round header
+//	GET  {server}/v1/status       JSON ServerStatus
+//	GET  {proxy}/v1/attestation   JSON AttestationResponse (nonce query param)
+//	GET  {proxy}/v1/status        JSON ProxyStatus
+package wire
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Header names. Go canonicalises header keys, so these are the canonical
+// forms.
+const (
+	HeaderRound  = "X-Mixnn-Round"
+	HeaderClient = "X-Mixnn-Client"
+)
+
+// ContentTypeUpdate is the content type of binary model updates.
+const ContentTypeUpdate = "application/x-mixnn-update"
+
+// MaxBodyBytes bounds request/response bodies (encrypted or encoded
+// updates). 512 MiB accommodates the largest models the codec accepts.
+const MaxBodyBytes = 512 << 20
+
+// AttestationResponse carries the enclave report to participants.
+type AttestationResponse struct {
+	MeasurementHex string `json:"measurement"`
+	NonceHex       string `json:"nonce"`
+	PubKeyDER      []byte `json:"pub_key_der"`
+	Signature      []byte `json:"signature"`
+}
+
+// ServerStatus reports aggregation-server progress.
+type ServerStatus struct {
+	Round          int `json:"round"`
+	UpdatesInRound int `json:"updates_in_round"`
+	ExpectPerRound int `json:"expect_per_round"`
+}
+
+// ProxyStatus reports MixNN-proxy state and its system-performance
+// counters (§6.5).
+type ProxyStatus struct {
+	Buffered      int     `json:"buffered"`
+	Received      int     `json:"received"`
+	Forwarded     int     `json:"forwarded"`
+	RoundSize     int     `json:"round_size"`
+	K             int     `json:"k"`
+	UpdateBytes   int     `json:"update_bytes"`
+	EnclaveUsed   int     `json:"enclave_used_bytes"`
+	EnclavePeak   int     `json:"enclave_peak_bytes"`
+	EnclavePaging int     `json:"enclave_page_events"`
+	DecryptMillis float64 `json:"decrypt_ms_mean"`
+	StoreMillis   float64 `json:"store_ms_mean"`
+	MixMillis     float64 `json:"mix_ms_mean"`
+	ProcessMillis float64 `json:"process_ms_mean"`
+}
+
+// ReadBody reads an entire request/response body with the standard bound,
+// failing loudly when the peer exceeds it.
+func ReadBody(r io.Reader) ([]byte, error) {
+	data, err := io.ReadAll(io.LimitReader(r, MaxBodyBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("wire: read body: %w", err)
+	}
+	if len(data) > MaxBodyBytes {
+		return nil, fmt.Errorf("wire: body exceeds %d bytes", MaxBodyBytes)
+	}
+	return data, nil
+}
+
+// WriteJSON writes v as a JSON response.
+func WriteJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing more to do than drop the
+		// connection, which the caller's return accomplishes.
+		return
+	}
+}
+
+// DecodeJSON parses a bounded JSON body into v.
+func DecodeJSON(r io.Reader, v any) error {
+	data, err := ReadBody(r)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("wire: decode json: %w", err)
+	}
+	return nil
+}

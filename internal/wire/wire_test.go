@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestReadBodyBounds(t *testing.T) {
+	small, err := ReadBody(strings.NewReader("hello"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(small) != "hello" {
+		t.Fatalf("ReadBody = %q", small)
+	}
+}
+
+func TestWriteDecodeJSONRoundTrip(t *testing.T) {
+	rec := httptest.NewRecorder()
+	in := ServerStatus{Round: 3, UpdatesInRound: 2, ExpectPerRound: 5}
+	WriteJSON(rec, in)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q", ct)
+	}
+	var out ServerStatus
+	if err := DecodeJSON(rec.Body, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip = %+v, want %+v", out, in)
+	}
+}
+
+func TestDecodeJSONRejectsGarbage(t *testing.T) {
+	var out ServerStatus
+	if err := DecodeJSON(strings.NewReader("{not json"), &out); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

@@ -1,0 +1,150 @@
+// Package mixnn is the public facade of the MixNN reproduction — a
+// privacy-preserving proxy system for federated learning that protects
+// participants against attribute-inference attacks by mixing neural-network
+// layers between participants before aggregation (Boutet et al.,
+// MIDDLEWARE 2022).
+//
+// The facade re-exports the user-facing types of the internal packages so
+// applications interact with a single import:
+//
+//	import "mixnn"
+//
+//	spec, _ := mixnn.DatasetByKey("cifar10", mixnn.ScaleQuick, 1)
+//	sim, attrs, _ := mixnn.NewFederation(spec, mixnn.MixNNArm(), 1)
+//	metrics, _ := sim.Run(spec.FL.Rounds)
+//
+// Layering (see DESIGN.md):
+//
+//	tensor → nn → {data, fl, core, privacy} → {attack, proxy} → experiment
+//
+// The three evaluation arms of the paper are exposed as UpdateTransforms:
+// classic FL (Identity), the MixNN mixer (layer mixing; batch or
+// streaming), and the noisy-gradient local-DP baseline.
+package mixnn
+
+import (
+	"mixnn/internal/attack"
+	"mixnn/internal/core"
+	"mixnn/internal/data"
+	"mixnn/internal/enclave"
+	"mixnn/internal/experiment"
+	"mixnn/internal/fl"
+	"mixnn/internal/nn"
+	"mixnn/internal/privacy"
+	"mixnn/internal/proxy"
+)
+
+// Model/parameter types.
+type (
+	// ParamSet is a model's parameters grouped by layer — the unit
+	// participants send and the proxy mixes.
+	ParamSet = nn.ParamSet
+	// LayerParams is one layer's parameter group (the mixing unit).
+	LayerParams = nn.LayerParams
+	// Arch is a reusable architecture description.
+	Arch = nn.Arch
+	// Network is a feed-forward neural network.
+	Network = nn.Network
+)
+
+// Federated-learning types.
+type (
+	// FLConfig holds the federated schedule (rounds, epochs, batches).
+	FLConfig = fl.Config
+	// Client is a federated participant.
+	Client = fl.Client
+	// Server is the aggregation server.
+	Server = fl.Server
+	// Simulation orchestrates rounds over a pluggable update pipeline.
+	Simulation = fl.Simulation
+	// UpdateTransform is the pluggable pipeline stage between
+	// participants and server (identity / mixing / noise).
+	UpdateTransform = fl.UpdateTransform
+	// RoundRecord is the adversarial server's per-round view.
+	RoundRecord = fl.RoundRecord
+)
+
+// Dataset types.
+type (
+	// Source generates a benchmark dataset and its population.
+	Source = data.Source
+	// Dataset is a supervised dataset.
+	Dataset = data.Dataset
+	// Participant is one client's data partition plus its sensitive
+	// attribute.
+	Participant = data.Participant
+)
+
+// Attack types.
+type (
+	// NablaSim is the ∇Sim attribute-inference adversary.
+	NablaSim = attack.NablaSim
+	// AttackConfig parameterises ∇Sim.
+	AttackConfig = attack.Config
+)
+
+// Deployment types (networked mode).
+type (
+	// Enclave is the simulated SGX enclave hosting the proxy.
+	Enclave = enclave.Enclave
+	// Platform is the simulated host (fuse secret + attestation).
+	Platform = enclave.Platform
+	// Proxy is the HTTP MixNN proxy.
+	Proxy = proxy.Proxy
+	// AggServer is the HTTP aggregation server.
+	AggServer = proxy.AggServer
+	// ParticipantClient is the participant-side transport (attest,
+	// encrypt, send).
+	ParticipantClient = proxy.Participant
+)
+
+// Experiment types.
+type (
+	// DatasetSpec bundles a dataset with its paper schedule.
+	DatasetSpec = experiment.DatasetSpec
+	// Arm is one evaluation arm (fl / mixnn / noisy).
+	Arm = experiment.Arm
+	// Scale selects quick (CI) or full (paper) sizing.
+	Scale = experiment.Scale
+)
+
+// Scales.
+const (
+	ScaleQuick = experiment.ScaleQuick
+	ScaleFull  = experiment.ScaleFull
+)
+
+// Datasets returns the paper's four benchmark specs at the given scale.
+func Datasets(scale Scale, seed int64) []DatasetSpec { return experiment.Datasets(scale, seed) }
+
+// DatasetByKey returns one benchmark spec by name
+// ("cifar10", "motionsense", "mobiact", "lfw").
+func DatasetByKey(key string, scale Scale, seed int64) (DatasetSpec, error) {
+	return experiment.DatasetByKey(key, scale, seed)
+}
+
+// ClassicArm returns the unprotected federated-learning arm.
+func ClassicArm() Arm { return Arm{Key: "fl", Transform: fl.Identity{}} }
+
+// MixNNArm returns the MixNN batch-mixing arm (the paper's L = C setting).
+func MixNNArm() Arm { return Arm{Key: "mixnn", Transform: core.Transform{}} }
+
+// MixNNStreamArm returns the streaming k-buffer MixNN arm (§4.3).
+func MixNNStreamArm(k int) Arm { return experiment.StreamArm(k) }
+
+// NoisyArm returns the noisy-gradient baseline with the given sigma
+// (0 = the paper's N(0,1)).
+func NoisyArm(sigma float64) Arm {
+	return Arm{Key: "noisy", Transform: privacy.NoisyTransform{Sigma: sigma}}
+}
+
+// NewFederation wires a complete in-process federation for a dataset spec
+// and arm: clients with their non-IID partitions, a fresh global model and
+// the chosen pipeline. It returns the simulation and the participants'
+// true sensitive attributes (for evaluating inference attacks).
+func NewFederation(spec DatasetSpec, arm Arm, seed int64) (*Simulation, []int, error) {
+	return experiment.BuildFederation(spec, arm, seed)
+}
+
+// NewAttack builds a ∇Sim adversary.
+func NewAttack(cfg AttackConfig) (*NablaSim, error) { return attack.New(cfg) }

@@ -1,0 +1,83 @@
+package mixnn_test
+
+import (
+	"testing"
+
+	"mixnn"
+)
+
+func TestFacadeDatasets(t *testing.T) {
+	specs := mixnn.Datasets(mixnn.ScaleQuick, 1)
+	if len(specs) != 4 {
+		t.Fatalf("datasets = %d, want 4", len(specs))
+	}
+	if _, err := mixnn.DatasetByKey("lfw", mixnn.ScaleQuick, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mixnn.DatasetByKey("mnist", mixnn.ScaleQuick, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestFacadeArms(t *testing.T) {
+	for _, arm := range []mixnn.Arm{
+		mixnn.ClassicArm(),
+		mixnn.MixNNArm(),
+		mixnn.MixNNStreamArm(4),
+		mixnn.NoisyArm(0.5),
+	} {
+		if arm.Key == "" || arm.Transform == nil {
+			t.Fatalf("malformed arm %+v", arm)
+		}
+	}
+}
+
+// TestFacadeEndToEnd exercises the documented public workflow: build a
+// federation, run it under attack, check both utility and protection.
+func TestFacadeEndToEnd(t *testing.T) {
+	spec, err := mixnn.DatasetByKey("cifar10", mixnn.ScaleQuick, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.FL.Rounds = 2
+	spec.AttackEpochs = 2
+	spec.AuxPerClass = 48
+
+	sim, attrs, err := mixnn.NewFederation(spec, mixnn.MixNNArm(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := mixnn.NewAttack(mixnn.AttackConfig{
+		Arch:         spec.Arch,
+		Source:       spec.Source,
+		AuxPerClass:  spec.AuxPerClass,
+		Epochs:       spec.AttackEpochs,
+		BatchSize:    spec.FL.BatchSize,
+		LearningRate: spec.FL.LearningRate,
+		Active:       true,
+		Seed:         5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Observer = adv
+	sim.Disseminate = adv.Disseminator()
+
+	metrics, err := sim.Run(spec.FL.Rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(metrics))
+	}
+	if metrics[1].MeanAccuracy <= 0.1 {
+		t.Fatalf("mean accuracy %.3f suspiciously low", metrics[1].MeanAccuracy)
+	}
+	leak, err := adv.Accuracy(attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leak > 0.8 {
+		t.Fatalf("inference accuracy %.3f under MixNN — protection failed", leak)
+	}
+}
