@@ -200,6 +200,56 @@ func BenchmarkProxyMix(b *testing.B) {
 	}
 }
 
+// BenchmarkProxyMixSharded scales the mixing step across shard counts:
+// one round of C updates through the sharded stream-mixer tier for
+// P ∈ {1, 2, 4}. The per-layer work per shard shrinks with P, which is
+// the horizontal-scaling claim of the sharded deployment.
+func BenchmarkProxyMixSharded(b *testing.B) {
+	arch := experiment.PerfModels(experiment.ScaleQuick)[0].Arch
+	updates := make([]nn.ParamSet, 16)
+	for i := range updates {
+		updates[i] = arch.New(int64(i)).SnapshotParams()
+	}
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			tr := core.ShardedStreamTransform{K: 4, Shards: p}
+			rng := rand.New(rand.NewSource(1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tr.Apply(updates, rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkProxyMixShardedHTTP drives the full networked sharded tier —
+// concurrent encrypted participants through P shards into a real
+// aggregation server — and reports round throughput per shard count.
+// Each iteration stands up a fresh deployment (key generation,
+// attestation), so ns/op is setup-dominated; the authoritative numbers
+// are the reported round-ms / updates-per-sec means, which time only the
+// round itself inside RunShardedPerf.
+func BenchmarkProxyMixShardedHTTP(b *testing.B) {
+	m := experiment.PerfModels(experiment.ScaleQuick)[0]
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
+			var roundMs, upsPerSec float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunShardedPerf(m.Name, m.Arch, 8, 2, p, false, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				roundMs += res.RoundMillis
+				upsPerSec += res.UpdatesPerSec
+			}
+			b.ReportMetric(upsPerSec/float64(b.N), "updates/sec")
+			b.ReportMetric(roundMs/float64(b.N), "round-ms")
+		})
+	}
+}
+
 // BenchmarkProxyEndToEnd reproduces the §6.5 table: encrypted updates
 // through a real HTTP proxy into a real aggregation server, for both model
 // sizes.

@@ -84,6 +84,7 @@ func run(args []string) error {
 	defer cancel()
 
 	transport := proxy.NewParticipant(*proxyURL, *serverURL, nil)
+	transport.SetClientID(fmt.Sprintf("fl-client-%d", *id))
 	if err := transport.Attest(ctx, authority, measurement); err != nil {
 		return fmt.Errorf("attestation failed — refusing to send updates: %w", err)
 	}

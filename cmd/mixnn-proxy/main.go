@@ -1,16 +1,26 @@
-// Command mixnn-proxy runs the MixNN proxy inside a simulated SGX enclave:
-// it decrypts participant updates, mixes their layers with the k-buffer
-// stream mixer, and forwards the mixed updates to the aggregation server.
+// Command mixnn-proxy runs the MixNN mixing tier inside a simulated SGX
+// enclave: it decrypts participant updates, mixes their layers across P
+// independent k-buffer stream-mixer shards, and forwards the mixed updates
+// either to the aggregation server or — in cascade mode — re-encrypted to
+// a next-hop mixing proxy, so no single proxy observes the full
+// participant↔update linkage.
 //
 // On startup it writes a trust bundle (attestation-authority public key +
-// enclave measurement) that participants use to verify the enclave before
-// encrypting updates for it:
+// enclave measurement) that participants (and upstream proxies of a
+// cascade) use to verify the enclave before encrypting updates for it:
 //
 //	mixnn-proxy -listen :8441 -upstream http://localhost:8440 \
-//	    -round-size 8 -k 4 -trust-out trust.json
+//	    -round-size 8 -k 4 -shards 2 -trust-out trust.json
+//
+//	# cascade: front tier forwards to a second mixing hop
+//	mixnn-proxy -listen :8442 -round-size 8 -k 4 -trust-out hop.json
+//	mixnn-proxy -listen :8441 -round-size 8 -k 4 -shards 2 \
+//	    -next-hop http://localhost:8442 -next-hop-trust hop.json
 package main
 
 import (
+	"context"
+	"crypto/ecdsa"
 	"crypto/x509"
 	"encoding/hex"
 	"encoding/json"
@@ -25,9 +35,9 @@ import (
 	"mixnn/internal/proxy"
 )
 
-// TrustBundle is the out-of-band material a participant pins: the
-// (simulated) attestation authority key and the expected enclave
-// measurement.
+// TrustBundle is the out-of-band material a participant (or an upstream
+// proxy of a cascade) pins: the (simulated) attestation authority key and
+// the expected enclave measurement.
 type TrustBundle struct {
 	AuthorityPubDER []byte `json:"authority_pub_der"`
 	MeasurementHex  string `json:"measurement"`
@@ -43,14 +53,20 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mixnn-proxy", flag.ContinueOnError)
 	var (
-		listen    = fs.String("listen", ":8441", "address to serve on")
-		upstream  = fs.String("upstream", "http://localhost:8440", "aggregation server base URL")
-		roundSize = fs.Int("round-size", 8, "participants per round (C)")
-		k         = fs.Int("k", 4, "per-layer mixing list capacity (<= round-size)")
-		constMs   = fs.Int("const-ms", 0, "constant per-update processing time in ms (side-channel hardening; 0 = off)")
-		identity  = fs.String("identity", "mixnn-proxy-v1", "enclave code identity (measured)")
-		trustOut  = fs.String("trust-out", "trust.json", "file to write the participant trust bundle to")
-		seed      = fs.Int64("seed", time.Now().UnixNano(), "mixing randomness seed")
+		listen       = fs.String("listen", ":8441", "address to serve on")
+		upstream     = fs.String("upstream", "http://localhost:8440", "aggregation server base URL")
+		nextHop      = fs.String("next-hop", "", "next mixing proxy base URL (cascade mode; overrides -upstream)")
+		nextHopTrust = fs.String("next-hop-trust", "", "trust bundle file of the next hop (required with -next-hop)")
+		nextHopSec   = fs.String("next-hop-secret", "", "inter-proxy secret sent with forwarded hop traffic")
+		hopSecret    = fs.String("hop-secret", "", "inter-proxy secret required on this proxy's /v1/hop endpoint")
+		shards       = fs.Int("shards", 1, "number of independent mixing shards (P)")
+		roundSize    = fs.Int("round-size", 8, "total updates per round (C) across all shards")
+		k            = fs.Int("k", 4, "per-shard mixing list capacity (<= shard round share)")
+		maxHops      = fs.Int("max-hops", proxy.DefaultMaxHops, "maximum cascade depth accepted/forwarded")
+		constMs      = fs.Int("const-ms", 0, "constant per-update processing time in ms (side-channel hardening; 0 = off)")
+		identity     = fs.String("identity", "mixnn-proxy-v1", "enclave code identity (measured)")
+		trustOut     = fs.String("trust-out", "trust.json", "file to write the participant trust bundle to")
+		seed         = fs.Int64("seed", time.Now().UnixNano(), "mixing randomness seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -68,12 +84,30 @@ func run(args []string) error {
 		return err
 	}
 
-	px, err := proxy.New(proxy.Config{
-		Upstream:  *upstream,
-		K:         *k,
-		RoundSize: *roundSize,
-		Seed:      *seed,
-	}, encl, platform)
+	cfg := proxy.ShardedConfig{
+		Upstream:      *upstream,
+		Shards:        *shards,
+		K:             *k,
+		RoundSize:     *roundSize,
+		MaxHops:       *maxHops,
+		Seed:          *seed,
+		HopSecret:     *hopSecret,
+		NextHopSecret: *nextHopSec,
+	}
+	if *nextHop != "" {
+		if *nextHopTrust == "" {
+			return fmt.Errorf("-next-hop requires -next-hop-trust")
+		}
+		hopKey, err := pinNextHop(*nextHop, *nextHopTrust)
+		if err != nil {
+			return err
+		}
+		cfg.Upstream, cfg.NextHop, cfg.NextHopKey = "", *nextHop, hopKey
+		hopMeas := hopKey.Measurement()
+		log.Printf("mixnn-proxy: cascade hop attested, measurement %s", hex.EncodeToString(hopMeas[:]))
+	}
+
+	px, err := proxy.NewSharded(cfg, encl, platform)
 	if err != nil {
 		return err
 	}
@@ -96,11 +130,47 @@ func run(args []string) error {
 
 	log.Printf("mixnn-proxy: enclave measurement %s", hex.EncodeToString(meas[:]))
 	log.Printf("mixnn-proxy: trust bundle written to %s", *trustOut)
-	log.Printf("mixnn-proxy: k=%d round-size=%d upstream=%s listening on %s", *k, *roundSize, *upstream, *listen)
+	downstream := cfg.Upstream
+	if cfg.NextHop != "" {
+		downstream = cfg.NextHop + " (cascade)"
+	}
+	log.Printf("mixnn-proxy: shards=%d k=%d round-size=%d downstream=%s listening on %s",
+		*shards, *k, *roundSize, downstream, *listen)
 	srv := &http.Server{
 		Addr:              *listen,
 		Handler:           px.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	return srv.ListenAndServe()
+}
+
+// pinNextHop loads the next hop's trust bundle and runs the proxy-to-proxy
+// attestation handshake against its /v1/attestation endpoint.
+func pinNextHop(nextHopURL, bundlePath string) (*enclave.HopKey, error) {
+	raw, err := os.ReadFile(bundlePath)
+	if err != nil {
+		return nil, fmt.Errorf("read next-hop trust bundle: %w", err)
+	}
+	var bundle TrustBundle
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		return nil, fmt.Errorf("parse next-hop trust bundle: %w", err)
+	}
+	pub, err := x509.ParsePKIXPublicKey(bundle.AuthorityPubDER)
+	if err != nil {
+		return nil, fmt.Errorf("parse next-hop authority key: %w", err)
+	}
+	authority, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("next-hop authority key is %T, want ECDSA", pub)
+	}
+	measBytes, err := hex.DecodeString(bundle.MeasurementHex)
+	if err != nil || len(measBytes) != 32 {
+		return nil, fmt.Errorf("malformed next-hop measurement")
+	}
+	var meas [32]byte
+	copy(meas[:], measBytes)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return proxy.AttestHop(ctx, nextHopURL, nil, authority, meas)
 }

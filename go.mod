@@ -1,0 +1,3 @@
+module mixnn
+
+go 1.22

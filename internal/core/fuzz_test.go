@@ -3,6 +3,8 @@ package core
 import (
 	"math/rand"
 	"testing"
+
+	"mixnn/internal/nn"
 )
 
 // FuzzStreamMixerState feeds arbitrary bytes to the state restorer: it must
@@ -40,5 +42,55 @@ func FuzzStreamMixerState(f *testing.F) {
 			t.Fatalf("restored buffer %d exceeds k %d", fresh.Buffered(), fresh.K())
 		}
 		_ = fresh.Drain()
+	})
+}
+
+// FuzzShardedAggregationEquivalence is the shard-aware property test: for
+// every granularity, shard count P ∈ {1, 2, 4} and round size C up to 64,
+// both sharded transforms must emit exactly C updates whose layer-wise
+// mean equals the mean of the inputs within 1e-9 (the §4.2 theorem
+// extended across shards).
+func FuzzShardedAggregationEquivalence(f *testing.F) {
+	f.Add(uint8(8), uint8(1), uint8(1), int64(1))
+	f.Add(uint8(13), uint8(2), uint8(2), int64(2))
+	f.Add(uint8(64), uint8(4), uint8(3), int64(3))
+	f.Add(uint8(1), uint8(4), uint8(1), int64(4))
+
+	f.Fuzz(func(t *testing.T, cRaw, pRaw, gRaw uint8, seed int64) {
+		c := int(cRaw)%64 + 1
+		shardChoices := []int{1, 2, 4}
+		p := shardChoices[int(pRaw)%len(shardChoices)]
+		granularities := []Granularity{GranularityLayer, GranularityTensor, GranularityModel}
+		g := granularities[int(gRaw)%len(granularities)]
+
+		rng := rand.New(rand.NewSource(seed))
+		updates := makeUpdates(c, 3, rng)
+		before, err := nn.Average(updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		check := func(name string, mixed []nn.ParamSet, err error) {
+			if err != nil {
+				t.Fatalf("C=%d P=%d g=%s: %s: %v", c, p, g, name, err)
+			}
+			if len(mixed) != c {
+				t.Fatalf("C=%d P=%d g=%s: %s emitted %d updates", c, p, g, name, len(mixed))
+			}
+			after, err := nn.Average(mixed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !before.ApproxEqual(after, 1e-9) {
+				t.Fatalf("C=%d P=%d g=%s: %s changed the aggregate", c, p, g, name)
+			}
+		}
+
+		batch, err := ShardedTransform{Granularity: g, Shards: p}.Apply(updates, rng)
+		check("sharded batch", batch, err)
+		// The stream mixer always works at layer granularity; sweep it over
+		// the same C × P grid with a k that exercises emit-then-drain.
+		stream, err := ShardedStreamTransform{K: 2, Shards: p}.Apply(updates, rng)
+		check("sharded stream", stream, err)
 	})
 }

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"mixnn/internal/nn"
+)
+
+// Sharded mixing (the multi-proxy tier). A round of C participants is
+// partitioned round-robin across P independent shards; each shard mixes
+// only the updates routed to it. Because every shard's mixer is
+// conservative — the multiset of layers it emits over a round equals the
+// multiset it received — the union across shards is conservative too, so
+// the layer-wise mean of all outgoing updates equals the layer-wise mean of
+// the inputs and the §4.2 aggregation-equivalence theorem survives
+// sharding. What sharding trades away is mixing breadth: layers are only
+// exchanged within a shard (anonymity set C/P per shard instead of C),
+// which is why the deployment cascades shards through a second mixing hop.
+
+// ShardSizes returns the per-shard round sizes of a round-robin partition
+// of c participants over p shards: sizes[s] counts the i in [0, c) with
+// i % p == s. It panics if p <= 0.
+func ShardSizes(c, p int) []int {
+	if p <= 0 {
+		panic(fmt.Sprintf("core: ShardSizes with %d shards", p))
+	}
+	sizes := make([]int, p)
+	for s := range sizes {
+		sizes[s] = c / p
+		if s < c%p {
+			sizes[s]++
+		}
+	}
+	return sizes
+}
+
+// shardUpdates partitions updates round-robin: shard s receives updates
+// i with i % p == s, in arrival order.
+func shardUpdates(updates []nn.ParamSet, p int) [][]nn.ParamSet {
+	shards := make([][]nn.ParamSet, p)
+	for i, u := range updates {
+		s := i % p
+		shards[s] = append(shards[s], u)
+	}
+	return shards
+}
+
+// clampShards bounds the shard count to [1, c] so every shard sees at
+// least one update.
+func clampShards(p, c int) int {
+	if p <= 0 {
+		p = 1
+	}
+	if p > c {
+		p = c
+	}
+	return p
+}
+
+// ShardedStreamTransform runs one independent k-buffer StreamMixer per
+// shard over a round-robin partition of the round and concatenates the
+// shards' outputs (emissions followed by the round-close drain, per shard).
+// With Shards = 1 it reduces exactly to StreamTransform. It satisfies
+// fl.UpdateTransform.
+type ShardedStreamTransform struct {
+	// K is the per-shard list capacity; it is clamped to the shard's round
+	// size (so the buffer always fills and drains within the round).
+	K int
+	// Shards is the shard count P (defaults to 1; clamped to the number of
+	// updates).
+	Shards int
+}
+
+// Name implements fl.UpdateTransform.
+func (t ShardedStreamTransform) Name() string { return "mixnn-sharded" }
+
+// Apply implements fl.UpdateTransform.
+func (t ShardedStreamTransform) Apply(updates []nn.ParamSet, rng *rand.Rand) ([]nn.ParamSet, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("core: sharded stream mix of zero updates")
+	}
+	p := clampShards(t.Shards, len(updates))
+	out := make([]nn.ParamSet, 0, len(updates))
+	for s, part := range shardUpdates(updates, p) {
+		k := t.K
+		if k <= 0 || k > len(part) {
+			k = len(part)
+		}
+		m, err := NewStreamMixer(k, rng)
+		if err != nil {
+			return nil, err
+		}
+		for i, u := range part {
+			mixed, err := m.Add(u)
+			if err != nil {
+				return nil, fmt.Errorf("core: shard %d update %d: %w", s, i, err)
+			}
+			if mixed != nil {
+				out = append(out, *mixed)
+			}
+		}
+		out = append(out, m.Drain()...)
+	}
+	return out, nil
+}
+
+// ShardedTransform is the batch mixer (§4.2) applied per shard: each shard
+// mixes its partition with one independent uniform permutation per unit at
+// the chosen granularity. With Shards = 1 it reduces exactly to Transform.
+// It satisfies fl.UpdateTransform.
+type ShardedTransform struct {
+	// Granularity defaults to GranularityLayer (the paper's design).
+	Granularity Granularity
+	// Shards is the shard count P (defaults to 1; clamped to the number of
+	// updates).
+	Shards int
+}
+
+// Name implements fl.UpdateTransform.
+func (t ShardedTransform) Name() string { return "mixnn-sharded-batch" }
+
+// Apply implements fl.UpdateTransform.
+func (t ShardedTransform) Apply(updates []nn.ParamSet, rng *rand.Rand) ([]nn.ParamSet, error) {
+	if len(updates) == 0 {
+		return nil, fmt.Errorf("core: sharded batch mix of zero updates")
+	}
+	g := t.Granularity
+	if g == 0 {
+		g = GranularityLayer
+	}
+	p := clampShards(t.Shards, len(updates))
+	out := make([]nn.ParamSet, 0, len(updates))
+	for s, part := range shardUpdates(updates, p) {
+		mixed, _, err := BatchMixAssignment(part, rng, g)
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", s, err)
+		}
+		out = append(out, mixed...)
+	}
+	return out, nil
+}

@@ -25,6 +25,8 @@ const stateMagic = "MXST"
 
 // MarshalBinary exports the mixer's buffered contents.
 func (m *StreamMixer) MarshalBinary() ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	var buf bytes.Buffer
 	buf.WriteString(stateMagic)
 	for _, v := range []uint32{uint32(m.k), uint32(m.buffered)} {
@@ -56,6 +58,8 @@ func (m *StreamMixer) MarshalBinary() ([]byte, error) {
 // UnmarshalBinary restores a mixer from a MarshalBinary blob. The receiver
 // must be freshly constructed; its k must match the snapshot.
 func (m *StreamMixer) UnmarshalBinary(data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.received != 0 || m.lists != nil {
 		return fmt.Errorf("core: UnmarshalBinary on a non-fresh mixer")
 	}

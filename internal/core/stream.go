@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mixnn/internal/nn"
 )
@@ -14,11 +15,15 @@ import (
 // those elements into an outgoing update, and file the arriving update's
 // layers into the freed slots.
 //
-// A StreamMixer is not safe for concurrent use; the proxy serialises
-// access (which also matches the constant-time processing discipline).
+// A StreamMixer is safe for concurrent use: Add, Drain, the counters and
+// the state snapshot methods serialise on an internal mutex, so the
+// sharded proxy tier can drive one mixer per shard from concurrent
+// request handlers.
 type StreamMixer struct {
-	k        int
-	rng      *rand.Rand
+	k   int
+	rng *rand.Rand
+
+	mu       sync.Mutex
 	template nn.ParamSet // structure of the first update; guards compatibility
 	lists    [][]nn.LayerParams
 	buffered int
@@ -41,13 +46,25 @@ func NewStreamMixer(k int, rng *rand.Rand) (*StreamMixer, error) {
 func (m *StreamMixer) K() int { return m.k }
 
 // Buffered returns the number of updates currently held in the lists.
-func (m *StreamMixer) Buffered() int { return m.buffered }
+func (m *StreamMixer) Buffered() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.buffered
+}
 
 // Received returns the total number of updates accepted.
-func (m *StreamMixer) Received() int { return m.received }
+func (m *StreamMixer) Received() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.received
+}
 
 // Emitted returns the total number of mixed updates produced.
-func (m *StreamMixer) Emitted() int { return m.emitted }
+func (m *StreamMixer) Emitted() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.emitted
+}
 
 // Add accepts one participant update. While the lists are filling
 // (fewer than k buffered) it returns (nil, nil). Once the lists are full,
@@ -57,6 +74,8 @@ func (m *StreamMixer) Add(u nn.ParamSet) (*nn.ParamSet, error) {
 	if len(u.Layers) == 0 {
 		return nil, fmt.Errorf("core: empty update")
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.lists == nil {
 		m.template = u
 		m.lists = make([][]nn.LayerParams, len(u.Layers))
@@ -96,6 +115,8 @@ func (m *StreamMixer) Add(u nn.ParamSet) (*nn.ParamSet, error) {
 // round have been forwarded, which restores L = C and therefore exact
 // aggregation equivalence.
 func (m *StreamMixer) Drain() []nn.ParamSet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	out := make([]nn.ParamSet, 0, m.buffered)
 	for m.buffered > 0 {
 		ps := nn.ParamSet{Layers: make([]nn.LayerParams, len(m.lists))}

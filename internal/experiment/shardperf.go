@@ -1,0 +1,151 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"mixnn/internal/enclave"
+	"mixnn/internal/nn"
+	"mixnn/internal/proxy"
+)
+
+// ShardedPerfResult reports one sharded-tier throughput experiment: a full
+// round of concurrent participants through P mixing shards (optionally
+// cascaded through a second mixing hop) into the aggregation server.
+type ShardedPerfResult struct {
+	Model        string
+	Participants int
+	Shards       int
+	K            int
+	Cascade      bool
+	// UpdateBytes is the plaintext size of one encoded update.
+	UpdateBytes int
+	// RoundMillis is the wall-clock time from the first send to round
+	// closure at the aggregation server (all sends run concurrently, so
+	// this measures tier throughput rather than per-update latency).
+	RoundMillis float64
+	// UpdatesPerSec is Participants divided by the round duration in
+	// seconds.
+	UpdatesPerSec float64
+	// ProcessMillis is the front tier's mean in-enclave processing time.
+	ProcessMillis float64
+	// ShardReceived is the per-shard ingest distribution of the front tier.
+	ShardReceived []int
+}
+
+// RunShardedPerf stands up the sharded mixing tier over real HTTP —
+// optionally cascaded through a second mixing proxy with per-hop
+// re-encryption — and drives one round of concurrent participants
+// through it.
+func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int, cascade bool, seed int64) (ShardedPerfResult, error) {
+	if participants <= 0 {
+		return ShardedPerfResult{}, fmt.Errorf("experiment: sharded perf requires participants > 0")
+	}
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		return ShardedPerfResult{}, err
+	}
+	frontEncl, err := enclave.New(enclave.Config{CodeIdentity: "mixnn-proxy-shard-front"}, platform)
+	if err != nil {
+		return ShardedPerfResult{}, err
+	}
+
+	agg, err := proxy.NewAggServer(arch.New(seed).SnapshotParams(), participants)
+	if err != nil {
+		return ShardedPerfResult{}, err
+	}
+	aggSrv := httptest.NewServer(agg.Handler())
+	defer aggSrv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+
+	frontCfg := proxy.ShardedConfig{Upstream: aggSrv.URL, K: k, RoundSize: participants, Shards: shards, Seed: seed}
+	if cascade {
+		hopEncl, err := enclave.New(enclave.Config{CodeIdentity: "mixnn-proxy-shard-hop"}, platform)
+		if err != nil {
+			return ShardedPerfResult{}, err
+		}
+		hopPx, err := proxy.NewSharded(proxy.ShardedConfig{
+			Upstream: aggSrv.URL, K: k, RoundSize: participants, Shards: shards, Seed: seed + 1,
+		}, hopEncl, platform)
+		if err != nil {
+			return ShardedPerfResult{}, err
+		}
+		hopSrv := httptest.NewServer(hopPx.Handler())
+		defer hopSrv.Close()
+		hopKey, err := proxy.AttestHop(ctx, hopSrv.URL, nil, platform.AttestationPublicKey(), hopEncl.Measurement())
+		if err != nil {
+			return ShardedPerfResult{}, err
+		}
+		frontCfg.Upstream, frontCfg.NextHop, frontCfg.NextHopKey = "", hopSrv.URL, hopKey
+	}
+
+	frontPx, err := proxy.NewSharded(frontCfg, frontEncl, platform)
+	if err != nil {
+		return ShardedPerfResult{}, err
+	}
+	frontSrv := httptest.NewServer(frontPx.Handler())
+	defer frontSrv.Close()
+
+	// Pre-build and pre-attest all participants so the timed window
+	// contains only the round itself.
+	parts := make([]*proxy.Participant, participants)
+	updates := make([]nn.ParamSet, participants)
+	for i := range parts {
+		parts[i] = proxy.NewParticipant(frontSrv.URL, aggSrv.URL, nil)
+		if err := parts[i].Attest(ctx, platform.AttestationPublicKey(), frontEncl.Measurement()); err != nil {
+			return ShardedPerfResult{}, err
+		}
+		updates[i] = arch.New(seed + int64(i) + 1).SnapshotParams()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for i := 0; i < participants; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := parts[i].SendUpdate(ctx, updates[i]); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiment: sharded perf update %d: %w", i, err)
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	roundDur := time.Since(start)
+	if firstErr != nil {
+		return ShardedPerfResult{}, firstErr
+	}
+	if agg.Round() != 1 {
+		return ShardedPerfResult{}, fmt.Errorf("experiment: sharded perf round did not close (round=%d)", agg.Round())
+	}
+
+	st := frontPx.Status()
+	received := make([]int, len(st.Shards))
+	for i, sh := range st.Shards {
+		received[i] = sh.Received
+	}
+	return ShardedPerfResult{
+		Model:         modelName,
+		Participants:  participants,
+		Shards:        shards,
+		K:             k,
+		Cascade:       cascade,
+		UpdateBytes:   st.UpdateBytes,
+		RoundMillis:   roundDur.Seconds() * 1000,
+		UpdatesPerSec: float64(participants) / roundDur.Seconds(),
+		ProcessMillis: st.ProcessMillis,
+		ShardReceived: received,
+	}, nil
+}

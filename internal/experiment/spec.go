@@ -5,6 +5,8 @@ package experiment
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"mixnn/internal/core"
 	"mixnn/internal/data"
@@ -222,6 +224,15 @@ func ArmByKey(key string) (Arm, error) {
 	switch key {
 	case "mixnn-stream":
 		return StreamArm(0), nil
+	case "mixnn-sharded":
+		return ShardedStreamArm(0, 2), nil
+	}
+	// Round-trip the sharded arm's own key ("mixnn-sharded-p<P>") so a
+	// reported arm label resolves back to the arm that produced it.
+	if p, ok := strings.CutPrefix(key, "mixnn-sharded-p"); ok {
+		if shards, err := strconv.Atoi(p); err == nil && shards > 0 {
+			return ShardedStreamArm(0, shards), nil
+		}
 	}
 	return Arm{}, fmt.Errorf("experiment: unknown arm %q", key)
 }
@@ -230,4 +241,15 @@ func ArmByKey(key string) (Arm, error) {
 // (k <= 0 lets the transform clamp to the population size).
 func StreamArm(k int) Arm {
 	return Arm{Key: "mixnn-stream", Transform: core.StreamTransform{K: k}}
+}
+
+// ShardedStreamArm returns the sharded mixing-tier arm: P independent
+// k-buffer stream mixers over a round-robin partition of each round. It
+// evaluates how much protection the scalable multi-proxy deployment
+// retains when mixing breadth shrinks from C to C/P per shard.
+func ShardedStreamArm(k, shards int) Arm {
+	return Arm{
+		Key:       fmt.Sprintf("mixnn-sharded-p%d", shards),
+		Transform: core.ShardedStreamTransform{K: k, Shards: shards},
+	}
 }

@@ -25,9 +25,16 @@ type Participant struct {
 	proxyURL  string
 	serverURL string
 	httpc     *http.Client
+	clientID  string
 
 	enclaveKey *rsa.PublicKey
 }
+
+// SetClientID sets the pseudonymous id sent as the X-Mixnn-Client header
+// with each update. A sharded proxy uses it for sticky shard routing, so
+// a participant's updates always meet the same mixing buffer; without it
+// routing falls back to round-robin.
+func (c *Participant) SetClientID(id string) { c.clientID = id }
 
 // NewParticipant builds a transport for the given proxy and server URLs.
 // httpc may be nil for a default client.
@@ -38,43 +45,53 @@ func NewParticipant(proxyURL, serverURL string, httpc *http.Client) *Participant
 	return &Participant{proxyURL: proxyURL, serverURL: serverURL, httpc: httpc}
 }
 
-// Attest fetches and verifies the proxy's attestation report against the
-// pinned authority key and expected measurement, then pins the enclave's
-// encryption key for subsequent SendUpdate calls.
-func (c *Participant) Attest(ctx context.Context, authority *ecdsa.PublicKey, measurement [32]byte) error {
+// fetchReport retrieves a proxy's attestation report bound to a fresh
+// nonce (shared by the participant handshake and the cascade hop
+// handshake).
+func fetchReport(ctx context.Context, httpc *http.Client, baseURL string) (enclave.Report, []byte, error) {
 	nonce := make([]byte, 16)
 	if _, err := rand.Read(nonce); err != nil {
-		return fmt.Errorf("proxy: attestation nonce: %w", err)
+		return enclave.Report{}, nil, fmt.Errorf("proxy: attestation nonce: %w", err)
 	}
-	url := fmt.Sprintf("%s/v1/attestation?nonce=%s", c.proxyURL, hex.EncodeToString(nonce))
+	url := fmt.Sprintf("%s/v1/attestation?nonce=%s", baseURL, hex.EncodeToString(nonce))
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		return err
+		return enclave.Report{}, nil, err
 	}
-	resp, err := c.httpc.Do(req)
+	resp, err := httpc.Do(req)
 	if err != nil {
-		return fmt.Errorf("proxy: attestation request: %w", err)
+		return enclave.Report{}, nil, fmt.Errorf("proxy: attestation request: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("proxy: attestation returned %s", resp.Status)
+		return enclave.Report{}, nil, fmt.Errorf("proxy: attestation returned %s", resp.Status)
 	}
 	var ar wire.AttestationResponse
 	if err := wire.DecodeJSON(resp.Body, &ar); err != nil {
-		return err
+		return enclave.Report{}, nil, err
 	}
 	var rep enclave.Report
 	meas, err := hex.DecodeString(ar.MeasurementHex)
 	if err != nil || len(meas) != 32 {
-		return fmt.Errorf("proxy: malformed measurement in report")
+		return enclave.Report{}, nil, fmt.Errorf("proxy: malformed measurement in report")
 	}
 	copy(rep.Measurement[:], meas)
 	if rep.Nonce, err = hex.DecodeString(ar.NonceHex); err != nil {
-		return fmt.Errorf("proxy: malformed nonce in report")
+		return enclave.Report{}, nil, fmt.Errorf("proxy: malformed nonce in report")
 	}
 	rep.PubKeyDER = ar.PubKeyDER
 	rep.Signature = ar.Signature
+	return rep, nonce, nil
+}
 
+// Attest fetches and verifies the proxy's attestation report against the
+// pinned authority key and expected measurement, then pins the enclave's
+// encryption key for subsequent SendUpdate calls.
+func (c *Participant) Attest(ctx context.Context, authority *ecdsa.PublicKey, measurement [32]byte) error {
+	rep, nonce, err := fetchReport(ctx, c.httpc, c.proxyURL)
+	if err != nil {
+		return err
+	}
 	pub, err := rep.Verify(authority, measurement, nonce)
 	if err != nil {
 		return err
@@ -110,6 +127,9 @@ func (c *Participant) SendUpdate(ctx context.Context, ps nn.ParamSet) error {
 		return err
 	}
 	req.Header.Set("Content-Type", wire.ContentTypeUpdate)
+	if c.clientID != "" {
+		req.Header.Set(wire.HeaderClient, c.clientID)
+	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
 		return fmt.Errorf("proxy: send update: %w", err)

@@ -212,16 +212,17 @@ func (p *Proxy) forward(ctx context.Context, ps nn.ParamSet) error {
 	return nil
 }
 
-// handleAttestation serves a signed enclave report bound to the caller's
-// nonce so participants can verify the proxy before trusting its key.
-func (p *Proxy) handleAttestation(w http.ResponseWriter, r *http.Request) {
+// serveAttestation serves a signed enclave report bound to the caller's
+// nonce so participants (and upstream cascade proxies) can verify an
+// enclave before trusting its key. Shared by Proxy and ShardedProxy.
+func serveAttestation(w http.ResponseWriter, r *http.Request, encl *enclave.Enclave, platform *enclave.Platform) {
 	nonceHex := r.URL.Query().Get("nonce")
 	nonce, err := hex.DecodeString(nonceHex)
 	if err != nil || len(nonce) == 0 {
 		http.Error(w, "missing or invalid nonce", http.StatusBadRequest)
 		return
 	}
-	rep, err := p.platform.Attest(p.enclave, nonce)
+	rep, err := platform.Attest(encl, nonce)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -232,6 +233,10 @@ func (p *Proxy) handleAttestation(w http.ResponseWriter, r *http.Request) {
 		PubKeyDER:      rep.PubKeyDER,
 		Signature:      rep.Signature,
 	})
+}
+
+func (p *Proxy) handleAttestation(w http.ResponseWriter, r *http.Request) {
+	serveAttestation(w, r, p.enclave, p.platform)
 }
 
 func (p *Proxy) handleStatus(w http.ResponseWriter, r *http.Request) {

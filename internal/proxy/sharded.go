@@ -1,0 +1,425 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"crypto/ecdsa"
+	"crypto/subtle"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"mixnn/internal/core"
+	"mixnn/internal/enclave"
+	"mixnn/internal/nn"
+	"mixnn/internal/wire"
+)
+
+// DefaultMaxHops bounds cascade depth: a forwarded update whose hop count
+// exceeds this is rejected, which breaks accidental forwarding cycles.
+const DefaultMaxHops = 4
+
+// ShardedConfig parameterises a sharded (and optionally cascaded) MixNN
+// proxy tier.
+type ShardedConfig struct {
+	// Upstream is the aggregation server base URL; mixed updates go there
+	// in plaintext when no NextHop is configured.
+	Upstream string
+	// NextHop, when non-empty, is the base URL of the next mixing proxy of
+	// the cascade. Mixed updates are re-encrypted with NextHopKey and
+	// posted to {NextHop}/v1/hop instead of Upstream.
+	NextHop string
+	// NextHopKey is the attested (or pinned) key material for NextHop.
+	// Required when NextHop is set.
+	NextHopKey *enclave.HopKey
+	// NextHopSecret, when non-empty, is sent as a bearer token with
+	// forwarded hop traffic (it must match the next hop's HopSecret).
+	NextHopSecret string
+	// HopSecret, when non-empty, gates this proxy's /v1/hop endpoint:
+	// requests without the matching bearer token are rejected. Without
+	// it any party holding the (public) enclave key can post to /v1/hop
+	// and poison the round's hop watermark, killing the round at the
+	// next depth check.
+	HopSecret string
+	// Shards is the number of independent mixing shards P (default 1).
+	Shards int
+	// K is the per-shard list capacity of each stream mixer; it is clamped
+	// to the shard's round-robin share of RoundSize so every shard's
+	// buffer fills and drains within a round.
+	K int
+	// RoundSize is the total number of updates per round (C) across all
+	// shards; when it is reached every shard is drained so the round
+	// closes with exact aggregation equivalence.
+	RoundSize int
+	// MaxHops bounds cascade depth (default DefaultMaxHops).
+	MaxHops int
+	// Seed drives the mixing randomness (each shard derives its own
+	// stream from it).
+	Seed int64
+	// HTTPClient overrides the forwarding client (tests); nil = default.
+	HTTPClient *http.Client
+}
+
+// ShardedProxy is the horizontally-scaled MixNN mixing tier: participants
+// are partitioned across P independent stream mixers (shards) behind one
+// endpoint, and the mixed output optionally cascades to a next-hop proxy
+// re-encrypted for that hop's enclave. Sharding removes the single-mixer
+// bottleneck; cascading restores mixing breadth across shards (a layer
+// that stayed within its shard on hop 1 is re-mixed against the whole
+// round on hop 2) and unlinks each proxy's view — no single hop observes
+// both who sent an update and what reaches the aggregation server.
+type ShardedProxy struct {
+	cfg      ShardedConfig
+	enclave  *enclave.Enclave
+	platform *enclave.Platform
+	httpc    *http.Client
+	shards   []*core.StreamMixer
+
+	mu          sync.Mutex
+	rr          int // round-robin routing cursor
+	inRound     int // updates received in the current round
+	rounds      int // completed rounds
+	hopMark     int // highest incoming hop depth seen this round
+	received    int // participant updates ingested (hop 0)
+	hopReceived int // cascade updates ingested (hop >= 1)
+	forwarded   int
+	updateBytes int
+	decryptT    timing
+	processT    timing
+}
+
+// NewSharded builds a sharded proxy tier hosted in the given enclave.
+func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Platform) (*ShardedProxy, error) {
+	if cfg.Upstream == "" && cfg.NextHop == "" {
+		return nil, fmt.Errorf("proxy: ShardedConfig needs an Upstream or a NextHop")
+	}
+	if cfg.NextHop != "" && cfg.NextHopKey == nil {
+		return nil, fmt.Errorf("proxy: NextHop %q configured without NextHopKey", cfg.NextHop)
+	}
+	if cfg.RoundSize <= 0 {
+		return nil, fmt.Errorf("proxy: ShardedConfig.RoundSize must be positive, got %d", cfg.RoundSize)
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Shards > cfg.RoundSize {
+		return nil, fmt.Errorf("proxy: %d shards for round size %d (shards must not outnumber participants)", cfg.Shards, cfg.RoundSize)
+	}
+	if cfg.MaxHops <= 0 {
+		cfg.MaxHops = DefaultMaxHops
+	}
+	if encl == nil || platform == nil {
+		return nil, fmt.Errorf("proxy: enclave and platform are required")
+	}
+	httpc := cfg.HTTPClient
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 60 * time.Second}
+	}
+	sizes := core.ShardSizes(cfg.RoundSize, cfg.Shards)
+	shards := make([]*core.StreamMixer, cfg.Shards)
+	for s := range shards {
+		k := cfg.K
+		if k <= 0 || k > sizes[s] {
+			k = sizes[s]
+		}
+		// Each shard owns its rand stream: StreamMixer serialises itself,
+		// but a shared rand.Rand across concurrently-adding shards would
+		// race.
+		m, err := core.NewStreamMixer(k, rand.New(rand.NewSource(cfg.Seed+int64(s))))
+		if err != nil {
+			return nil, fmt.Errorf("proxy: shard %d: %w", s, err)
+		}
+		shards[s] = m
+	}
+	return &ShardedProxy{cfg: cfg, enclave: encl, platform: platform, httpc: httpc, shards: shards}, nil
+}
+
+// Shards returns the shard count P.
+func (p *ShardedProxy) Shards() int { return len(p.shards) }
+
+// Handler returns the sharded proxy's HTTP API: the participant endpoint,
+// the inter-proxy cascade endpoint, attestation and status.
+func (p *ShardedProxy) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/update", func(w http.ResponseWriter, r *http.Request) {
+		p.handleIngress(w, r, false)
+	})
+	mux.HandleFunc("POST /v1/hop", func(w http.ResponseWriter, r *http.Request) {
+		p.handleIngress(w, r, true)
+	})
+	mux.HandleFunc("GET /v1/attestation", p.handleAttestation)
+	mux.HandleFunc("GET /v1/status", p.handleStatus)
+	return mux
+}
+
+// handleIngress processes one encrypted update, from a participant
+// (/v1/update, hop 0) or from an upstream proxy of the cascade (/v1/hop).
+func (p *ShardedProxy) handleIngress(w http.ResponseWriter, r *http.Request, fromHop bool) {
+	hop := 0
+	if fromHop {
+		if p.cfg.HopSecret != "" &&
+			subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+p.cfg.HopSecret)) != 1 {
+			http.Error(w, "hop endpoint requires the inter-proxy secret", http.StatusUnauthorized)
+			return
+		}
+		var err error
+		hop, err = wire.ParseHop(r.Header)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if hop == 0 {
+			hop = 1 // an upstream proxy that omitted the header is hop 1
+		}
+		if hop > p.cfg.MaxHops {
+			http.Error(w, fmt.Sprintf("cascade depth %d exceeds limit %d", hop, p.cfg.MaxHops), http.StatusLoopDetected)
+			return
+		}
+	} else if r.Header.Get(wire.HeaderHop) != "" {
+		// Participants must not forge cascade depth: a forged header
+		// would be stamped +1 onto every update their round emits and
+		// could poison the whole round at the next hop's depth check.
+		http.Error(w, fmt.Sprintf("%s not allowed on the participant endpoint", wire.HeaderHop), http.StatusBadRequest)
+		return
+	}
+	body, err := wire.ReadBody(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var (
+		emitted []nn.ParamSet
+		shard   int
+		fwdHop  int
+	)
+	start := time.Now()
+	procErr := p.enclave.Process(func() error {
+		var err error
+		emitted, shard, fwdHop, err = p.ingest(body, r.Header.Get(wire.HeaderClient), hop, fromHop)
+		return err
+	})
+	p.mu.Lock()
+	p.processT.add(time.Since(start))
+	p.mu.Unlock()
+	if procErr != nil {
+		http.Error(w, procErr.Error(), http.StatusBadRequest)
+		return
+	}
+
+	// Forward on a context detached from the triggering request: a drain
+	// carries the whole round's material, and one participant's
+	// disconnect must not cancel delivery of everyone else's updates.
+	fwdCtx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), forwardTimeout)
+	defer cancel()
+	// Attempt every emitted update even if one fails: the mixers have
+	// already released this material, so stopping at the first error
+	// would silently drop the rest of a drained round downstream.
+	var fwdErr error
+	for _, ps := range emitted {
+		if err := p.forward(fwdCtx, ps, fwdHop); err != nil && fwdErr == nil {
+			fwdErr = err
+		}
+	}
+	if fwdErr != nil {
+		http.Error(w, fmt.Sprintf("forward: %v", fwdErr), http.StatusBadGateway)
+		return
+	}
+	w.Header().Set(wire.HeaderShard, strconv.Itoa(shard))
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// route picks the shard for an update: a stable FNV hash of the client id
+// when the participant identifies itself (so a client's updates always
+// meet the same buffer), round-robin otherwise.
+func (p *ShardedProxy) route(clientID string) int {
+	if clientID != "" {
+		h := fnv.New32a()
+		h.Write([]byte(clientID))
+		return int(h.Sum32() % uint32(len(p.shards)))
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.rr
+	p.rr = (p.rr + 1) % len(p.shards)
+	return s
+}
+
+// ingest decrypts and decodes one update inside the enclave, feeds it to
+// its shard's mixer, and drains every shard when the round completes.
+// The expensive stages (decrypt, decode — milliseconds) run outside any
+// lock so concurrent requests parallelise; the cheap mixing step (layer
+// pointer swaps — microseconds) and the round accounting run under one
+// mutex, which makes round closure atomic: a drain can never sweep in an
+// update that belongs to the next round.
+//
+// The returned fwdHop is the depth to stamp on forwarded updates: one
+// past the highest incoming depth seen in the current round. Buffered
+// material loses its individual depth inside the mixers, so the
+// watermark is what keeps depth monotone — in an accidental proxy cycle
+// the watermark grows every traversal until the MaxHops check breaks
+// the loop.
+func (p *ShardedProxy) ingest(ciphertext []byte, clientID string, hop int, fromHop bool) ([]nn.ParamSet, int, int, error) {
+	t0 := time.Now()
+	plain, err := p.enclave.Decrypt(ciphertext)
+	decryptDur := time.Since(t0)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("proxy: decrypt: %w", err)
+	}
+	ps, err := nn.DecodeParamSet(plain)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("proxy: decode: %w", err)
+	}
+
+	shard := p.route(clientID)
+	p.enclave.Alloc(len(plain))
+
+	p.mu.Lock()
+	p.decryptT.add(decryptDur)
+	p.updateBytes = len(plain)
+	var emitted []nn.ParamSet
+	out, err := p.shards[shard].Add(ps)
+	if err != nil {
+		p.mu.Unlock()
+		p.enclave.Free(len(plain))
+		return nil, shard, 0, fmt.Errorf("proxy: shard %d mix: %w", shard, err)
+	}
+	if out != nil {
+		emitted = append(emitted, *out)
+	}
+	if fromHop {
+		p.hopReceived++
+	} else {
+		p.received++
+	}
+	if hop > p.hopMark {
+		p.hopMark = hop
+	}
+	fwdHop := p.hopMark + 1
+	p.inRound++
+	if p.inRound >= p.cfg.RoundSize {
+		p.inRound = 0
+		p.rounds++
+		p.hopMark = 0
+		for _, m := range p.shards {
+			emitted = append(emitted, m.Drain()...)
+		}
+	}
+	p.mu.Unlock()
+
+	p.enclave.Free(len(plain) * len(emitted))
+	return emitted, shard, fwdHop, nil
+}
+
+// forwardTimeout bounds delivery of one mixed update downstream; the
+// context is detached from the triggering request, so this is the only
+// cancellation forwarding has.
+const forwardTimeout = 60 * time.Second
+
+// forward sends one mixed update onward: re-encrypted to the cascade's
+// next hop when one is configured, in plaintext to the aggregation server
+// otherwise. fwdHop is the depth to stamp (the round's hop watermark + 1,
+// see ingest).
+func (p *ShardedProxy) forward(ctx context.Context, ps nn.ParamSet, fwdHop int) error {
+	raw, err := nn.EncodeParamSet(ps)
+	if err != nil {
+		return err
+	}
+	var req *http.Request
+	if p.cfg.NextHop != "" {
+		ct, err := p.cfg.NextHopKey.Wrap(raw)
+		if err != nil {
+			return fmt.Errorf("proxy: wrap for next hop: %w", err)
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.NextHop+"/v1/hop", bytes.NewReader(ct))
+		if err != nil {
+			return err
+		}
+		req.Header.Set(wire.HeaderHop, strconv.Itoa(fwdHop))
+		if p.cfg.NextHopSecret != "" {
+			req.Header.Set("Authorization", "Bearer "+p.cfg.NextHopSecret)
+		}
+	} else {
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.Upstream+"/v1/update", bytes.NewReader(raw))
+		if err != nil {
+			return err
+		}
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeUpdate)
+	resp, err := p.httpc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return fmt.Errorf("proxy: downstream returned %s", resp.Status)
+	}
+	p.mu.Lock()
+	p.forwarded++
+	p.mu.Unlock()
+	return nil
+}
+
+// AttestHop performs the proxy-to-proxy attestation handshake: it fetches
+// the next hop's report, verifies it against the attestation authority and
+// expected measurement, and returns the pinned hop key for
+// ShardedConfig.NextHopKey. httpc may be nil for a default client.
+func AttestHop(ctx context.Context, nextHopURL string, httpc *http.Client, authority *ecdsa.PublicKey, measurement [32]byte) (*enclave.HopKey, error) {
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 60 * time.Second}
+	}
+	rep, nonce, err := fetchReport(ctx, httpc, nextHopURL)
+	if err != nil {
+		return nil, err
+	}
+	return enclave.TrustHop(rep, authority, measurement, nonce)
+}
+
+func (p *ShardedProxy) handleAttestation(w http.ResponseWriter, r *http.Request) {
+	serveAttestation(w, r, p.enclave, p.platform)
+}
+
+func (p *ShardedProxy) handleStatus(w http.ResponseWriter, r *http.Request) {
+	wire.WriteJSON(w, p.Status())
+}
+
+// Status snapshots the tier: global round progress plus per-shard mixers.
+// p.mu is held across the whole snapshot (lock order p.mu → mixer.mu, as
+// in ingest) so the per-shard counters are consistent with the global
+// round state — a concurrent round close cannot appear half-applied.
+func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	shards := make([]wire.ShardStatus, len(p.shards))
+	for s, m := range p.shards {
+		shards[s] = wire.ShardStatus{
+			Shard:    s,
+			K:        m.K(),
+			Buffered: m.Buffered(),
+			Received: m.Received(),
+			Emitted:  m.Emitted(),
+		}
+	}
+	st := p.enclave.Stats()
+	return wire.ShardedProxyStatus{
+		Shards:        shards,
+		Received:      p.received,
+		HopReceived:   p.hopReceived,
+		Forwarded:     p.forwarded,
+		Rounds:        p.rounds,
+		InRound:       p.inRound,
+		RoundSize:     p.cfg.RoundSize,
+		NextHop:       p.cfg.NextHop,
+		MaxHops:       p.cfg.MaxHops,
+		UpdateBytes:   p.updateBytes,
+		EnclaveUsed:   st.MemoryUsedBytes,
+		EnclavePeak:   st.MemoryPeakBytes,
+		EnclavePaging: st.PageEvents,
+		DecryptMillis: p.decryptT.meanMillisExact(),
+		ProcessMillis: p.processT.meanMillisExact(),
+	}
+}

@@ -1,0 +1,359 @@
+package proxy
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"mixnn/internal/enclave"
+	"mixnn/internal/nn"
+	"mixnn/internal/wire"
+)
+
+// shardedDeployment stands up an aggregation server fronted by a sharded
+// proxy tier over httptest.
+func shardedDeployment(t *testing.T, expect, k, shards int) (*AggServer, *ShardedProxy, string, string) {
+	t.Helper()
+	platform, encl := fixtures(t)
+
+	agg, err := NewAggServer(testArch().New(1).SnapshotParams(), expect)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggSrv := httptest.NewServer(agg.Handler())
+	t.Cleanup(aggSrv.Close)
+
+	px, err := NewSharded(ShardedConfig{
+		Upstream: aggSrv.URL, K: k, RoundSize: expect, Shards: shards, Seed: 42,
+	}, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxSrv := httptest.NewServer(px.Handler())
+	t.Cleanup(pxSrv.Close)
+
+	return agg, px, pxSrv.URL, aggSrv.URL
+}
+
+// sendRaw encrypts one update for the enclave and posts it directly,
+// optionally tagging the participant id (the Participant client does not
+// set HeaderClient).
+func sendRaw(t *testing.T, encl *enclave.Enclave, proxyURL, clientID string, ps nn.ParamSet) *http.Response {
+	t.Helper()
+	raw, err := nn.EncodeParamSet(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := enclave.Encrypt(encl.PublicKey(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, proxyURL+"/v1/update", bytes.NewReader(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeUpdate)
+	if clientID != "" {
+		req.Header.Set(wire.HeaderClient, clientID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestShardedProxyRoundClosure(t *testing.T) {
+	platform, encl := fixtures(t)
+	const clients, shards = 6, 2
+	agg, px, proxyURL, serverURL := shardedDeployment(t, clients, 2, shards)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	updates := make([]nn.ParamSet, clients)
+	for i := 0; i < clients; i++ {
+		p := NewParticipant(proxyURL, serverURL, nil)
+		if err := p.Attest(ctx, platform.AttestationPublicKey(), encl.Measurement()); err != nil {
+			t.Fatalf("participant %d attest: %v", i, err)
+		}
+		_, model, err := p.FetchModel(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := model.Clone()
+		u.Layers[0].Tensors[0].AddScalar(float64(i + 1))
+		updates[i] = u
+		if err := p.SendUpdate(ctx, u); err != nil {
+			t.Fatalf("participant %d send: %v", i, err)
+		}
+	}
+
+	if agg.Round() != 1 {
+		t.Fatalf("server round = %d, want 1", agg.Round())
+	}
+	want, err := nn.Average(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Global().ApproxEqual(want, 1e-9) {
+		t.Fatal("sharded mixing broke aggregation equivalence over the network")
+	}
+
+	st := px.Status()
+	if len(st.Shards) != shards {
+		t.Fatalf("status reports %d shards, want %d", len(st.Shards), shards)
+	}
+	if st.Received != clients || st.Forwarded != clients || st.Rounds != 1 || st.InRound != 0 {
+		t.Fatalf("status = %+v", st)
+	}
+	// Round-robin routing splits 6 updates evenly over 2 shards, and round
+	// close drains both buffers.
+	for _, sh := range st.Shards {
+		if sh.Received != clients/shards {
+			t.Fatalf("shard %d received %d, want %d", sh.Shard, sh.Received, clients/shards)
+		}
+		if sh.Buffered != 0 {
+			t.Fatalf("shard %d still buffers %d after round close", sh.Shard, sh.Buffered)
+		}
+		if sh.K != 2 {
+			t.Fatalf("shard %d k = %d, want 2", sh.Shard, sh.K)
+		}
+	}
+}
+
+func TestShardedProxyStickyClientRouting(t *testing.T) {
+	_, encl := fixtures(t)
+	_, px, proxyURL, _ := shardedDeployment(t, 8, 2, 4)
+
+	// The same client id must always land on the same shard.
+	ps := testArch().New(2).SnapshotParams()
+	var shard string
+	for i := 0; i < 3; i++ {
+		resp := sendRaw(t, encl, proxyURL, "client-42", ps)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("send %d: %s", i, resp.Status)
+		}
+		got := resp.Header.Get(wire.HeaderShard)
+		if got == "" {
+			t.Fatal("no shard header on response")
+		}
+		if shard == "" {
+			shard = got
+		} else if got != shard {
+			t.Fatalf("client-42 routed to shard %s then %s", shard, got)
+		}
+	}
+	if px.Status().Received != 3 {
+		t.Fatalf("received = %d, want 3", px.Status().Received)
+	}
+}
+
+func TestShardedProxyHopLimit(t *testing.T) {
+	_, encl := fixtures(t)
+	_, px, proxyURL, _ := shardedDeployment(t, 4, 2, 2)
+
+	raw, err := nn.EncodeParamSet(testArch().New(3).SnapshotParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := enclave.Encrypt(encl.PublicKey(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, proxyURL+"/v1/hop", bytes.NewReader(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(wire.HeaderHop, strconv.Itoa(DefaultMaxHops+1))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusLoopDetected {
+		t.Fatalf("over-deep hop returned %s, want 508", resp.Status)
+	}
+	if got := px.Status().HopReceived; got != 0 {
+		t.Fatalf("rejected hop still counted: %d", got)
+	}
+
+	// A malformed hop header is a plain bad request.
+	req, err = http.NewRequest(http.MethodPost, proxyURL+"/v1/hop", bytes.NewReader(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(wire.HeaderHop, "-3")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad hop header returned %s, want 400", resp.Status)
+	}
+
+	// Participants must not be able to forge cascade depth: any
+	// X-Mixnn-Hop on /v1/update is rejected outright.
+	req, err = http.NewRequest(http.MethodPost, proxyURL+"/v1/update", bytes.NewReader(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(wire.HeaderHop, "2")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forged hop header on /v1/update returned %s, want 400", resp.Status)
+	}
+}
+
+// TestShardedProxyConcurrentRequests is the shard router's race test: a
+// full round delivered from concurrent goroutines must still close with
+// exact aggregation equivalence.
+func TestShardedProxyConcurrentRequests(t *testing.T) {
+	_, encl := fixtures(t)
+	const clients, shards = 32, 4
+	agg, px, proxyURL, _ := shardedDeployment(t, clients, 4, shards)
+
+	base := testArch().New(1).SnapshotParams()
+	updates := make([]nn.ParamSet, clients)
+	for i := range updates {
+		u := base.Clone()
+		u.Layers[0].Tensors[0].AddScalar(float64(i + 1))
+		updates[i] = u
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := sendRaw(t, encl, proxyURL, fmt.Sprintf("client-%d", i), updates[i])
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted {
+				errs <- fmt.Errorf("participant %d: %s", i, resp.Status)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if agg.Round() != 1 {
+		t.Fatalf("server round = %d, want 1", agg.Round())
+	}
+	want, err := nn.Average(updates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !agg.Global().ApproxEqual(want, 1e-9) {
+		t.Fatal("concurrent sharded round broke aggregation equivalence")
+	}
+	st := px.Status()
+	if st.Received != clients || st.Forwarded != clients {
+		t.Fatalf("received %d forwarded %d, want %d each", st.Received, st.Forwarded, clients)
+	}
+}
+
+// TestCascadeHopWatermark: forwarded depth must be one past the highest
+// incoming depth of the round, not the triggering request's depth —
+// otherwise a proxy cycle would reset the counter each round and the
+// MaxHops guard would never fire.
+func TestCascadeHopWatermark(t *testing.T) {
+	platform, encl := fixtures(t)
+
+	var (
+		mu   sync.Mutex
+		hops []string
+	)
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		hops = append(hops, r.Header.Get(wire.HeaderHop))
+		mu.Unlock()
+		w.WriteHeader(http.StatusAccepted)
+	}))
+	t.Cleanup(stub.Close)
+
+	px, err := NewSharded(ShardedConfig{
+		NextHop: stub.URL, NextHopKey: enclave.PinnedHop(encl.PublicKey(), encl.Measurement()),
+		K: 2, RoundSize: 4, Shards: 2, Seed: 42,
+	}, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pxSrv := httptest.NewServer(px.Handler())
+	t.Cleanup(pxSrv.Close)
+
+	raw, err := nn.EncodeParamSet(testArch().New(4).SnapshotParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := enclave.Encrypt(encl.PublicKey(), raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three participant updates (depth 0) and one cascade update at
+	// depth 2 close the round; every forward must be stamped 3.
+	for i := 0; i < 3; i++ {
+		resp := sendRaw(t, encl, pxSrv.URL, "", testArch().New(4).SnapshotParams())
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("participant update %d: %s", i, resp.Status)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, pxSrv.URL+"/v1/hop", bytes.NewReader(ct))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(wire.HeaderHop, "2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("hop update: %s", resp.Status)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(hops) != 4 {
+		t.Fatalf("next hop saw %d forwards, want 4", len(hops))
+	}
+	for i, h := range hops {
+		if h != "3" {
+			t.Fatalf("forward %d stamped hop %q, want 3 (watermark 2 + 1)", i, h)
+		}
+	}
+}
+
+func TestNewShardedValidation(t *testing.T) {
+	platform, encl := fixtures(t)
+	cases := []ShardedConfig{
+		{},                     // no upstream, no next hop
+		{Upstream: "http://x"}, // no round size
+		{Upstream: "http://x", RoundSize: 2, Shards: 3}, // shards > round size
+		{NextHop: "http://next", RoundSize: 4},          // next hop without key
+	}
+	for i, cfg := range cases {
+		if _, err := NewSharded(cfg, encl, platform); err == nil {
+			t.Fatalf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+	if _, err := NewSharded(ShardedConfig{Upstream: "http://x", RoundSize: 4}, nil, nil); err == nil {
+		t.Fatal("nil enclave accepted")
+	}
+}

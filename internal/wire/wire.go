@@ -5,11 +5,15 @@
 // Endpoints (all bodies are binary unless noted):
 //
 //	POST {proxy}/v1/update        encrypted update (enclave hybrid ciphertext)
+//	POST {proxy}/v1/hop           re-encrypted mixed update from an upstream
+//	                              proxy (cascade mode); X-Mixnn-Hop header
+//	                              carries the hop depth
 //	POST {server}/v1/update       plaintext encoded ParamSet (from the proxy)
 //	GET  {server}/v1/model        current global model; X-Mixnn-Round header
 //	GET  {server}/v1/status       JSON ServerStatus
 //	GET  {proxy}/v1/attestation   JSON AttestationResponse (nonce query param)
-//	GET  {proxy}/v1/status        JSON ProxyStatus
+//	GET  {proxy}/v1/status        JSON ProxyStatus (sharded proxies serve
+//	                              ShardedProxyStatus)
 package wire
 
 import (
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 )
 
 // Header names. Go canonicalises header keys, so these are the canonical
@@ -24,7 +29,30 @@ import (
 const (
 	HeaderRound  = "X-Mixnn-Round"
 	HeaderClient = "X-Mixnn-Client"
+	// HeaderHop carries the cascade depth of an inter-proxy update: the
+	// first mixing proxy forwards with hop 1, the next with hop 2, and so
+	// on. Proxies reject updates whose hop exceeds their configured bound,
+	// which breaks forwarding loops.
+	HeaderHop = "X-Mixnn-Hop"
+	// HeaderShard reports, on proxy responses, which shard ingested the
+	// update (diagnostics only; it reveals nothing beyond arrival order).
+	HeaderShard = "X-Mixnn-Shard"
 )
+
+// ParseHop extracts the cascade depth from a request's HeaderHop value.
+// A missing header means depth 0 (a participant update). Negative or
+// non-numeric values are rejected.
+func ParseHop(h http.Header) (int, error) {
+	v := h.Get(HeaderHop)
+	if v == "" {
+		return 0, nil
+	}
+	hop, err := strconv.Atoi(v)
+	if err != nil || hop < 0 {
+		return 0, fmt.Errorf("wire: invalid %s header %q", HeaderHop, v)
+	}
+	return hop, nil
+}
 
 // ContentTypeUpdate is the content type of binary model updates.
 const ContentTypeUpdate = "application/x-mixnn-update"
@@ -64,6 +92,35 @@ type ProxyStatus struct {
 	StoreMillis   float64 `json:"store_ms_mean"`
 	MixMillis     float64 `json:"mix_ms_mean"`
 	ProcessMillis float64 `json:"process_ms_mean"`
+}
+
+// ShardStatus reports one mixing shard inside a sharded proxy.
+type ShardStatus struct {
+	Shard    int `json:"shard"`
+	K        int `json:"k"`
+	Buffered int `json:"buffered"`
+	Received int `json:"received"`
+	Emitted  int `json:"emitted"`
+}
+
+// ShardedProxyStatus reports a sharded proxy tier: global round progress,
+// cascade wiring and the per-shard mixer states.
+type ShardedProxyStatus struct {
+	Shards        []ShardStatus `json:"shards"`
+	Received      int           `json:"received"`
+	HopReceived   int           `json:"hop_received"`
+	Forwarded     int           `json:"forwarded"`
+	Rounds        int           `json:"rounds"`
+	InRound       int           `json:"in_round"`
+	RoundSize     int           `json:"round_size"`
+	NextHop       string        `json:"next_hop,omitempty"`
+	MaxHops       int           `json:"max_hops"`
+	UpdateBytes   int           `json:"update_bytes"`
+	EnclaveUsed   int           `json:"enclave_used_bytes"`
+	EnclavePeak   int           `json:"enclave_peak_bytes"`
+	EnclavePaging int           `json:"enclave_page_events"`
+	DecryptMillis float64       `json:"decrypt_ms_mean"`
+	ProcessMillis float64       `json:"process_ms_mean"`
 }
 
 // ReadBody reads an entire request/response body with the standard bound,

@@ -1,7 +1,9 @@
 package wire
 
 import (
+	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -36,5 +38,25 @@ func TestDecodeJSONRejectsGarbage(t *testing.T) {
 	var out ServerStatus
 	if err := DecodeJSON(strings.NewReader("{not json"), &out); err == nil {
 		t.Fatal("garbage accepted")
+	}
+}
+
+func TestParseHop(t *testing.T) {
+	h := http.Header{}
+	if hop, err := ParseHop(h); err != nil || hop != 0 {
+		t.Fatalf("missing header: hop=%d err=%v, want 0, nil", hop, err)
+	}
+	for _, want := range []int{0, 1, 7} {
+		h.Set(HeaderHop, strconv.Itoa(want))
+		hop, err := ParseHop(h)
+		if err != nil || hop != want {
+			t.Fatalf("hop %d: got %d, %v", want, hop, err)
+		}
+	}
+	for _, bad := range []string{"-1", "x", "1.5"} {
+		h.Set(HeaderHop, bad)
+		if _, err := ParseHop(h); err == nil {
+			t.Fatalf("hop %q accepted", bad)
+		}
 	}
 }

@@ -89,8 +89,17 @@ type (
 	Enclave = enclave.Enclave
 	// Platform is the simulated host (fuse secret + attestation).
 	Platform = enclave.Platform
-	// Proxy is the HTTP MixNN proxy.
+	// Proxy is the HTTP MixNN proxy (single mixer).
 	Proxy = proxy.Proxy
+	// ShardedProxy is the horizontally-scaled mixing tier: P independent
+	// mixer shards behind one endpoint, optionally cascaded to a next-hop
+	// proxy with per-hop re-encryption.
+	ShardedProxy = proxy.ShardedProxy
+	// ShardedProxyConfig parameterises a ShardedProxy.
+	ShardedProxyConfig = proxy.ShardedConfig
+	// HopKey is the attested key material one cascade hop holds for the
+	// next.
+	HopKey = enclave.HopKey
 	// AggServer is the HTTP aggregation server.
 	AggServer = proxy.AggServer
 	// ParticipantClient is the participant-side transport (attest,
@@ -131,6 +140,10 @@ func MixNNArm() Arm { return Arm{Key: "mixnn", Transform: core.Transform{}} }
 
 // MixNNStreamArm returns the streaming k-buffer MixNN arm (§4.3).
 func MixNNStreamArm(k int) Arm { return experiment.StreamArm(k) }
+
+// MixNNShardedArm returns the sharded mixing-tier arm: P independent
+// k-buffer stream mixers over a round-robin partition of each round.
+func MixNNShardedArm(k, shards int) Arm { return experiment.ShardedStreamArm(k, shards) }
 
 // NoisyArm returns the noisy-gradient baseline with the given sigma
 // (0 = the paper's N(0,1)).
