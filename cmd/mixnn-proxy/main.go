@@ -16,19 +16,35 @@
 //	mixnn-proxy -listen :8442 -round-size 8 -k 4 -trust-out hop.json
 //	mixnn-proxy -listen :8441 -round-size 8 -k 4 -shards 2 \
 //	    -next-hop http://localhost:8442 -next-hop-trust hop.json
+//
+// Crash/restart durability: with -state-file the proxy seals its whole
+// tier (every shard's buffered layers + the round ledger) on SIGINT or
+// SIGTERM and restores it at the next start, so a mid-round restart
+// loses no participant material. The sealed blob is shard-aware: the
+// restarted proxy may run a different -shards count and the buffered
+// round is resharded on restore. Sealing keys derive from the platform
+// fuse secret, so -state-file requires -fuse-file (and restoring needs
+// the same -identity):
+//
+//	mixnn-proxy -listen :8441 -round-size 8 -k 4 -shards 2 \
+//	    -state-file proxy.state -fuse-file proxy.fuse
 package main
 
 import (
 	"context"
 	"crypto/ecdsa"
+	"crypto/rand"
 	"crypto/x509"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mixnn/internal/enclave"
@@ -66,13 +82,21 @@ func run(args []string) error {
 		constMs      = fs.Int("const-ms", 0, "constant per-update processing time in ms (side-channel hardening; 0 = off)")
 		identity     = fs.String("identity", "mixnn-proxy-v1", "enclave code identity (measured)")
 		trustOut     = fs.String("trust-out", "trust.json", "file to write the participant trust bundle to")
+		stateFile    = fs.String("state-file", "", "sealed tier state: restored at startup if present, written on SIGINT/SIGTERM")
+		fuseFile     = fs.String("fuse-file", "", "platform fuse-secret file (created if missing); required for -state-file restores across process restarts")
 		seed         = fs.Int64("seed", time.Now().UnixNano(), "mixing randomness seed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *stateFile != "" && *fuseFile == "" {
+		// Without a persisted fuse secret the next process draws a fresh
+		// one, the sealed blob can never be unsealed, and startup fails —
+		// sealing unrecoverable state is strictly worse than not sealing.
+		return fmt.Errorf("-state-file requires -fuse-file (a sealed blob is only restorable under the same fuse secret)")
+	}
 
-	platform, err := enclave.NewPlatform()
+	platform, err := loadPlatform(*fuseFile)
 	if err != nil {
 		return err
 	}
@@ -112,6 +136,32 @@ func run(args []string) error {
 		return err
 	}
 
+	if *stateFile != "" {
+		blob, err := os.ReadFile(*stateFile)
+		switch {
+		case errors.Is(err, os.ErrNotExist):
+			log.Printf("mixnn-proxy: no sealed state at %s, starting fresh", *stateFile)
+		case err != nil:
+			return fmt.Errorf("read sealed state: %w", err)
+		default:
+			if err := px.RestoreState(blob); err != nil {
+				return fmt.Errorf("restore sealed state: %w", err)
+			}
+			// Consume the blob: once restored, its material flows onward,
+			// and replaying it after a later hard crash (no fresh seal)
+			// would double-count already-forwarded updates upstream.
+			// Rename rather than delete so a startup failure between here
+			// and serving (port in use, trust-bundle write) doesn't lose
+			// the round — the operator can move the .restored file back.
+			if err := os.Rename(*stateFile, *stateFile+".restored"); err != nil {
+				return fmt.Errorf("consume state file: %w", err)
+			}
+			st := px.Status()
+			log.Printf("mixnn-proxy: restored sealed state (sealed at %d shards, now %d; %d updates into the round)",
+				st.RestoredFrom, *shards, st.InRound)
+		}
+	}
+
 	authDER, err := x509.MarshalPKIXPublicKey(platform.AttestationPublicKey())
 	if err != nil {
 		return fmt.Errorf("marshal authority key: %w", err)
@@ -141,7 +191,83 @@ func run(args []string) error {
 		Handler:           px.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	return srv.ListenAndServe()
+	if *stateFile == "" {
+		return srv.ListenAndServe()
+	}
+
+	// With durable state configured, catch SIGINT/SIGTERM, seal the tier
+	// to the state file and drain in-flight requests before exiting.
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		log.Printf("mixnn-proxy: %v: sealing tier state to %s", sig, *stateFile)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr := srv.Shutdown(ctx)
+		if shutdownErr != nil {
+			// Graceful drain timed out with handlers still in flight.
+			// Force-close their connections BEFORE sealing so no handler
+			// can acknowledge an update after the snapshot (acknowledged
+			// material in neither the blob nor upstream would be silently
+			// lost). This is best-effort, not exactly-once: an unacked
+			// update that made it into the snapshot is duplicated if the
+			// client retries, and round-drained material still mid-forward
+			// when the process exits is lost — closing the latter gap
+			// needs the sealed-outbox item on the ROADMAP. The graceful
+			// path (Shutdown returning nil) has neither problem.
+			srv.Close()
+		}
+		blob, err := px.SealState()
+		if err != nil {
+			return fmt.Errorf("seal tier state: %w", err)
+		}
+		// Temp-file + rename so a crash or full disk mid-write cannot
+		// leave a truncated blob where a good one (or nothing) was.
+		tmp := *stateFile + ".tmp"
+		if err := os.WriteFile(tmp, blob, 0o600); err != nil {
+			return fmt.Errorf("write sealed state: %w", err)
+		}
+		if err := os.Rename(tmp, *stateFile); err != nil {
+			return fmt.Errorf("commit sealed state: %w", err)
+		}
+		st := px.Status()
+		log.Printf("mixnn-proxy: sealed %d-shard tier (%d updates into the round)", len(st.Shards), st.InRound)
+		return shutdownErr
+	}
+}
+
+// loadPlatform builds the simulated SGX platform. With a fuse file the
+// fuse secret persists across process restarts — the simulation of
+// permanent CPU fuses — which is what lets a restarted proxy unseal the
+// state a previous run sealed. Without one the secret is ephemeral.
+func loadPlatform(fuseFile string) (*enclave.Platform, error) {
+	if fuseFile == "" {
+		return enclave.NewPlatform()
+	}
+	var fuse [32]byte
+	raw, err := os.ReadFile(fuseFile)
+	switch {
+	case errors.Is(err, os.ErrNotExist):
+		if _, err := rand.Read(fuse[:]); err != nil {
+			return nil, fmt.Errorf("draw fuse secret: %w", err)
+		}
+		if err := os.WriteFile(fuseFile, fuse[:], 0o600); err != nil {
+			return nil, fmt.Errorf("write fuse file: %w", err)
+		}
+		log.Printf("mixnn-proxy: new fuse secret written to %s", fuseFile)
+	case err != nil:
+		return nil, fmt.Errorf("read fuse file: %w", err)
+	case len(raw) != len(fuse):
+		return nil, fmt.Errorf("fuse file %s holds %d bytes, want %d", fuseFile, len(raw), len(fuse))
+	default:
+		copy(fuse[:], raw)
+	}
+	return enclave.NewPlatformWithFuse(fuse)
 }
 
 // pinNextHop loads the next hop's trust bundle and runs the proxy-to-proxy

@@ -7,41 +7,56 @@ import (
 	"mixnn/internal/nn"
 )
 
-// FuzzStreamMixerState feeds arbitrary bytes to the state restorer: it must
-// reject garbage without panicking (the blob crosses the sealing boundary,
-// so a compromised host could feed anything).
-func FuzzStreamMixerState(f *testing.F) {
+// FuzzShardedStateRestore feeds arbitrary bytes to the tier-state
+// restorer: it must reject garbage without panicking (the blob crosses
+// the sealing boundary, so a compromised host could feed anything).
+func FuzzShardedStateRestore(f *testing.F) {
 	rng := rand.New(rand.NewSource(1))
-	m, err := NewStreamMixer(3, rng)
-	if err != nil {
-		f.Fatal(err)
+	mixers := make([]*StreamMixer, 2)
+	for s := range mixers {
+		m, err := NewStreamMixer(3, rand.New(rand.NewSource(int64(s))))
+		if err != nil {
+			f.Fatal(err)
+		}
+		mixers[s] = m
 	}
-	for _, u := range makeUpdates(2, 2, rng) {
-		if _, err := m.Add(u); err != nil {
+	for i, u := range makeUpdates(3, 2, rng) {
+		if _, err := mixers[i%2].Add(u); err != nil {
 			f.Fatal(err)
 		}
 	}
-	blob, err := m.MarshalBinary()
+	blob, err := SealShardedState(mixers, ShardedStateMeta{Routing: RoutingHashRR, InRound: 3}, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
 	f.Add(blob)
-	f.Add([]byte("MXST"))
+	f.Add([]byte("MXSH"))
 	f.Add([]byte{})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		fresh, err := NewStreamMixer(3, rand.New(rand.NewSource(2)))
-		if err != nil {
-			t.Fatal(err)
+		fresh := make([]*StreamMixer, 2)
+		for s := range fresh {
+			m, err := NewStreamMixer(3, rand.New(rand.NewSource(int64(10+s))))
+			if err != nil {
+				t.Fatal(err)
+			}
+			fresh[s] = m
 		}
-		if err := fresh.UnmarshalBinary(data); err != nil {
+		if _, err := RestoreShardedState(data, fresh, nil); err != nil {
 			return
 		}
-		// Anything accepted must leave the mixer usable.
-		if fresh.Buffered() > fresh.K() {
-			t.Fatalf("restored buffer %d exceeds k %d", fresh.Buffered(), fresh.K())
+		// Anything accepted must leave the tier usable and conservative:
+		// drained output count equals the restored buffer.
+		buffered, drained := 0, 0
+		for _, m := range fresh {
+			buffered += m.Buffered()
 		}
-		_ = fresh.Drain()
+		for _, m := range fresh {
+			drained += len(m.Drain())
+		}
+		if drained != buffered {
+			t.Fatalf("restored tier drained %d of %d buffered", drained, buffered)
+		}
 	})
 }
 
@@ -58,7 +73,6 @@ func FuzzShardedAggregationEquivalence(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, cRaw, pRaw, gRaw uint8, seed int64) {
 		c := int(cRaw)%64 + 1
-		shardChoices := []int{1, 2, 4}
 		p := shardChoices[int(pRaw)%len(shardChoices)]
 		granularities := []Granularity{GranularityLayer, GranularityTensor, GranularityModel}
 		g := granularities[int(gRaw)%len(granularities)]
@@ -92,5 +106,99 @@ func FuzzShardedAggregationEquivalence(f *testing.F) {
 		// the same C × P grid with a k that exercises emit-then-drain.
 		stream, err := ShardedStreamTransform{K: 2, Shards: p}.Apply(updates, rng)
 		check("sharded stream", stream, err)
+	})
+}
+
+// shardChoices is the P/P′ grid both shard-aware fuzz targets sweep.
+var shardChoices = []int{1, 2, 4}
+
+// FuzzSealRestoreRoundtrip is the crash-restart property test, the
+// durable-state sibling of FuzzShardedAggregationEquivalence: for every
+// buffer granularity k, shard count P and restore shard count P′ over
+// {1, 2, 4}, sealing a P-shard tier after an arbitrary prefix of the
+// round and restoring into a fresh P′-shard tier must leave the finished
+// round's layer-wise mean equal to the mean of all C inputs within 1e-9
+// — material is neither lost nor double-counted across the crash, even
+// when the blob reshards on restore.
+func FuzzSealRestoreRoundtrip(f *testing.F) {
+	f.Add(uint8(8), uint8(4), uint8(1), uint8(2), uint8(2), int64(1))
+	f.Add(uint8(13), uint8(6), uint8(2), uint8(0), uint8(1), int64(2))
+	f.Add(uint8(64), uint8(33), uint8(2), uint8(1), uint8(3), int64(3))
+	f.Add(uint8(6), uint8(5), uint8(0), uint8(2), uint8(0), int64(4))
+
+	f.Fuzz(func(t *testing.T, cRaw, splitRaw, pRaw, pPrimeRaw, kRaw uint8, seed int64) {
+		c := int(cRaw)%64 + 1
+		split := int(splitRaw) % (c + 1) // seal after split ∈ [0, c] updates
+		p := shardChoices[int(pRaw)%len(shardChoices)]
+		pPrime := shardChoices[int(pPrimeRaw)%len(shardChoices)]
+		k := int(kRaw)%4 + 1
+
+		rng := rand.New(rand.NewSource(seed))
+		updates := makeUpdates(c, 3, rng)
+		before, err := nn.Average(updates)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		tier := make([]*StreamMixer, p)
+		for s := range tier {
+			if tier[s], err = NewStreamMixer(k, rand.New(rand.NewSource(seed+int64(s)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var emitted []nn.ParamSet
+		for i, u := range updates[:split] {
+			out, err := tier[i%p].Add(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != nil {
+				emitted = append(emitted, *out)
+			}
+		}
+
+		blob, err := SealShardedState(tier, ShardedStateMeta{
+			Routing: RoutingHashRR, RRCursor: split, InRound: split, Received: split,
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored := make([]*StreamMixer, pPrime)
+		for s := range restored {
+			if restored[s], err = NewStreamMixer(k, rand.New(rand.NewSource(seed+100+int64(s)))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		meta, err := RestoreShardedState(blob, restored, nil)
+		if err != nil {
+			t.Fatalf("C=%d split=%d P=%d P'=%d k=%d: restore: %v", c, split, p, pPrime, k, err)
+		}
+		if meta.SealedShards != p || meta.InRound != split {
+			t.Fatalf("meta = %+v, want SealedShards=%d InRound=%d", meta, p, split)
+		}
+
+		// The remaining clients finish the round on the restored tier.
+		for i, u := range updates[split:] {
+			out, err := restored[i%pPrime].Add(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out != nil {
+				emitted = append(emitted, *out)
+			}
+		}
+		for _, m := range restored {
+			emitted = append(emitted, m.Drain()...)
+		}
+		if len(emitted) != c {
+			t.Fatalf("C=%d split=%d P=%d P'=%d k=%d: round emitted %d updates", c, split, p, pPrime, k, len(emitted))
+		}
+		after, err := nn.Average(emitted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !before.ApproxEqual(after, 1e-9) {
+			t.Fatalf("C=%d split=%d P=%d P'=%d k=%d: seal/restore changed the aggregate", c, split, p, pPrime, k)
+		}
 	})
 }

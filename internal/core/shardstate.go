@@ -1,0 +1,349 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"mixnn/internal/nn"
+)
+
+// Shard-aware durable state for a whole mixing tier. Where state.go
+// snapshots ONE StreamMixer, this file snapshots every shard of a tier
+// plus the routing metadata and round ledger that make the snapshot
+// restorable — including into a tier with a DIFFERENT shard count
+// (resharding on restore).
+//
+// Binary layout (little-endian), versioned so the format can evolve:
+//
+//	magic    [4]byte "MXSH"
+//	version  uint32 (currently 1)
+//	shards   uint32 P at seal time
+//	routing  uint8  RoutingMode tag
+//	rr       uint32 round-robin routing cursor
+//	inRound  uint32 updates received in the open round
+//	rounds   uint32 completed rounds
+//	hopMark  uint32 round hop-depth watermark
+//	received, hopReceived, forwarded uint64 (tier ledger)
+//	per shard: sectionLen uint32, section bytes
+//
+// Each shard section holds that shard's buffered material as complete
+// pseudo-updates (one ParamSet assembled from slot j of every per-layer
+// list). Because a mixer's lists always have equal length, slot-major
+// regrouping is lossless, and because the §4.2 equivalence theorem only
+// depends on the multiset of buffered layers, the pseudo-updates can be
+// redistributed over any number of fresh mixers without changing the
+// layer-wise aggregate — that is what makes restore reshard-safe.
+//
+// Sections pass through SealSectionFunc/OpenSectionFunc so the proxy can
+// encrypt each shard's material under a per-shard derived sealing key
+// (enclave.SealLabeled); core itself stays crypto-free and tests run on
+// plaintext sections (nil funcs).
+//
+// Section layout: entries uint32, then one ParamSet encoding per entry.
+const (
+	shardedStateMagic = "MXSH"
+
+	// ShardedStateVersion is the current seal-blob format version;
+	// RestoreShardedState rejects blobs from other versions.
+	ShardedStateVersion = 1
+
+	// maxSealedShards bounds the shard count a blob may claim (the blob
+	// crosses the sealing boundary, so parse limits guard allocations).
+	maxSealedShards = 1 << 12
+	// maxSectionBytes bounds one shard section.
+	maxSectionBytes = 512 << 20
+	// maxSectionEntries bounds the buffered pseudo-updates per section.
+	maxSectionEntries = 1 << 20
+)
+
+// RoutingMode tags how a tier routed updates to shards when it was
+// sealed. It travels in the blob so a restoring tier can refuse state it
+// would route differently.
+type RoutingMode uint8
+
+// RoutingHashRR is the only mode the tier currently implements: stable
+// FNV client-hash routing with round-robin fallback for anonymous
+// participants.
+const RoutingHashRR RoutingMode = 1
+
+// SealSectionFunc seals one shard's plaintext section (e.g. under a
+// per-shard derived enclave key). A nil func stores sections as-is.
+type SealSectionFunc func(shard int, plain []byte) ([]byte, error)
+
+// OpenSectionFunc reverses SealSectionFunc for the shard index recorded
+// at seal time.
+type OpenSectionFunc func(shard int, sealed []byte) ([]byte, error)
+
+// ShardedStateMeta is the routing metadata and round ledger sealed next
+// to the shard buffers.
+type ShardedStateMeta struct {
+	// SealedShards is the shard count P of the tier that produced the
+	// blob. It is an output of RestoreShardedState (ignored on seal,
+	// where it is taken from the mixer slice).
+	SealedShards int
+	// Routing is the tier's shard-routing mode.
+	Routing RoutingMode
+	// RRCursor is the round-robin routing cursor; a restoring tier
+	// reduces it modulo its own shard count.
+	RRCursor int
+	// InRound counts updates received in the open round.
+	InRound int
+	// Rounds counts completed rounds.
+	Rounds int
+	// HopMark is the open round's cascade-depth watermark.
+	HopMark int
+	// Received, HopReceived and Forwarded are the tier's lifetime
+	// ingress/egress ledger.
+	Received    int
+	HopReceived int
+	Forwarded   int
+}
+
+// snapshotEntries exports the mixer's buffered contents as complete
+// pseudo-updates: entry j holds slot j of every per-layer list. The
+// returned ParamSets alias the buffered tensors (which are never mutated
+// in place), so the caller may encode them without holding the lock.
+func (m *StreamMixer) snapshotEntries() []nn.ParamSet {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]nn.ParamSet, m.buffered)
+	for j := range out {
+		ps := nn.ParamSet{Layers: make([]nn.LayerParams, len(m.lists))}
+		for li := range m.lists {
+			ps.Layers[li] = m.lists[li][j]
+		}
+		out[j] = ps
+	}
+	return out
+}
+
+// restoreEntry files one restored pseudo-update into the mixer. Unlike
+// Add it never emits, and it may push the buffer PAST k: a blob sealed
+// from a tier with more total capacity legitimately restores into fewer
+// (or smaller) mixers. An over-full mixer stays conservative — every
+// subsequent Add swap-emits exactly one update and the round-close Drain
+// empties whatever remains — so aggregation equivalence is unaffected;
+// the extra occupancy only widens that shard's anonymity set.
+func (m *StreamMixer) restoreEntry(u nn.ParamSet) error {
+	if len(u.Layers) == 0 {
+		return fmt.Errorf("core: restore of empty update")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.lists == nil {
+		if m.received != 0 {
+			return fmt.Errorf("core: restoreEntry on a non-fresh mixer")
+		}
+		m.template = u
+		m.lists = make([][]nn.LayerParams, len(u.Layers))
+		for i := range m.lists {
+			m.lists[i] = make([]nn.LayerParams, 0, m.k)
+		}
+	} else if !m.template.Compatible(u) {
+		return fmt.Errorf("core: restored update incompatible with mixer model structure")
+	}
+	for li, lp := range u.Layers {
+		m.lists[li] = append(m.lists[li], lp)
+	}
+	m.buffered++
+	m.received++
+	return nil
+}
+
+// marshalSection encodes one shard's buffered pseudo-updates.
+func marshalSection(entries []nn.ParamSet) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(entries))); err != nil {
+		return nil, err
+	}
+	for i, e := range entries {
+		if err := nn.WriteParamSet(&buf, e); err != nil {
+			return nil, fmt.Errorf("core: marshal shard entry %d: %w", i, err)
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// unmarshalSection decodes one shard section back into pseudo-updates.
+func unmarshalSection(data []byte) ([]nn.ParamSet, error) {
+	r := bytes.NewReader(data)
+	var n uint32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, fmt.Errorf("core: read section entry count: %w", err)
+	}
+	if n > maxSectionEntries {
+		return nil, fmt.Errorf("core: section entry count %d exceeds limit", n)
+	}
+	entries := make([]nn.ParamSet, 0, n)
+	for i := uint32(0); i < n; i++ {
+		ps, err := nn.ReadParamSet(r)
+		if err != nil {
+			return nil, fmt.Errorf("core: read section entry %d: %w", i, err)
+		}
+		entries = append(entries, ps)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("core: %d trailing bytes after section entries", r.Len())
+	}
+	return entries, nil
+}
+
+// SealShardedState exports a whole tier — every shard's buffered layers
+// plus routing metadata and the round ledger — as one versioned blob.
+// The name mirrors the proxy operation the blob exists for: the caller
+// (the enclave-hosted proxy) wraps the result with its sealing key; seal,
+// when non-nil, additionally protects each shard section individually.
+func SealShardedState(shards []*StreamMixer, meta ShardedStateMeta, seal SealSectionFunc) ([]byte, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("core: seal of zero shards")
+	}
+	if len(shards) > maxSealedShards {
+		return nil, fmt.Errorf("core: seal of %d shards exceeds limit %d", len(shards), maxSealedShards)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(shardedStateMagic)
+	for _, v := range []uint32{ShardedStateVersion, uint32(len(shards))} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+		}
+	}
+	buf.WriteByte(byte(meta.Routing))
+	for _, v := range []int{meta.RRCursor, meta.InRound, meta.Rounds, meta.HopMark} {
+		if v < 0 {
+			return nil, fmt.Errorf("core: negative ledger field %d", v)
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(v)); err != nil {
+			return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+		}
+	}
+	for _, v := range []int{meta.Received, meta.HopReceived, meta.Forwarded} {
+		if v < 0 {
+			return nil, fmt.Errorf("core: negative ledger field %d", v)
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, uint64(v)); err != nil {
+			return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+		}
+	}
+	for s, m := range shards {
+		section, err := marshalSection(m.snapshotEntries())
+		if err != nil {
+			return nil, fmt.Errorf("core: shard %d: %w", s, err)
+		}
+		if seal != nil {
+			if section, err = seal(s, section); err != nil {
+				return nil, fmt.Errorf("core: seal shard %d section: %w", s, err)
+			}
+		}
+		if len(section) > maxSectionBytes {
+			return nil, fmt.Errorf("core: shard %d section exceeds %d bytes", s, maxSectionBytes)
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(len(section))); err != nil {
+			return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+		}
+		buf.Write(section)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreShardedState loads a SealShardedState blob into a tier of fresh
+// mixers. The target shard count may differ from the sealed one: buffered
+// pseudo-updates are redistributed round-robin across the new shards, so
+// a P-shard blob restores into a P′-shard tier with the layer-wise
+// aggregate of the eventual round unchanged. open must reverse the
+// SealSectionFunc used at seal time (nil for plaintext sections). The
+// returned meta carries the sealed tier's ledger and its original shard
+// count in SealedShards.
+func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFunc) (ShardedStateMeta, error) {
+	var meta ShardedStateMeta
+	if len(shards) == 0 {
+		return meta, fmt.Errorf("core: restore into zero shards")
+	}
+	for s, m := range shards {
+		if m.Received() != 0 || m.Buffered() != 0 {
+			return meta, fmt.Errorf("core: restore into non-fresh mixer (shard %d)", s)
+		}
+	}
+	r := bytes.NewReader(blob)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return meta, fmt.Errorf("core: read sharded state magic: %w", err)
+	}
+	if string(magic[:]) != shardedStateMagic {
+		return meta, fmt.Errorf("core: bad sharded state magic %q", magic)
+	}
+	var version, sealedShards uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return meta, fmt.Errorf("core: read version: %w", err)
+	}
+	if version != ShardedStateVersion {
+		return meta, fmt.Errorf("core: sharded state version %d, want %d", version, ShardedStateVersion)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &sealedShards); err != nil {
+		return meta, fmt.Errorf("core: read shard count: %w", err)
+	}
+	if sealedShards == 0 || sealedShards > maxSealedShards {
+		return meta, fmt.Errorf("core: sealed shard count %d out of range", sealedShards)
+	}
+	meta.SealedShards = int(sealedShards)
+	routing, err := r.ReadByte()
+	if err != nil {
+		return meta, fmt.Errorf("core: read routing mode: %w", err)
+	}
+	meta.Routing = RoutingMode(routing)
+	for _, dst := range []*int{&meta.RRCursor, &meta.InRound, &meta.Rounds, &meta.HopMark} {
+		var v uint32
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return meta, fmt.Errorf("core: read ledger: %w", err)
+		}
+		*dst = int(v)
+	}
+	for _, dst := range []*int{&meta.Received, &meta.HopReceived, &meta.Forwarded} {
+		var v uint64
+		if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+			return meta, fmt.Errorf("core: read ledger: %w", err)
+		}
+		*dst = int(v)
+	}
+	// Collect every sealed shard's pseudo-updates, then deal them
+	// round-robin over the (possibly different-sized) target tier.
+	var entries []nn.ParamSet
+	for s := 0; s < meta.SealedShards; s++ {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return meta, fmt.Errorf("core: read shard %d section length: %w", s, err)
+		}
+		if n > maxSectionBytes {
+			return meta, fmt.Errorf("core: shard %d section length %d exceeds limit", s, n)
+		}
+		// Bound by the bytes actually present before allocating: a forged
+		// header must not buy a 512 MiB allocation against a tiny blob.
+		if int(n) > r.Len() {
+			return meta, fmt.Errorf("core: shard %d section length %d exceeds %d remaining bytes", s, n, r.Len())
+		}
+		section := make([]byte, n)
+		if _, err := io.ReadFull(r, section); err != nil {
+			return meta, fmt.Errorf("core: read shard %d section: %w", s, err)
+		}
+		if open != nil {
+			if section, err = open(s, section); err != nil {
+				return meta, fmt.Errorf("core: open shard %d section: %w", s, err)
+			}
+		}
+		got, err := unmarshalSection(section)
+		if err != nil {
+			return meta, fmt.Errorf("core: shard %d: %w", s, err)
+		}
+		entries = append(entries, got...)
+	}
+	if r.Len() != 0 {
+		return meta, fmt.Errorf("core: %d trailing bytes after sharded state", r.Len())
+	}
+	for i, e := range entries {
+		if err := shards[i%len(shards)].restoreEntry(e); err != nil {
+			return meta, fmt.Errorf("core: restore entry %d: %w", i, err)
+		}
+	}
+	return meta, nil
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"mixnn/internal/nn"
+)
+
+// newTier builds p fresh mixers with capacity k each.
+func newTier(t testing.TB, p, k int) []*StreamMixer {
+	t.Helper()
+	tier := make([]*StreamMixer, p)
+	for s := range tier {
+		m, err := NewStreamMixer(k, rand.New(rand.NewSource(int64(100+s))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tier[s] = m
+	}
+	return tier
+}
+
+// feedTier routes updates round-robin into the tier and collects whatever
+// the mixers emit.
+func feedTier(t testing.TB, tier []*StreamMixer, updates []nn.ParamSet) []nn.ParamSet {
+	t.Helper()
+	var out []nn.ParamSet
+	for i, u := range updates {
+		mixed, err := tier[i%len(tier)].Add(u)
+		if err != nil {
+			t.Fatalf("add %d: %v", i, err)
+		}
+		if mixed != nil {
+			out = append(out, *mixed)
+		}
+	}
+	return out
+}
+
+func drainTier(tier []*StreamMixer) []nn.ParamSet {
+	var out []nn.ParamSet
+	for _, m := range tier {
+		out = append(out, m.Drain()...)
+	}
+	return out
+}
+
+// TestShardedStateReshardRoundTrip is the tentpole property as a table
+// test: a tier sealed at P shards mid-round restores into P′ shards
+// (including P′ > total buffered and P′ small enough to over-fill k) and
+// the finished round's layer-wise mean equals the mean of all inputs.
+func TestShardedStateReshardRoundTrip(t *testing.T) {
+	cases := []struct {
+		c, split, p, pPrime, k int
+	}{
+		{6, 3, 2, 2, 2},  // same shape
+		{6, 3, 2, 3, 2},  // reshard up
+		{8, 5, 4, 1, 2},  // reshard down: 5 buffered into one k=2 mixer (over-full)
+		{12, 7, 3, 4, 2}, // reshard up mid-emission
+		{5, 1, 1, 4, 5},  // single buffered entry over a wide tier
+	}
+	for _, tc := range cases {
+		t.Run(fmt.Sprintf("C%d_seal%d_P%d_to_P%d_k%d", tc.c, tc.split, tc.p, tc.pPrime, tc.k), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			updates := makeUpdates(tc.c, 3, rng)
+
+			tier := newTier(t, tc.p, tc.k)
+			emitted := feedTier(t, tier, updates[:tc.split])
+
+			blob, err := SealShardedState(tier, ShardedStateMeta{
+				Routing: RoutingHashRR, RRCursor: tc.split, InRound: tc.split,
+				Received: tc.split, Forwarded: len(emitted),
+			}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			fresh := newTier(t, tc.pPrime, tc.k)
+			meta, err := RestoreShardedState(blob, fresh, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if meta.SealedShards != tc.p {
+				t.Fatalf("SealedShards = %d, want %d", meta.SealedShards, tc.p)
+			}
+			if meta.InRound != tc.split || meta.Received != tc.split || meta.Forwarded != len(emitted) {
+				t.Fatalf("ledger = %+v", meta)
+			}
+			buffered := 0
+			for _, m := range fresh {
+				buffered += m.Buffered()
+			}
+			if buffered != tc.split-len(emitted) {
+				t.Fatalf("restored buffered = %d, want %d", buffered, tc.split-len(emitted))
+			}
+
+			// Finish the round on the restored tier.
+			emitted = append(emitted, feedTier(t, fresh, updates[tc.split:])...)
+			emitted = append(emitted, drainTier(fresh)...)
+			if len(emitted) != tc.c {
+				t.Fatalf("round emitted %d updates, want %d", len(emitted), tc.c)
+			}
+			want, err := nn.Average(updates)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := nn.Average(emitted)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !want.ApproxEqual(got, 1e-9) {
+				t.Fatal("resharded restore changed the layer-wise aggregate")
+			}
+		})
+	}
+}
+
+// TestShardedStateSealedSections drives the per-shard seal/open hooks: the
+// open func must be called with the seal-time shard indices, and a
+// mismatched open must surface as an error, not silent corruption.
+func TestShardedStateSealedSections(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tier := newTier(t, 3, 2)
+	feedTier(t, tier, makeUpdates(5, 2, rng))
+
+	xor := func(shard int, data []byte) []byte {
+		out := make([]byte, len(data))
+		for i, b := range data {
+			out[i] = b ^ byte(shard+1)
+		}
+		return out
+	}
+	var sealed []int
+	blob, err := SealShardedState(tier, ShardedStateMeta{Routing: RoutingHashRR}, func(s int, plain []byte) ([]byte, error) {
+		sealed = append(sealed, s)
+		return xor(s, plain), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sealed) != 3 || sealed[0] != 0 || sealed[1] != 1 || sealed[2] != 2 {
+		t.Fatalf("seal called for shards %v, want [0 1 2]", sealed)
+	}
+
+	var opened []int
+	if _, err := RestoreShardedState(blob, newTier(t, 2, 2), func(s int, sec []byte) ([]byte, error) {
+		opened = append(opened, s)
+		return xor(s, sec), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(opened) != 3 {
+		t.Fatalf("open called for shards %v, want all 3", opened)
+	}
+
+	// Opening with the wrong per-shard key material must fail loudly.
+	if _, err := RestoreShardedState(blob, newTier(t, 2, 2), func(s int, sec []byte) ([]byte, error) {
+		return xor(s+1, sec), nil
+	}); err == nil {
+		t.Fatal("mismatched section opener accepted")
+	}
+	// As must skipping the opener entirely.
+	if _, err := RestoreShardedState(blob, newTier(t, 2, 2), nil); err == nil {
+		t.Fatal("sealed sections restored without an opener")
+	}
+}
+
+func TestRestoreShardedStateRejects(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tier := newTier(t, 2, 2)
+	feedTier(t, tier, makeUpdates(3, 2, rng))
+	blob, err := SealShardedState(tier, ShardedStateMeta{Routing: RoutingHashRR, InRound: 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() []*StreamMixer { return newTier(t, 2, 2) }
+	t.Run("garbage", func(t *testing.T) {
+		if _, err := RestoreShardedState([]byte("not a blob"), fresh(), nil); err == nil {
+			t.Fatal("garbage accepted")
+		}
+	})
+	t.Run("bad magic", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[0] = 'Z'
+		if _, err := RestoreShardedState(bad, fresh(), nil); err == nil {
+			t.Fatal("bad magic accepted")
+		}
+	})
+	t.Run("wrong version", func(t *testing.T) {
+		bad := append([]byte(nil), blob...)
+		bad[4] = 0xFE
+		if _, err := RestoreShardedState(bad, fresh(), nil); err == nil {
+			t.Fatal("future version accepted")
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, err := RestoreShardedState(blob[:len(blob)-5], fresh(), nil); err == nil {
+			t.Fatal("truncated blob accepted")
+		}
+	})
+	t.Run("trailing bytes", func(t *testing.T) {
+		if _, err := RestoreShardedState(append(append([]byte(nil), blob...), 0xAA), fresh(), nil); err == nil {
+			t.Fatal("trailing bytes accepted")
+		}
+	})
+	t.Run("non-fresh target", func(t *testing.T) {
+		used := fresh()
+		feedTier(t, used, makeUpdates(1, 2, rng))
+		if _, err := RestoreShardedState(blob, used, nil); err == nil {
+			t.Fatal("restore into used tier accepted")
+		}
+	})
+	t.Run("zero target shards", func(t *testing.T) {
+		if _, err := RestoreShardedState(blob, nil, nil); err == nil {
+			t.Fatal("restore into empty tier accepted")
+		}
+	})
+	t.Run("forged section length", func(t *testing.T) {
+		// A valid header claiming a near-limit section length against a
+		// tiny blob must be rejected before any large allocation.
+		var forged bytes.Buffer
+		forged.WriteString("MXSH")
+		for _, v := range []uint32{ShardedStateVersion, 1} {
+			binary.Write(&forged, binary.LittleEndian, v)
+		}
+		forged.WriteByte(byte(RoutingHashRR))
+		for i := 0; i < 4; i++ {
+			binary.Write(&forged, binary.LittleEndian, uint32(0))
+		}
+		for i := 0; i < 3; i++ {
+			binary.Write(&forged, binary.LittleEndian, uint64(0))
+		}
+		binary.Write(&forged, binary.LittleEndian, uint32(maxSectionBytes-1))
+		if _, err := RestoreShardedState(forged.Bytes(), fresh(), nil); err == nil {
+			t.Fatal("forged oversized section length accepted")
+		}
+	})
+}
+
+func TestSealShardedStateRejects(t *testing.T) {
+	if _, err := SealShardedState(nil, ShardedStateMeta{}, nil); err == nil {
+		t.Fatal("seal of zero shards accepted")
+	}
+	tier := newTier(t, 1, 2)
+	if _, err := SealShardedState(tier, ShardedStateMeta{InRound: -1}, nil); err == nil {
+		t.Fatal("negative ledger field accepted")
+	}
+}
+
+// TestRestoredOverfullMixerStaysConservative pins the over-stuffed
+// restore contract restoreEntry documents: a mixer holding more than k
+// entries still swap-emits one update per Add and drains completely.
+func TestRestoredOverfullMixerStaysConservative(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	updates := makeUpdates(6, 2, rng)
+
+	tier := newTier(t, 4, 2)
+	if got := feedTier(t, tier, updates[:4]); len(got) != 0 {
+		t.Fatalf("tier emitted %d during fill", len(got))
+	}
+	blob, err := SealShardedState(tier, ShardedStateMeta{Routing: RoutingHashRR, InRound: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 4 buffered entries land in ONE k=2 mixer: over-full by 2.
+	narrow := newTier(t, 1, 2)
+	if _, err := RestoreShardedState(blob, narrow, nil); err != nil {
+		t.Fatal(err)
+	}
+	if narrow[0].Buffered() != 4 {
+		t.Fatalf("buffered = %d, want 4", narrow[0].Buffered())
+	}
+	var emitted []nn.ParamSet
+	emitted = append(emitted, feedTier(t, narrow, updates[4:])...)
+	if len(emitted) != 2 {
+		t.Fatalf("over-full mixer emitted %d on 2 adds, want 2", len(emitted))
+	}
+	emitted = append(emitted, drainTier(narrow)...)
+	if len(emitted) != 6 {
+		t.Fatalf("round emitted %d, want 6", len(emitted))
+	}
+	want, _ := nn.Average(updates)
+	got, err := nn.Average(emitted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.ApproxEqual(got, 1e-9) {
+		t.Fatal("over-full restore broke conservation")
+	}
+}
+
+// TestSealShardedStateConcurrentWithAdd exercises the seal path against
+// concurrent mixing at the core level (run under -race): snapshotting a
+// tier while every shard is being fed must neither race nor produce an
+// unparseable blob.
+func TestSealShardedStateConcurrentWithAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const p, rounds = 3, 40
+	tier := newTier(t, p, 2)
+	updates := makeUpdates(rounds, 2, rng)
+
+	var wg sync.WaitGroup
+	for s := 0; s < p; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := s; i < rounds; i += p {
+				if _, err := tier[s].Add(updates[i]); err != nil {
+					t.Errorf("shard %d add %d: %v", s, i, err)
+					return
+				}
+			}
+		}(s)
+	}
+	sealDone := make(chan struct{})
+	go func() {
+		defer close(sealDone)
+		for j := 0; j < 50; j++ {
+			blob, err := SealShardedState(tier, ShardedStateMeta{Routing: RoutingHashRR}, nil)
+			if err != nil {
+				t.Errorf("concurrent seal: %v", err)
+				return
+			}
+			if _, err := RestoreShardedState(blob, newTier(t, 2, 2), nil); err != nil {
+				t.Errorf("concurrent seal produced unrestorable blob: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-sealDone
+}

@@ -20,10 +20,21 @@ type Platform struct {
 // NewPlatform creates a platform with a fresh fuse secret and attestation
 // signing key.
 func NewPlatform() (*Platform, error) {
-	p := &Platform{}
-	if _, err := rand.Read(p.fuseSecret[:]); err != nil {
+	var fuse [32]byte
+	if _, err := rand.Read(fuse[:]); err != nil {
 		return nil, fmt.Errorf("enclave: platform fuse secret: %w", err)
 	}
+	return NewPlatformWithFuse(fuse)
+}
+
+// NewPlatformWithFuse creates a platform with the given fuse secret,
+// modelling a process restart on the same physical host: real CPU fuses
+// are permanent, so an enclave relaunched on the same hardware derives
+// the same sealing key and can unseal state a previous incarnation
+// sealed. The attestation key is still freshly generated (participants
+// re-pin the trust bundle after a restart anyway).
+func NewPlatformWithFuse(fuse [32]byte) (*Platform, error) {
+	p := &Platform{fuseSecret: fuse}
 	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
 	if err != nil {
 		return nil, fmt.Errorf("enclave: attestation key: %w", err)

@@ -178,10 +178,31 @@ func (e *Enclave) Decrypt(ciphertext []byte) ([]byte, error) {
 	return plain, nil
 }
 
+// sealKeyFor derives the sealing key for a purpose label. The empty
+// label is the base identity-bound key; any other label yields
+// H(sealKey || label), so material sealed for one purpose (or one shard)
+// cannot be presented as another — per-shard key separation for the
+// sharded proxy's durable state.
+func (e *Enclave) sealKeyFor(label string) []byte {
+	if label == "" {
+		return e.sealKey[:]
+	}
+	h := sha256.New()
+	h.Write(e.sealKey[:])
+	h.Write([]byte(label))
+	return h.Sum(nil)
+}
+
 // Seal encrypts data under the enclave's identity-bound sealing key so it
 // can persist outside trusted memory (paper §2.5).
 func (e *Enclave) Seal(data []byte) ([]byte, error) {
-	block, err := aes.NewCipher(e.sealKey[:])
+	return e.SealLabeled("", data)
+}
+
+// SealLabeled seals data under a purpose-derived key (see sealKeyFor).
+// SealLabeled("", data) is identical to Seal(data).
+func (e *Enclave) SealLabeled(label string, data []byte) ([]byte, error) {
+	block, err := aes.NewCipher(e.sealKeyFor(label))
 	if err != nil {
 		return nil, fmt.Errorf("enclave: seal cipher: %w", err)
 	}
@@ -199,10 +220,16 @@ func (e *Enclave) Seal(data []byte) ([]byte, error) {
 // Unseal decrypts a blob produced by Seal on the same platform and
 // enclave identity.
 func (e *Enclave) Unseal(blob []byte) ([]byte, error) {
+	return e.UnsealLabeled("", blob)
+}
+
+// UnsealLabeled decrypts a blob produced by SealLabeled with the same
+// label on the same platform and enclave identity.
+func (e *Enclave) UnsealLabeled(label string, blob []byte) ([]byte, error) {
 	if len(blob) < gcmNonceSize {
 		return nil, fmt.Errorf("%w: sealed blob too short", ErrCiphertext)
 	}
-	block, err := aes.NewCipher(e.sealKey[:])
+	block, err := aes.NewCipher(e.sealKeyFor(label))
 	if err != nil {
 		return nil, fmt.Errorf("enclave: unseal cipher: %w", err)
 	}

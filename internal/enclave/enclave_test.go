@@ -326,3 +326,81 @@ func TestSealIsRandomised(t *testing.T) {
 		t.Fatal("sealing is deterministic (nonce reuse)")
 	}
 }
+
+// TestSealLabeledDomainSeparation: material sealed for one purpose (or
+// one shard) must not open under another label, nor under the base key —
+// the per-shard key separation the sharded proxy's durable state uses.
+func TestSealLabeledDomainSeparation(t *testing.T) {
+	_, e := fixtures(t)
+	blob, err := e.SealLabeled("mixnn/shard/0", []byte("layer lists"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.UnsealLabeled("mixnn/shard/0", blob)
+	if err != nil {
+		t.Fatalf("matching label failed to unseal: %v", err)
+	}
+	if !bytes.Equal(got, []byte("layer lists")) {
+		t.Fatal("labeled round trip mismatch")
+	}
+	if _, err := e.UnsealLabeled("mixnn/shard/1", blob); err == nil {
+		t.Fatal("blob for shard 0 opened under shard 1's key")
+	}
+	if _, err := e.Unseal(blob); err == nil {
+		t.Fatal("labeled blob opened under the base sealing key")
+	}
+	base, err := e.Seal([]byte("base"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.UnsealLabeled("mixnn/shard/0", base); err == nil {
+		t.Fatal("base blob opened under a shard label")
+	}
+}
+
+// TestSealSurvivesPlatformRestart: a platform rebuilt with the SAME fuse
+// secret (a host restart — fuses are permanent) must unseal blobs a
+// previous enclave incarnation of the same identity sealed, including
+// labeled ones; a different identity still must not.
+func TestSealSurvivesPlatformRestart(t *testing.T) {
+	var fuse [32]byte
+	if _, err := rand.Read(fuse[:]); err != nil {
+		t.Fatal(err)
+	}
+	p1, err := NewPlatformWithFuse(fuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := New(Config{CodeIdentity: "restartable", RSABits: 1024}, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e1.SealLabeled("mixnn/sharded-state/v1", []byte("round in flight"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := NewPlatformWithFuse(fuse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := New(Config{CodeIdentity: "restartable", RSABits: 1024}, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e2.UnsealLabeled("mixnn/sharded-state/v1", blob)
+	if err != nil {
+		t.Fatalf("restarted enclave failed to unseal: %v", err)
+	}
+	if !bytes.Equal(got, []byte("round in flight")) {
+		t.Fatal("restart round trip mismatch")
+	}
+
+	other, err := New(Config{CodeIdentity: "different-build", RSABits: 1024}, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.UnsealLabeled("mixnn/sharded-state/v1", blob); err == nil {
+		t.Fatal("different identity unsealed across restart")
+	}
+}

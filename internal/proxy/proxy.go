@@ -1,23 +1,18 @@
 package proxy
 
 import (
-	"bytes"
-	"context"
-	"encoding/binary"
 	"encoding/hex"
 	"fmt"
-	"math/rand"
 	"net/http"
-	"sync"
 	"time"
 
-	"mixnn/internal/core"
 	"mixnn/internal/enclave"
-	"mixnn/internal/nn"
 	"mixnn/internal/wire"
 )
 
-// Config parameterises a MixNN proxy instance.
+// Config parameterises the paper-shaped single-mixer MixNN proxy. It is
+// the Shards=1 slice of ShardedConfig, kept so callers reproducing the
+// paper's deployment don't carry cascade knobs they never set.
 type Config struct {
 	// Upstream is the aggregation server base URL.
 	Upstream string
@@ -49,172 +44,68 @@ func (t *timing) meanMillisExact() float64 {
 	return t.total.Seconds() * 1000 / float64(t.n)
 }
 
-// Proxy is the MixNN proxy: it terminates encrypted participant traffic
-// inside the enclave, mixes layers with a k-buffer stream mixer, and
-// forwards mixed updates upstream. It implements the §6.5 instrumentation
-// (per-stage latency, enclave memory, update size).
+// Proxy is the MixNN proxy of the paper: it terminates encrypted
+// participant traffic inside the enclave, mixes layers with a k-buffer
+// stream mixer, and forwards mixed updates upstream with the §6.5
+// instrumentation. It is a thin wrapper over a Shards=1 ShardedProxy, so
+// round closure, forwarding, status, seal/restore and ingress validation
+// — including the rejection of forged X-Mixnn-Hop headers — are the one
+// code path the sharded tier implements.
 type Proxy struct {
-	cfg      Config
-	enclave  *enclave.Enclave
-	platform *enclave.Platform
-	httpc    *http.Client
-
-	mu          sync.Mutex
-	mixer       *core.StreamMixer
-	rng         *rand.Rand
-	inRound     int // updates received in the current round
-	forwarded   int
-	received    int
-	updateBytes int
-	decryptT    timing
-	storeT      timing
-	mixT        timing
-	processT    timing
+	*ShardedProxy
 }
 
-// New builds a proxy hosted in the given enclave on the given platform.
+// New builds a single-shard proxy hosted in the given enclave on the
+// given platform.
 func New(cfg Config, encl *enclave.Enclave, platform *enclave.Platform) (*Proxy, error) {
 	if cfg.Upstream == "" {
 		return nil, fmt.Errorf("proxy: Config.Upstream is required")
 	}
-	if cfg.RoundSize <= 0 {
-		return nil, fmt.Errorf("proxy: Config.RoundSize must be positive, got %d", cfg.RoundSize)
-	}
-	if cfg.K <= 0 || cfg.K > cfg.RoundSize {
-		cfg.K = cfg.RoundSize
-	}
-	if encl == nil || platform == nil {
-		return nil, fmt.Errorf("proxy: enclave and platform are required")
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	mixer, err := core.NewStreamMixer(cfg.K, rng)
+	sp, err := NewSharded(ShardedConfig{
+		Upstream:   cfg.Upstream,
+		Shards:     1,
+		K:          cfg.K,
+		RoundSize:  cfg.RoundSize,
+		Seed:       cfg.Seed,
+		HTTPClient: cfg.HTTPClient,
+	}, encl, platform)
 	if err != nil {
 		return nil, err
 	}
-	httpc := cfg.HTTPClient
-	if httpc == nil {
-		httpc = &http.Client{Timeout: 60 * time.Second}
-	}
-	return &Proxy{cfg: cfg, enclave: encl, platform: platform, httpc: httpc, mixer: mixer, rng: rng}, nil
+	return &Proxy{ShardedProxy: sp}, nil
 }
 
-// Handler returns the proxy's HTTP API.
-func (p *Proxy) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/update", p.handleUpdate)
-	mux.HandleFunc("GET /v1/attestation", p.handleAttestation)
-	mux.HandleFunc("GET /v1/status", p.handleStatus)
-	return mux
-}
-
-// handleUpdate processes one encrypted participant update: decrypt inside
-// the enclave, split/store by layer, mix, and forward any emitted updates.
-func (p *Proxy) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	body, err := wire.ReadBody(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+// Status projects the tier status onto the single-proxy §6.5 view:
+// Buffered and K describe the one mixer, Received counts every ingested
+// update regardless of ingress endpoint (the pre-consolidation proxy had
+// only one).
+func (p *Proxy) Status() wire.ProxyStatus {
+	st := p.ShardedProxy.Status()
+	var buffered, k int
+	for _, sh := range st.Shards {
+		buffered += sh.Buffered
+		k = sh.K
 	}
-
-	var emitted []nn.ParamSet
-	start := time.Now()
-	procErr := p.enclave.Process(func() error {
-		var err error
-		emitted, err = p.ingest(body)
-		return err
-	})
-	p.mu.Lock()
-	p.processT.add(time.Since(start))
-	p.mu.Unlock()
-	if procErr != nil {
-		http.Error(w, procErr.Error(), http.StatusBadRequest)
-		return
+	return wire.ProxyStatus{
+		Buffered:      buffered,
+		Received:      st.Received + st.HopReceived,
+		Forwarded:     st.Forwarded,
+		RoundSize:     st.RoundSize,
+		K:             k,
+		UpdateBytes:   st.UpdateBytes,
+		EnclaveUsed:   st.EnclaveUsed,
+		EnclavePeak:   st.EnclavePeak,
+		EnclavePaging: st.EnclavePaging,
+		DecryptMillis: st.DecryptMillis,
+		StoreMillis:   st.StoreMillis,
+		MixMillis:     st.MixMillis,
+		ProcessMillis: st.ProcessMillis,
 	}
-
-	for _, ps := range emitted {
-		if err := p.forward(r.Context(), ps); err != nil {
-			http.Error(w, fmt.Sprintf("forward upstream: %v", err), http.StatusBadGateway)
-			return
-		}
-	}
-	w.WriteHeader(http.StatusAccepted)
-}
-
-// ingest runs inside the enclave's constant-time gate: decrypt, decode,
-// account memory, mix, and close the round when complete.
-func (p *Proxy) ingest(ciphertext []byte) ([]nn.ParamSet, error) {
-	t0 := time.Now()
-	plain, err := p.enclave.Decrypt(ciphertext)
-	decryptDur := time.Since(t0)
-	if err != nil {
-		return nil, fmt.Errorf("proxy: decrypt: %w", err)
-	}
-
-	t1 := time.Now()
-	ps, err := nn.DecodeParamSet(plain)
-	if err != nil {
-		return nil, fmt.Errorf("proxy: decode: %w", err)
-	}
-
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.decryptT.add(decryptDur)
-	p.received++
-	p.updateBytes = len(plain)
-	p.enclave.Alloc(len(plain))
-
-	var emitted []nn.ParamSet
-	out, err := p.mixer.Add(ps)
-	storeDur := time.Since(t1)
-	p.storeT.add(storeDur)
-	if err != nil {
-		p.enclave.Free(len(plain))
-		return nil, fmt.Errorf("proxy: mix: %w", err)
-	}
-	t2 := time.Now()
-	if out != nil {
-		emitted = append(emitted, *out)
-		p.enclave.Free(len(plain)) // one update's worth leaves the buffer
-	}
-	p.inRound++
-	if p.inRound >= p.cfg.RoundSize {
-		drained := p.mixer.Drain()
-		emitted = append(emitted, drained...)
-		p.enclave.Free(len(plain) * len(drained))
-		p.inRound = 0
-	}
-	p.mixT.add(time.Since(t2))
-	return emitted, nil
-}
-
-// forward posts one mixed update to the aggregation server.
-func (p *Proxy) forward(ctx context.Context, ps nn.ParamSet) error {
-	raw, err := nn.EncodeParamSet(ps)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.Upstream+"/v1/update", bytes.NewReader(raw))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", wire.ContentTypeUpdate)
-	resp, err := p.httpc.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("proxy: upstream returned %s", resp.Status)
-	}
-	p.mu.Lock()
-	p.forwarded++
-	p.mu.Unlock()
-	return nil
 }
 
 // serveAttestation serves a signed enclave report bound to the caller's
 // nonce so participants (and upstream cascade proxies) can verify an
-// enclave before trusting its key. Shared by Proxy and ShardedProxy.
+// enclave before trusting its key.
 func serveAttestation(w http.ResponseWriter, r *http.Request, encl *enclave.Enclave, platform *enclave.Platform) {
 	nonceHex := r.URL.Query().Get("nonce")
 	nonce, err := hex.DecodeString(nonceHex)
@@ -233,82 +124,4 @@ func serveAttestation(w http.ResponseWriter, r *http.Request, encl *enclave.Encl
 		PubKeyDER:      rep.PubKeyDER,
 		Signature:      rep.Signature,
 	})
-}
-
-func (p *Proxy) handleAttestation(w http.ResponseWriter, r *http.Request) {
-	serveAttestation(w, r, p.enclave, p.platform)
-}
-
-func (p *Proxy) handleStatus(w http.ResponseWriter, r *http.Request) {
-	wire.WriteJSON(w, p.Status())
-}
-
-// SealState exports the mixer's buffered layers, sealed under the
-// enclave's identity-bound key, so a proxy restart mid-round loses no
-// participant material and leaks none to the untrusted host (§2.5 sealing
-// applied to the §4.3 lists).
-func (p *Proxy) SealState() ([]byte, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	raw, err := p.mixer.MarshalBinary()
-	if err != nil {
-		return nil, fmt.Errorf("proxy: export mixer state: %w", err)
-	}
-	var trailer [4]byte
-	binary.LittleEndian.PutUint32(trailer[:], uint32(p.inRound))
-	blob, err := p.enclave.Seal(append(raw, trailer[:]...))
-	if err != nil {
-		return nil, fmt.Errorf("proxy: seal mixer state: %w", err)
-	}
-	return blob, nil
-}
-
-// RestoreState loads a SealState blob into a freshly-constructed proxy
-// (same enclave identity and platform, same K).
-func (p *Proxy) RestoreState(blob []byte) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.received != 0 {
-		return fmt.Errorf("proxy: RestoreState on a proxy that already processed updates")
-	}
-	raw, err := p.enclave.Unseal(blob)
-	if err != nil {
-		return fmt.Errorf("proxy: unseal mixer state: %w", err)
-	}
-	if len(raw) < 4 {
-		return fmt.Errorf("proxy: sealed state too short")
-	}
-	mixer, err := core.NewStreamMixer(p.cfg.K, p.rng)
-	if err != nil {
-		return err
-	}
-	if err := mixer.UnmarshalBinary(raw[:len(raw)-4]); err != nil {
-		return fmt.Errorf("proxy: restore mixer state: %w", err)
-	}
-	p.mixer = mixer
-	p.inRound = int(binary.LittleEndian.Uint32(raw[len(raw)-4:]))
-	p.received = mixer.Received()
-	return nil
-}
-
-// Status snapshots the §6.5 system-performance counters.
-func (p *Proxy) Status() wire.ProxyStatus {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := p.enclave.Stats()
-	return wire.ProxyStatus{
-		Buffered:      p.mixer.Buffered(),
-		Received:      p.received,
-		Forwarded:     p.forwarded,
-		RoundSize:     p.cfg.RoundSize,
-		K:             p.mixer.K(),
-		UpdateBytes:   p.updateBytes,
-		EnclaveUsed:   st.MemoryUsedBytes,
-		EnclavePeak:   st.MemoryPeakBytes,
-		EnclavePaging: st.PageEvents,
-		DecryptMillis: p.decryptT.meanMillisExact(),
-		StoreMillis:   p.storeT.meanMillisExact(),
-		MixMillis:     p.mixT.meanMillisExact(),
-		ProcessMillis: p.processT.meanMillisExact(),
-	}
 }

@@ -79,17 +79,20 @@ type ShardedProxy struct {
 	httpc    *http.Client
 	shards   []*core.StreamMixer
 
-	mu          sync.Mutex
-	rr          int // round-robin routing cursor
-	inRound     int // updates received in the current round
-	rounds      int // completed rounds
-	hopMark     int // highest incoming hop depth seen this round
-	received    int // participant updates ingested (hop 0)
-	hopReceived int // cascade updates ingested (hop >= 1)
-	forwarded   int
-	updateBytes int
-	decryptT    timing
-	processT    timing
+	mu           sync.Mutex
+	rr           int // round-robin routing cursor
+	inRound      int // updates received in the current round
+	rounds       int // completed rounds
+	hopMark      int // highest incoming hop depth seen this round
+	received     int // participant updates ingested (hop 0)
+	hopReceived  int // cascade updates ingested (hop >= 1)
+	forwarded    int
+	restoredFrom int // shard count of the blob this tier restored from (0 = fresh)
+	updateBytes  int
+	decryptT     timing
+	storeT       timing
+	mixT         timing
+	processT     timing
 }
 
 // NewSharded builds a sharded proxy tier hosted in the given enclave.
@@ -119,6 +122,18 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 	if httpc == nil {
 		httpc = &http.Client{Timeout: 60 * time.Second}
 	}
+	shards, err := newShardMixers(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedProxy{cfg: cfg, enclave: encl, platform: platform, httpc: httpc, shards: shards}, nil
+}
+
+// newShardMixers builds the tier's fresh mixers from a validated config:
+// per-shard K clamped to the round-robin share, per-shard rand streams
+// derived from the seed. Shared by NewSharded and RestoreState so a
+// restored tier is shaped exactly like a freshly built one.
+func newShardMixers(cfg ShardedConfig) ([]*core.StreamMixer, error) {
 	sizes := core.ShardSizes(cfg.RoundSize, cfg.Shards)
 	shards := make([]*core.StreamMixer, cfg.Shards)
 	for s := range shards {
@@ -135,11 +150,16 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 		}
 		shards[s] = m
 	}
-	return &ShardedProxy{cfg: cfg, enclave: encl, platform: platform, httpc: httpc, shards: shards}, nil
+	return shards, nil
 }
 
-// Shards returns the shard count P.
-func (p *ShardedProxy) Shards() int { return len(p.shards) }
+// Shards returns the shard count P. It synchronises with RestoreState,
+// which swaps the shard slice under p.mu.
+func (p *ShardedProxy) Shards() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.shards)
+}
 
 // Handler returns the sharded proxy's HTTP API: the participant endpoint,
 // the inter-proxy cascade endpoint, attestation and status.
@@ -233,17 +253,16 @@ func (p *ShardedProxy) handleIngress(w http.ResponseWriter, r *http.Request, fro
 	w.WriteHeader(http.StatusAccepted)
 }
 
-// route picks the shard for an update: a stable FNV hash of the client id
-// when the participant identifies itself (so a client's updates always
-// meet the same buffer), round-robin otherwise.
-func (p *ShardedProxy) route(clientID string) int {
+// routeLocked picks the shard for an update: a stable FNV hash of the
+// client id when the participant identifies itself (so a client's updates
+// always meet the same buffer), round-robin otherwise. The caller holds
+// p.mu, which also synchronises with RestoreState's shard-slice swap.
+func (p *ShardedProxy) routeLocked(clientID string) int {
 	if clientID != "" {
 		h := fnv.New32a()
 		h.Write([]byte(clientID))
 		return int(h.Sum32() % uint32(len(p.shards)))
 	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	s := p.rr
 	p.rr = (p.rr + 1) % len(p.shards)
 	return s
@@ -270,24 +289,29 @@ func (p *ShardedProxy) ingest(ciphertext []byte, clientID string, hop int, fromH
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("proxy: decrypt: %w", err)
 	}
+	t1 := time.Now()
 	ps, err := nn.DecodeParamSet(plain)
+	decodeDur := time.Since(t1) // measured outside p.mu so lock wait doesn't pollute it
 	if err != nil {
 		return nil, 0, 0, fmt.Errorf("proxy: decode: %w", err)
 	}
 
-	shard := p.route(clientID)
 	p.enclave.Alloc(len(plain))
 
 	p.mu.Lock()
+	shard := p.routeLocked(clientID)
 	p.decryptT.add(decryptDur)
 	p.updateBytes = len(plain)
 	var emitted []nn.ParamSet
+	tAdd := time.Now()
 	out, err := p.shards[shard].Add(ps)
+	p.storeT.add(decodeDur + time.Since(tAdd)) // §6.5 store stage: decode + file into the lists
 	if err != nil {
 		p.mu.Unlock()
 		p.enclave.Free(len(plain))
 		return nil, shard, 0, fmt.Errorf("proxy: shard %d mix: %w", shard, err)
 	}
+	t2 := time.Now()
 	if out != nil {
 		emitted = append(emitted, *out)
 	}
@@ -309,6 +333,7 @@ func (p *ShardedProxy) ingest(ciphertext []byte, clientID string, hop int, fromH
 			emitted = append(emitted, m.Drain()...)
 		}
 	}
+	p.mixT.add(time.Since(t2)) // §6.5 mix stage: emission assembly + round drain
 	p.mu.Unlock()
 
 	p.enclave.Free(len(plain) * len(emitted))
@@ -379,6 +404,95 @@ func AttestHop(ctx context.Context, nextHopURL string, httpc *http.Client, autho
 	return enclave.TrustHop(rep, authority, measurement, nonce)
 }
 
+// shardStateLabel domain-separates the tier's durable state from other
+// sealed material; each shard's section is additionally sealed under a
+// per-shard derived key (see sectionLabel).
+const shardStateLabel = "mixnn/sharded-state/v1"
+
+func sectionLabel(shard int) string {
+	return fmt.Sprintf("%s/shard/%d", shardStateLabel, shard)
+}
+
+// SealState exports the whole tier's durable state — every shard's
+// buffered layers plus routing metadata and the round ledger — sealed
+// under the enclave's identity-bound keys, so a proxy crash mid-round
+// loses no participant material and leaks none to the untrusted host
+// (§2.5 sealing applied to the §4.3 lists, tier-wide). Each shard's
+// section is sealed under its own derived key, and the assembled blob is
+// sealed once more so the metadata is protected too. SealState is safe
+// to call concurrently with ingress: it snapshots under the same mutex
+// that serialises mixing, so the blob is always round-consistent.
+func (p *ShardedProxy) SealState() ([]byte, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	raw, err := core.SealShardedState(p.shards, core.ShardedStateMeta{
+		Routing:     core.RoutingHashRR,
+		RRCursor:    p.rr,
+		InRound:     p.inRound,
+		Rounds:      p.rounds,
+		HopMark:     p.hopMark,
+		Received:    p.received,
+		HopReceived: p.hopReceived,
+		Forwarded:   p.forwarded,
+	}, func(s int, plain []byte) ([]byte, error) {
+		return p.enclave.SealLabeled(sectionLabel(s), plain)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("proxy: export tier state: %w", err)
+	}
+	blob, err := p.enclave.SealLabeled(shardStateLabel, raw)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: seal tier state: %w", err)
+	}
+	return blob, nil
+}
+
+// RestoreState loads a SealState blob into a freshly-constructed tier
+// (same enclave identity and platform). The blob's shard count may
+// differ from this tier's: buffered material is redistributed across the
+// new shards (resharding on restore) with the round's layer-wise
+// aggregate unchanged, so an operator can crash a P-shard proxy and
+// bring up a P′-shard replacement mid-round.
+func (p *ShardedProxy) RestoreState(blob []byte) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.received != 0 || p.hopReceived != 0 {
+		return fmt.Errorf("proxy: RestoreState on a proxy that already processed updates")
+	}
+	raw, err := p.enclave.UnsealLabeled(shardStateLabel, blob)
+	if err != nil {
+		return fmt.Errorf("proxy: unseal tier state: %w", err)
+	}
+	// Restore into fresh mixers so a failed restore cannot leave the
+	// serving tier half-populated.
+	fresh, err := newShardMixers(p.cfg)
+	if err != nil {
+		return err
+	}
+	meta, err := core.RestoreShardedState(raw, fresh, func(s int, sealed []byte) ([]byte, error) {
+		return p.enclave.UnsealLabeled(sectionLabel(s), sealed)
+	})
+	if err != nil {
+		return fmt.Errorf("proxy: restore tier state: %w", err)
+	}
+	if meta.Routing != core.RoutingHashRR {
+		return fmt.Errorf("proxy: sealed state uses unknown routing mode %d", meta.Routing)
+	}
+	if meta.InRound >= p.cfg.RoundSize {
+		return fmt.Errorf("proxy: sealed in-round progress %d does not fit round size %d", meta.InRound, p.cfg.RoundSize)
+	}
+	p.shards = fresh
+	p.rr = meta.RRCursor % len(fresh)
+	p.inRound = meta.InRound
+	p.rounds = meta.Rounds
+	p.hopMark = meta.HopMark
+	p.received = meta.Received
+	p.hopReceived = meta.HopReceived
+	p.forwarded = meta.Forwarded
+	p.restoredFrom = meta.SealedShards
+	return nil
+}
+
 func (p *ShardedProxy) handleAttestation(w http.ResponseWriter, r *http.Request) {
 	serveAttestation(w, r, p.enclave, p.platform)
 }
@@ -415,11 +529,14 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 		RoundSize:     p.cfg.RoundSize,
 		NextHop:       p.cfg.NextHop,
 		MaxHops:       p.cfg.MaxHops,
+		RestoredFrom:  p.restoredFrom,
 		UpdateBytes:   p.updateBytes,
 		EnclaveUsed:   st.MemoryUsedBytes,
 		EnclavePeak:   st.MemoryPeakBytes,
 		EnclavePaging: st.PageEvents,
 		DecryptMillis: p.decryptT.meanMillisExact(),
+		StoreMillis:   p.storeT.meanMillisExact(),
+		MixMillis:     p.mixT.meanMillisExact(),
 		ProcessMillis: p.processT.meanMillisExact(),
 	}
 }

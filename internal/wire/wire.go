@@ -12,8 +12,8 @@
 //	GET  {server}/v1/model        current global model; X-Mixnn-Round header
 //	GET  {server}/v1/status       JSON ServerStatus
 //	GET  {proxy}/v1/attestation   JSON AttestationResponse (nonce query param)
-//	GET  {proxy}/v1/status        JSON ProxyStatus (sharded proxies serve
-//	                              ShardedProxyStatus)
+//	GET  {proxy}/v1/status        JSON ShardedProxyStatus (every proxy is a
+//	                              sharded tier; single proxies are Shards=1)
 package wire
 
 import (
@@ -76,8 +76,9 @@ type ServerStatus struct {
 	ExpectPerRound int `json:"expect_per_round"`
 }
 
-// ProxyStatus reports MixNN-proxy state and its system-performance
-// counters (§6.5).
+// ProxyStatus is the single-proxy (§6.5) view of a tier's status, kept
+// for the paper-shaped `proxy.Proxy` API; over HTTP every proxy now
+// reports ShardedProxyStatus.
 type ProxyStatus struct {
 	Buffered      int     `json:"buffered"`
 	Received      int     `json:"received"`
@@ -106,21 +107,27 @@ type ShardStatus struct {
 // ShardedProxyStatus reports a sharded proxy tier: global round progress,
 // cascade wiring and the per-shard mixer states.
 type ShardedProxyStatus struct {
-	Shards        []ShardStatus `json:"shards"`
-	Received      int           `json:"received"`
-	HopReceived   int           `json:"hop_received"`
-	Forwarded     int           `json:"forwarded"`
-	Rounds        int           `json:"rounds"`
-	InRound       int           `json:"in_round"`
-	RoundSize     int           `json:"round_size"`
-	NextHop       string        `json:"next_hop,omitempty"`
-	MaxHops       int           `json:"max_hops"`
-	UpdateBytes   int           `json:"update_bytes"`
-	EnclaveUsed   int           `json:"enclave_used_bytes"`
-	EnclavePeak   int           `json:"enclave_peak_bytes"`
-	EnclavePaging int           `json:"enclave_page_events"`
-	DecryptMillis float64       `json:"decrypt_ms_mean"`
-	ProcessMillis float64       `json:"process_ms_mean"`
+	Shards      []ShardStatus `json:"shards"`
+	Received    int           `json:"received"`
+	HopReceived int           `json:"hop_received"`
+	Forwarded   int           `json:"forwarded"`
+	Rounds      int           `json:"rounds"`
+	InRound     int           `json:"in_round"`
+	RoundSize   int           `json:"round_size"`
+	NextHop     string        `json:"next_hop,omitempty"`
+	MaxHops     int           `json:"max_hops"`
+	// RestoredFrom is the shard count of the sealed blob this tier was
+	// restored from, 0 if it started fresh; it differs from len(Shards)
+	// when the restore resharded.
+	RestoredFrom  int     `json:"restored_from,omitempty"`
+	UpdateBytes   int     `json:"update_bytes"`
+	EnclaveUsed   int     `json:"enclave_used_bytes"`
+	EnclavePeak   int     `json:"enclave_peak_bytes"`
+	EnclavePaging int     `json:"enclave_page_events"`
+	DecryptMillis float64 `json:"decrypt_ms_mean"`
+	StoreMillis   float64 `json:"store_ms_mean"`
+	MixMillis     float64 `json:"mix_ms_mean"`
+	ProcessMillis float64 `json:"process_ms_mean"`
 }
 
 // ReadBody reads an entire request/response body with the standard bound,
