@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (§6), plus the ablations called out in DESIGN.md §7.
+// evaluation (§6), plus the ablations called out in DESIGN.md §8.
 //
 // Figure benches run one miniature experiment per iteration and attach the
 // headline quantity (accuracy, inference accuracy, neighbour count) via
@@ -227,26 +227,30 @@ func BenchmarkProxyMixSharded(b *testing.B) {
 // BenchmarkProxyMixShardedHTTP drives the full networked sharded tier —
 // concurrent encrypted participants through P shards into a real
 // aggregation server — and reports round throughput per shard count.
-// Each iteration stands up a fresh deployment (key generation,
-// attestation), so ns/op is setup-dominated; the authoritative numbers
-// are the reported round-ms / updates-per-sec means, which time only the
-// round itself inside RunShardedPerf.
+// The rounds=4 arms exercise cross-round pipelining: ingest of round N+1
+// overlaps batched delivery of round N, so per-round time should drop
+// relative to rounds=1. Each iteration stands up a fresh deployment (key
+// generation, attestation), so ns/op is setup-dominated; the
+// authoritative numbers are the reported round-ms / updates-per-sec
+// means, which time only the rounds themselves inside RunShardedPerf.
 func BenchmarkProxyMixShardedHTTP(b *testing.B) {
 	m := experiment.PerfModels(experiment.ScaleQuick)[0]
 	for _, p := range []int{1, 2, 4} {
-		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
-			var roundMs, upsPerSec float64
-			for i := 0; i < b.N; i++ {
-				res, err := experiment.RunShardedPerf(m.Name, m.Arch, 8, 2, p, false, int64(i)+1)
-				if err != nil {
-					b.Fatal(err)
+		for _, rounds := range []int{1, 4} {
+			b.Run(fmt.Sprintf("shards=%d/rounds=%d", p, rounds), func(b *testing.B) {
+				var roundMs, upsPerSec float64
+				for i := 0; i < b.N; i++ {
+					res, err := experiment.RunShardedPerf(m.Name, m.Arch, 8, 2, p, false, rounds, int64(i)+1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					roundMs += res.RoundMillis
+					upsPerSec += res.UpdatesPerSec
 				}
-				roundMs += res.RoundMillis
-				upsPerSec += res.UpdatesPerSec
-			}
-			b.ReportMetric(upsPerSec/float64(b.N), "updates/sec")
-			b.ReportMetric(roundMs/float64(b.N), "round-ms")
-		})
+				b.ReportMetric(upsPerSec/float64(b.N), "updates/sec")
+				b.ReportMetric(roundMs/float64(b.N), "round-ms")
+			})
+		}
 	}
 }
 
@@ -272,7 +276,7 @@ func BenchmarkProxyEndToEnd(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §7) ----------------------------------------------
+// --- Ablations (DESIGN.md §8) ----------------------------------------------
 
 // BenchmarkAblationGranularity compares mixing granularities: per-layer
 // (paper), per-tensor (finer) and whole-model (sender unlinking only) by

@@ -10,6 +10,8 @@
 //	experiments -perf                           # §6.5 system performance
 //	experiments -shard-perf -shards 1,2,4       # sharded mixing-tier throughput
 //	experiments -shard-perf -cascade            # same, through a second mixing hop
+//	experiments -shard-perf -rounds 4           # pipelined: overlap ingest of
+//	                                            # round N+1 with delivery of N
 package main
 
 import (
@@ -40,7 +42,8 @@ func run(args []string) error {
 		shardPerf = fs.Bool("shard-perf", false, "run the sharded mixing-tier throughput experiment")
 		shardsS   = fs.String("shards", "1,2,4", "shard counts P to sweep in -shard-perf")
 		cascade   = fs.Bool("cascade", false, "cascade the sharded tier through a second mixing hop in -shard-perf")
-		ablate    = fs.Bool("ablation", false, "run the DESIGN.md §7 ablation studies instead of figures")
+		rounds    = fs.Int("rounds", 1, "back-to-back rounds per -shard-perf run (>1 exercises cross-round pipelining)")
+		ablate    = fs.Bool("ablation", false, "run the DESIGN.md §8 ablation studies instead of figures")
 		dataset   = fs.String("dataset", "all", "dataset: cifar10, motionsense, mobiact, lfw or all")
 		scaleS    = fs.String("scale", "quick", "experiment scale: quick or full")
 		seed      = fs.Int64("seed", 1, "base random seed")
@@ -79,7 +82,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runShardPerf(scale, *seed, shardCounts, *cascade, *csvDir)
+		return runShardPerf(scale, *seed, shardCounts, *cascade, *rounds, *csvDir)
 	}
 	if *ablate {
 		return runAblations(specs, *seed)
@@ -327,14 +330,17 @@ func runPerf(scale experiment.Scale, seed int64, csvDir string) error {
 // runShardPerf prints the sharded mixing-tier throughput table: one full
 // round of concurrent participants through P shards (optionally cascaded
 // through a second mixing hop), for each requested P.
-func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade bool, csvDir string) error {
+func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade bool, rounds int, csvDir string) error {
 	mode := "direct"
 	if cascade {
 		mode = "cascade (2 mixing hops)"
 	}
+	if rounds > 1 {
+		mode += fmt.Sprintf(", %d pipelined rounds", rounds)
+	}
 	fmt.Printf("=== Sharded mixing tier throughput, %s ===\n", mode)
-	fmt.Printf("%-12s %7s %5s %12s %12s %14s %12s\n",
-		"model", "shards", "k", "update(KB)", "round(ms)", "updates/sec", "proc(ms)")
+	fmt.Printf("%-12s %7s %5s %12s %12s %14s %12s %8s\n",
+		"model", "shards", "k", "update(KB)", "round(ms)", "updates/sec", "proc(ms)", "batches")
 	participants, k := 8, 2
 	if scale == experiment.ScaleFull {
 		participants, k = 32, 4
@@ -342,23 +348,23 @@ func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade
 	m := experiment.PerfModels(scale)[0]
 	var all []experiment.ShardedPerfResult
 	for _, p := range shardCounts {
-		res, err := experiment.RunShardedPerf(m.Name, m.Arch, participants, k, p, cascade, seed)
+		res, err := experiment.RunShardedPerf(m.Name, m.Arch, participants, k, p, cascade, rounds, seed)
 		if err != nil {
 			return err
 		}
 		all = append(all, res)
-		fmt.Printf("%-12s %7d %5d %12.1f %12.3f %14.1f %12.3f\n",
+		fmt.Printf("%-12s %7d %5d %12.1f %12.3f %14.1f %12.3f %8d\n",
 			res.Model, res.Shards, res.K, float64(res.UpdateBytes)/1024,
-			res.RoundMillis, res.UpdatesPerSec, res.ProcessMillis)
+			res.RoundMillis, res.UpdatesPerSec, res.ProcessMillis, res.BatchesSent)
 	}
 	return writeCSV(csvDir, "shardperf.csv", func(w io.Writer) error {
 		return experiment.WriteShardedPerfCSV(w, all)
 	})
 }
 
-// runAblations prints the DESIGN.md §7 design-choice studies.
+// runAblations prints the DESIGN.md §8 design-choice studies.
 func runAblations(specs []experiment.DatasetSpec, seed int64) error {
-	fmt.Println("=== Ablations (DESIGN.md §7): utility and active-∇Sim leakage per design choice ===")
+	fmt.Println("=== Ablations (DESIGN.md §8): utility and active-∇Sim leakage per design choice ===")
 	for _, spec := range specs {
 		rows, err := experiment.RunAblations(spec, seed)
 		if err != nil {

@@ -17,14 +17,25 @@
 //	mixnn-proxy -listen :8441 -round-size 8 -k 4 -shards 2 \
 //	    -next-hop http://localhost:8442 -next-hop-trust hop.json
 //
+// Delivery is asynchronous: a drained round is committed to an outbox
+// and delivered downstream as one /v1/batch POST by a background
+// dispatcher with bounded retry (-retry caps the backoff), so a
+// downstream outage neither blocks ingress nor loses updates. With
+// -outbox-dir the outbox is a sealed on-disk queue and delivery also
+// survives proxy restarts; -batch=false falls back to one POST per
+// update for pre-batch downstreams:
+//
+//	mixnn-proxy -listen :8441 -round-size 8 -k 4 -shards 2 \
+//	    -outbox-dir proxy.outbox -fuse-file proxy.fuse -retry 5s
+//
 // Crash/restart durability: with -state-file the proxy seals its whole
-// tier (every shard's buffered layers + the round ledger) on SIGINT or
-// SIGTERM and restores it at the next start, so a mid-round restart
-// loses no participant material. The sealed blob is shard-aware: the
-// restarted proxy may run a different -shards count and the buffered
-// round is resharded on restore. Sealing keys derive from the platform
-// fuse secret, so -state-file requires -fuse-file (and restoring needs
-// the same -identity):
+// tier (every shard's buffered layers, pending emissions + the round
+// ledger) on SIGINT or SIGTERM and restores it at the next start, so a
+// mid-round restart loses no participant material. The sealed blob is
+// shard-aware: the restarted proxy may run a different -shards count and
+// the buffered round is resharded on restore. Sealing keys derive from
+// the platform fuse secret, so -state-file (and -outbox-dir) require
+// -fuse-file (and restoring needs the same -identity):
 //
 //	mixnn-proxy -listen :8441 -round-size 8 -k 4 -shards 2 \
 //	    -state-file proxy.state -fuse-file proxy.fuse
@@ -83,7 +94,10 @@ func run(args []string) error {
 		identity     = fs.String("identity", "mixnn-proxy-v1", "enclave code identity (measured)")
 		trustOut     = fs.String("trust-out", "trust.json", "file to write the participant trust bundle to")
 		stateFile    = fs.String("state-file", "", "sealed tier state: restored at startup if present, written on SIGINT/SIGTERM")
-		fuseFile     = fs.String("fuse-file", "", "platform fuse-secret file (created if missing); required for -state-file restores across process restarts")
+		fuseFile     = fs.String("fuse-file", "", "platform fuse-secret file (created if missing); required for -state-file/-outbox-dir restores across process restarts")
+		outboxDir    = fs.String("outbox-dir", "", "sealed delivery outbox directory: drained rounds are committed here before forwarding and survive restarts (requires -fuse-file); empty = in-memory queue")
+		batch        = fs.Bool("batch", true, "coalesce each drained round into one /v1/batch POST; false = one POST per update for pre-batch downstreams")
+		retry        = fs.Duration("retry", 5*time.Second, "maximum delivery retry backoff")
 		seed         = fs.Int64("seed", time.Now().UnixNano(), "mixing randomness seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -94,6 +108,11 @@ func run(args []string) error {
 		// one, the sealed blob can never be unsealed, and startup fails —
 		// sealing unrecoverable state is strictly worse than not sealing.
 		return fmt.Errorf("-state-file requires -fuse-file (a sealed blob is only restorable under the same fuse secret)")
+	}
+	if *outboxDir != "" && *fuseFile == "" {
+		// Same reasoning: outbox entries sealed under an ephemeral fuse
+		// secret would be unreadable garbage to the next process.
+		return fmt.Errorf("-outbox-dir requires -fuse-file (sealed entries are only restorable under the same fuse secret)")
 	}
 
 	platform, err := loadPlatform(*fuseFile)
@@ -117,6 +136,9 @@ func run(args []string) error {
 		Seed:          *seed,
 		HopSecret:     *hopSecret,
 		NextHopSecret: *nextHopSec,
+		OutboxDir:     *outboxDir,
+		NoBatch:       !*batch,
+		RetryMax:      *retry,
 	}
 	if *nextHop != "" {
 		if *nextHopTrust == "" {
@@ -192,6 +214,7 @@ func run(args []string) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	if *stateFile == "" {
+		defer px.Close()
 		return srv.ListenAndServe()
 	}
 
@@ -218,10 +241,21 @@ func run(args []string) error {
 			// update that made it into the snapshot is duplicated if the
 			// client retries, and round-drained material still mid-forward
 			// when the process exits is lost — closing the latter gap
-			// needs the sealed-outbox item on the ROADMAP. The graceful
-			// path (Shutdown returning nil) has neither problem.
+			// needs -outbox-dir (entries persist on disk and redeliver
+			// after restart). The graceful path (Shutdown returning nil)
+			// has neither problem.
 			srv.Close()
 		}
+		// Best-effort outbox drain before exit: with -outbox-dir the
+		// entries would survive anyway, but delivering now hands the
+		// material off without waiting for the next start; without it
+		// this is the in-memory queue's only chance.
+		flushCtx, flushCancel := context.WithTimeout(context.Background(), 5*time.Second)
+		if err := px.Flush(flushCtx); err != nil {
+			log.Printf("mixnn-proxy: outbox not fully drained at shutdown: %v", err)
+		}
+		flushCancel()
+		px.Close()
 		blob, err := px.SealState()
 		if err != nil {
 			return fmt.Errorf("seal tier state: %w", err)

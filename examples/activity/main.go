@@ -71,6 +71,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	defer px.Close()
 	proxyURL, stopProxy, err := serve(px.Handler())
 	if err != nil {
 		return err
@@ -107,6 +108,16 @@ func run() error {
 			}
 		}
 
+		// Delivery is asynchronous: sends are only ACCEPTED into the
+		// mixing tier, so wait for the server to close the round before
+		// evaluating the new global model.
+		for agg.Round() <= r {
+			select {
+			case <-ctx.Done():
+				return fmt.Errorf("round %d never closed: %w", r+1, ctx.Err())
+			case <-time.After(5 * time.Millisecond):
+			}
+		}
 		// Evaluate the new global model on every participant's test data.
 		global := agg.Global()
 		sum := 0.0

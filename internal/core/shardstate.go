@@ -18,14 +18,17 @@ import (
 // Binary layout (little-endian), versioned so the format can evolve:
 //
 //	magic    [4]byte "MXSH"
-//	version  uint32 (currently 1)
+//	version  uint32 (currently 2)
 //	shards   uint32 P at seal time
 //	routing  uint8  RoutingMode tag
 //	rr       uint32 round-robin routing cursor
 //	inRound  uint32 updates received in the open round
-//	rounds   uint32 completed rounds
+//	rounds   uint32 completed rounds (the tier's delivery epoch)
 //	hopMark  uint32 round hop-depth watermark
 //	received, hopReceived, forwarded uint64 (tier ledger)
+//	per shard: shardReceived uint64, shardEmitted uint64 (v2: shard ledger)
+//	pendingLen uint32, pending section (v2: updates the mixers emitted
+//	  mid-round that have not yet been committed to the delivery outbox)
 //	per shard: sectionLen uint32, section bytes
 //
 // Each shard section holds that shard's buffered material as complete
@@ -45,9 +48,12 @@ import (
 const (
 	shardedStateMagic = "MXSH"
 
-	// ShardedStateVersion is the current seal-blob format version;
-	// RestoreShardedState rejects blobs from other versions.
-	ShardedStateVersion = 1
+	// ShardedStateVersion is the current seal-blob format version.
+	// Version 2 added the per-shard mixer ledgers and the
+	// pending-emission section for the asynchronous delivery pipeline;
+	// RestoreShardedState still reads version-1 blobs (those fields
+	// restore empty), so an upgrade does not strand a sealed mid-round.
+	ShardedStateVersion = 2
 
 	// maxSealedShards bounds the shard count a blob may claim (the blob
 	// crosses the sealing boundary, so parse limits guard allocations).
@@ -68,8 +74,13 @@ type RoutingMode uint8
 // participants.
 const RoutingHashRR RoutingMode = 1
 
+// PendingSection is the shard index SealSectionFunc/OpenSectionFunc see
+// for the pending-emission section, which belongs to no single shard.
+const PendingSection = -1
+
 // SealSectionFunc seals one shard's plaintext section (e.g. under a
-// per-shard derived enclave key). A nil func stores sections as-is.
+// per-shard derived enclave key). The pending-emission section is sealed
+// with shard == PendingSection. A nil func stores sections as-is.
 type SealSectionFunc func(shard int, plain []byte) ([]byte, error)
 
 // OpenSectionFunc reverses SealSectionFunc for the shard index recorded
@@ -99,6 +110,15 @@ type ShardedStateMeta struct {
 	Received    int
 	HopReceived int
 	Forwarded   int
+	// ShardReceived and ShardEmitted are the per-shard mixer ledgers
+	// (cumulative across epochs), len P at seal time. A restoring tier
+	// redistributes them when its shard count differs.
+	ShardReceived []int
+	ShardEmitted  []int
+	// Pending holds updates the mixers emitted mid-round that were not
+	// yet committed to the delivery outbox when the tier was sealed. They
+	// restore into the replacement tier's pending buffer, not its mixers.
+	Pending []nn.ParamSet
 }
 
 // snapshotEntries exports the mixer's buffered contents as complete
@@ -202,6 +222,12 @@ func SealShardedState(shards []*StreamMixer, meta ShardedStateMeta, seal SealSec
 	if len(shards) > maxSealedShards {
 		return nil, fmt.Errorf("core: seal of %d shards exceeds limit %d", len(shards), maxSealedShards)
 	}
+	if meta.ShardReceived != nil && len(meta.ShardReceived) != len(shards) {
+		return nil, fmt.Errorf("core: %d shard-received entries for %d shards", len(meta.ShardReceived), len(shards))
+	}
+	if meta.ShardEmitted != nil && len(meta.ShardEmitted) != len(shards) {
+		return nil, fmt.Errorf("core: %d shard-emitted entries for %d shards", len(meta.ShardEmitted), len(shards))
+	}
 	var buf bytes.Buffer
 	buf.WriteString(shardedStateMagic)
 	for _, v := range []uint32{ShardedStateVersion, uint32(len(shards))} {
@@ -226,6 +252,43 @@ func SealShardedState(shards []*StreamMixer, meta ShardedStateMeta, seal SealSec
 			return nil, fmt.Errorf("core: marshal sharded state: %w", err)
 		}
 	}
+	// Per-shard mixer ledgers. When the caller does not supply them, the
+	// mixers' own counters stand in (a tier that never swapped mixers).
+	for s, m := range shards {
+		recv, emit := m.Received(), m.Emitted()
+		if meta.ShardReceived != nil {
+			recv = meta.ShardReceived[s]
+		}
+		if meta.ShardEmitted != nil {
+			emit = meta.ShardEmitted[s]
+		}
+		if recv < 0 || emit < 0 {
+			return nil, fmt.Errorf("core: negative shard %d ledger (%d, %d)", s, recv, emit)
+		}
+		for _, v := range []int{recv, emit} {
+			if err := binary.Write(&buf, binary.LittleEndian, uint64(v)); err != nil {
+				return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+			}
+		}
+	}
+	// Pending-emission section, sealed like a shard section but under the
+	// PendingSection index.
+	pendingSec, err := marshalSection(meta.Pending)
+	if err != nil {
+		return nil, fmt.Errorf("core: pending section: %w", err)
+	}
+	if seal != nil {
+		if pendingSec, err = seal(PendingSection, pendingSec); err != nil {
+			return nil, fmt.Errorf("core: seal pending section: %w", err)
+		}
+	}
+	if len(pendingSec) > maxSectionBytes {
+		return nil, fmt.Errorf("core: pending section exceeds %d bytes", maxSectionBytes)
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(pendingSec))); err != nil {
+		return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+	}
+	buf.Write(pendingSec)
 	for s, m := range shards {
 		section, err := marshalSection(m.snapshotEntries())
 		if err != nil {
@@ -247,14 +310,33 @@ func SealShardedState(shards []*StreamMixer, meta ShardedStateMeta, seal SealSec
 	return buf.Bytes(), nil
 }
 
+// ShardedStateRounds peeks the completed-round counter (the delivery
+// epoch) out of an unsealed blob's fixed-offset header without parsing
+// the sections. A restoring proxy needs it BEFORE building the fresh
+// mixers it restores into: per-epoch rand-stream seeding must continue
+// from the sealed epoch, not restart at zero.
+func ShardedStateRounds(blob []byte) (int, error) {
+	// magic(4) version(4) shards(4) routing(1) rr(4) inRound(4) rounds(4)
+	const roundsOff = 4 + 4 + 4 + 1 + 4 + 4
+	if len(blob) < roundsOff+4 || string(blob[:4]) != shardedStateMagic {
+		return 0, fmt.Errorf("core: not a sharded state blob")
+	}
+	// The header prefix is identical in versions 1 and 2.
+	if v := binary.LittleEndian.Uint32(blob[4:]); v != 1 && v != ShardedStateVersion {
+		return 0, fmt.Errorf("core: sharded state version %d, want <= %d", v, ShardedStateVersion)
+	}
+	return int(binary.LittleEndian.Uint32(blob[roundsOff:])), nil
+}
+
 // RestoreShardedState loads a SealShardedState blob into a tier of fresh
-// mixers. The target shard count may differ from the sealed one: buffered
-// pseudo-updates are redistributed round-robin across the new shards, so
-// a P-shard blob restores into a P′-shard tier with the layer-wise
-// aggregate of the eventual round unchanged. open must reverse the
-// SealSectionFunc used at seal time (nil for plaintext sections). The
-// returned meta carries the sealed tier's ledger and its original shard
-// count in SealedShards.
+// mixers. With an unchanged shard count each shard's buffered material
+// returns to its own mixer; otherwise the pseudo-updates are
+// redistributed round-robin across the new shards, so a P-shard blob
+// restores into a P′-shard tier with the layer-wise aggregate of the
+// eventual round unchanged. open must reverse the SealSectionFunc used at
+// seal time (nil for plaintext sections). The returned meta carries the
+// sealed tier's ledger (tier-wide and per-shard), the pending emissions,
+// and the original shard count in SealedShards.
 func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFunc) (ShardedStateMeta, error) {
 	var meta ShardedStateMeta
 	if len(shards) == 0 {
@@ -277,8 +359,8 @@ func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFun
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
 		return meta, fmt.Errorf("core: read version: %w", err)
 	}
-	if version != ShardedStateVersion {
-		return meta, fmt.Errorf("core: sharded state version %d, want %d", version, ShardedStateVersion)
+	if version != 1 && version != ShardedStateVersion {
+		return meta, fmt.Errorf("core: sharded state version %d, want <= %d", version, ShardedStateVersion)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &sealedShards); err != nil {
 		return meta, fmt.Errorf("core: read shard count: %w", err)
@@ -306,36 +388,74 @@ func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFun
 		}
 		*dst = int(v)
 	}
-	// Collect every sealed shard's pseudo-updates, then deal them
-	// round-robin over the (possibly different-sized) target tier.
-	var entries []nn.ParamSet
-	for s := 0; s < meta.SealedShards; s++ {
+	// Per-shard mixer ledgers: v2 only (a v1 blob restores them empty —
+	// the counters reset, which is exactly the pre-v2 behaviour).
+	if version >= 2 {
+		meta.ShardReceived = make([]int, meta.SealedShards)
+		meta.ShardEmitted = make([]int, meta.SealedShards)
+		for s := 0; s < meta.SealedShards; s++ {
+			for _, dst := range []*int{&meta.ShardReceived[s], &meta.ShardEmitted[s]} {
+				var v uint64
+				if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+					return meta, fmt.Errorf("core: read shard %d ledger: %w", s, err)
+				}
+				*dst = int(v)
+			}
+		}
+	}
+	// readSection pulls one length-prefixed section, bounding by the
+	// bytes actually present before allocating: a forged header must not
+	// buy a 512 MiB allocation against a tiny blob.
+	readSection := func(shard int) ([]nn.ParamSet, error) {
 		var n uint32
 		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-			return meta, fmt.Errorf("core: read shard %d section length: %w", s, err)
+			return nil, fmt.Errorf("core: read section length: %w", err)
 		}
 		if n > maxSectionBytes {
-			return meta, fmt.Errorf("core: shard %d section length %d exceeds limit", s, n)
+			return nil, fmt.Errorf("core: section length %d exceeds limit", n)
 		}
-		// Bound by the bytes actually present before allocating: a forged
-		// header must not buy a 512 MiB allocation against a tiny blob.
 		if int(n) > r.Len() {
-			return meta, fmt.Errorf("core: shard %d section length %d exceeds %d remaining bytes", s, n, r.Len())
+			return nil, fmt.Errorf("core: section length %d exceeds %d remaining bytes", n, r.Len())
 		}
 		section := make([]byte, n)
 		if _, err := io.ReadFull(r, section); err != nil {
-			return meta, fmt.Errorf("core: read shard %d section: %w", s, err)
+			return nil, fmt.Errorf("core: read section: %w", err)
 		}
 		if open != nil {
-			if section, err = open(s, section); err != nil {
-				return meta, fmt.Errorf("core: open shard %d section: %w", s, err)
+			var err error
+			if section, err = open(shard, section); err != nil {
+				return nil, fmt.Errorf("core: open section: %w", err)
 			}
 		}
-		got, err := unmarshalSection(section)
+		return unmarshalSection(section)
+	}
+	// Pending-emission section: v2 only (v1 had no delivery pipeline, so
+	// nothing could be pending).
+	if version >= 2 {
+		if meta.Pending, err = readSection(PendingSection); err != nil {
+			return meta, fmt.Errorf("core: pending section: %w", err)
+		}
+	}
+	// Collect every sealed shard's pseudo-updates. With an unchanged
+	// shard count each section restores into its own mixer (exact
+	// restore); otherwise the entries are dealt round-robin over the
+	// target tier (resharding).
+	sameShape := len(shards) == meta.SealedShards
+	var entries []nn.ParamSet
+	for s := 0; s < meta.SealedShards; s++ {
+		got, err := readSection(s)
 		if err != nil {
 			return meta, fmt.Errorf("core: shard %d: %w", s, err)
 		}
-		entries = append(entries, got...)
+		if sameShape {
+			for i, e := range got {
+				if err := shards[s].restoreEntry(e); err != nil {
+					return meta, fmt.Errorf("core: restore shard %d entry %d: %w", s, i, err)
+				}
+			}
+		} else {
+			entries = append(entries, got...)
+		}
 	}
 	if r.Len() != 0 {
 		return meta, fmt.Errorf("core: %d trailing bytes after sharded state", r.Len())

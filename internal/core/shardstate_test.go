@@ -143,8 +143,10 @@ func TestShardedStateSealedSections(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sealed) != 3 || sealed[0] != 0 || sealed[1] != 1 || sealed[2] != 2 {
-		t.Fatalf("seal called for shards %v, want [0 1 2]", sealed)
+	// The pending section seals first (as PendingSection), then one call
+	// per shard.
+	if len(sealed) != 4 || sealed[0] != PendingSection || sealed[1] != 0 || sealed[2] != 1 || sealed[3] != 2 {
+		t.Fatalf("seal called for shards %v, want [%d 0 1 2]", sealed, PendingSection)
 	}
 
 	var opened []int
@@ -154,8 +156,8 @@ func TestShardedStateSealedSections(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	if len(opened) != 3 {
-		t.Fatalf("open called for shards %v, want all 3", opened)
+	if len(opened) != 4 {
+		t.Fatalf("open called for shards %v, want all 4 sections", opened)
 	}
 
 	// Opening with the wrong per-shard key material must fail loudly.
@@ -167,6 +169,122 @@ func TestShardedStateSealedSections(t *testing.T) {
 	// As must skipping the opener entirely.
 	if _, err := RestoreShardedState(blob, newTier(t, 2, 2), nil); err == nil {
 		t.Fatal("sealed sections restored without an opener")
+	}
+}
+
+// TestShardedStateLedgersAndPendingRoundTrip pins the v2 additions: the
+// per-shard mixer ledgers and the pending-emission buffer survive
+// seal/restore, with same-shape restores landing each shard's material
+// back in its own mixer.
+func TestShardedStateLedgersAndPendingRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	updates := makeUpdates(9, 2, rng)
+
+	tier := newTier(t, 2, 2)
+	emitted := feedTier(t, tier, updates[:6]) // both k=2 mixers overflow → emissions
+	if len(emitted) == 0 {
+		t.Fatal("tier emitted nothing; test setup broken")
+	}
+	blob, err := SealShardedState(tier, ShardedStateMeta{
+		Routing: RoutingHashRR, InRound: 6, Received: 6,
+		ShardReceived: []int{13, 7}, ShardEmitted: []int{9, 4},
+		Pending: emitted,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := newTier(t, 2, 2)
+	meta, err := RestoreShardedState(blob, fresh, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(meta.ShardReceived) != 2 || meta.ShardReceived[0] != 13 || meta.ShardReceived[1] != 7 {
+		t.Fatalf("ShardReceived = %v, want [13 7]", meta.ShardReceived)
+	}
+	if len(meta.ShardEmitted) != 2 || meta.ShardEmitted[0] != 9 || meta.ShardEmitted[1] != 4 {
+		t.Fatalf("ShardEmitted = %v, want [9 4]", meta.ShardEmitted)
+	}
+	if len(meta.Pending) != len(emitted) {
+		t.Fatalf("restored %d pending updates, want %d", len(meta.Pending), len(emitted))
+	}
+	// Same-shape restore: each mixer holds exactly what it held at seal.
+	for s := range tier {
+		if fresh[s].Buffered() != tier[s].Buffered() {
+			t.Fatalf("shard %d buffered %d, sealed %d", s, fresh[s].Buffered(), tier[s].Buffered())
+		}
+	}
+	// The whole round — buffered everywhere plus pending — is conserved:
+	// finishing it must reproduce the classic mean.
+	var out []nn.ParamSet
+	out = append(out, meta.Pending...)
+	out = append(out, feedTier(t, fresh, updates[6:])...)
+	out = append(out, drainTier(fresh)...)
+	want, _ := nn.Average(updates)
+	got, err := nn.Average(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.ApproxEqual(got, 1e-9) {
+		t.Fatal("pending + buffered restore broke conservation")
+	}
+
+	// Mismatched ledger lengths are rejected at seal time.
+	if _, err := SealShardedState(tier, ShardedStateMeta{ShardReceived: []int{1}}, nil); err == nil {
+		t.Fatal("mismatched shard ledger length accepted")
+	}
+}
+
+// TestRestoreShardedStateReadsV1 pins upgrade compatibility: a blob in
+// the PR 2 (version 1) layout — no per-shard ledgers, no pending
+// section — still restores, so upgrading the binary does not strand a
+// sealed mid-round.
+func TestRestoreShardedStateReadsV1(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tier := newTier(t, 2, 2)
+	feedTier(t, tier, makeUpdates(3, 2, rng))
+
+	var v1 bytes.Buffer
+	v1.WriteString("MXSH")
+	for _, v := range []uint32{1, 2} { // version 1, 2 shards
+		binary.Write(&v1, binary.LittleEndian, v)
+	}
+	v1.WriteByte(byte(RoutingHashRR))
+	for _, v := range []uint32{3, 3, 5, 0} { // rr, inRound, rounds, hopMark
+		binary.Write(&v1, binary.LittleEndian, v)
+	}
+	for _, v := range []uint64{3, 0, 0} { // received, hopReceived, forwarded
+		binary.Write(&v1, binary.LittleEndian, v)
+	}
+	for _, m := range tier {
+		section, err := marshalSection(m.snapshotEntries())
+		if err != nil {
+			t.Fatal(err)
+		}
+		binary.Write(&v1, binary.LittleEndian, uint32(len(section)))
+		v1.Write(section)
+	}
+
+	if rounds, err := ShardedStateRounds(v1.Bytes()); err != nil || rounds != 5 {
+		t.Fatalf("ShardedStateRounds on v1 = %d, %v; want 5, nil", rounds, err)
+	}
+	fresh := newTier(t, 2, 2)
+	meta, err := RestoreShardedState(v1.Bytes(), fresh, nil)
+	if err != nil {
+		t.Fatalf("v1 blob no longer restores: %v", err)
+	}
+	if meta.Rounds != 5 || meta.InRound != 3 || meta.Received != 3 {
+		t.Fatalf("v1 ledger = %+v", meta)
+	}
+	if meta.ShardReceived != nil || meta.Pending != nil {
+		t.Fatalf("v1 blob restored phantom v2 fields: %+v", meta)
+	}
+	buffered := 0
+	for _, m := range fresh {
+		buffered += m.Buffered()
+	}
+	if buffered != 3 {
+		t.Fatalf("v1 restore buffered %d, want 3", buffered)
 	}
 }
 
@@ -233,9 +351,14 @@ func TestRestoreShardedStateRejects(t *testing.T) {
 		for i := 0; i < 4; i++ {
 			binary.Write(&forged, binary.LittleEndian, uint32(0))
 		}
-		for i := 0; i < 3; i++ {
+		for i := 0; i < 3; i++ { // tier ledger
 			binary.Write(&forged, binary.LittleEndian, uint64(0))
 		}
+		for i := 0; i < 2; i++ { // shard 0 ledger
+			binary.Write(&forged, binary.LittleEndian, uint64(0))
+		}
+		// Forge the pending-section length (the first length-prefixed
+		// section of a v2 blob).
 		binary.Write(&forged, binary.LittleEndian, uint32(maxSectionBytes-1))
 		if _, err := RestoreShardedState(forged.Bytes(), fresh(), nil); err == nil {
 			t.Fatal("forged oversized section length accepted")

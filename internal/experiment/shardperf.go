@@ -12,37 +12,52 @@ import (
 	"mixnn/internal/proxy"
 )
 
-// ShardedPerfResult reports one sharded-tier throughput experiment: a full
-// round of concurrent participants through P mixing shards (optionally
-// cascaded through a second mixing hop) into the aggregation server.
+// ShardedPerfResult reports one sharded-tier throughput experiment: one
+// or more rounds of concurrent participants through P mixing shards
+// (optionally cascaded through a second mixing hop) into the aggregation
+// server.
 type ShardedPerfResult struct {
 	Model        string
 	Participants int
 	Shards       int
 	K            int
 	Cascade      bool
+	// Rounds is how many back-to-back rounds were driven. With more than
+	// one, the tier's cross-round pipelining is exercised: round N+1 is
+	// ingested while round N's batch is still being delivered.
+	Rounds int
 	// UpdateBytes is the plaintext size of one encoded update.
 	UpdateBytes int
-	// RoundMillis is the wall-clock time from the first send to round
-	// closure at the aggregation server (all sends run concurrently, so
-	// this measures tier throughput rather than per-update latency).
+	// RoundMillis is the mean wall-clock time per round, from the first
+	// send to closure of the final round at the aggregation server (all
+	// sends run concurrently, so this measures tier throughput rather
+	// than per-update latency).
 	RoundMillis float64
-	// UpdatesPerSec is Participants divided by the round duration in
-	// seconds.
+	// UpdatesPerSec is Rounds×Participants divided by the total duration
+	// in seconds.
 	UpdatesPerSec float64
 	// ProcessMillis is the front tier's mean in-enclave processing time.
 	ProcessMillis float64
+	// BatchesSent counts the front tier's /v1/batch deliveries (one per
+	// round when batching is on).
+	BatchesSent int
 	// ShardReceived is the per-shard ingest distribution of the front tier.
 	ShardReceived []int
 }
 
 // RunShardedPerf stands up the sharded mixing tier over real HTTP —
 // optionally cascaded through a second mixing proxy with per-hop
-// re-encryption — and drives one round of concurrent participants
-// through it.
-func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int, cascade bool, seed int64) (ShardedPerfResult, error) {
+// re-encryption — and drives `rounds` back-to-back rounds of concurrent
+// participants through it. Delivery is asynchronous (outbox + batched
+// forwarding), so the measured window runs until the aggregation server
+// has closed every round, not merely until the proxy acknowledged the
+// sends.
+func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int, cascade bool, rounds int, seed int64) (ShardedPerfResult, error) {
 	if participants <= 0 {
 		return ShardedPerfResult{}, fmt.Errorf("experiment: sharded perf requires participants > 0")
+	}
+	if rounds <= 0 {
+		rounds = 1
 	}
 	platform, err := enclave.NewPlatform()
 	if err != nil {
@@ -75,6 +90,7 @@ func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int,
 		if err != nil {
 			return ShardedPerfResult{}, err
 		}
+		defer hopPx.Close()
 		hopSrv := httptest.NewServer(hopPx.Handler())
 		defer hopSrv.Close()
 		hopKey, err := proxy.AttestHop(ctx, hopSrv.URL, nil, platform.AttestationPublicKey(), hopEncl.Measurement())
@@ -88,19 +104,25 @@ func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int,
 	if err != nil {
 		return ShardedPerfResult{}, err
 	}
+	defer frontPx.Close()
 	frontSrv := httptest.NewServer(frontPx.Handler())
 	defer frontSrv.Close()
 
 	// Pre-build and pre-attest all participants so the timed window
-	// contains only the round itself.
+	// contains only the rounds themselves.
 	parts := make([]*proxy.Participant, participants)
-	updates := make([]nn.ParamSet, participants)
+	updates := make([][]nn.ParamSet, rounds)
 	for i := range parts {
 		parts[i] = proxy.NewParticipant(frontSrv.URL, aggSrv.URL, nil)
 		if err := parts[i].Attest(ctx, platform.AttestationPublicKey(), frontEncl.Measurement()); err != nil {
 			return ShardedPerfResult{}, err
 		}
-		updates[i] = arch.New(seed + int64(i) + 1).SnapshotParams()
+	}
+	for r := range updates {
+		updates[r] = make([]nn.ParamSet, participants)
+		for i := range updates[r] {
+			updates[r][i] = arch.New(seed + int64(r*participants+i) + 1).SnapshotParams()
+		}
 	}
 
 	var (
@@ -109,26 +131,40 @@ func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int,
 		firstErr error
 	)
 	start := time.Now()
-	for i := 0; i < participants; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			if err := parts[i].SendUpdate(ctx, updates[i]); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("experiment: sharded perf update %d: %w", i, err)
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < participants; i++ {
+			wg.Add(1)
+			go func(r, i int) {
+				defer wg.Done()
+				if err := parts[i].SendUpdate(ctx, updates[r][i]); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("experiment: sharded perf round %d update %d: %w", r, i, err)
+					}
+					mu.Unlock()
 				}
-				mu.Unlock()
-			}
-		}(i)
+			}(r, i)
+		}
 	}
 	wg.Wait()
-	roundDur := time.Since(start)
 	if firstErr != nil {
 		return ShardedPerfResult{}, firstErr
 	}
-	if agg.Round() != 1 {
-		return ShardedPerfResult{}, fmt.Errorf("experiment: sharded perf round did not close (round=%d)", agg.Round())
+	// Sends are acknowledged before delivery; the rounds close when the
+	// delivery pipeline has drained into the server.
+	for agg.Round() < rounds {
+		select {
+		case <-ctx.Done():
+			return ShardedPerfResult{}, fmt.Errorf("experiment: sharded perf: %d of %d rounds closed: %w", agg.Round(), rounds, ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	totalDur := time.Since(start)
+	// Settle the delivery pipeline before reading counters: the server
+	// closes a round inside the batch POST, an instant before the proxy
+	// records the acknowledgement.
+	if err := frontPx.Flush(ctx); err != nil {
+		return ShardedPerfResult{}, err
 	}
 
 	st := frontPx.Status()
@@ -142,10 +178,12 @@ func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int,
 		Shards:        shards,
 		K:             k,
 		Cascade:       cascade,
+		Rounds:        rounds,
 		UpdateBytes:   st.UpdateBytes,
-		RoundMillis:   roundDur.Seconds() * 1000,
-		UpdatesPerSec: float64(participants) / roundDur.Seconds(),
+		RoundMillis:   totalDur.Seconds() * 1000 / float64(rounds),
+		UpdatesPerSec: float64(rounds*participants) / totalDur.Seconds(),
 		ProcessMillis: st.ProcessMillis,
+		BatchesSent:   st.BatchesSent,
 		ShardReceived: received,
 	}, nil
 }

@@ -63,6 +63,7 @@ func RunSystemPerf(modelName string, arch nn.Arch, participants, k int, seed int
 	if err != nil {
 		return PerfResult{}, err
 	}
+	defer px.Close()
 	pxSrv := httptest.NewServer(px.Handler())
 	defer pxSrv.Close()
 
@@ -82,6 +83,10 @@ func RunSystemPerf(modelName string, arch nn.Arch, participants, k int, seed int
 			return PerfResult{}, fmt.Errorf("experiment: sysperf update %d: %w", i, err)
 		}
 		totalSend += time.Since(start)
+	}
+	// Drain the delivery pipeline so the reported counters are settled.
+	if err := px.Flush(ctx); err != nil {
+		return PerfResult{}, err
 	}
 
 	st := px.Status()

@@ -64,6 +64,16 @@ func BenchmarkParamSetCodec(b *testing.B) {
 			}
 		}
 	})
+	// The §6.5 store-stage fast path: tensors alias the input buffer
+	// where alignment allows instead of being converted element-wise.
+	b.Run("decode-nocopy", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeParamSetNoCopy(raw); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkAverage(b *testing.B) {

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+	"unsafe"
 
 	"mixnn/internal/tensor"
 )
@@ -70,6 +71,92 @@ func TestCodecNaNRoundTrip(t *testing.T) {
 	}
 	if !math.IsNaN(got.Layers[0].Tensors[0].Data()[0]) {
 		t.Fatal("NaN did not survive the round trip")
+	}
+}
+
+// TestDecodeParamSetNoCopyMatches: the zero-copy decoder must agree with
+// the copying decoder bit-for-bit, at every buffer alignment (shifting
+// the buffer start forces the per-tensor alias/fallback decision both
+// ways).
+func TestDecodeParamSetNoCopyMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, shape := range [][]int{{3, 5, 2}, {1}, {4, 4}} {
+		raw, err := EncodeParamSet(randomParamSet(rng, shape...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := DecodeParamSet(raw)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for shift := 0; shift < 8; shift++ {
+			buf := make([]byte, shift+len(raw))
+			copy(buf[shift:], raw)
+			got, err := DecodeParamSetNoCopy(buf[shift:])
+			if err != nil {
+				t.Fatalf("shift %d: %v", shift, err)
+			}
+			if !got.Compatible(want) || !got.ApproxEqual(want, 0) {
+				t.Fatalf("shift %d: zero-copy decode diverged", shift)
+			}
+		}
+	}
+}
+
+// TestDecodeParamSetNoCopyAliases pins the ownership contract: the
+// decoded tensors share storage with the input buffer (on little-endian
+// hosts, for aligned payloads), so callers must treat both as immutable.
+func TestDecodeParamSetNoCopyAliases(t *testing.T) {
+	if !hostLittleEndian {
+		t.Skip("aliasing requires a little-endian host")
+	}
+	ps := ParamSet{Layers: []LayerParams{{
+		Name:    "abc", // 4+1+4 + 2+3+4 + 1+4 = 23 header bytes... shift to align below
+		Tensors: []*tensor.Tensor{tensor.MustFromSlice([]float64{1, 2, 3, 4}, 4)},
+	}}}
+	raw, err := EncodeParamSet(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the alignment at which the single tensor's payload (the last
+	// 32 bytes) is 8-byte aligned, so the alias path is exercised for
+	// sure.
+	for shift := 0; shift < 8; shift++ {
+		buf := make([]byte, shift+len(raw))
+		copy(buf[shift:], raw)
+		data := buf[shift:]
+		payload := data[len(data)-32:]
+		if uintptr(unsafe.Pointer(&payload[0]))%8 != 0 {
+			continue
+		}
+		got, err := DecodeParamSetNoCopy(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		payload[0] ^= 0xFF // mutate the buffer...
+		if got.Layers[0].Tensors[0].Data()[0] == 1 {
+			t.Fatal("aligned payload was copied, not aliased")
+		}
+		return
+	}
+	t.Fatal("no alignment produced an aligned payload")
+}
+
+func TestDecodeParamSetNoCopyRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	valid, err := EncodeParamSet(randomParamSet(rng, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{
+		"empty":     nil,
+		"bad magic": append([]byte("XXXX"), valid[4:]...),
+		"truncated": valid[:len(valid)-5],
+		"trailing":  append(append([]byte(nil), valid...), 0x00),
+	} {
+		if _, err := DecodeParamSetNoCopy(data); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
 	}
 }
 

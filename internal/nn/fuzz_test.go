@@ -22,8 +22,17 @@ func FuzzDecodeParamSet(f *testing.F) {
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		ps, err := DecodeParamSet(data)
+		psNC, errNC := DecodeParamSetNoCopy(data)
+		// The zero-copy decoder must accept exactly what the copying one
+		// accepts, with identical values.
+		if (err == nil) != (errNC == nil) {
+			t.Fatalf("decoder disagreement: copy err=%v, nocopy err=%v", err, errNC)
+		}
 		if err != nil {
 			return
+		}
+		if !psNC.Compatible(ps) || !psNC.ApproxEqual(ps, 0) {
+			t.Fatal("zero-copy decode diverged from copying decode")
 		}
 		re, err := EncodeParamSet(ps)
 		if err != nil {

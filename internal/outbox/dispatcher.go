@@ -1,0 +1,225 @@
+package outbox
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"sync"
+	"time"
+)
+
+// DeliverFunc attempts delivery of one opened entry. Returning nil
+// acknowledges (consumes) the entry. A PermanentError quarantines it —
+// the downstream rejected the entry and retrying cannot help. Any other
+// error is transient: the entry stays queued and is retried with backoff.
+type DeliverFunc func(ctx context.Context, seq uint64, payload []byte) error
+
+// PermanentError marks a delivery failure retrying cannot fix (e.g. the
+// downstream returned 4xx). The dispatcher quarantines the entry instead
+// of retrying it forever.
+type PermanentError struct{ Err error }
+
+func (e *PermanentError) Error() string { return fmt.Sprintf("outbox: permanent: %v", e.Err) }
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// Permanent wraps err as a PermanentError.
+func Permanent(err error) error { return &PermanentError{Err: err} }
+
+// Dispatcher drains a Queue in sequence order through a DeliverFunc with
+// bounded exponential backoff. It is the background half of the delivery
+// pipeline: ingress commits rounds to the queue and returns immediately;
+// the dispatcher owns every retry, so a downstream outage never blocks
+// (or loses) mixing.
+type Dispatcher struct {
+	q       Queue
+	deliver DeliverFunc
+	base    time.Duration // first retry delay
+	max     time.Duration // backoff ceiling
+
+	wake chan struct{}
+	stop chan struct{}
+	done chan struct{}
+
+	mu       sync.Mutex
+	inFlight bool
+	started  bool
+}
+
+// DefaultRetryBase and DefaultRetryMax bound the dispatcher's backoff
+// when the caller does not override them.
+const (
+	DefaultRetryBase = 50 * time.Millisecond
+	DefaultRetryMax  = 5 * time.Second
+)
+
+// NewDispatcher builds a dispatcher over q. base/max bound the retry
+// backoff (zero values take the defaults). Call Start to begin draining.
+func NewDispatcher(q Queue, deliver DeliverFunc, base, max time.Duration) *Dispatcher {
+	if base <= 0 {
+		base = DefaultRetryBase
+	}
+	if max <= 0 {
+		max = DefaultRetryMax
+	}
+	if max < base {
+		max = base
+	}
+	return &Dispatcher{
+		q: q, deliver: deliver, base: base, max: max,
+		wake: make(chan struct{}, 1),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// Start launches the drain loop.
+func (d *Dispatcher) Start() {
+	d.mu.Lock()
+	if d.started {
+		d.mu.Unlock()
+		return
+	}
+	d.started = true
+	d.mu.Unlock()
+	go d.loop()
+}
+
+// Wake nudges the dispatcher after a Put so a fresh entry is tried
+// immediately instead of at the next backoff tick.
+func (d *Dispatcher) Wake() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Close stops the drain loop and waits for any in-flight delivery attempt
+// to return. Queued entries stay queued (on disk for a durable queue) for
+// the next process.
+func (d *Dispatcher) Close() {
+	d.mu.Lock()
+	if !d.started {
+		d.started = true // a never-started dispatcher just closes its channels
+		close(d.done)
+		d.mu.Unlock()
+		return
+	}
+	select {
+	case <-d.stop:
+		d.mu.Unlock()
+		<-d.done
+		return
+	default:
+	}
+	close(d.stop)
+	d.mu.Unlock()
+	<-d.done
+}
+
+// Flush blocks until the queue is empty and no delivery is in flight, or
+// ctx expires. It is the test/shutdown helper for "everything the tier
+// drained has reached the downstream".
+func (d *Dispatcher) Flush(ctx context.Context) error {
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		d.mu.Lock()
+		idle := !d.inFlight
+		d.mu.Unlock()
+		if idle && d.q.Len() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("outbox: flush: %d entries still pending: %w", d.q.Len(), ctx.Err())
+		case <-tick.C:
+		}
+	}
+}
+
+func (d *Dispatcher) loop() {
+	defer close(d.done)
+	backoff := d.base
+	for {
+		select {
+		case <-d.stop:
+			return
+		default:
+		}
+		seq, payload, err := d.q.Next()
+		if errors.Is(err, ErrEmpty) {
+			backoff = d.base
+			select {
+			case <-d.stop:
+				return
+			case <-d.wake:
+			}
+			continue
+		}
+		if err != nil {
+			// Queue-level read failure with entries still indexed; back
+			// off rather than spin.
+			if !d.sleep(backoff) {
+				return
+			}
+			backoff = d.bump(backoff)
+			continue
+		}
+
+		d.mu.Lock()
+		d.inFlight = true
+		d.mu.Unlock()
+		ctx, cancel := context.WithTimeout(context.Background(), deliveryTimeout)
+		deliverErr := d.deliver(ctx, seq, payload)
+		cancel()
+		d.mu.Lock()
+		d.inFlight = false
+		d.mu.Unlock()
+
+		var perm *PermanentError
+		switch {
+		case deliverErr == nil:
+			d.q.Ack(seq)
+			backoff = d.base
+		case errors.As(deliverErr, &perm):
+			// Quarantining loses the entry from the delivery path; that
+			// must never be silent.
+			log.Printf("outbox: entry %d quarantined: %v", seq, deliverErr)
+			d.q.Quarantine(seq, deliverErr)
+			backoff = d.base
+		default:
+			if !d.sleep(backoff) {
+				return
+			}
+			backoff = d.bump(backoff)
+		}
+	}
+}
+
+// deliveryTimeout bounds one delivery attempt; the dispatcher's retry
+// loop is the only other cancellation delivery has.
+const deliveryTimeout = 60 * time.Second
+
+func (d *Dispatcher) bump(backoff time.Duration) time.Duration {
+	backoff *= 2
+	if backoff > d.max {
+		backoff = d.max
+	}
+	return backoff
+}
+
+// sleep waits for the backoff, a wake (fresh entry — retry immediately),
+// or shutdown. Returns false when the dispatcher should exit.
+func (d *Dispatcher) sleep(backoff time.Duration) bool {
+	t := time.NewTimer(backoff)
+	defer t.Stop()
+	select {
+	case <-d.stop:
+		return false
+	case <-d.wake:
+		return true
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,393 @@
+// Package outbox implements the durable delivery queue between the MixNN
+// proxy's round drains and its upstream forwarder. Once a shard tier
+// drains a round, the mixed material has left the mixers; before this
+// package existed a downstream outage mid-drain silently lost those
+// updates and skewed the layer-wise mean the paper's equivalence argument
+// depends on. The outbox closes that gap: a drained round is committed to
+// disk as one sealed, versioned entry BEFORE any network send is
+// attempted, and a background dispatcher (dispatcher.go) retries delivery
+// with bounded backoff until the downstream acknowledges it.
+//
+// Like internal/core, the package is crypto-free: entries pass through
+// caller-supplied Seal/Open funcs so the proxy can encrypt them under an
+// enclave-derived key (enclave.SealLabeled) and nothing mixed ever rests
+// on the untrusted host in plaintext. Tests run on nil funcs (plaintext).
+//
+// Disk layout: one file per entry, named ob-<seq>.ent with a
+// zero-padded monotone sequence so lexical order is delivery order.
+// Writes are tmp-file + rename (an entry is either fully present or
+// absent); acknowledged entries are removed; entries that fail to open or
+// parse are quarantined by rename to ob-<seq>.bad — consume-by-rename,
+// like the proxy's sealed state blob — so the queue keeps draining past
+// garbage while the evidence stays inspectable.
+package outbox
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// SealFunc encrypts an entry before it touches disk (e.g. under an
+// enclave-derived key). Nil stores entries in plaintext.
+type SealFunc func(plain []byte) ([]byte, error)
+
+// OpenFunc reverses SealFunc.
+type OpenFunc func(sealed []byte) ([]byte, error)
+
+// ErrEmpty is returned by Next when no deliverable entry remains.
+var ErrEmpty = errors.New("outbox: empty")
+
+// Queue is the delivery queue contract shared by the durable on-disk
+// outbox and the in-memory variant: strictly ordered Put/Next/Ack with
+// quarantine for undeliverable entries.
+type Queue interface {
+	// Put commits one entry and returns its sequence number. For the disk
+	// queue the entry is durable (sealed, atomically renamed into place)
+	// before Put returns.
+	Put(payload []byte) (uint64, error)
+	// Next returns the oldest entry, opened and parsed. Corrupt or
+	// unopenable entries are quarantined and skipped so one bad entry
+	// cannot wedge the queue. ErrEmpty when drained.
+	Next() (uint64, []byte, error)
+	// Ack consumes a delivered entry.
+	Ack(seq uint64) error
+	// Quarantine sets aside an entry the receiver permanently rejected.
+	Quarantine(seq uint64, reason error) error
+	// Len counts entries awaiting delivery.
+	Len() int
+}
+
+// Envelope is the payload of one outbox entry: a whole drained round.
+// Binary layout (little-endian), versioned so the format can evolve:
+//
+//	magic   [4]byte "MXOB"
+//	version uint32 (currently 1)
+//	epoch   uint64  round number the material belongs to
+//	hop     uint32  cascade depth to stamp on delivery (watermark + 1)
+//	count   uint32  updates in the round
+//	per update: len uint32, bytes (an encoded nn.ParamSet — opaque here)
+type Envelope struct {
+	Epoch   uint64
+	Hop     int
+	Updates [][]byte
+}
+
+const (
+	envelopeMagic = "MXOB"
+
+	// EnvelopeVersion is the current entry format; ParseEnvelope rejects
+	// entries from other versions.
+	EnvelopeVersion = 1
+
+	// maxEnvelopeUpdates bounds the updates one entry may claim (entries
+	// cross the sealing boundary, so parse limits guard allocations).
+	maxEnvelopeUpdates = 1 << 20
+	// maxEnvelopeItemBytes bounds one encoded update inside an entry.
+	maxEnvelopeItemBytes = 512 << 20
+)
+
+// Marshal encodes the envelope.
+func (e *Envelope) Marshal() ([]byte, error) {
+	if len(e.Updates) > maxEnvelopeUpdates {
+		return nil, fmt.Errorf("outbox: %d updates exceed the per-entry limit", len(e.Updates))
+	}
+	if e.Hop < 0 {
+		return nil, fmt.Errorf("outbox: negative hop %d", e.Hop)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(envelopeMagic)
+	binary.Write(&buf, binary.LittleEndian, uint32(EnvelopeVersion))
+	binary.Write(&buf, binary.LittleEndian, e.Epoch)
+	binary.Write(&buf, binary.LittleEndian, uint32(e.Hop))
+	binary.Write(&buf, binary.LittleEndian, uint32(len(e.Updates)))
+	for i, u := range e.Updates {
+		if len(u) > maxEnvelopeItemBytes {
+			return nil, fmt.Errorf("outbox: update %d exceeds %d bytes", i, maxEnvelopeItemBytes)
+		}
+		binary.Write(&buf, binary.LittleEndian, uint32(len(u)))
+		buf.Write(u)
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseEnvelope decodes an entry payload, validating structure before
+// allocating.
+func ParseEnvelope(data []byte) (*Envelope, error) {
+	r := bytes.NewReader(data)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || string(magic[:]) != envelopeMagic {
+		return nil, fmt.Errorf("outbox: bad entry magic %q", magic)
+	}
+	var version, hop, count uint32
+	var epoch uint64
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
+		return nil, fmt.Errorf("outbox: read entry version: %w", err)
+	}
+	if version != EnvelopeVersion {
+		return nil, fmt.Errorf("outbox: entry version %d, want %d", version, EnvelopeVersion)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &epoch); err != nil {
+		return nil, fmt.Errorf("outbox: read entry epoch: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &hop); err != nil {
+		return nil, fmt.Errorf("outbox: read entry hop: %w", err)
+	}
+	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
+		return nil, fmt.Errorf("outbox: read entry count: %w", err)
+	}
+	if count > maxEnvelopeUpdates {
+		return nil, fmt.Errorf("outbox: entry claims %d updates", count)
+	}
+	env := &Envelope{Epoch: epoch, Hop: int(hop), Updates: make([][]byte, 0, count)}
+	for i := uint32(0); i < count; i++ {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, fmt.Errorf("outbox: read update %d length: %w", i, err)
+		}
+		// uint64 comparisons: int(n) would go negative on 32-bit
+		// platforms for adversarial lengths ≥ 2³¹ and bypass the bounds.
+		if uint64(n) > maxEnvelopeItemBytes || uint64(n) > uint64(r.Len()) {
+			return nil, fmt.Errorf("outbox: update %d length %d exceeds remaining bytes", i, n)
+		}
+		u := make([]byte, n)
+		if _, err := io.ReadFull(r, u); err != nil {
+			return nil, fmt.Errorf("outbox: read update %d: %w", i, err)
+		}
+		env.Updates = append(env.Updates, u)
+	}
+	if r.Len() != 0 {
+		return nil, fmt.Errorf("outbox: %d trailing bytes after entry", r.Len())
+	}
+	return env, nil
+}
+
+// Disk is the durable on-disk queue.
+type Disk struct {
+	dir  string
+	seal SealFunc
+	open OpenFunc
+
+	mu   sync.Mutex
+	seqs []uint64 // pending sequence numbers, sorted ascending
+	next uint64   // next sequence number to assign
+	// head caches the opened payload of the queue head between retry
+	// attempts (entries are immutable once written), so a long outage
+	// does not re-read and re-decrypt the same round every backoff tick.
+	headSeq     uint64
+	headPayload []byte
+}
+
+const (
+	entrySuffix      = ".ent"
+	quarantineSuffix = ".bad"
+)
+
+func entryName(seq uint64) string { return fmt.Sprintf("ob-%016x%s", seq, entrySuffix) }
+
+// Open opens (creating if needed) an outbox directory and indexes the
+// entries a previous process left behind — that carry-over is what makes
+// round delivery survive a crash.
+func Open(dir string, seal SealFunc, open OpenFunc) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o700); err != nil {
+		return nil, fmt.Errorf("outbox: create dir: %w", err)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("outbox: scan dir: %w", err)
+	}
+	d := &Disk{dir: dir, seal: seal, open: open}
+	for _, de := range names {
+		var seq uint64
+		// Sscanf ignores trailing input, so require an exact round-trip of
+		// the name — otherwise ob-N.ent.bad / ob-N.ent.tmp leftovers would
+		// be indexed as phantom entries.
+		if _, err := fmt.Sscanf(de.Name(), "ob-%016x"+entrySuffix, &seq); err != nil || de.Name() != entryName(seq) {
+			continue // tmp files, quarantined entries, foreign files
+		}
+		d.seqs = append(d.seqs, seq)
+		if seq >= d.next {
+			d.next = seq + 1
+		}
+	}
+	sort.Slice(d.seqs, func(i, j int) bool { return d.seqs[i] < d.seqs[j] })
+	return d, nil
+}
+
+// Dir returns the outbox directory.
+func (d *Disk) Dir() string { return d.dir }
+
+// Put seals the payload and commits it via tmp-file + rename, so a crash
+// or full disk mid-write cannot leave a truncated entry where a good one
+// should be.
+func (d *Disk) Put(payload []byte) (uint64, error) {
+	if d.seal != nil {
+		var err error
+		if payload, err = d.seal(payload); err != nil {
+			return 0, fmt.Errorf("outbox: seal entry: %w", err)
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seq := d.next
+	path := filepath.Join(d.dir, entryName(seq))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, payload, 0o600); err != nil {
+		return 0, fmt.Errorf("outbox: write entry: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("outbox: commit entry: %w", err)
+	}
+	d.next = seq + 1
+	d.seqs = append(d.seqs, seq)
+	return seq, nil
+}
+
+// Next returns the oldest entry, opened. Entries that fail to read or
+// unseal are quarantined and skipped, so the queue drains past garbage a
+// corrupted disk (or an adversarial host) left in the directory.
+func (d *Disk) Next() (uint64, []byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for len(d.seqs) > 0 {
+		seq := d.seqs[0]
+		if d.headPayload != nil && d.headSeq == seq {
+			return seq, d.headPayload, nil
+		}
+		raw, err := os.ReadFile(filepath.Join(d.dir, entryName(seq)))
+		if err == nil && d.open != nil {
+			raw, err = d.open(raw)
+		}
+		if err != nil {
+			d.quarantineLocked(seq)
+			continue
+		}
+		d.headSeq, d.headPayload = seq, raw
+		return seq, raw, nil
+	}
+	return 0, nil, ErrEmpty
+}
+
+// Ack consumes a delivered entry.
+func (d *Disk) Ack(seq uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dropLocked(seq)
+	if err := os.Remove(filepath.Join(d.dir, entryName(seq))); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("outbox: ack entry %d: %w", seq, err)
+	}
+	return nil
+}
+
+// Quarantine renames an entry the downstream permanently rejected to its
+// .bad name so delivery continues and the operator keeps the evidence.
+func (d *Disk) Quarantine(seq uint64, reason error) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.quarantineLocked(seq)
+	return nil
+}
+
+func (d *Disk) quarantineLocked(seq uint64) {
+	d.dropLocked(seq)
+	path := filepath.Join(d.dir, entryName(seq))
+	if err := os.Rename(path, path+quarantineSuffix); err != nil && !errors.Is(err, os.ErrNotExist) {
+		// The entry could not even be set aside; remove it so the queue
+		// is not wedged forever.
+		os.Remove(path)
+	}
+}
+
+func (d *Disk) dropLocked(seq uint64) {
+	if d.headPayload != nil && d.headSeq == seq {
+		d.headPayload = nil
+	}
+	for i, s := range d.seqs {
+		if s == seq {
+			d.seqs = append(d.seqs[:i], d.seqs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len counts entries awaiting delivery.
+func (d *Disk) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.seqs)
+}
+
+// Memory is the in-memory queue used when no outbox directory is
+// configured: delivery is still decoupled from ingress (and retried), but
+// entries do not survive the process.
+type Memory struct {
+	mu      sync.Mutex
+	entries map[uint64][]byte
+	seqs    []uint64
+	next    uint64
+}
+
+// NewMemory builds an empty in-memory queue.
+func NewMemory() *Memory {
+	return &Memory{entries: make(map[uint64][]byte)}
+}
+
+// Put implements Queue.
+func (m *Memory) Put(payload []byte) (uint64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	seq := m.next
+	m.next++
+	m.entries[seq] = payload
+	m.seqs = append(m.seqs, seq)
+	return seq, nil
+}
+
+// Next implements Queue.
+func (m *Memory) Next() (uint64, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.seqs) == 0 {
+		return 0, nil, ErrEmpty
+	}
+	seq := m.seqs[0]
+	return seq, m.entries[seq], nil
+}
+
+// Ack implements Queue.
+func (m *Memory) Ack(seq uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dropLocked(seq)
+	return nil
+}
+
+// Quarantine implements Queue (dropping the entry; there is no disk to
+// keep evidence on).
+func (m *Memory) Quarantine(seq uint64, reason error) error {
+	return m.Ack(seq)
+}
+
+func (m *Memory) dropLocked(seq uint64) {
+	delete(m.entries, seq)
+	for i, s := range m.seqs {
+		if s == seq {
+			m.seqs = append(m.seqs[:i], m.seqs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Len implements Queue.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.seqs)
+}

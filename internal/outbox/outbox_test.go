@@ -1,0 +1,309 @@
+package outbox
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testEnvelope(epoch uint64, items ...string) []byte {
+	env := Envelope{Epoch: epoch, Hop: 1}
+	for _, it := range items {
+		env.Updates = append(env.Updates, []byte(it))
+	}
+	raw, err := env.Marshal()
+	if err != nil {
+		panic(err)
+	}
+	return raw
+}
+
+func TestDeliveryEnvelopeRoundTrip(t *testing.T) {
+	raw := testEnvelope(7, "alpha", "beta", "")
+	env, err := ParseEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Epoch != 7 || env.Hop != 1 || len(env.Updates) != 3 {
+		t.Fatalf("parsed envelope = %+v", env)
+	}
+	if string(env.Updates[0]) != "alpha" || string(env.Updates[1]) != "beta" || len(env.Updates[2]) != 0 {
+		t.Fatalf("updates = %q", env.Updates)
+	}
+}
+
+func TestDeliveryEnvelopeRejectsGarbage(t *testing.T) {
+	good := testEnvelope(1, "payload")
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("ZZZZ"), good[4:]...),
+		"bad version": func() []byte { b := append([]byte(nil), good...); b[4] = 0xEE; return b }(),
+		"truncated":   good[:len(good)-3],
+		"trailing":    append(append([]byte(nil), good...), 0x01),
+		"forged count": func() []byte {
+			b := append([]byte(nil), good...)
+			// count field sits after magic(4)+version(4)+epoch(8)+hop(4)
+			b[20], b[21], b[22], b[23] = 0xFF, 0xFF, 0x0F, 0x00
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := ParseEnvelope(data); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
+// xorSeal is a stand-in for the enclave sealing hook: enough to prove the
+// queue round-trips through Seal/Open and that a foreign-keyed entry is
+// rejected at open time.
+func xorSeal(key byte) (SealFunc, OpenFunc) {
+	xor := func(data []byte) ([]byte, error) {
+		out := make([]byte, len(data)+1)
+		for i, b := range data {
+			out[i] = b ^ key
+		}
+		out[len(data)] = key // trailing "tag" so the wrong key fails loudly
+		return out, nil
+	}
+	open := func(data []byte) ([]byte, error) {
+		if len(data) == 0 || data[len(data)-1] != key {
+			return nil, errors.New("xorSeal: authentication failed")
+		}
+		out := make([]byte, len(data)-1)
+		for i := range out {
+			out[i] = data[i] ^ key
+		}
+		return out, nil
+	}
+	return xor, open
+}
+
+func TestDeliveryDiskQueueOrderAndPersistence(t *testing.T) {
+	dir := t.TempDir()
+	seal, open := xorSeal(0x5A)
+	q, err := Open(dir, seal, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Put(testEnvelope(uint64(i), fmt.Sprintf("round-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Len() != 3 {
+		t.Fatalf("len = %d, want 3", q.Len())
+	}
+	seq, raw, err := q.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := ParseEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Epoch != 0 {
+		t.Fatalf("first entry epoch = %d, want 0 (FIFO)", env.Epoch)
+	}
+	if err := q.Ack(seq); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh process over the same directory sees the remaining entries
+	// in order and continues the sequence — crash durability.
+	q2, err := Open(dir, seal, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q2.Len() != 2 {
+		t.Fatalf("reopened len = %d, want 2", q2.Len())
+	}
+	_, raw, err = q2.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env, _ := ParseEnvelope(raw); env.Epoch != 1 {
+		t.Fatalf("reopened head epoch = %d, want 1", env.Epoch)
+	}
+	if seq, err := q2.Put(testEnvelope(9)); err != nil || seq != 3 {
+		t.Fatalf("reopened Put seq = %d (%v), want 3", seq, err)
+	}
+}
+
+// TestDeliveryDiskQueueGarbageRobustness is the outbox half of the
+// garbage-robustness satellite: truncated, bit-flipped and foreign-keyed
+// entries are quarantined (renamed, not deleted) and the queue keeps
+// draining the good ones.
+func TestDeliveryDiskQueueGarbageRobustness(t *testing.T) {
+	dir := t.TempDir()
+	seal, open := xorSeal(0x21)
+	q, err := Open(dir, seal, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Put(testEnvelope(0, "good-0")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Put(testEnvelope(1, "sacrificial")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.Put(testEnvelope(2, "good-2")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt entry 1 on disk: flip a byte inside the sealed payload.
+	path := filepath.Join(dir, entryName(1))
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0xFF
+	raw[len(raw)-1] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Plant a truncated entry and a foreign-keyed entry ahead of the tail.
+	foreignSeal, _ := xorSeal(0x99)
+	foreign, _ := foreignSeal(testEnvelope(3, "foreign"))
+	if err := os.WriteFile(filepath.Join(dir, entryName(3)), foreign, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, entryName(4)), []byte{0x01}, 0o600); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen (as a restarted proxy would) so the planted files are indexed.
+	q, err = Open(dir, seal, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var epochs []uint64
+	for {
+		seq, raw, err := q.Next()
+		if errors.Is(err, ErrEmpty) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		env, err := ParseEnvelope(raw)
+		if err != nil {
+			t.Fatalf("Next returned an unparseable entry: %v", err)
+		}
+		epochs = append(epochs, env.Epoch)
+		if err := q.Ack(seq); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(epochs) != 2 || epochs[0] != 0 || epochs[1] != 2 {
+		t.Fatalf("drained epochs %v, want [0 2] (corrupt entries skipped)", epochs)
+	}
+	// The rejects were quarantined by rename, not deleted.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := 0
+	for _, de := range entries {
+		if strings.HasSuffix(de.Name(), quarantineSuffix) {
+			bad++
+		}
+	}
+	if bad != 3 {
+		t.Fatalf("%d quarantined files, want 3 (bit-flipped, foreign, truncated)", bad)
+	}
+	// A fresh Open over the quarantined directory must not index the
+	// .bad leftovers as phantom pending entries.
+	q3, err := Open(dir, seal, open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q3.Len() != 0 {
+		t.Fatalf("reopened quarantined dir reports %d pending entries, want 0", q3.Len())
+	}
+}
+
+func TestDeliveryDispatcherDrainRetryQuarantine(t *testing.T) {
+	q := NewMemory()
+	var (
+		mu        sync.Mutex
+		delivered []uint64
+		fails     = map[uint64]int{1: 2} // entry 1 fails twice, then succeeds
+	)
+	d := NewDispatcher(q, func(ctx context.Context, seq uint64, payload []byte) error {
+		mu.Lock()
+		defer mu.Unlock()
+		if bytes.Contains(payload, []byte("poison")) {
+			return Permanent(errors.New("downstream rejected"))
+		}
+		if fails[seq] > 0 {
+			fails[seq]--
+			return errors.New("transient outage")
+		}
+		delivered = append(delivered, seq)
+		return nil
+	}, time.Millisecond, 4*time.Millisecond)
+	d.Start()
+	defer d.Close()
+
+	for i := 0; i < 3; i++ {
+		if _, err := q.Put(testEnvelope(uint64(i), "ok")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := q.Put([]byte("poison pill")); err != nil {
+		t.Fatal(err)
+	}
+	d.Wake()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(delivered) != 3 {
+		t.Fatalf("delivered %v, want the 3 good entries", delivered)
+	}
+	// In-order: retries must not let a later entry overtake an earlier one.
+	for i, seq := range delivered {
+		if seq != uint64(i) {
+			t.Fatalf("delivery order %v, want [0 1 2]", delivered)
+		}
+	}
+}
+
+func TestDeliveryDispatcherCloseStopsRetrying(t *testing.T) {
+	q := NewMemory()
+	attempts := make(chan struct{}, 64)
+	d := NewDispatcher(q, func(ctx context.Context, seq uint64, payload []byte) error {
+		attempts <- struct{}{}
+		return errors.New("always down")
+	}, time.Millisecond, 2*time.Millisecond)
+	d.Start()
+	if _, err := q.Put(testEnvelope(0, "stuck")); err != nil {
+		t.Fatal(err)
+	}
+	d.Wake()
+	<-attempts // at least one attempt happened
+	d.Close()
+	// After Close the entry is still queued (durability) and no further
+	// attempts arrive.
+	if q.Len() != 1 {
+		t.Fatalf("queue len after close = %d, want 1", q.Len())
+	}
+	drained := len(attempts)
+	time.Sleep(10 * time.Millisecond)
+	if len(attempts) != drained {
+		t.Fatal("dispatcher kept delivering after Close")
+	}
+	d.Close() // idempotent
+}

@@ -16,7 +16,8 @@ import (
 )
 
 // AggServer is the HTTP aggregation server: it collects a fixed number of
-// updates per round, averages them, and serves the global model.
+// updates per round — one at a time on /v1/update or a whole drained
+// round on /v1/batch — averages them, and serves the global model.
 // An optional fl.Observer sees each completed round's updates — this is
 // how the adversarial-server experiments instrument the networked path.
 type AggServer struct {
@@ -27,6 +28,9 @@ type AggServer struct {
 	round    int
 	pending  []nn.ParamSet
 	observer fl.Observer
+	// seen dedups batch idempotency ids so a proxy redelivering after a
+	// lost acknowledgement cannot double-count a round.
+	seen batchDedup
 	// disseminated is the model as served for the current round (what
 	// clients train on); recorded so observers get the exact base model.
 	disseminated nn.ParamSet
@@ -74,9 +78,52 @@ func (s *AggServer) Global() nn.ParamSet { return s.server.Global() }
 func (s *AggServer) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/update", s.handleUpdate)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("GET /v1/model", s.handleModel)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	return mux
+}
+
+// absorb appends updates to the open round and closes as many rounds as
+// they complete (a batch may span a round boundary — e.g. a restored
+// proxy delivering a merged backlog). Round closure is unchanged:
+// observe, aggregate, advance. It reports how many rounds closed so a
+// batch handler can tell "rejected untouched" from "partially applied".
+func (s *AggServer) absorb(updates []nn.ParamSet) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Validate structure against the global model BEFORE buffering
+	// anything: a poison update must not enter pending, where it would
+	// sink whole rounds of other senders' material when Aggregate fails.
+	for i, u := range updates {
+		if !s.disseminated.Compatible(u) {
+			return 0, fmt.Errorf("update %d incompatible with the global model", i)
+		}
+	}
+	closed := 0
+	s.pending = append(s.pending, updates...)
+	for len(s.pending) >= s.expect {
+		batch := s.pending[:s.expect:s.expect]
+		if s.observer != nil {
+			s.observer.ObserveRound(fl.RoundRecord{
+				Round:        s.round,
+				Disseminated: s.disseminated,
+				Updates:      batch,
+			})
+		}
+		if err := s.server.Aggregate(batch); err != nil {
+			// Drop only the failing round's material; later-arrived
+			// updates already acknowledged to other senders stay
+			// buffered for the rounds they belong to.
+			s.pending = append([]nn.ParamSet(nil), s.pending[s.expect:]...)
+			return closed, fmt.Errorf("aggregate: %w", err)
+		}
+		s.pending = s.pending[s.expect:]
+		s.round++
+		s.disseminated = s.server.Global()
+		closed++
+	}
+	return closed, nil
 }
 
 func (s *AggServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
@@ -90,31 +137,84 @@ func (s *AggServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("decode update: %v", err), http.StatusBadRequest)
 		return
 	}
+	if _, err := s.absorb([]nn.ParamSet{ps}); err != nil {
+		// An aggregate failure is structural (updates incompatible with
+		// the global model) — retrying the same material cannot succeed,
+		// so answer 422: proxies classify it permanent and quarantine the
+		// entry instead of wedging their queue on it.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
 
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.pending = append(s.pending, ps)
-	if len(s.pending) < s.expect {
-		w.WriteHeader(http.StatusAccepted)
+// handleBatch ingests a whole drained round in one POST. The body is a
+// plaintext wire.BatchEnvelope; the X-Mixnn-Batch id makes redelivery
+// idempotent: a batch the server already applied is acknowledged without
+// reprocessing, so proxy retry after a lost acknowledgement cannot skew
+// the round mean with duplicates.
+func (s *AggServer) handleBatch(w http.ResponseWriter, r *http.Request) {
+	batchID := r.Header.Get(wire.HeaderBatch)
+	body, err := wire.ReadBody(r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	// Round complete: observe, aggregate, advance.
-	if s.observer != nil {
-		s.observer.ObserveRound(fl.RoundRecord{
-			Round:        s.round,
-			Disseminated: s.disseminated,
-			Updates:      s.pending,
-		})
-	}
-	if err := s.server.Aggregate(s.pending); err != nil {
-		s.pending = nil
-		http.Error(w, fmt.Sprintf("aggregate: %v", err), http.StatusInternalServerError)
+	env, err := wire.DecodeBatchEnvelope(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.pending = nil
-	s.round++
-	s.disseminated = s.server.Global()
-	w.WriteHeader(http.StatusOK)
+	// Decode every update before absorbing any, so a malformed item
+	// cannot leave a round half-counted.
+	updates := make([]nn.ParamSet, len(env.Updates))
+	for i, raw := range env.Updates {
+		// The envelope was read into a fresh buffer this handler owns, so
+		// the zero-copy decode is safe; aggregation never mutates updates.
+		if updates[i], err = nn.DecodeParamSetNoCopy(raw); err != nil {
+			http.Error(w, fmt.Sprintf("decode batch update %d: %v", i, err), http.StatusBadRequest)
+			return
+		}
+	}
+	// Claim the id BEFORE absorbing: a retry overlapping a slow first
+	// attempt must dedup, not re-apply — and an attempt still in flight
+	// must not be acked as applied (the sender would consume its outbox
+	// entry while this attempt can still fail).
+	if batchID != "" {
+		claimed, done := s.seen.Begin(batchID)
+		if !claimed {
+			if done {
+				w.WriteHeader(http.StatusOK)
+			} else {
+				http.Error(w, "batch application in flight", http.StatusConflict)
+			}
+			return
+		}
+	}
+	closed, err := s.absorb(updates)
+	if err != nil {
+		// Structural failure — permanent from the sender's point of view
+		// (see handleUpdate); a 5xx here would make the proxy retry the
+		// same poison batch forever. If the batch spanned round
+		// boundaries and some rounds DID close before the failure, keep
+		// its id recorded as applied: the entry will be quarantined
+		// upstream, and should the operator ever re-inject the .bad
+		// file, the dedup must stop the applied rounds from
+		// double-counting.
+		if batchID != "" {
+			if closed == 0 {
+				s.seen.Forget(batchID)
+			} else {
+				s.seen.Done(batchID)
+			}
+		}
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	if batchID != "" {
+		s.seen.Done(batchID)
+	}
+	w.WriteHeader(http.StatusAccepted)
 }
 
 func (s *AggServer) handleModel(w http.ResponseWriter, r *http.Request) {

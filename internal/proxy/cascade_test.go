@@ -47,6 +47,7 @@ func TestCascadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(hopPx.Close)
 	hopSrv := httptest.NewServer(hopPx.Handler())
 	t.Cleanup(hopSrv.Close)
 
@@ -65,6 +66,7 @@ func TestCascadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(frontPx.Close)
 	frontSrv := httptest.NewServer(frontPx.Handler())
 	t.Cleanup(frontSrv.Close)
 
@@ -99,13 +101,18 @@ func TestCascadeEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// Both mixing rounds and the aggregation round must have closed.
+	// Both mixing rounds and the aggregation round must have closed once
+	// the two delivery pipelines drain (front before the hop it feeds).
+	flushTier(t, frontPx, hopPx)
 	if agg.Round() != 1 {
 		t.Fatalf("server round = %d, want 1", agg.Round())
 	}
 	frontSt, hopSt := frontPx.Status(), hopPx.Status()
 	if frontSt.Received != clients || frontSt.Forwarded != clients || frontSt.Rounds != 1 {
 		t.Fatalf("front status = %+v", frontSt)
+	}
+	if frontSt.BatchesSent != 1 {
+		t.Fatalf("front sent %d batches, want 1 (the round coalesced into one /v1/batch)", frontSt.BatchesSent)
 	}
 	if hopSt.HopReceived != clients || hopSt.Received != 0 || hopSt.Forwarded != clients || hopSt.Rounds != 1 {
 		t.Fatalf("hop status = %+v", hopSt)
@@ -147,6 +154,7 @@ func TestCascadeRejectsUnattestedHopTraffic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(hopPx.Close)
 	hopSrv := httptest.NewServer(hopPx.Handler())
 	t.Cleanup(hopSrv.Close)
 
@@ -175,6 +183,7 @@ func TestHopSecretGatesHopEndpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(px.Close)
 	pxSrv := httptest.NewServer(px.Handler())
 	t.Cleanup(pxSrv.Close)
 

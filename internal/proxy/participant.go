@@ -109,7 +109,10 @@ func (c *Participant) Attest(ctx context.Context, authority *ecdsa.PublicKey, me
 func (c *Participant) SetEnclaveKey(pub *rsa.PublicKey) { c.enclaveKey = pub }
 
 // SendUpdate encrypts the parameter update for the attested enclave and
-// posts it to the proxy.
+// posts it to the proxy. A 202 acknowledges acceptance into the mixing
+// tier — delivery to the aggregation server is asynchronous (the proxy's
+// sealed outbox retries across downstream outages), so observe round
+// progress with WaitForRound rather than inferring it from the send.
 func (c *Participant) SendUpdate(ctx context.Context, ps nn.ParamSet) error {
 	if c.enclaveKey == nil {
 		return fmt.Errorf("proxy: no enclave key pinned; call Attest first")

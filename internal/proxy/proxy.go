@@ -48,9 +48,10 @@ func (t *timing) meanMillisExact() float64 {
 // participant traffic inside the enclave, mixes layers with a k-buffer
 // stream mixer, and forwards mixed updates upstream with the §6.5
 // instrumentation. It is a thin wrapper over a Shards=1 ShardedProxy, so
-// round closure, forwarding, status, seal/restore and ingress validation
-// — including the rejection of forged X-Mixnn-Hop headers — are the one
-// code path the sharded tier implements.
+// round closure, asynchronous outbox delivery, status, seal/restore and
+// ingress validation — including the rejection of forged X-Mixnn-Hop
+// headers — are the one code path the sharded tier implements. Callers
+// own the lifecycle: Close stops the delivery dispatcher.
 type Proxy struct {
 	*ShardedProxy
 }

@@ -41,6 +41,23 @@ func fixtures(t *testing.T) (*enclave.Platform, *enclave.Enclave) {
 
 func testArch() nn.Arch { return nn.NewMLP("net", 4, []int{6}, 2) }
 
+// flushTier waits until every listed tier has committed and delivered all
+// drained rounds. Delivery is asynchronous (outbox + dispatcher), so
+// tests flush before asserting on downstream state. Order matters for
+// cascades: flush the front tier before the hop it feeds.
+func flushTier(t *testing.T, proxies ...interface {
+	Flush(context.Context) error
+}) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, p := range proxies {
+		if err := p.Flush(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // testDeployment stands up an aggregation server and a MixNN proxy over
 // httptest and returns their URLs plus the AggServer for inspection.
 func testDeployment(t *testing.T, expect, k int) (*AggServer, *Proxy, string, string) {
@@ -58,6 +75,7 @@ func testDeployment(t *testing.T, expect, k int) (*AggServer, *Proxy, string, st
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(px.Close)
 	pxSrv := httptest.NewServer(px.Handler())
 	t.Cleanup(pxSrv.Close)
 
@@ -67,7 +85,7 @@ func testDeployment(t *testing.T, expect, k int) (*AggServer, *Proxy, string, st
 func TestEndToEndNetworkedRound(t *testing.T) {
 	platform, encl := fixtures(t)
 	const clients = 5
-	agg, _, proxyURL, serverURL := testDeployment(t, clients, 3)
+	agg, px, proxyURL, serverURL := testDeployment(t, clients, 3)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
@@ -95,7 +113,9 @@ func TestEndToEndNetworkedRound(t *testing.T) {
 		}
 	}
 
-	// All updates delivered: the round must have closed.
+	// All updates accepted; once the delivery pipeline drains, the round
+	// must have closed.
+	flushTier(t, px)
 	if agg.Round() != 1 {
 		t.Fatalf("server round = %d, want 1", agg.Round())
 	}
@@ -133,6 +153,7 @@ func TestProxyStatusCounters(t *testing.T) {
 			t.Fatalf("send %d: %v", i, err)
 		}
 	}
+	flushTier(t, px)
 	st := px.Status()
 	if st.Received != 3 || st.Forwarded != 3 {
 		t.Fatalf("received/forwarded = %d/%d, want 3/3", st.Received, st.Forwarded)
@@ -178,6 +199,10 @@ func TestProxyRejectsStructureChange(t *testing.T) {
 	}
 }
 
+// TestProxyUpstreamFailure pins the BEHAVIOUR CHANGE of the delivery
+// pipeline: a downstream outage is no longer the participant's problem.
+// The send is accepted, the drained round is committed to the outbox,
+// and the dispatcher retries until the downstream recovers.
 func TestProxyUpstreamFailure(t *testing.T) {
 	platform, encl := fixtures(t)
 	// Upstream that always fails.
@@ -190,6 +215,7 @@ func TestProxyUpstreamFailure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(px.Close)
 	pxSrv := httptest.NewServer(px.Handler())
 	t.Cleanup(pxSrv.Close)
 
@@ -197,9 +223,12 @@ func TestProxyUpstreamFailure(t *testing.T) {
 	if err := p.Attest(context.Background(), platform.AttestationPublicKey(), encl.Measurement()); err != nil {
 		t.Fatal(err)
 	}
-	err = p.SendUpdate(context.Background(), testArch().New(1).SnapshotParams())
-	if err == nil {
-		t.Fatal("send with dead upstream succeeded")
+	if err := p.SendUpdate(context.Background(), testArch().New(1).SnapshotParams()); err != nil {
+		t.Fatalf("send with dead upstream must be accepted (delivery is async): %v", err)
+	}
+	st := px.ShardedProxy.Status()
+	if st.OutboxPending != 1 || st.Forwarded != 0 {
+		t.Fatalf("outbox_pending/forwarded = %d/%d, want 1/0 (round retained for retry)", st.OutboxPending, st.Forwarded)
 	}
 }
 
@@ -299,7 +328,7 @@ func (o *roundObserver) ObserveRound(rec fl.RoundRecord) {
 
 func TestAggServerObserverSeesMixedUpdates(t *testing.T) {
 	platform, encl := fixtures(t)
-	agg, _, proxyURL, serverURL := testDeployment(t, 3, 2)
+	agg, px, proxyURL, serverURL := testDeployment(t, 3, 2)
 	obs := &roundObserver{}
 	agg.SetObserver(obs)
 
@@ -314,6 +343,7 @@ func TestAggServerObserverSeesMixedUpdates(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	flushTier(t, px)
 	obs.mu.Lock()
 	defer obs.mu.Unlock()
 	if len(obs.recs) != 1 {

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"sync"
 	"testing"
+	"time"
 
 	"mixnn/internal/enclave"
 	"mixnn/internal/fl"
@@ -36,6 +37,7 @@ func TestProxyRestartMidRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(px1.Close)
 	px1Srv := httptest.NewServer(px1.Handler())
 
 	ctx := context.Background()
@@ -72,6 +74,7 @@ func TestProxyRestartMidRound(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(px2.Close)
 	if err := px2.RestoreState(blob); err != nil {
 		t.Fatal(err)
 	}
@@ -88,6 +91,7 @@ func TestProxyRestartMidRound(t *testing.T) {
 		}
 	}
 
+	flushTier(t, px2)
 	if agg.Round() != 1 {
 		t.Fatalf("server round = %d, want 1 (round incomplete after restart)", agg.Round())
 	}
@@ -108,6 +112,7 @@ func TestRestoreStateRejectsForeignBlob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(px.Close)
 	if err := px.RestoreState([]byte("garbage")); err == nil {
 		t.Fatal("garbage blob accepted")
 	}
@@ -123,6 +128,7 @@ func TestRestoreStateRejectsForeignBlob(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(foreign.Close)
 	blob, err := foreign.SealState()
 	if err != nil {
 		t.Fatal(err)
@@ -163,6 +169,7 @@ func TestShardedCrashRestartReshardE2E(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(hopPx.Close)
 	hopSrv := httptest.NewServer(hopPx.Handler())
 	t.Cleanup(hopSrv.Close)
 
@@ -179,6 +186,7 @@ func TestShardedCrashRestartReshardE2E(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(front1.Close)
 	front1Srv := httptest.NewServer(front1.Handler())
 
 	updates := make([]nn.ParamSet, clients)
@@ -217,6 +225,7 @@ func TestShardedCrashRestartReshardE2E(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(front2.Close)
 	if err := front2.RestoreState(blob); err != nil {
 		t.Fatal(err)
 	}
@@ -244,6 +253,7 @@ func TestShardedCrashRestartReshardE2E(t *testing.T) {
 		}
 	}
 
+	flushTier(t, front2, hopPx)
 	if agg.Round() != 1 {
 		t.Fatalf("server round = %d, want 1 (round incomplete after reshard restart)", agg.Round())
 	}
@@ -290,7 +300,10 @@ func TestSealStateConcurrentWithIngress(t *testing.T) {
 			select {
 			case <-done:
 				return
-			default:
+			// Yield between snapshots: each iteration is crypto-heavy
+			// (seal + probe restore), and a flat-out loop can starve the
+			// senders' dials when sibling test binaries saturate the CPU.
+			case <-time.After(time.Millisecond):
 			}
 			blob, err := px.SealState()
 			if err != nil {
@@ -308,10 +321,12 @@ func TestSealStateConcurrentWithIngress(t *testing.T) {
 				return
 			}
 			if err := probe.RestoreState(blob); err != nil {
+				probe.Close()
 				t.Errorf("mid-traffic blob failed to restore: %v", err)
 				return
 			}
 			st := probe.Status()
+			probe.Close()
 			buffered := 0
 			for _, sh := range st.Shards {
 				buffered += sh.Buffered
@@ -349,6 +364,7 @@ func TestSealStateConcurrentWithIngress(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	flushTier(t, px)
 	if agg.Round() != 1 {
 		t.Fatalf("server round = %d, want 1", agg.Round())
 	}
@@ -388,6 +404,7 @@ func TestSealedMidTrafficBlobRestores(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(restored.Close)
 	if err := restored.RestoreState(blob); err != nil {
 		t.Fatal(err)
 	}

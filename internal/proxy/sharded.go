@@ -4,9 +4,13 @@ import (
 	"bytes"
 	"context"
 	"crypto/ecdsa"
+	"crypto/sha256"
 	"crypto/subtle"
+	"encoding/hex"
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"log"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -16,6 +20,7 @@ import (
 	"mixnn/internal/core"
 	"mixnn/internal/enclave"
 	"mixnn/internal/nn"
+	"mixnn/internal/outbox"
 	"mixnn/internal/wire"
 )
 
@@ -31,7 +36,8 @@ type ShardedConfig struct {
 	Upstream string
 	// NextHop, when non-empty, is the base URL of the next mixing proxy of
 	// the cascade. Mixed updates are re-encrypted with NextHopKey and
-	// posted to {NextHop}/v1/hop instead of Upstream.
+	// posted to {NextHop}/v1/batch (or /v1/hop with NoBatch) instead of
+	// Upstream.
 	NextHop string
 	// NextHopKey is the attested (or pinned) key material for NextHop.
 	// Required when NextHop is set.
@@ -39,11 +45,11 @@ type ShardedConfig struct {
 	// NextHopSecret, when non-empty, is sent as a bearer token with
 	// forwarded hop traffic (it must match the next hop's HopSecret).
 	NextHopSecret string
-	// HopSecret, when non-empty, gates this proxy's /v1/hop endpoint:
-	// requests without the matching bearer token are rejected. Without
-	// it any party holding the (public) enclave key can post to /v1/hop
-	// and poison the round's hop watermark, killing the round at the
-	// next depth check.
+	// HopSecret, when non-empty, gates this proxy's /v1/hop and /v1/batch
+	// endpoints: requests without the matching bearer token are rejected.
+	// Without it any party holding the (public) enclave key can post hop
+	// traffic and poison the round's hop watermark, killing the round at
+	// the next depth check.
 	HopSecret string
 	// Shards is the number of independent mixing shards P (default 1).
 	Shards int
@@ -52,14 +58,31 @@ type ShardedConfig struct {
 	// buffer fills and drains within a round.
 	K int
 	// RoundSize is the total number of updates per round (C) across all
-	// shards; when it is reached every shard is drained so the round
-	// closes with exact aggregation equivalence.
+	// shards; when it is reached every shard is drained, the drained round
+	// is committed to the delivery outbox as one entry, and fresh mixers
+	// take over for the next round.
 	RoundSize int
 	// MaxHops bounds cascade depth (default DefaultMaxHops).
 	MaxHops int
 	// Seed drives the mixing randomness (each shard derives its own
-	// stream from it).
+	// stream from it, per epoch).
 	Seed int64
+	// OutboxDir is the durable delivery queue directory. Drained rounds
+	// are sealed under an enclave-derived key and committed there before
+	// any network send, so delivery survives downstream outages AND proxy
+	// crashes. Empty = an in-memory queue: delivery is still asynchronous
+	// and retried, but entries die with the process.
+	OutboxDir string
+	// NoBatch forwards each update of a drained round individually to the
+	// single-update endpoints (/v1/update, /v1/hop) instead of coalescing
+	// the round into one /v1/batch POST — compatibility with pre-batch
+	// downstreams, at C requests per round and without the batch
+	// idempotency id (delivery degrades to at-least-once across crashes).
+	NoBatch bool
+	// RetryBase and RetryMax bound the delivery dispatcher's exponential
+	// backoff (defaults outbox.DefaultRetryBase/Max).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 	// HTTPClient overrides the forwarding client (tests); nil = default.
 	HTTPClient *http.Client
 }
@@ -72,21 +95,65 @@ type ShardedConfig struct {
 // that stayed within its shard on hop 1 is re-mixed against the whole
 // round on hop 2) and unlinks each proxy's view — no single hop observes
 // both who sent an update and what reaches the aggregation server.
+//
+// Delivery is asynchronous: ingress never blocks on the downstream. When
+// a round closes, the shards atomically swap to fresh mixers (so round
+// N+1 ingests immediately — cross-round pipelining) while the drained
+// round is committed to a sealed outbox entry and delivered by a
+// background dispatcher as one batch, with bounded retry across
+// downstream outages and, with OutboxDir set, across proxy restarts.
 type ShardedProxy struct {
 	cfg      ShardedConfig
 	enclave  *enclave.Enclave
 	platform *enclave.Platform
 	httpc    *http.Client
-	shards   []*core.StreamMixer
+	box      outbox.Queue
+	disp     *outbox.Dispatcher
+	seen     batchDedup
 
-	mu           sync.Mutex
+	// singleProgress tracks, per outbox entry, how many updates a NoBatch
+	// delivery already landed, so a retry resumes instead of resending
+	// the whole round. Touched only by the dispatcher goroutine.
+	singleProgress map[uint64]int
+	// dcache memoises the head entry's parsed envelope and (batch mode)
+	// request body between retry attempts — entries are immutable, and a
+	// long outage must not re-parse/re-encode a large round every
+	// backoff tick. Touched only by the dispatcher goroutine.
+	dcache deliverCache
+
+	mu   sync.Mutex
+	cond *sync.Cond // signals closing/putEpoch transitions
+	// shards are the CURRENT epoch's mixers; round close swaps the whole
+	// slice, so a drain can never sweep in an update of the next round.
+	shards []*core.StreamMixer
+	// pending buffers updates the mixers emitted mid-round; they join the
+	// round's outbox entry at close (and the seal blob before that).
+	pending []nn.ParamSet
+	// closing counts round packagings in flight (drained but not yet
+	// committed to the outbox); SealState waits for zero so no material
+	// can fall between a snapshot and the queue.
+	closing int
+	// retained counts updates whose outbox commit failed; they live in
+	// pending and ride the next committed entry. Flush refuses to report
+	// success while any exist — on a quiescent tier nothing else would
+	// ever deliver them.
+	retained int
+	// putEpoch is the epoch whose outbox commit may proceed next —
+	// concurrent round closes commit strictly in epoch order.
+	putEpoch int
+	// shardRecv/shardEmit carry each shard's mixer ledger across epoch
+	// swaps (and restores), so per-shard counters are cumulative.
+	shardRecv []int
+	shardEmit []int
+
 	rr           int // round-robin routing cursor
 	inRound      int // updates received in the current round
-	rounds       int // completed rounds
+	rounds       int // completed rounds == the epoch being ingested
 	hopMark      int // highest incoming hop depth seen this round
 	received     int // participant updates ingested (hop 0)
 	hopReceived  int // cascade updates ingested (hop >= 1)
-	forwarded    int
+	forwarded    int // updates acknowledged downstream
+	batches      int // batch POSTs acknowledged downstream
 	restoredFrom int // shard count of the blob this tier restored from (0 = fresh)
 	updateBytes  int
 	decryptT     timing
@@ -95,7 +162,12 @@ type ShardedProxy struct {
 	processT     timing
 }
 
-// NewSharded builds a sharded proxy tier hosted in the given enclave.
+// outboxLabel domain-separates outbox entries from other sealed material.
+const outboxLabel = "mixnn/outbox/v1"
+
+// NewSharded builds a sharded proxy tier hosted in the given enclave and
+// starts its delivery dispatcher; callers own the tier's lifecycle and
+// should Close it when done.
 func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Platform) (*ShardedProxy, error) {
 	if cfg.Upstream == "" && cfg.NextHop == "" {
 		return nil, fmt.Errorf("proxy: ShardedConfig needs an Upstream or a NextHop")
@@ -122,18 +194,76 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 	if httpc == nil {
 		httpc = &http.Client{Timeout: 60 * time.Second}
 	}
-	shards, err := newShardMixers(cfg)
+	shards, err := newShardMixers(cfg, 0)
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedProxy{cfg: cfg, enclave: encl, platform: platform, httpc: httpc, shards: shards}, nil
+	var box outbox.Queue
+	if cfg.OutboxDir != "" {
+		box, err = outbox.Open(cfg.OutboxDir,
+			func(plain []byte) ([]byte, error) { return encl.SealLabeled(outboxLabel, plain) },
+			func(sealed []byte) ([]byte, error) { return encl.UnsealLabeled(outboxLabel, sealed) },
+		)
+		if err != nil {
+			return nil, fmt.Errorf("proxy: open outbox: %w", err)
+		}
+	} else {
+		box = outbox.NewMemory()
+	}
+	p := &ShardedProxy{
+		cfg: cfg, enclave: encl, platform: platform, httpc: httpc,
+		box: box, shards: shards,
+		shardRecv:      make([]int, cfg.Shards),
+		shardEmit:      make([]int, cfg.Shards),
+		singleProgress: make(map[uint64]int),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.disp = outbox.NewDispatcher(box, p.deliver, cfg.RetryBase, cfg.RetryMax)
+	p.disp.Start()
+	return p, nil
 }
 
-// newShardMixers builds the tier's fresh mixers from a validated config:
-// per-shard K clamped to the round-robin share, per-shard rand streams
-// derived from the seed. Shared by NewSharded and RestoreState so a
-// restored tier is shaped exactly like a freshly built one.
-func newShardMixers(cfg ShardedConfig) ([]*core.StreamMixer, error) {
+// Close stops the delivery dispatcher. Undelivered outbox entries stay
+// queued — on disk when OutboxDir is set — for the next process.
+func (p *ShardedProxy) Close() {
+	p.disp.Close()
+}
+
+// Flush blocks until every drained round has been committed to the
+// outbox AND acknowledged downstream, or ctx expires. Tests and graceful
+// shutdown use it; serving code never needs to.
+func (p *ShardedProxy) Flush(ctx context.Context) error {
+	for {
+		p.mu.Lock()
+		n := p.closing
+		p.mu.Unlock()
+		if n == 0 {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("proxy: flush: %d round closes in flight: %w", n, ctx.Err())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if err := p.disp.Flush(ctx); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	retained := p.retained
+	p.mu.Unlock()
+	if retained > 0 {
+		return fmt.Errorf("proxy: flush: %d updates retained from a failed outbox commit await the next round close", retained)
+	}
+	return nil
+}
+
+// newShardMixers builds the tier's fresh mixers for one epoch from a
+// validated config: per-shard K clamped to the round-robin share,
+// per-shard rand streams derived from the seed and epoch (each round's
+// swap gets fresh, independent streams). Shared by NewSharded, the round
+// close swap and RestoreState so every epoch's tier is shaped alike.
+func newShardMixers(cfg ShardedConfig, epoch int) ([]*core.StreamMixer, error) {
 	sizes := core.ShardSizes(cfg.RoundSize, cfg.Shards)
 	shards := make([]*core.StreamMixer, cfg.Shards)
 	for s := range shards {
@@ -144,7 +274,7 @@ func newShardMixers(cfg ShardedConfig) ([]*core.StreamMixer, error) {
 		// Each shard owns its rand stream: StreamMixer serialises itself,
 		// but a shared rand.Rand across concurrently-adding shards would
 		// race.
-		m, err := core.NewStreamMixer(k, rand.New(rand.NewSource(cfg.Seed+int64(s))))
+		m, err := core.NewStreamMixer(k, rand.New(rand.NewSource(cfg.Seed+int64(epoch)*int64(cfg.Shards)+int64(s))))
 		if err != nil {
 			return nil, fmt.Errorf("proxy: shard %d: %w", s, err)
 		}
@@ -162,7 +292,8 @@ func (p *ShardedProxy) Shards() int {
 }
 
 // Handler returns the sharded proxy's HTTP API: the participant endpoint,
-// the inter-proxy cascade endpoint, attestation and status.
+// the inter-proxy cascade endpoints (single and batched), attestation and
+// status.
 func (p *ShardedProxy) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/update", func(w http.ResponseWriter, r *http.Request) {
@@ -171,32 +302,46 @@ func (p *ShardedProxy) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/hop", func(w http.ResponseWriter, r *http.Request) {
 		p.handleIngress(w, r, true)
 	})
+	mux.HandleFunc("POST /v1/batch", p.handleBatch)
 	mux.HandleFunc("GET /v1/attestation", p.handleAttestation)
 	mux.HandleFunc("GET /v1/status", p.handleStatus)
 	return mux
 }
 
+// authorizeHop enforces the inter-proxy secret and the cascade depth
+// rules shared by /v1/hop and /v1/batch. It writes the error response
+// itself and returns ok=false when the request must not proceed.
+func (p *ShardedProxy) authorizeHop(w http.ResponseWriter, r *http.Request) (hop int, ok bool) {
+	if p.cfg.HopSecret != "" &&
+		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+p.cfg.HopSecret)) != 1 {
+		http.Error(w, "hop endpoint requires the inter-proxy secret", http.StatusUnauthorized)
+		return 0, false
+	}
+	hop, err := wire.ParseHop(r.Header)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return 0, false
+	}
+	if hop == 0 {
+		hop = 1 // an upstream proxy that omitted the header is hop 1
+	}
+	if hop > p.cfg.MaxHops {
+		http.Error(w, fmt.Sprintf("cascade depth %d exceeds limit %d", hop, p.cfg.MaxHops), http.StatusLoopDetected)
+		return 0, false
+	}
+	return hop, true
+}
+
 // handleIngress processes one encrypted update, from a participant
 // (/v1/update, hop 0) or from an upstream proxy of the cascade (/v1/hop).
+// The response acknowledges ACCEPTANCE INTO THE TIER: forwarding happens
+// asynchronously through the outbox, so a downstream outage no longer
+// turns into participant-visible errors (or lost rounds).
 func (p *ShardedProxy) handleIngress(w http.ResponseWriter, r *http.Request, fromHop bool) {
 	hop := 0
 	if fromHop {
-		if p.cfg.HopSecret != "" &&
-			subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+p.cfg.HopSecret)) != 1 {
-			http.Error(w, "hop endpoint requires the inter-proxy secret", http.StatusUnauthorized)
-			return
-		}
-		var err error
-		hop, err = wire.ParseHop(r.Header)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
-		}
-		if hop == 0 {
-			hop = 1 // an upstream proxy that omitted the header is hop 1
-		}
-		if hop > p.cfg.MaxHops {
-			http.Error(w, fmt.Sprintf("cascade depth %d exceeds limit %d", hop, p.cfg.MaxHops), http.StatusLoopDetected)
+		var ok bool
+		if hop, ok = p.authorizeHop(w, r); !ok {
 			return
 		}
 	} else if r.Header.Get(wire.HeaderHop) != "" {
@@ -213,14 +358,26 @@ func (p *ShardedProxy) handleIngress(w http.ResponseWriter, r *http.Request, fro
 	}
 
 	var (
-		emitted []nn.ParamSet
-		shard   int
-		fwdHop  int
+		closed *roundClose
+		shard  int
 	)
 	start := time.Now()
 	procErr := p.enclave.Process(func() error {
-		var err error
-		emitted, shard, fwdHop, err = p.ingest(body, r.Header.Get(wire.HeaderClient), hop, fromHop)
+		t0 := time.Now()
+		plain, err := p.enclave.Decrypt(body)
+		decryptDur := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("proxy: decrypt: %w", err)
+		}
+		t1 := time.Now()
+		// Zero-copy decode: the tensors alias plain, which this request
+		// owns and the mixers never mutate in place.
+		ps, err := nn.DecodeParamSetNoCopy(plain)
+		decodeDur := time.Since(t1) // measured outside p.mu so lock wait doesn't pollute it
+		if err != nil {
+			return fmt.Errorf("proxy: decode: %w", err)
+		}
+		closed, shard, err = p.ingest(ps, len(plain), r.Header.Get(wire.HeaderClient), hop, fromHop, decryptDur, decodeDur)
 		return err
 	})
 	p.mu.Lock()
@@ -230,26 +387,140 @@ func (p *ShardedProxy) handleIngress(w http.ResponseWriter, r *http.Request, fro
 		http.Error(w, procErr.Error(), http.StatusBadRequest)
 		return
 	}
-
-	// Forward on a context detached from the triggering request: a drain
-	// carries the whole round's material, and one participant's
-	// disconnect must not cancel delivery of everyone else's updates.
-	fwdCtx, cancel := context.WithTimeout(context.WithoutCancel(r.Context()), forwardTimeout)
-	defer cancel()
-	// Attempt every emitted update even if one fails: the mixers have
-	// already released this material, so stopping at the first error
-	// would silently drop the rest of a drained round downstream.
-	var fwdErr error
-	for _, ps := range emitted {
-		if err := p.forward(fwdCtx, ps, fwdHop); err != nil && fwdErr == nil {
-			fwdErr = err
+	if closed != nil {
+		if err := p.packageRound(closed); err != nil {
+			// The round's material is retained in memory (see
+			// packageRound) and WILL be delivered with the next committed
+			// entry, so the update is still accepted — an error response
+			// here would make the sender retry and double-count it.
+			log.Printf("proxy: round %d outbox commit failed (material retained): %v", closed.epoch, err)
 		}
 	}
-	if fwdErr != nil {
-		http.Error(w, fmt.Sprintf("forward: %v", fwdErr), http.StatusBadGateway)
+	w.Header().Set(wire.HeaderShard, strconv.Itoa(shard))
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// handleBatch ingests a whole drained round from an upstream proxy: a
+// BatchEnvelope wrapped for this enclave. It shares the hop gate and
+// depth rules with /v1/hop, and dedups on the sender's idempotency id so
+// a redelivered batch (lost acknowledgement, crashed upstream) cannot
+// double-count a round.
+func (p *ShardedProxy) handleBatch(w http.ResponseWriter, r *http.Request) {
+	hop, ok := p.authorizeHop(w, r)
+	if !ok {
 		return
 	}
-	w.Header().Set(wire.HeaderShard, strconv.Itoa(shard))
+	// Claim the id atomically BEFORE ingesting: a retry overlapping a
+	// slow first attempt must dedup, not re-mix the round — and an
+	// attempt still in flight must NOT be acked as applied (the sender
+	// would consume the entry while this attempt can still fail).
+	batchID := r.Header.Get(wire.HeaderBatch)
+	if batchID != "" {
+		claimed, done := p.seen.Begin(batchID)
+		if !claimed {
+			if done {
+				w.WriteHeader(http.StatusOK) // already applied; ack the duplicate
+			} else {
+				http.Error(w, "batch application in flight", http.StatusConflict)
+			}
+			return
+		}
+	}
+	body, err := wire.ReadBody(r.Body)
+	if err != nil {
+		if batchID != "" {
+			p.seen.Forget(batchID)
+		}
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	var closes []*roundClose
+	start := time.Now()
+	procErr := p.enclave.Process(func() error {
+		t0 := time.Now()
+		plain, err := p.enclave.Decrypt(body)
+		decryptDur := time.Since(t0)
+		if err != nil {
+			return fmt.Errorf("proxy: decrypt: %w", err)
+		}
+		env, err := wire.DecodeBatchEnvelope(plain)
+		if err != nil {
+			return fmt.Errorf("proxy: %w", err)
+		}
+		// Decode every item — and check they share one model structure —
+		// before mixing any, so a malformed or heterogeneous batch cannot
+		// leave the round half-applied (the upstream quarantines rejected
+		// entries and must be able to trust that nothing was counted).
+		t1 := time.Now()
+		pss := make([]nn.ParamSet, len(env.Updates))
+		for i, raw := range env.Updates {
+			if pss[i], err = nn.DecodeParamSetNoCopy(raw); err != nil {
+				return fmt.Errorf("proxy: batch update %d: %w", i, err)
+			}
+			if i > 0 && !pss[0].Compatible(pss[i]) {
+				return fmt.Errorf("proxy: batch update %d incompatible with update 0", i)
+			}
+		}
+		decodeDur := time.Since(t1)
+		// Spread the one decrypt/decode over the items so per-update
+		// stage means stay comparable with the single-update path.
+		n := time.Duration(len(env.Updates))
+		var itemErrs int
+		var firstErr error
+		for i, ps := range pss {
+			closed, _, err := p.ingest(ps, len(env.Updates[i]), "", hop, true, decryptDur/n, decodeDur/n)
+			if err != nil {
+				// An item the open round's mixers reject (structure set
+				// by earlier traffic of this epoch) can never be mixed at
+				// this hop — rejecting the WHOLE batch here would let a
+				// half-applied round masquerade as "nothing counted" when
+				// the upstream quarantines it. Skip just this item, keep
+				// the rest of the round.
+				log.Printf("proxy: batch update %d skipped: %v", i, err)
+				itemErrs++
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			if closed != nil {
+				closes = append(closes, closed)
+			}
+		}
+		if itemErrs == len(pss) {
+			return firstErr // nothing applied; safe for the upstream to quarantine
+		}
+		return nil
+	})
+	p.mu.Lock()
+	p.processT.add(time.Since(start))
+	p.mu.Unlock()
+	// Rounds that closed DID close — their mixers were swapped out and
+	// p.closing incremented — so package them even when a later item
+	// failed: skipping would leak p.closing/putEpoch and wedge SealState,
+	// Flush and every future round's commit.
+	for _, c := range closes {
+		if err := p.packageRound(c); err != nil {
+			// Retained in p.pending (see packageRound); the material IS
+			// applied, so this is not the sender's problem — an error
+			// response would trigger a redelivery that double-counts.
+			log.Printf("proxy: round %d outbox commit failed (material retained): %v", c.epoch, err)
+		}
+	}
+	if procErr != nil {
+		// Nothing was applied (decode/compat failures precede any ingest,
+		// and the all-items-failed path mixes nothing), so release the id
+		// for a future redelivery.
+		if batchID != "" {
+			p.seen.Forget(batchID)
+		}
+		http.Error(w, procErr.Error(), http.StatusBadRequest)
+		return
+	}
+	if batchID != "" {
+		p.seen.Done(batchID)
+	}
 	w.WriteHeader(http.StatusAccepted)
 }
 
@@ -268,52 +539,55 @@ func (p *ShardedProxy) routeLocked(clientID string) int {
 	return s
 }
 
-// ingest decrypts and decodes one update inside the enclave, feeds it to
-// its shard's mixer, and drains every shard when the round completes.
-// The expensive stages (decrypt, decode — milliseconds) run outside any
-// lock so concurrent requests parallelise; the cheap mixing step (layer
-// pointer swaps — microseconds) and the round accounting run under one
-// mutex, which makes round closure atomic: a drain can never sweep in an
-// update that belongs to the next round.
-//
-// The returned fwdHop is the depth to stamp on forwarded updates: one
-// past the highest incoming depth seen in the current round. Buffered
-// material loses its individual depth inside the mixers, so the
-// watermark is what keeps depth monotone — in an accidental proxy cycle
-// the watermark grows every traversal until the MaxHops check breaks
-// the loop.
-func (p *ShardedProxy) ingest(ciphertext []byte, clientID string, hop int, fromHop bool) ([]nn.ParamSet, int, int, error) {
-	t0 := time.Now()
-	plain, err := p.enclave.Decrypt(ciphertext)
-	decryptDur := time.Since(t0)
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("proxy: decrypt: %w", err)
-	}
-	t1 := time.Now()
-	ps, err := nn.DecodeParamSet(plain)
-	decodeDur := time.Since(t1) // measured outside p.mu so lock wait doesn't pollute it
-	if err != nil {
-		return nil, 0, 0, fmt.Errorf("proxy: decode: %w", err)
-	}
+// roundClose carries everything a completed round needs on its way to
+// the outbox: the epoch, the hop depth to stamp (watermark + 1), the
+// retired mixers (still holding the round's buffered material) and the
+// mid-round emissions.
+type roundClose struct {
+	epoch   int
+	hop     int
+	mixers  []*core.StreamMixer
+	pending []nn.ParamSet
+	// emitBase is each retired mixer's emitted count at swap time; the
+	// swap already rolled counters up to here into the cumulative shard
+	// ledger, so packageRound only adds what Drain emits beyond it.
+	emitBase []int
+}
 
-	p.enclave.Alloc(len(plain))
+// ingest files one decoded update into its shard's mixer and, when the
+// round completes, swaps the tier to fresh mixers and returns a
+// roundClose for packaging. The expensive stages (decrypt, decode —
+// milliseconds) already ran outside any lock in the caller; the cheap
+// mixing step (layer pointer swaps — microseconds) and the round
+// accounting run under one mutex, which makes round closure atomic: a
+// drain can never sweep in an update that belongs to the next round, and
+// updates arriving an instant after the swap land in epoch N+1's fresh
+// mixers while epoch N drains in the background (cross-round
+// pipelining).
+//
+// The close's hop is the depth to stamp on the delivered round: one past
+// the highest incoming depth seen in the current round. Buffered material
+// loses its individual depth inside the mixers, so the watermark is what
+// keeps depth monotone — in an accidental proxy cycle the watermark grows
+// every traversal until the MaxHops check breaks the loop.
+func (p *ShardedProxy) ingest(ps nn.ParamSet, size int, clientID string, hop int, fromHop bool, decryptDur, decodeDur time.Duration) (*roundClose, int, error) {
+	p.enclave.Alloc(size)
 
 	p.mu.Lock()
 	shard := p.routeLocked(clientID)
 	p.decryptT.add(decryptDur)
-	p.updateBytes = len(plain)
-	var emitted []nn.ParamSet
+	p.updateBytes = size
 	tAdd := time.Now()
 	out, err := p.shards[shard].Add(ps)
 	p.storeT.add(decodeDur + time.Since(tAdd)) // §6.5 store stage: decode + file into the lists
 	if err != nil {
 		p.mu.Unlock()
-		p.enclave.Free(len(plain))
-		return nil, shard, 0, fmt.Errorf("proxy: shard %d mix: %w", shard, err)
+		p.enclave.Free(size)
+		return nil, shard, fmt.Errorf("proxy: shard %d mix: %w", shard, err)
 	}
 	t2 := time.Now()
 	if out != nil {
-		emitted = append(emitted, *out)
+		p.pending = append(p.pending, *out)
 	}
 	if fromHop {
 		p.hopReceived++
@@ -323,38 +597,243 @@ func (p *ShardedProxy) ingest(ciphertext []byte, clientID string, hop int, fromH
 	if hop > p.hopMark {
 		p.hopMark = hop
 	}
-	fwdHop := p.hopMark + 1
 	p.inRound++
+	var closed *roundClose
 	if p.inRound >= p.cfg.RoundSize {
-		p.inRound = 0
-		p.rounds++
-		p.hopMark = 0
-		for _, m := range p.shards {
-			emitted = append(emitted, m.Drain()...)
+		fresh, ferr := newShardMixers(p.cfg, p.rounds+1)
+		if ferr != nil {
+			// Unreachable for a validated config; leave the round open so
+			// the next ingest retries the close.
+			p.mixT.add(time.Since(t2))
+			p.mu.Unlock()
+			return nil, shard, ferr
 		}
+		closed = &roundClose{epoch: p.rounds, hop: p.hopMark + 1, mixers: p.shards, pending: p.pending}
+		// Roll the retired mixers' counters into the cumulative ledger
+		// HERE, under the same lock as the swap, so per-shard Received
+		// never appears to regress in a concurrently-polled Status. The
+		// drain's emissions land later (see packageRound/emitBase).
+		closed.emitBase = make([]int, len(closed.mixers))
+		for s, m := range closed.mixers {
+			p.shardRecv[s] += m.Received()
+			closed.emitBase[s] = m.Emitted()
+			p.shardEmit[s] += closed.emitBase[s]
+		}
+		p.shards = fresh
+		p.pending = nil
+		// Any retained (failed-commit) material just moved into this
+		// close; if its commit fails too, packageRound re-counts it.
+		p.retained = 0
+		p.rounds++
+		p.inRound = 0
+		p.hopMark = 0
+		p.closing++
 	}
-	p.mixT.add(time.Since(t2)) // §6.5 mix stage: emission assembly + round drain
+	p.mixT.add(time.Since(t2)) // §6.5 mix stage: emission assembly + epoch swap
 	p.mu.Unlock()
-
-	p.enclave.Free(len(plain) * len(emitted))
-	return emitted, shard, fwdHop, nil
+	return closed, shard, nil
 }
 
-// forwardTimeout bounds delivery of one mixed update downstream; the
-// context is detached from the triggering request, so this is the only
-// cancellation forwarding has.
-const forwardTimeout = 60 * time.Second
+// packageRound drains a closed round's retired mixers and commits the
+// whole round — mid-round emissions plus drained buffers — to the outbox
+// as ONE sealed entry. It runs outside p.mu (and outside the enclave's
+// constant-time gate), so ingest of the next epoch proceeds concurrently;
+// commits are serialised in epoch order so the outbox replays rounds the
+// way they closed. On a commit failure the material is retained in
+// p.pending — it will ride the next committed entry — so nothing mixed is
+// ever dropped.
+func (p *ShardedProxy) packageRound(rc *roundClose) error {
+	updates := rc.pending
+	for _, m := range rc.mixers {
+		updates = append(updates, m.Drain()...)
+	}
+	payloads := make([][]byte, len(updates))
+	total := 0
+	var err error
+	for i, ps := range updates {
+		if payloads[i], err = nn.EncodeParamSet(ps); err != nil {
+			break
+		}
+		total += len(payloads[i])
+	}
+	var raw []byte
+	if err == nil {
+		env := outbox.Envelope{Epoch: uint64(rc.epoch), Hop: rc.hop, Updates: payloads}
+		raw, err = env.Marshal()
+	}
+	// Ordered commit: take this epoch's turn even when there is nothing
+	// to Put — the epoch chain must advance by exactly one per close or
+	// every later commit (and SealState/Flush) waits forever.
+	p.mu.Lock()
+	for p.putEpoch != rc.epoch {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	if err == nil {
+		// A short retry absorbs transient commit failures (disk hiccups)
+		// here, while the epoch's commit turn is held: a round retained
+		// past this point only re-commits at the NEXT round close, which
+		// on a quiescent tier may never come.
+		for attempt := 0; ; attempt++ {
+			if _, err = p.box.Put(raw); err == nil || attempt >= 2 {
+				break
+			}
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
 
-// forward sends one mixed update onward: re-encrypted to the cascade's
-// next hop when one is configured, in plaintext to the aggregation server
-// otherwise. fwdHop is the depth to stamp (the round's hop watermark + 1,
-// see ingest).
-func (p *ShardedProxy) forward(ctx context.Context, ps nn.ParamSet, fwdHop int) error {
-	raw, err := nn.EncodeParamSet(ps)
+	p.mu.Lock()
+	// The swap already rolled the retired mixers' counters; only the
+	// drain's emissions (beyond emitBase) remain, regardless of the
+	// commit outcome (they describe mixing history, not delivery).
+	for s, m := range rc.mixers {
+		p.shardEmit[s] += m.Emitted() - rc.emitBase[s]
+	}
+	if err != nil {
+		// Retain the round in memory; it joins the next entry (and any
+		// SealState blob taken before then).
+		p.pending = append(updates, p.pending...)
+		p.retained += len(updates)
+	}
+	p.putEpoch = rc.epoch + 1
+	p.closing--
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	if err == nil {
+		p.enclave.Free(total)
+		p.disp.Wake()
+	}
+	return err
+}
+
+// deliverCache is the dispatcher-goroutine-local memo of the head
+// entry's delivery artefacts (see ShardedProxy.dcache).
+type deliverCache struct {
+	seq     uint64
+	valid   bool
+	env     *outbox.Envelope
+	body    []byte // assembled /v1/batch body (hop-wrapped if cascading)
+	id      string // idempotency id for body
+	singles bool   // round too large to batch; use the singles path
+}
+
+// batchIDFor derives the idempotency id of an outbox entry from its
+// plaintext payload: deterministic across retries and restarts, so a
+// receiver that already applied the entry recognises the redelivery.
+func batchIDFor(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:16])
+}
+
+// deliver is the dispatcher callback: it sends one outbox entry (a whole
+// drained round) downstream. nil consumes the entry; a PermanentError
+// quarantines it; anything else retries with backoff.
+func (p *ShardedProxy) deliver(ctx context.Context, seq uint64, payload []byte) error {
+	c := &p.dcache
+	if !c.valid || c.seq != seq {
+		env, err := outbox.ParseEnvelope(payload)
+		if err != nil {
+			// The queue's open hook already authenticated the entry, so a
+			// parse failure means a foreign or torn payload: set it aside.
+			return outbox.Permanent(err)
+		}
+		p.dcache = deliverCache{seq: seq, valid: true, env: env}
+	}
+	env := c.env
+	if len(env.Updates) == 0 {
+		return nil
+	}
+	if p.cfg.NoBatch || c.singles {
+		return p.deliverSingles(ctx, seq, env)
+	}
+	if c.body == nil {
+		enc, err := wire.BatchEnvelope{Updates: env.Updates}.Encode()
+		if err != nil {
+			return outbox.Permanent(err)
+		}
+		// The batch body must fit the receiver's read bound (plus
+		// hop-wrap overhead); a round too large to batch — huge models ×
+		// large C — falls back to per-update delivery instead of being
+		// permanently rejected downstream and quarantined.
+		const wrapMargin = 4096
+		if len(enc)+wrapMargin > wire.MaxBodyBytes {
+			// No silent caps: the fallback loses the batch idempotency id
+			// (per-update POSTs are at-least-once across a crash), so the
+			// downgrade must be visible.
+			log.Printf("proxy: entry %d (%d bytes) exceeds the batch body bound; delivering per update", seq, len(enc))
+			c.singles = true
+			return p.deliverSingles(ctx, seq, env)
+		}
+		if p.cfg.NextHop != "" {
+			if enc, err = p.cfg.NextHopKey.Wrap(enc); err != nil {
+				return fmt.Errorf("proxy: wrap batch for next hop: %w", err)
+			}
+		}
+		c.body, c.id = enc, batchIDFor(payload)
+	}
+	base := p.cfg.Upstream
+	if p.cfg.NextHop != "" {
+		base = p.cfg.NextHop
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/batch", bytes.NewReader(c.body))
 	if err != nil {
 		return err
 	}
+	if p.cfg.NextHop != "" {
+		req.Header.Set(wire.HeaderHop, strconv.Itoa(env.Hop))
+		if p.cfg.NextHopSecret != "" {
+			req.Header.Set("Authorization", "Bearer "+p.cfg.NextHopSecret)
+		}
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeBatch)
+	req.Header.Set(wire.HeaderBatch, c.id)
+	resp, err := p.httpc.Do(req)
+	if err != nil {
+		return err // transient: downstream unreachable
+	}
+	resp.Body.Close()
+	if err := classifyStatus(resp.StatusCode, resp.Status); err != nil {
+		return err
+	}
+	p.mu.Lock()
+	p.forwarded += len(env.Updates)
+	p.batches++
+	p.mu.Unlock()
+	return nil
+}
+
+// deliverSingles is the NoBatch compatibility path: one POST per update
+// to the single-update endpoints. Progress is tracked per entry so a
+// mid-round outage resumes where it stopped instead of resending the
+// round (exactly-once degrades to at-least-once only across process
+// crashes, where the in-memory progress is lost).
+func (p *ShardedProxy) deliverSingles(ctx context.Context, seq uint64, env *outbox.Envelope) error {
+	for i := p.singleProgress[seq]; i < len(env.Updates); i++ {
+		if err := p.forwardOne(ctx, env.Updates[i], env.Hop); err != nil {
+			var perm *outbox.PermanentError
+			if errors.As(err, &perm) {
+				// The dispatcher will quarantine the entry; its progress
+				// marker must not outlive it.
+				delete(p.singleProgress, seq)
+			} else {
+				p.singleProgress[seq] = i
+			}
+			return err
+		}
+		p.mu.Lock()
+		p.forwarded++
+		p.mu.Unlock()
+	}
+	delete(p.singleProgress, seq)
+	return nil
+}
+
+// forwardOne sends one mixed update onward: re-encrypted to the
+// cascade's next hop when one is configured, in plaintext to the
+// aggregation server otherwise.
+func (p *ShardedProxy) forwardOne(ctx context.Context, raw []byte, fwdHop int) error {
 	var req *http.Request
+	var err error
 	if p.cfg.NextHop != "" {
 		ct, err := p.cfg.NextHopKey.Wrap(raw)
 		if err != nil {
@@ -379,14 +858,33 @@ func (p *ShardedProxy) forward(ctx context.Context, ps nn.ParamSet, fwdHop int) 
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return fmt.Errorf("proxy: downstream returned %s", resp.Status)
+	resp.Body.Close()
+	return classifyStatus(resp.StatusCode, resp.Status)
+}
+
+// classifyStatus maps a downstream HTTP status onto the dispatcher's
+// retry semantics: 2xx delivered, definitive 4xx permanent (retrying an
+// entry the downstream rejects forever would wedge the queue), anything
+// else transient. Auth failures (401/403) stay transient: they usually
+// mean a secret rotation in progress, and quarantining a whole round
+// over a recoverable operator mistake would lose it.
+func classifyStatus(code int, status string) error {
+	switch {
+	case code == http.StatusOK || code == http.StatusAccepted:
+		return nil
+	case code >= 400 && code < 500 &&
+		code != http.StatusUnauthorized && code != http.StatusForbidden &&
+		code != http.StatusConflict && // a duplicate still being applied by an earlier attempt
+		code != http.StatusRequestTimeout && code != http.StatusTooManyRequests:
+		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery: %s", status))
+	case code == http.StatusLoopDetected:
+		// The hop stamp inside the entry is immutable, so a depth
+		// rejection can never succeed on retry; treating it as transient
+		// would wedge the strictly-ordered queue head forever.
+		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery: %s", status))
+	default:
+		return fmt.Errorf("proxy: downstream returned %s", status)
 	}
-	p.mu.Lock()
-	p.forwarded++
-	p.mu.Unlock()
-	return nil
 }
 
 // AttestHop performs the proxy-to-proxy attestation handshake: it fetches
@@ -410,30 +908,47 @@ func AttestHop(ctx context.Context, nextHopURL string, httpc *http.Client, autho
 const shardStateLabel = "mixnn/sharded-state/v1"
 
 func sectionLabel(shard int) string {
+	if shard == core.PendingSection {
+		return shardStateLabel + "/pending"
+	}
 	return fmt.Sprintf("%s/shard/%d", shardStateLabel, shard)
 }
 
 // SealState exports the whole tier's durable state — every shard's
-// buffered layers plus routing metadata and the round ledger — sealed
+// buffered layers, the pending (emitted but not yet committed) updates,
+// the per-shard ledgers, routing metadata and the round ledger — sealed
 // under the enclave's identity-bound keys, so a proxy crash mid-round
 // loses no participant material and leaks none to the untrusted host
-// (§2.5 sealing applied to the §4.3 lists, tier-wide). Each shard's
-// section is sealed under its own derived key, and the assembled blob is
-// sealed once more so the metadata is protected too. SealState is safe
-// to call concurrently with ingress: it snapshots under the same mutex
-// that serialises mixing, so the blob is always round-consistent.
+// (§2.5 sealing applied to the §4.3 lists, tier-wide). Outbox entries are
+// NOT in the blob: they are already durable (and sealed) on disk.
+// SealState is safe to call concurrently with ingress: it waits for
+// in-flight round commits (so no material sits between mixers and the
+// outbox) and snapshots under the same mutex that serialises mixing, so
+// the blob is always round-consistent.
 func (p *ShardedProxy) SealState() ([]byte, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	for p.closing > 0 {
+		p.cond.Wait()
+	}
+	shardRecv := make([]int, len(p.shards))
+	shardEmit := make([]int, len(p.shards))
+	for s, m := range p.shards {
+		shardRecv[s] = p.shardRecv[s] + m.Received()
+		shardEmit[s] = p.shardEmit[s] + m.Emitted()
+	}
 	raw, err := core.SealShardedState(p.shards, core.ShardedStateMeta{
-		Routing:     core.RoutingHashRR,
-		RRCursor:    p.rr,
-		InRound:     p.inRound,
-		Rounds:      p.rounds,
-		HopMark:     p.hopMark,
-		Received:    p.received,
-		HopReceived: p.hopReceived,
-		Forwarded:   p.forwarded,
+		Routing:       core.RoutingHashRR,
+		RRCursor:      p.rr,
+		InRound:       p.inRound,
+		Rounds:        p.rounds,
+		HopMark:       p.hopMark,
+		Received:      p.received,
+		HopReceived:   p.hopReceived,
+		Forwarded:     p.forwarded,
+		ShardReceived: shardRecv,
+		ShardEmitted:  shardEmit,
+		Pending:       p.pending,
 	}, func(s int, plain []byte) ([]byte, error) {
 		return p.enclave.SealLabeled(sectionLabel(s), plain)
 	})
@@ -452,7 +967,10 @@ func (p *ShardedProxy) SealState() ([]byte, error) {
 // differ from this tier's: buffered material is redistributed across the
 // new shards (resharding on restore) with the round's layer-wise
 // aggregate unchanged, so an operator can crash a P-shard proxy and
-// bring up a P′-shard replacement mid-round.
+// bring up a P′-shard replacement mid-round. Per-shard mixer ledgers
+// restore exactly for an unchanged shard count and as a sum-preserving
+// redistribution otherwise; pending emissions restore into the pending
+// buffer and ride the next round's outbox entry.
 func (p *ShardedProxy) RestoreState(blob []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -464,8 +982,13 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 		return fmt.Errorf("proxy: unseal tier state: %w", err)
 	}
 	// Restore into fresh mixers so a failed restore cannot leave the
-	// serving tier half-populated.
-	fresh, err := newShardMixers(p.cfg)
+	// serving tier half-populated. The mixers continue the sealed tier's
+	// epoch, so their rand streams don't replay an earlier epoch's.
+	epoch, err := core.ShardedStateRounds(raw)
+	if err != nil {
+		return fmt.Errorf("proxy: restore tier state: %w", err)
+	}
+	fresh, err := newShardMixers(p.cfg, epoch)
 	if err != nil {
 		return err
 	}
@@ -485,12 +1008,65 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 	p.rr = meta.RRCursor % len(fresh)
 	p.inRound = meta.InRound
 	p.rounds = meta.Rounds
+	p.putEpoch = meta.Rounds
 	p.hopMark = meta.HopMark
 	p.received = meta.Received
 	p.hopReceived = meta.HopReceived
 	p.forwarded = meta.Forwarded
+	p.pending = meta.Pending
 	p.restoredFrom = meta.SealedShards
+	p.shardRecv, p.shardEmit = restoredLedgers(meta, fresh)
 	return nil
+}
+
+// restoredLedgers maps the sealed per-shard mixer ledgers onto the
+// restoring tier. With an unchanged shard count the mapping is exact
+// (each mixer already re-counted its restored entries; the carry is the
+// history beyond them). Across a reshard the totals are preserved and
+// spread evenly — per-shard exactness is not meaningful when the shards
+// themselves changed.
+func restoredLedgers(meta core.ShardedStateMeta, mixers []*core.StreamMixer) (recv, emit []int) {
+	pPrime := len(mixers)
+	recv = make([]int, pPrime)
+	emit = make([]int, pPrime)
+	if meta.ShardReceived == nil {
+		// A v1 blob carries no per-shard ledgers; they start over.
+		return recv, emit
+	}
+	if pPrime == meta.SealedShards {
+		for s := range mixers {
+			if recv[s] = meta.ShardReceived[s] - mixers[s].Received(); recv[s] < 0 {
+				recv[s] = 0
+			}
+			emit[s] = meta.ShardEmitted[s]
+		}
+		return recv, emit
+	}
+	totalRecv, totalEmit, restored := 0, 0, 0
+	for _, v := range meta.ShardReceived {
+		totalRecv += v
+	}
+	for _, v := range meta.ShardEmitted {
+		totalEmit += v
+	}
+	for _, m := range mixers {
+		restored += m.Received()
+	}
+	carry := totalRecv - restored
+	if carry < 0 {
+		carry = 0
+	}
+	for s := 0; s < pPrime; s++ {
+		recv[s] = carry / pPrime
+		if s < carry%pPrime {
+			recv[s]++
+		}
+		emit[s] = totalEmit / pPrime
+		if s < totalEmit%pPrime {
+			emit[s]++
+		}
+	}
+	return recv, emit
 }
 
 func (p *ShardedProxy) handleAttestation(w http.ResponseWriter, r *http.Request) {
@@ -501,10 +1077,12 @@ func (p *ShardedProxy) handleStatus(w http.ResponseWriter, r *http.Request) {
 	wire.WriteJSON(w, p.Status())
 }
 
-// Status snapshots the tier: global round progress plus per-shard mixers.
-// p.mu is held across the whole snapshot (lock order p.mu → mixer.mu, as
-// in ingest) so the per-shard counters are consistent with the global
-// round state — a concurrent round close cannot appear half-applied.
+// Status snapshots the tier: global round progress plus per-shard mixers
+// (cumulative across epoch swaps and restores) and the delivery
+// pipeline's epoch/backlog. p.mu is held across the whole snapshot (lock
+// order p.mu → mixer.mu, as in ingest) so the per-shard counters are
+// consistent with the global round state — a concurrent round close
+// cannot appear half-applied.
 func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -514,8 +1092,8 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 			Shard:    s,
 			K:        m.K(),
 			Buffered: m.Buffered(),
-			Received: m.Received(),
-			Emitted:  m.Emitted(),
+			Received: p.shardRecv[s] + m.Received(),
+			Emitted:  p.shardEmit[s] + m.Emitted(),
 		}
 	}
 	st := p.enclave.Stats()
@@ -527,6 +1105,9 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 		Rounds:        p.rounds,
 		InRound:       p.inRound,
 		RoundSize:     p.cfg.RoundSize,
+		Epoch:         p.rounds,
+		OutboxPending: p.box.Len(),
+		BatchesSent:   p.batches,
 		NextHop:       p.cfg.NextHop,
 		MaxHops:       p.cfg.MaxHops,
 		RestoredFrom:  p.restoredFrom,
@@ -538,5 +1119,66 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 		StoreMillis:   p.storeT.meanMillisExact(),
 		MixMillis:     p.mixT.meanMillisExact(),
 		ProcessMillis: p.processT.meanMillisExact(),
+	}
+}
+
+// batchDedup remembers recently-applied batch ids so a redelivered batch
+// acks instead of double-counting, and tracks in-flight applications so
+// an overlapping redelivery neither re-applies NOR falsely acks work
+// that has not finished. Bounded FIFO: old ids age out, which is safe
+// because the sender's outbox consumes an entry on the first
+// acknowledgement — redeliveries arrive promptly or not at all.
+type batchDedup struct {
+	mu    sync.Mutex
+	state map[string]bool // false = application in flight, true = applied
+	order []string
+}
+
+const batchDedupCap = 1024
+
+// Begin atomically claims id. claimed means the caller owns the
+// application and must end it with Done or Forget; otherwise done tells
+// whether a previous application completed (ack the duplicate) or is
+// still in flight (the caller must answer retryable, NOT success — a
+// success ack would let the sender consume the entry while the owning
+// attempt can still fail).
+func (d *batchDedup) Begin(id string) (claimed, done bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.state == nil {
+		d.state = make(map[string]bool)
+	}
+	if done, ok := d.state[id]; ok {
+		return false, done
+	}
+	d.state[id] = false
+	d.order = append(d.order, id)
+	if len(d.order) > batchDedupCap {
+		delete(d.state, d.order[0])
+		d.order = d.order[1:]
+	}
+	return true, false
+}
+
+// Done marks a claimed id as applied.
+func (d *batchDedup) Done(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.state[id]; ok {
+		d.state[id] = true
+	}
+}
+
+// Forget releases an id claimed by Begin whose application failed, so a
+// redelivery gets a fresh attempt.
+func (d *batchDedup) Forget(id string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.state, id)
+	for i, v := range d.order {
+		if v == id {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			return
+		}
 	}
 }

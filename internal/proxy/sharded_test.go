@@ -35,6 +35,7 @@ func shardedDeployment(t *testing.T, expect, k, shards int) (*AggServer, *Sharde
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(px.Close)
 	pxSrv := httptest.NewServer(px.Handler())
 	t.Cleanup(pxSrv.Close)
 
@@ -95,6 +96,7 @@ func TestShardedProxyRoundClosure(t *testing.T) {
 		}
 	}
 
+	flushTier(t, px)
 	if agg.Round() != 1 {
 		t.Fatalf("server round = %d, want 1", agg.Round())
 	}
@@ -113,7 +115,11 @@ func TestShardedProxyRoundClosure(t *testing.T) {
 	if st.Received != clients || st.Forwarded != clients || st.Rounds != 1 || st.InRound != 0 {
 		t.Fatalf("status = %+v", st)
 	}
-	// Round-robin routing splits 6 updates evenly over 2 shards, and round
+	if st.Epoch != 1 || st.OutboxPending != 0 || st.BatchesSent != 1 {
+		t.Fatalf("delivery status epoch/pending/batches = %d/%d/%d, want 1/0/1", st.Epoch, st.OutboxPending, st.BatchesSent)
+	}
+	// Round-robin routing splits 6 updates evenly over 2 shards (the
+	// per-shard counters survive the epoch swap at round close), and the
 	// close drains both buffers.
 	for _, sh := range st.Shards {
 		if sh.Received != clients/shards {
@@ -252,6 +258,7 @@ func TestShardedProxyConcurrentRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	flushTier(t, px)
 	if agg.Round() != 1 {
 		t.Fatalf("server round = %d, want 1", agg.Round())
 	}
@@ -271,17 +278,33 @@ func TestShardedProxyConcurrentRequests(t *testing.T) {
 // TestCascadeHopWatermark: forwarded depth must be one past the highest
 // incoming depth of the round, not the triggering request's depth —
 // otherwise a proxy cycle would reset the counter each round and the
-// MaxHops guard would never fire.
+// MaxHops guard would never fire. With batched forwarding the whole
+// round arrives as ONE /v1/batch POST stamped with the watermark.
 func TestCascadeHopWatermark(t *testing.T) {
 	platform, encl := fixtures(t)
 
+	type batchReq struct {
+		hop, batchID string
+		body         []byte
+	}
 	var (
-		mu   sync.Mutex
-		hops []string
+		mu      sync.Mutex
+		batches []batchReq
 	)
 	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/batch" {
+			t.Errorf("unexpected downstream path %s", r.URL.Path)
+			http.Error(w, "wrong path", http.StatusNotFound)
+			return
+		}
+		body, err := wire.ReadBody(r.Body)
+		if err != nil {
+			t.Error(err)
+		}
 		mu.Lock()
-		hops = append(hops, r.Header.Get(wire.HeaderHop))
+		batches = append(batches, batchReq{
+			hop: r.Header.Get(wire.HeaderHop), batchID: r.Header.Get(wire.HeaderBatch), body: body,
+		})
 		mu.Unlock()
 		w.WriteHeader(http.StatusAccepted)
 	}))
@@ -294,6 +317,7 @@ func TestCascadeHopWatermark(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	t.Cleanup(px.Close)
 	pxSrv := httptest.NewServer(px.Handler())
 	t.Cleanup(pxSrv.Close)
 
@@ -306,7 +330,7 @@ func TestCascadeHopWatermark(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Three participant updates (depth 0) and one cascade update at
-	// depth 2 close the round; every forward must be stamped 3.
+	// depth 2 close the round; the delivered batch must be stamped 3.
 	for i := 0; i < 3; i++ {
 		resp := sendRaw(t, encl, pxSrv.URL, "", testArch().New(4).SnapshotParams())
 		resp.Body.Close()
@@ -327,15 +351,35 @@ func TestCascadeHopWatermark(t *testing.T) {
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("hop update: %s", resp.Status)
 	}
+	flushTier(t, px)
 
 	mu.Lock()
 	defer mu.Unlock()
-	if len(hops) != 4 {
-		t.Fatalf("next hop saw %d forwards, want 4", len(hops))
+	if len(batches) != 1 {
+		t.Fatalf("next hop saw %d batch POSTs, want 1 (the whole round coalesced)", len(batches))
 	}
-	for i, h := range hops {
-		if h != "3" {
-			t.Fatalf("forward %d stamped hop %q, want 3 (watermark 2 + 1)", i, h)
+	got := batches[0]
+	if got.hop != "3" {
+		t.Fatalf("batch stamped hop %q, want 3 (watermark 2 + 1)", got.hop)
+	}
+	if got.batchID == "" {
+		t.Fatal("batch POST carries no idempotency id")
+	}
+	// The body is the round's BatchEnvelope wrapped for the hop enclave.
+	plain, err := encl.Decrypt(got.body)
+	if err != nil {
+		t.Fatalf("batch body not wrapped for the hop enclave: %v", err)
+	}
+	env, err := wire.DecodeBatchEnvelope(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Updates) != 4 {
+		t.Fatalf("batch carries %d updates, want the whole round of 4", len(env.Updates))
+	}
+	for i, u := range env.Updates {
+		if _, err := nn.DecodeParamSet(u); err != nil {
+			t.Fatalf("batch update %d does not decode: %v", i, err)
 		}
 	}
 }

@@ -8,15 +8,26 @@
 //	POST {proxy}/v1/hop           re-encrypted mixed update from an upstream
 //	                              proxy (cascade mode); X-Mixnn-Hop header
 //	                              carries the hop depth
+//	POST {proxy}/v1/batch         a whole drained round from an upstream
+//	                              proxy: a BatchEnvelope re-encrypted for
+//	                              this hop's enclave; X-Mixnn-Hop carries
+//	                              the depth, X-Mixnn-Batch the idempotency
+//	                              id the receiver dedups on
 //	POST {server}/v1/update       plaintext encoded ParamSet (from the proxy)
+//	POST {server}/v1/batch        plaintext BatchEnvelope (one drained
+//	                              round); X-Mixnn-Batch idempotency id
 //	GET  {server}/v1/model        current global model; X-Mixnn-Round header
 //	GET  {server}/v1/status       JSON ServerStatus
 //	GET  {proxy}/v1/attestation   JSON AttestationResponse (nonce query param)
 //	GET  {proxy}/v1/status        JSON ShardedProxyStatus (every proxy is a
 //	                              sharded tier; single proxies are Shards=1)
+//
+// The single-update endpoints remain for compatibility; batch-capable
+// proxies coalesce a drained round into one /v1/batch POST.
 package wire
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -37,6 +48,11 @@ const (
 	// HeaderShard reports, on proxy responses, which shard ingested the
 	// update (diagnostics only; it reveals nothing beyond arrival order).
 	HeaderShard = "X-Mixnn-Shard"
+	// HeaderBatch carries the idempotency id of a /v1/batch POST. The
+	// sender derives it deterministically from the outbox entry, so a
+	// redelivery after a lost acknowledgement carries the same id and the
+	// receiver can drop the duplicate instead of double-counting a round.
+	HeaderBatch = "X-Mixnn-Batch"
 )
 
 // ParseHop extracts the cascade depth from a request's HeaderHop value.
@@ -56,6 +72,103 @@ func ParseHop(h http.Header) (int, error) {
 
 // ContentTypeUpdate is the content type of binary model updates.
 const ContentTypeUpdate = "application/x-mixnn-update"
+
+// ContentTypeBatch is the content type of BatchEnvelope bodies.
+const ContentTypeBatch = "application/x-mixnn-batch"
+
+// BatchEnvelope is the wire container for one drained round: the mixed
+// updates a proxy forwards as a single POST instead of one request per
+// update. Binary layout (little-endian), versioned:
+//
+//	magic   [4]byte "MXBE"
+//	version uint8 (1)
+//	count   uint32
+//	per update: len uint32, bytes (an encoded ParamSet, opaque here)
+//
+// On the proxy→server leg the envelope travels in plaintext (like
+// /v1/update bodies); on the proxy→proxy cascade leg the whole encoded
+// envelope is wrapped for the next hop's enclave, so a round costs one
+// re-encryption instead of C.
+type BatchEnvelope struct {
+	Updates [][]byte
+}
+
+const (
+	batchMagic   = "MXBE"
+	batchVersion = 1
+
+	// maxBatchUpdates bounds the updates one envelope may claim (the
+	// decoder handles untrusted input).
+	maxBatchUpdates = 1 << 20
+)
+
+// Encode serialises the envelope.
+func (e BatchEnvelope) Encode() ([]byte, error) {
+	if len(e.Updates) == 0 {
+		return nil, fmt.Errorf("wire: empty batch envelope")
+	}
+	if len(e.Updates) > maxBatchUpdates {
+		return nil, fmt.Errorf("wire: batch of %d updates exceeds limit", len(e.Updates))
+	}
+	n := 4 + 1 + 4
+	for _, u := range e.Updates {
+		n += 4 + len(u)
+	}
+	out := make([]byte, 0, n)
+	out = append(out, batchMagic...)
+	out = append(out, batchVersion)
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(e.Updates)))
+	for i, u := range e.Updates {
+		if len(u) > MaxBodyBytes {
+			return nil, fmt.Errorf("wire: batch update %d exceeds %d bytes", i, MaxBodyBytes)
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(u)))
+		out = append(out, u...)
+	}
+	return out, nil
+}
+
+// DecodeBatchEnvelope parses an envelope from untrusted input, validating
+// structure before allocating. The returned update slices alias data.
+func DecodeBatchEnvelope(data []byte) (BatchEnvelope, error) {
+	if len(data) < 9 || string(data[:4]) != batchMagic {
+		return BatchEnvelope{}, fmt.Errorf("wire: bad batch magic")
+	}
+	if data[4] != batchVersion {
+		return BatchEnvelope{}, fmt.Errorf("wire: batch version %d, want %d", data[4], batchVersion)
+	}
+	count := binary.LittleEndian.Uint32(data[5:])
+	if count == 0 || count > maxBatchUpdates {
+		return BatchEnvelope{}, fmt.Errorf("wire: batch update count %d out of range", count)
+	}
+	// Each update needs at least its 4-byte length prefix, so a count
+	// the body cannot possibly hold is rejected before the pre-sized
+	// allocation — a 13-byte forgery must not buy megabytes of headers.
+	if uint64(count) > uint64(len(data)-9)/4 {
+		return BatchEnvelope{}, fmt.Errorf("wire: batch update count %d exceeds body", count)
+	}
+	off := 9
+	env := BatchEnvelope{Updates: make([][]byte, 0, count)}
+	for i := uint32(0); i < count; i++ {
+		if len(data)-off < 4 {
+			return BatchEnvelope{}, fmt.Errorf("wire: batch truncated at update %d", i)
+		}
+		// Compare in uint64: on 32-bit platforms int(n) of an adversarial
+		// length ≥ 2³¹ would go negative and slip past the bound.
+		n32 := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if uint64(n32) > uint64(len(data)-off) {
+			return BatchEnvelope{}, fmt.Errorf("wire: batch update %d length %d exceeds remaining bytes", i, n32)
+		}
+		n := int(n32)
+		env.Updates = append(env.Updates, data[off:off+n:off+n])
+		off += n
+	}
+	if off != len(data) {
+		return BatchEnvelope{}, fmt.Errorf("wire: %d trailing bytes after batch", len(data)-off)
+	}
+	return env, nil
+}
 
 // MaxBodyBytes bounds request/response bodies (encrypted or encoded
 // updates). 512 MiB accommodates the largest models the codec accepts.
@@ -114,8 +227,21 @@ type ShardedProxyStatus struct {
 	Rounds      int           `json:"rounds"`
 	InRound     int           `json:"in_round"`
 	RoundSize   int           `json:"round_size"`
-	NextHop     string        `json:"next_hop,omitempty"`
-	MaxHops     int           `json:"max_hops"`
+	// Epoch is the round currently being ingested — deliberately an
+	// alias of Rounds in the delivery pipeline's vocabulary: with
+	// cross-round pipelining the tier ingests epoch N while the
+	// dispatcher still delivers earlier epochs, so the pair (Epoch,
+	// OutboxPending) shows how far delivery lags ingest. Consumers
+	// watching delivery should read these two; Rounds stays for the
+	// pre-pipeline round counter.
+	Epoch int `json:"epoch"`
+	// OutboxPending counts drained rounds committed to the delivery
+	// outbox but not yet acknowledged downstream.
+	OutboxPending int `json:"outbox_pending"`
+	// BatchesSent counts /v1/batch POSTs acknowledged downstream.
+	BatchesSent int    `json:"batches_sent"`
+	NextHop     string `json:"next_hop,omitempty"`
+	MaxHops     int    `json:"max_hops"`
 	// RestoredFrom is the shard count of the sealed blob this tier was
 	// restored from, 0 if it started fresh; it differs from len(Shards)
 	// when the restore resharded.

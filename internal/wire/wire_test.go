@@ -41,6 +41,53 @@ func TestDecodeJSONRejectsGarbage(t *testing.T) {
 	}
 }
 
+func TestBatchEnvelopeRoundTrip(t *testing.T) {
+	in := BatchEnvelope{Updates: [][]byte{[]byte("alpha"), []byte("b"), {}}}
+	raw, err := in.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBatchEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Updates) != 3 {
+		t.Fatalf("decoded %d updates, want 3", len(out.Updates))
+	}
+	for i := range in.Updates {
+		if string(out.Updates[i]) != string(in.Updates[i]) {
+			t.Fatalf("update %d = %q, want %q", i, out.Updates[i], in.Updates[i])
+		}
+	}
+}
+
+func TestBatchEnvelopeRejects(t *testing.T) {
+	if _, err := (BatchEnvelope{}).Encode(); err == nil {
+		t.Fatal("empty envelope encoded")
+	}
+	good, err := BatchEnvelope{Updates: [][]byte{[]byte("payload")}}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("ZZZZ"), good[4:]...),
+		"version":   func() []byte { b := append([]byte(nil), good...); b[4] = 9; return b }(),
+		"truncated": good[:len(good)-2],
+		"trailing":  append(append([]byte(nil), good...), 1),
+		"forged count": func() []byte {
+			b := append([]byte(nil), good...)
+			b[5], b[6] = 0xFF, 0xFF // claim 65535 updates against a tiny body
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatchEnvelope(data); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+}
+
 func TestParseHop(t *testing.T) {
 	h := http.Header{}
 	if hop, err := ParseHop(h); err != nil || hop != 0 {
