@@ -1,5 +1,5 @@
 // Benchmarks regenerating every table and figure of the paper's
-// evaluation (§6), plus the ablations called out in DESIGN.md §8.
+// evaluation (§6), plus the ablations called out in DESIGN.md §9.
 //
 // Figure benches run one miniature experiment per iteration and attach the
 // headline quantity (accuracy, inference accuracy, neighbour count) via
@@ -276,7 +276,7 @@ func BenchmarkProxyEndToEnd(b *testing.B) {
 	}
 }
 
-// --- Ablations (DESIGN.md §8) ----------------------------------------------
+// --- Ablations (DESIGN.md §9) ----------------------------------------------
 
 // BenchmarkAblationGranularity compares mixing granularities: per-layer
 // (paper), per-tensor (finer) and whole-model (sender unlinking only) by

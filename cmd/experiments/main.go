@@ -12,6 +12,8 @@
 //	experiments -shard-perf -cascade            # same, through a second mixing hop
 //	experiments -shard-perf -rounds 4           # pipelined: overlap ingest of
 //	                                            # round N+1 with delivery of N
+//	experiments -shard-perf -topology hash-quota  # quota routing arm
+//	experiments -shard-perf -topology remote    # one proxy+enclave per shard
 package main
 
 import (
@@ -42,8 +44,9 @@ func run(args []string) error {
 		shardPerf = fs.Bool("shard-perf", false, "run the sharded mixing-tier throughput experiment")
 		shardsS   = fs.String("shards", "1,2,4", "shard counts P to sweep in -shard-perf")
 		cascade   = fs.Bool("cascade", false, "cascade the sharded tier through a second mixing hop in -shard-perf")
+		topology  = fs.String("topology", "", "routing-plane arm for -shard-perf: sticky, round-robin, hash-quota, or remote (one proxy+enclave per shard)")
 		rounds    = fs.Int("rounds", 1, "back-to-back rounds per -shard-perf run (>1 exercises cross-round pipelining)")
-		ablate    = fs.Bool("ablation", false, "run the DESIGN.md §8 ablation studies instead of figures")
+		ablate    = fs.Bool("ablation", false, "run the DESIGN.md §9 ablation studies instead of figures")
 		dataset   = fs.String("dataset", "all", "dataset: cifar10, motionsense, mobiact, lfw or all")
 		scaleS    = fs.String("scale", "quick", "experiment scale: quick or full")
 		seed      = fs.Int64("seed", 1, "base random seed")
@@ -82,7 +85,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runShardPerf(scale, *seed, shardCounts, *cascade, *rounds, *csvDir)
+		return runShardPerf(scale, *seed, shardCounts, *cascade, *rounds, *topology, *csvDir)
 	}
 	if *ablate {
 		return runAblations(specs, *seed)
@@ -330,10 +333,13 @@ func runPerf(scale experiment.Scale, seed int64, csvDir string) error {
 // runShardPerf prints the sharded mixing-tier throughput table: one full
 // round of concurrent participants through P shards (optionally cascaded
 // through a second mixing hop), for each requested P.
-func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade bool, rounds int, csvDir string) error {
+func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade bool, rounds int, topology, csvDir string) error {
 	mode := "direct"
 	if cascade {
 		mode = "cascade (2 mixing hops)"
+	}
+	if topology != "" {
+		mode += ", topology " + topology
 	}
 	if rounds > 1 {
 		mode += fmt.Sprintf(", %d pipelined rounds", rounds)
@@ -348,7 +354,7 @@ func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade
 	m := experiment.PerfModels(scale)[0]
 	var all []experiment.ShardedPerfResult
 	for _, p := range shardCounts {
-		res, err := experiment.RunShardedPerf(m.Name, m.Arch, participants, k, p, cascade, rounds, seed)
+		res, err := experiment.RunShardedPerfTopology(m.Name, m.Arch, participants, k, p, cascade, rounds, topology, seed)
 		if err != nil {
 			return err
 		}
@@ -362,9 +368,9 @@ func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade
 	})
 }
 
-// runAblations prints the DESIGN.md §8 design-choice studies.
+// runAblations prints the DESIGN.md §9 design-choice studies.
 func runAblations(specs []experiment.DatasetSpec, seed int64) error {
-	fmt.Println("=== Ablations (DESIGN.md §8): utility and active-∇Sim leakage per design choice ===")
+	fmt.Println("=== Ablations (DESIGN.md §9): utility and active-∇Sim leakage per design choice ===")
 	for _, spec := range specs {
 		rows, err := experiment.RunAblations(spec, seed)
 		if err != nil {

@@ -60,15 +60,14 @@ import (
 
 	"mixnn/internal/enclave"
 	"mixnn/internal/proxy"
+	"mixnn/internal/route"
+	"mixnn/internal/wire"
 )
 
 // TrustBundle is the out-of-band material a participant (or an upstream
 // proxy of a cascade) pins: the (simulated) attestation authority key and
 // the expected enclave measurement.
-type TrustBundle struct {
-	AuthorityPubDER []byte `json:"authority_pub_der"`
-	MeasurementHex  string `json:"measurement"`
-}
+type TrustBundle = proxy.TrustBundle
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -87,6 +86,9 @@ func run(args []string) error {
 		nextHopSec   = fs.String("next-hop-secret", "", "inter-proxy secret sent with forwarded hop traffic")
 		hopSecret    = fs.String("hop-secret", "", "inter-proxy secret required on this proxy's /v1/hop endpoint")
 		shards       = fs.Int("shards", 1, "number of independent mixing shards (P)")
+		routing      = fs.String("routing", "sticky", "shard routing mode: sticky, round-robin or hash-quota")
+		shardsFile   = fs.String("shards-file", "", "topology file (JSON TopologyDirective: mode, weighted shards, remote shards with trust_file); overrides -shards/-routing and hot-reloads on change at round boundaries")
+		dedupWindow  = fs.Int("dedup-window", proxy.DefaultDedupWindow, "batch-dedup FIFO window; aged-out redeliveries are rejected with 409 via the sender sequence watermark")
 		roundSize    = fs.Int("round-size", 8, "total updates per round (C) across all shards")
 		k            = fs.Int("k", 4, "per-shard mixing list capacity (<= shard round share)")
 		maxHops      = fs.Int("max-hops", proxy.DefaultMaxHops, "maximum cascade depth accepted/forwarded")
@@ -127,9 +129,15 @@ func run(args []string) error {
 		return err
 	}
 
+	mode, err := route.ParseMode(*routing)
+	if err != nil {
+		return err
+	}
 	cfg := proxy.ShardedConfig{
 		Upstream:      *upstream,
 		Shards:        *shards,
+		Routing:       mode,
+		DedupWindow:   *dedupWindow,
 		K:             *k,
 		RoundSize:     *roundSize,
 		MaxHops:       *maxHops,
@@ -139,6 +147,26 @@ func run(args []string) error {
 		OutboxDir:     *outboxDir,
 		NoBatch:       !*batch,
 		RetryMax:      *retry,
+	}
+	// A restored tier comes back under the topology it was sealed under,
+	// UNLESS the operator explicitly asked for a different shape on this
+	// command line — then the sealed material is resharded into it.
+	cfg.AdoptSealedTopology = true
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "shards", "routing", "round-size":
+			cfg.AdoptSealedTopology = false
+		}
+	})
+	if *shardsFile != "" {
+		d, err := loadShardsFile(*shardsFile)
+		if err != nil {
+			return err
+		}
+		if err := applyDirectiveToConfig(&cfg, d); err != nil {
+			return err
+		}
+		cfg.AdoptSealedTopology = false
 	}
 	if *nextHop != "" {
 		if *nextHopTrust == "" {
@@ -179,8 +207,8 @@ func run(args []string) error {
 				return fmt.Errorf("consume state file: %w", err)
 			}
 			st := px.Status()
-			log.Printf("mixnn-proxy: restored sealed state (sealed at %d shards, now %d; %d updates into the round)",
-				st.RestoredFrom, *shards, st.InRound)
+			log.Printf("mixnn-proxy: restored sealed state (sealed at %d shards, now %d, %s routing; %d updates into the round)",
+				st.RestoredFrom, len(st.Shards), st.RoutingMode, st.InRound)
 		}
 	}
 
@@ -206,8 +234,15 @@ func run(args []string) error {
 	if cfg.NextHop != "" {
 		downstream = cfg.NextHop + " (cascade)"
 	}
-	log.Printf("mixnn-proxy: shards=%d k=%d round-size=%d downstream=%s listening on %s",
-		*shards, *k, *roundSize, downstream, *listen)
+	topo := px.Topology()
+	log.Printf("mixnn-proxy: topology v%d mode=%s shards=%d (%d remote) round-size=%d k=%d downstream=%s listening on %s",
+		topo.Version(), topo.Mode(), topo.P(), len(topo.Remotes()), topo.RoundSize(), *k, downstream, *listen)
+
+	// Hot reload: poll the shards file and stage its directive when it
+	// changes; the new topology applies at the next round boundary.
+	if *shardsFile != "" {
+		go watchShardsFile(*shardsFile, px)
+	}
 	srv := &http.Server{
 		Addr:              *listen,
 		Handler:           px.Handler(),
@@ -272,6 +307,89 @@ func run(args []string) error {
 		st := px.Status()
 		log.Printf("mixnn-proxy: sealed %d-shard tier (%d updates into the round)", len(st.Shards), st.InRound)
 		return shutdownErr
+	}
+}
+
+// loadShardsFile parses a topology file: a wire.TopologyDirective in
+// JSON, remote shards referencing their trust bundles by trust_file.
+func loadShardsFile(path string) (wire.TopologyDirective, error) {
+	var d wire.TopologyDirective
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return d, fmt.Errorf("read shards file: %w", err)
+	}
+	if err := json.Unmarshal(raw, &d); err != nil {
+		return d, fmt.Errorf("parse shards file %s: %w", path, err)
+	}
+	if len(d.Shards) == 0 {
+		return d, fmt.Errorf("shards file %s names no shards", path)
+	}
+	return d, nil
+}
+
+// applyDirectiveToConfig turns a topology directive into the initial
+// ShardedConfig topology, attesting remote shards now (they must be up
+// before this proxy starts routing to them).
+func applyDirectiveToConfig(cfg *proxy.ShardedConfig, d wire.TopologyDirective) error {
+	if d.Mode != "" {
+		mode, err := route.ParseMode(d.Mode)
+		if err != nil {
+			return err
+		}
+		cfg.Routing = mode
+	}
+	if d.RoundSize > 0 {
+		cfg.RoundSize = d.RoundSize
+	}
+	cfg.ShardSpecs = make([]route.ShardSpec, len(d.Shards))
+	cfg.RemoteShards = make(map[string]proxy.RemoteShard)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i, s := range d.Shards {
+		cfg.ShardSpecs[i] = route.ShardSpec{Addr: s.Addr, Weight: s.Weight}
+		if s.Addr == "" {
+			continue
+		}
+		rs, err := proxy.ResolveRemoteShard(ctx, s, nil)
+		if err != nil {
+			return err
+		}
+		cfg.RemoteShards[s.Addr] = rs
+		hopMeas := rs.Key.Measurement()
+		log.Printf("mixnn-proxy: remote shard %s attested, measurement %s", s.Addr, hex.EncodeToString(hopMeas[:]))
+	}
+	return nil
+}
+
+// watchShardsFile polls the topology file and stages its directive when
+// the file changes. A bad edit is logged and skipped — the tier keeps
+// its current topology.
+func watchShardsFile(path string, px *proxy.ShardedProxy) {
+	last := time.Time{}
+	if st, err := os.Stat(path); err == nil {
+		last = st.ModTime()
+	}
+	for {
+		time.Sleep(2 * time.Second)
+		st, err := os.Stat(path)
+		if err != nil || !st.ModTime().After(last) {
+			continue
+		}
+		last = st.ModTime()
+		d, err := loadShardsFile(path)
+		if err != nil {
+			log.Printf("mixnn-proxy: shards file reload: %v", err)
+			continue
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		next, err := px.StageTopology(ctx, d)
+		cancel()
+		if err != nil {
+			log.Printf("mixnn-proxy: shards file reload: %v", err)
+			continue
+		}
+		log.Printf("mixnn-proxy: staged topology v%d (mode=%s, %d shards) from %s; applies at the next round boundary",
+			next.Version(), next.Mode(), next.P(), path)
 	}
 }
 

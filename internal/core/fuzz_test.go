@@ -7,6 +7,16 @@ import (
 	"mixnn/internal/nn"
 )
 
+// asShards adapts a concrete mixer slice to the Shard interface the
+// seal/restore API takes.
+func asShards(ms []*StreamMixer) []Shard {
+	out := make([]Shard, len(ms))
+	for i, m := range ms {
+		out[i] = m
+	}
+	return out
+}
+
 // FuzzShardedStateRestore feeds arbitrary bytes to the tier-state
 // restorer: it must reject garbage without panicking (the blob crosses
 // the sealing boundary, so a compromised host could feed anything).
@@ -25,7 +35,7 @@ func FuzzShardedStateRestore(f *testing.F) {
 			f.Fatal(err)
 		}
 	}
-	blob, err := SealShardedState(mixers, ShardedStateMeta{Routing: RoutingHashRR, InRound: 3}, nil)
+	blob, err := SealShardedState(asShards(mixers), ShardedStateMeta{Routing: RoutingHashRR, InRound: 3}, nil)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -42,7 +52,7 @@ func FuzzShardedStateRestore(f *testing.F) {
 			}
 			fresh[s] = m
 		}
-		if _, err := RestoreShardedState(data, fresh, nil); err != nil {
+		if _, err := RestoreShardedState(data, asShards(fresh), nil); err != nil {
 			return
 		}
 		// Anything accepted must leave the tier usable and conservative:
@@ -157,7 +167,7 @@ func FuzzSealRestoreRoundtrip(f *testing.F) {
 			}
 		}
 
-		blob, err := SealShardedState(tier, ShardedStateMeta{
+		blob, err := SealShardedState(asShards(tier), ShardedStateMeta{
 			Routing: RoutingHashRR, RRCursor: split, InRound: split, Received: split,
 		}, nil)
 		if err != nil {
@@ -169,7 +179,7 @@ func FuzzSealRestoreRoundtrip(f *testing.F) {
 				t.Fatal(err)
 			}
 		}
-		meta, err := RestoreShardedState(blob, restored, nil)
+		meta, err := RestoreShardedState(blob, asShards(restored), nil)
 		if err != nil {
 			t.Fatalf("C=%d split=%d P=%d P'=%d k=%d: restore: %v", c, split, p, pPrime, k, err)
 		}

@@ -3,9 +3,129 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"mixnn/internal/nn"
 )
+
+// Shard is one slot of a mixing tier: the contract the proxy's round
+// machinery (ingest, round-close drain, seal/restore) needs from a shard
+// regardless of WHERE the mixing happens. A local shard is a StreamMixer
+// (mixing in this enclave); a remote shard is a RelayShard (material is
+// buffered here and relayed to a peer proxy that mixes in its own
+// enclave). Implementations must be safe for concurrent use.
+type Shard interface {
+	// Add files one update; a non-nil return is an emission (a mixed
+	// update leaving the shard mid-round).
+	Add(u nn.ParamSet) (*nn.ParamSet, error)
+	// Drain empties the shard at round close and returns the remainder.
+	Drain() []nn.ParamSet
+	// Buffered, Received and Emitted report the shard's ledger.
+	Buffered() int
+	Received() int
+	Emitted() int
+	// K is the shard's buffer capacity (the mixing breadth for a local
+	// shard, the round quota for a relay).
+	K() int
+	// SnapshotEntries exports the buffered contents as complete
+	// pseudo-updates for sealing; RestoreEntry reverses it. See the
+	// sharded-state docs in shardstate.go.
+	SnapshotEntries() []nn.ParamSet
+	RestoreEntry(u nn.ParamSet) error
+}
+
+// RelayShard is the local stand-in for a REMOTE shard of the tier: it
+// buffers the round's material routed to that shard so the delivery
+// pipeline can relay it — re-encrypted for the remote proxy's enclave —
+// when the round closes. It never mixes (the remote enclave does); it
+// only needs the same conservation property as a mixer, which holds
+// trivially because Drain returns exactly what Add received.
+type RelayShard struct {
+	mu       sync.Mutex
+	k        int
+	buf      []nn.ParamSet
+	received int
+	emitted  int
+}
+
+// NewRelayShard builds a relay buffer; k is the shard's round quota
+// (capacity hint only — a relay never rejects, because the router already
+// enforces quotas).
+func NewRelayShard(k int) *RelayShard {
+	if k <= 0 {
+		k = 1
+	}
+	return &RelayShard{k: k}
+}
+
+// Add implements Shard: buffer, never emit.
+func (r *RelayShard) Add(u nn.ParamSet) (*nn.ParamSet, error) {
+	if len(u.Layers) == 0 {
+		return nil, fmt.Errorf("core: relay of empty update")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, u)
+	r.received++
+	return nil, nil
+}
+
+// Drain implements Shard: hand the round's buffered material to the
+// relay leg.
+func (r *RelayShard) Drain() []nn.ParamSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := r.buf
+	r.buf = nil
+	r.emitted += len(out)
+	return out
+}
+
+// Buffered implements Shard.
+func (r *RelayShard) Buffered() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}
+
+// Received implements Shard.
+func (r *RelayShard) Received() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.received
+}
+
+// Emitted implements Shard.
+func (r *RelayShard) Emitted() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.emitted
+}
+
+// K implements Shard.
+func (r *RelayShard) K() int { return r.k }
+
+// SnapshotEntries implements Shard: the buffered updates already are
+// complete pseudo-updates.
+func (r *RelayShard) SnapshotEntries() []nn.ParamSet {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]nn.ParamSet, len(r.buf))
+	copy(out, r.buf)
+	return out
+}
+
+// RestoreEntry implements Shard.
+func (r *RelayShard) RestoreEntry(u nn.ParamSet) error {
+	if len(u.Layers) == 0 {
+		return fmt.Errorf("core: restore of empty update")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buf = append(r.buf, u)
+	r.received++
+	return nil
+}
 
 // Sharded mixing (the multi-proxy tier). A round of C participants is
 // partitioned round-robin across P independent shards; each shard mixes

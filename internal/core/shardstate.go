@@ -18,7 +18,7 @@ import (
 // Binary layout (little-endian), versioned so the format can evolve:
 //
 //	magic    [4]byte "MXSH"
-//	version  uint32 (currently 2)
+//	version  uint32 (currently 3)
 //	shards   uint32 P at seal time
 //	routing  uint8  RoutingMode tag
 //	rr       uint32 round-robin routing cursor
@@ -27,6 +27,10 @@ import (
 //	hopMark  uint32 round hop-depth watermark
 //	received, hopReceived, forwarded uint64 (tier ledger)
 //	per shard: shardReceived uint64, shardEmitted uint64 (v2: shard ledger)
+//	per shard: shardLoad uint32 (v3: updates routed this round — the
+//	  quota-routing state of the open round)
+//	topoLen  uint32, topo bytes (v3: the routing-plane topology blob,
+//	  opaque here — internal/route marshals it; zero length = none)
 //	pendingLen uint32, pending section (v2: updates the mixers emitted
 //	  mid-round that have not yet been committed to the delivery outbox)
 //	per shard: sectionLen uint32, section bytes
@@ -51,9 +55,13 @@ const (
 	// ShardedStateVersion is the current seal-blob format version.
 	// Version 2 added the per-shard mixer ledgers and the
 	// pending-emission section for the asynchronous delivery pipeline;
-	// RestoreShardedState still reads version-1 blobs (those fields
-	// restore empty), so an upgrade does not strand a sealed mid-round.
-	ShardedStateVersion = 2
+	// version 3 adds the routing-plane topology blob and the open
+	// round's per-shard quota loads, so a restored tier comes back under
+	// the exact topology (mode, weights, remote placement) it was sealed
+	// under. RestoreShardedState still reads version 1 and 2 blobs
+	// (missing fields restore empty), so an upgrade does not strand a
+	// sealed mid-round.
+	ShardedStateVersion = 3
 
 	// maxSealedShards bounds the shard count a blob may claim (the blob
 	// crosses the sealing boundary, so parse limits guard allocations).
@@ -69,10 +77,19 @@ const (
 // would route differently.
 type RoutingMode uint8
 
-// RoutingHashRR is the only mode the tier currently implements: stable
-// FNV client-hash routing with round-robin fallback for anonymous
-// participants.
-const RoutingHashRR RoutingMode = 1
+// The routing modes a blob may be sealed under. The values mirror
+// internal/route's Mode tags (core stays free of the route dependency;
+// the proxy maps between them).
+const (
+	// RoutingHashRR is sticky routing: stable FNV client-hash with a
+	// round-robin fallback for anonymous participants.
+	RoutingHashRR RoutingMode = 1
+	// RoutingRoundRobin is quota-aware round-robin.
+	RoutingRoundRobin RoutingMode = 2
+	// RoutingHashQuota is consistent hashing with per-shard round quotas
+	// and spillover.
+	RoutingHashQuota RoutingMode = 3
+)
 
 // PendingSection is the shard index SealSectionFunc/OpenSectionFunc see
 // for the pending-emission section, which belongs to no single shard.
@@ -119,13 +136,20 @@ type ShardedStateMeta struct {
 	// yet committed to the delivery outbox when the tier was sealed. They
 	// restore into the replacement tier's pending buffer, not its mixers.
 	Pending []nn.ParamSet
+	// ShardLoad is the open round's per-shard routed-update count (the
+	// quota-enforcement state), len P at seal time. v3 only.
+	ShardLoad []int
+	// Topo is the routing plane's marshalled topology, opaque to core
+	// (internal/route owns the encoding). v3 only; nil on older blobs.
+	Topo []byte
 }
 
-// snapshotEntries exports the mixer's buffered contents as complete
+// SnapshotEntries exports the mixer's buffered contents as complete
 // pseudo-updates: entry j holds slot j of every per-layer list. The
 // returned ParamSets alias the buffered tensors (which are never mutated
 // in place), so the caller may encode them without holding the lock.
-func (m *StreamMixer) snapshotEntries() []nn.ParamSet {
+// It implements Shard.
+func (m *StreamMixer) SnapshotEntries() []nn.ParamSet {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]nn.ParamSet, m.buffered)
@@ -139,14 +163,15 @@ func (m *StreamMixer) snapshotEntries() []nn.ParamSet {
 	return out
 }
 
-// restoreEntry files one restored pseudo-update into the mixer. Unlike
+// RestoreEntry files one restored pseudo-update into the mixer. Unlike
 // Add it never emits, and it may push the buffer PAST k: a blob sealed
 // from a tier with more total capacity legitimately restores into fewer
 // (or smaller) mixers. An over-full mixer stays conservative — every
 // subsequent Add swap-emits exactly one update and the round-close Drain
 // empties whatever remains — so aggregation equivalence is unaffected;
-// the extra occupancy only widens that shard's anonymity set.
-func (m *StreamMixer) restoreEntry(u nn.ParamSet) error {
+// the extra occupancy only widens that shard's anonymity set. It
+// implements Shard.
+func (m *StreamMixer) RestoreEntry(u nn.ParamSet) error {
 	if len(u.Layers) == 0 {
 		return fmt.Errorf("core: restore of empty update")
 	}
@@ -154,7 +179,7 @@ func (m *StreamMixer) restoreEntry(u nn.ParamSet) error {
 	defer m.mu.Unlock()
 	if m.lists == nil {
 		if m.received != 0 {
-			return fmt.Errorf("core: restoreEntry on a non-fresh mixer")
+			return fmt.Errorf("core: RestoreEntry on a non-fresh mixer")
 		}
 		m.template = u
 		m.lists = make([][]nn.LayerParams, len(u.Layers))
@@ -215,7 +240,7 @@ func unmarshalSection(data []byte) ([]nn.ParamSet, error) {
 // The name mirrors the proxy operation the blob exists for: the caller
 // (the enclave-hosted proxy) wraps the result with its sealing key; seal,
 // when non-nil, additionally protects each shard section individually.
-func SealShardedState(shards []*StreamMixer, meta ShardedStateMeta, seal SealSectionFunc) ([]byte, error) {
+func SealShardedState(shards []Shard, meta ShardedStateMeta, seal SealSectionFunc) ([]byte, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("core: seal of zero shards")
 	}
@@ -227,6 +252,12 @@ func SealShardedState(shards []*StreamMixer, meta ShardedStateMeta, seal SealSec
 	}
 	if meta.ShardEmitted != nil && len(meta.ShardEmitted) != len(shards) {
 		return nil, fmt.Errorf("core: %d shard-emitted entries for %d shards", len(meta.ShardEmitted), len(shards))
+	}
+	if meta.ShardLoad != nil && len(meta.ShardLoad) != len(shards) {
+		return nil, fmt.Errorf("core: %d shard-load entries for %d shards", len(meta.ShardLoad), len(shards))
+	}
+	if len(meta.Topo) > maxSectionBytes {
+		return nil, fmt.Errorf("core: topology blob exceeds %d bytes", maxSectionBytes)
 	}
 	var buf bytes.Buffer
 	buf.WriteString(shardedStateMagic)
@@ -271,6 +302,23 @@ func SealShardedState(shards []*StreamMixer, meta ShardedStateMeta, seal SealSec
 			}
 		}
 	}
+	// v3: the open round's per-shard quota loads and the topology blob.
+	for s := range shards {
+		load := 0
+		if meta.ShardLoad != nil {
+			load = meta.ShardLoad[s]
+		}
+		if load < 0 {
+			return nil, fmt.Errorf("core: negative shard %d load %d", s, load)
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(load)); err != nil {
+			return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+		}
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(meta.Topo))); err != nil {
+		return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+	}
+	buf.Write(meta.Topo)
 	// Pending-emission section, sealed like a shard section but under the
 	// PendingSection index.
 	pendingSec, err := marshalSection(meta.Pending)
@@ -290,7 +338,7 @@ func SealShardedState(shards []*StreamMixer, meta ShardedStateMeta, seal SealSec
 	}
 	buf.Write(pendingSec)
 	for s, m := range shards {
-		section, err := marshalSection(m.snapshotEntries())
+		section, err := marshalSection(m.SnapshotEntries())
 		if err != nil {
 			return nil, fmt.Errorf("core: shard %d: %w", s, err)
 		}
@@ -321,11 +369,49 @@ func ShardedStateRounds(blob []byte) (int, error) {
 	if len(blob) < roundsOff+4 || string(blob[:4]) != shardedStateMagic {
 		return 0, fmt.Errorf("core: not a sharded state blob")
 	}
-	// The header prefix is identical in versions 1 and 2.
-	if v := binary.LittleEndian.Uint32(blob[4:]); v != 1 && v != ShardedStateVersion {
+	// The header prefix is identical in every version so far.
+	if v := binary.LittleEndian.Uint32(blob[4:]); v < 1 || v > ShardedStateVersion {
 		return 0, fmt.Errorf("core: sharded state version %d, want <= %d", v, ShardedStateVersion)
 	}
 	return int(binary.LittleEndian.Uint32(blob[roundsOff:])), nil
+}
+
+// ShardedStateTopo peeks the routing-plane topology blob out of an
+// unsealed state blob without parsing the sections (nil for v1/v2 blobs,
+// which predate the routing plane). A restoring proxy needs it BEFORE
+// building the shard set it restores into: the topology dictates which
+// shards are mixers and which are relays.
+func ShardedStateTopo(blob []byte) ([]byte, error) {
+	// magic(4) version(4) shards(4) routing(1) rr(4) inRound(4) rounds(4)
+	// hopMark(4) tierLedger(3×8) = 53 bytes of fixed header.
+	const headOff = 4 + 4 + 4 + 1 + 4 + 4 + 4 + 4 + 24
+	if len(blob) < headOff || string(blob[:4]) != shardedStateMagic {
+		return nil, fmt.Errorf("core: not a sharded state blob")
+	}
+	v := binary.LittleEndian.Uint32(blob[4:])
+	if v < 1 || v > ShardedStateVersion {
+		return nil, fmt.Errorf("core: sharded state version %d, want <= %d", v, ShardedStateVersion)
+	}
+	if v < 3 {
+		return nil, nil
+	}
+	p := binary.LittleEndian.Uint32(blob[8:])
+	if p == 0 || p > maxSealedShards {
+		return nil, fmt.Errorf("core: sealed shard count %d out of range", p)
+	}
+	// v2 per-shard ledgers (16 bytes each) + v3 per-shard loads (4 each).
+	off := uint64(headOff) + uint64(p)*20
+	if uint64(len(blob)) < off+4 {
+		return nil, fmt.Errorf("core: sharded state truncated before topology")
+	}
+	topoLen := binary.LittleEndian.Uint32(blob[off:])
+	if topoLen == 0 {
+		return nil, nil
+	}
+	if uint64(topoLen) > uint64(len(blob))-off-4 {
+		return nil, fmt.Errorf("core: topology length %d exceeds blob", topoLen)
+	}
+	return blob[off+4 : off+4+uint64(topoLen) : off+4+uint64(topoLen)], nil
 }
 
 // RestoreShardedState loads a SealShardedState blob into a tier of fresh
@@ -337,7 +423,7 @@ func ShardedStateRounds(blob []byte) (int, error) {
 // seal time (nil for plaintext sections). The returned meta carries the
 // sealed tier's ledger (tier-wide and per-shard), the pending emissions,
 // and the original shard count in SealedShards.
-func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFunc) (ShardedStateMeta, error) {
+func RestoreShardedState(blob []byte, shards []Shard, open OpenSectionFunc) (ShardedStateMeta, error) {
 	var meta ShardedStateMeta
 	if len(shards) == 0 {
 		return meta, fmt.Errorf("core: restore into zero shards")
@@ -359,7 +445,7 @@ func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFun
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
 		return meta, fmt.Errorf("core: read version: %w", err)
 	}
-	if version != 1 && version != ShardedStateVersion {
+	if version < 1 || version > ShardedStateVersion {
 		return meta, fmt.Errorf("core: sharded state version %d, want <= %d", version, ShardedStateVersion)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &sealedShards); err != nil {
@@ -400,6 +486,30 @@ func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFun
 					return meta, fmt.Errorf("core: read shard %d ledger: %w", s, err)
 				}
 				*dst = int(v)
+			}
+		}
+	}
+	// v3: per-shard quota loads of the open round + the topology blob.
+	if version >= 3 {
+		meta.ShardLoad = make([]int, meta.SealedShards)
+		for s := 0; s < meta.SealedShards; s++ {
+			var v uint32
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return meta, fmt.Errorf("core: read shard %d load: %w", s, err)
+			}
+			meta.ShardLoad[s] = int(v)
+		}
+		var topoLen uint32
+		if err := binary.Read(r, binary.LittleEndian, &topoLen); err != nil {
+			return meta, fmt.Errorf("core: read topology length: %w", err)
+		}
+		if topoLen > maxSectionBytes || int(topoLen) > r.Len() {
+			return meta, fmt.Errorf("core: topology length %d out of range", topoLen)
+		}
+		if topoLen > 0 {
+			meta.Topo = make([]byte, topoLen)
+			if _, err := io.ReadFull(r, meta.Topo); err != nil {
+				return meta, fmt.Errorf("core: read topology: %w", err)
 			}
 		}
 	}
@@ -449,7 +559,7 @@ func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFun
 		}
 		if sameShape {
 			for i, e := range got {
-				if err := shards[s].restoreEntry(e); err != nil {
+				if err := shards[s].RestoreEntry(e); err != nil {
 					return meta, fmt.Errorf("core: restore shard %d entry %d: %w", s, i, err)
 				}
 			}
@@ -461,7 +571,7 @@ func RestoreShardedState(blob []byte, shards []*StreamMixer, open OpenSectionFun
 		return meta, fmt.Errorf("core: %d trailing bytes after sharded state", r.Len())
 	}
 	for i, e := range entries {
-		if err := shards[i%len(shards)].restoreEntry(e); err != nil {
+		if err := shards[i%len(shards)].RestoreEntry(e); err != nil {
 			return meta, fmt.Errorf("core: restore entry %d: %w", i, err)
 		}
 	}

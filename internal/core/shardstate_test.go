@@ -11,10 +11,11 @@ import (
 	"mixnn/internal/nn"
 )
 
-// newTier builds p fresh mixers with capacity k each.
-func newTier(t testing.TB, p, k int) []*StreamMixer {
+// newTier builds p fresh mixers with capacity k each, as the Shard
+// interface the seal/restore API operates on.
+func newTier(t testing.TB, p, k int) []Shard {
 	t.Helper()
-	tier := make([]*StreamMixer, p)
+	tier := make([]Shard, p)
 	for s := range tier {
 		m, err := NewStreamMixer(k, rand.New(rand.NewSource(int64(100+s))))
 		if err != nil {
@@ -27,7 +28,7 @@ func newTier(t testing.TB, p, k int) []*StreamMixer {
 
 // feedTier routes updates round-robin into the tier and collects whatever
 // the mixers emit.
-func feedTier(t testing.TB, tier []*StreamMixer, updates []nn.ParamSet) []nn.ParamSet {
+func feedTier(t testing.TB, tier []Shard, updates []nn.ParamSet) []nn.ParamSet {
 	t.Helper()
 	var out []nn.ParamSet
 	for i, u := range updates {
@@ -42,7 +43,7 @@ func feedTier(t testing.TB, tier []*StreamMixer, updates []nn.ParamSet) []nn.Par
 	return out
 }
 
-func drainTier(tier []*StreamMixer) []nn.ParamSet {
+func drainTier(tier []Shard) []nn.ParamSet {
 	var out []nn.ParamSet
 	for _, m := range tier {
 		out = append(out, m.Drain()...)
@@ -257,7 +258,7 @@ func TestRestoreShardedStateReadsV1(t *testing.T) {
 		binary.Write(&v1, binary.LittleEndian, v)
 	}
 	for _, m := range tier {
-		section, err := marshalSection(m.snapshotEntries())
+		section, err := marshalSection(m.SnapshotEntries())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -297,7 +298,7 @@ func TestRestoreShardedStateRejects(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	fresh := func() []*StreamMixer { return newTier(t, 2, 2) }
+	fresh := func() []Shard { return newTier(t, 2, 2) }
 	t.Run("garbage", func(t *testing.T) {
 		if _, err := RestoreShardedState([]byte("not a blob"), fresh(), nil); err == nil {
 			t.Fatal("garbage accepted")
@@ -459,4 +460,136 @@ func TestSealShardedStateConcurrentWithAdd(t *testing.T) {
 	}()
 	wg.Wait()
 	<-sealDone
+}
+
+// TestShardedStateV3TopoAndLoads pins the v3 additions: the opaque
+// topology blob and per-shard quota loads round-trip, and the topology
+// is peekable without a full parse.
+func TestShardedStateV3TopoAndLoads(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tier := newTier(t, 2, 2)
+	feedTier(t, tier, makeUpdates(3, 2, rng))
+	topoBlob := []byte("opaque-topology-bytes")
+	blob, err := SealShardedState(tier, ShardedStateMeta{
+		Routing:   RoutingHashQuota,
+		InRound:   3,
+		ShardLoad: []int{2, 1},
+		Topo:      topoBlob,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peeked, err := ShardedStateTopo(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(peeked) != string(topoBlob) {
+		t.Fatalf("peeked topo = %q, want %q", peeked, topoBlob)
+	}
+	meta, err := RestoreShardedState(blob, newTier(t, 2, 2), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Routing != RoutingHashQuota {
+		t.Fatalf("routing = %d, want hash-quota", meta.Routing)
+	}
+	if len(meta.ShardLoad) != 2 || meta.ShardLoad[0] != 2 || meta.ShardLoad[1] != 1 {
+		t.Fatalf("ShardLoad = %v, want [2 1]", meta.ShardLoad)
+	}
+	if string(meta.Topo) != string(topoBlob) {
+		t.Fatalf("restored topo = %q", meta.Topo)
+	}
+	// Mismatched load length is rejected at seal time.
+	if _, err := SealShardedState(tier, ShardedStateMeta{ShardLoad: []int{1}}, nil); err == nil {
+		t.Fatal("mismatched shard-load length accepted")
+	}
+	// ShardedStateTopo rejects garbage and pre-v3 blobs gracefully.
+	if _, err := ShardedStateTopo([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted by topo peek")
+	}
+}
+
+// TestRelayShardConservation: the remote-placement buffer is trivially
+// conservative (Drain returns exactly what Add received) and implements
+// the full Shard contract including snapshot/restore.
+func TestRelayShardConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	updates := makeUpdates(4, 2, rng)
+	r := NewRelayShard(4)
+	for _, u := range updates {
+		out, err := r.Add(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			t.Fatal("relay shard emitted mid-round")
+		}
+	}
+	if r.Buffered() != 4 || r.Received() != 4 || r.Emitted() != 0 {
+		t.Fatalf("ledger = %d/%d/%d", r.Buffered(), r.Received(), r.Emitted())
+	}
+	snap := r.SnapshotEntries()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d entries", len(snap))
+	}
+	drained := r.Drain()
+	if len(drained) != 4 || r.Buffered() != 0 || r.Emitted() != 4 {
+		t.Fatalf("drain: %d entries, buffered %d, emitted %d", len(drained), r.Buffered(), r.Emitted())
+	}
+	for i := range drained {
+		got, _ := nn.Average([]nn.ParamSet{drained[i]})
+		want, _ := nn.Average([]nn.ParamSet{updates[i]})
+		if !got.ApproxEqual(want, 0) {
+			t.Fatalf("drained entry %d differs from input (relay must not mix)", i)
+		}
+	}
+	// Restore path: entries land back, counted.
+	r2 := NewRelayShard(4)
+	for _, u := range snap {
+		if err := r2.RestoreEntry(u); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r2.Buffered() != 4 || r2.Received() != 4 {
+		t.Fatalf("restored relay ledger = %d/%d", r2.Buffered(), r2.Received())
+	}
+	if _, err := r.Add(nn.ParamSet{}); err == nil {
+		t.Fatal("empty update accepted by relay")
+	}
+}
+
+// TestShardedStateRelayInTier: a tier mixing StreamMixers and a
+// RelayShard seals and restores like any other tier — the relay's
+// buffered (unmixed) material is a shard section like the rest.
+func TestShardedStateRelayInTier(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	updates := makeUpdates(6, 2, rng)
+	m, err := NewStreamMixer(2, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier := []Shard{m, NewRelayShard(3)}
+	emitted := feedTier(t, tier, updates)
+	blob, err := SealShardedState(tier, ShardedStateMeta{Routing: RoutingHashQuota, InRound: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := NewStreamMixer(2, rand.New(rand.NewSource(6)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := []Shard{m2, NewRelayShard(3)}
+	if _, err := RestoreShardedState(blob, fresh, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := append([]nn.ParamSet{}, emitted...)
+	out = append(out, drainTier(fresh)...)
+	want, _ := nn.Average(updates)
+	got, err := nn.Average(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.ApproxEqual(got, 1e-9) {
+		t.Fatal("relay-bearing tier broke conservation across seal/restore")
+	}
 }

@@ -18,7 +18,7 @@ type AblationResult struct {
 	Chance  float64 // random-guess level for the leakage column
 }
 
-// RunAblations executes the four design-choice studies of DESIGN.md §8 on
+// RunAblations executes the four design-choice studies of DESIGN.md §9 on
 // one dataset spec and returns all rows:
 //
 //  1. mixing granularity (layer / tensor / model),

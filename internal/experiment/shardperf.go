@@ -10,6 +10,7 @@ import (
 	"mixnn/internal/enclave"
 	"mixnn/internal/nn"
 	"mixnn/internal/proxy"
+	"mixnn/internal/route"
 )
 
 // ShardedPerfResult reports one sharded-tier throughput experiment: one
@@ -26,6 +27,10 @@ type ShardedPerfResult struct {
 	// one, the tier's cross-round pipelining is exercised: round N+1 is
 	// ingested while round N's batch is still being delivered.
 	Rounds int
+	// Topology names the routing-plane arm: "sticky" (default),
+	// "round-robin", "hash-quota", or "remote" (every shard is its own
+	// proxy process with its own enclave — the multi-process tier).
+	Topology string
 	// UpdateBytes is the plaintext size of one encoded update.
 	UpdateBytes int
 	// RoundMillis is the mean wall-clock time per round, from the first
@@ -53,11 +58,32 @@ type ShardedPerfResult struct {
 // has closed every round, not merely until the proxy acknowledged the
 // sends.
 func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int, cascade bool, rounds int, seed int64) (ShardedPerfResult, error) {
+	return RunShardedPerfTopology(modelName, arch, participants, k, shards, cascade, rounds, "", seed)
+}
+
+// RunShardedPerfTopology is RunShardedPerf with a routing-plane arm:
+// topology selects the routing mode ("sticky", "round-robin",
+// "hash-quota") or, with "remote", deploys every shard as its OWN proxy
+// behind the front tier — one enclave per shard, the material relayed to
+// each shard re-encrypted for that shard's enclave — measuring the
+// multi-process deployment the routing plane unlocks.
+func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, shards int, cascade bool, rounds int, topology string, seed int64) (ShardedPerfResult, error) {
 	if participants <= 0 {
 		return ShardedPerfResult{}, fmt.Errorf("experiment: sharded perf requires participants > 0")
 	}
 	if rounds <= 0 {
 		rounds = 1
+	}
+	remote := topology == "remote"
+	routing := route.ModeSticky
+	if !remote && topology != "" {
+		var err error
+		if routing, err = route.ParseMode(topology); err != nil {
+			return ShardedPerfResult{}, err
+		}
+	}
+	if remote && cascade {
+		return ShardedPerfResult{}, fmt.Errorf("experiment: -topology remote and -cascade are mutually exclusive")
 	}
 	platform, err := enclave.NewPlatform()
 	if err != nil {
@@ -78,7 +104,43 @@ func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int,
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	frontCfg := proxy.ShardedConfig{Upstream: aggSrv.URL, K: k, RoundSize: participants, Shards: shards, Seed: seed}
+	frontCfg := proxy.ShardedConfig{Upstream: aggSrv.URL, K: k, RoundSize: participants, Shards: shards, Routing: routing, Seed: seed}
+	if remote {
+		// One proxy per shard, each hosting its own enclave: the front
+		// tier routes by hash-quota and relays each shard's material
+		// re-encrypted for that shard's enclave.
+		topo, err := route.Uniform(0, route.ModeHashQuota, participants, shards)
+		if err != nil {
+			return ShardedPerfResult{}, err
+		}
+		specs := make([]route.ShardSpec, shards)
+		remotes := make(map[string]proxy.RemoteShard, shards)
+		for s := 0; s < shards; s++ {
+			shardEncl, err := enclave.New(enclave.Config{CodeIdentity: fmt.Sprintf("mixnn-proxy-shard-%d", s)}, platform)
+			if err != nil {
+				return ShardedPerfResult{}, err
+			}
+			shardPx, err := proxy.NewSharded(proxy.ShardedConfig{
+				Upstream: aggSrv.URL, K: k, RoundSize: topo.Quota(s), Shards: 1, Seed: seed + int64(s) + 1,
+			}, shardEncl, platform)
+			if err != nil {
+				return ShardedPerfResult{}, err
+			}
+			defer shardPx.Close()
+			shardSrv := httptest.NewServer(shardPx.Handler())
+			defer shardSrv.Close()
+			key, err := proxy.AttestHop(ctx, shardSrv.URL, nil, platform.AttestationPublicKey(), shardEncl.Measurement())
+			if err != nil {
+				return ShardedPerfResult{}, err
+			}
+			specs[s] = route.ShardSpec{Addr: shardSrv.URL}
+			remotes[shardSrv.URL] = proxy.RemoteShard{Key: key}
+		}
+		frontCfg.Shards = 0
+		frontCfg.Routing = route.ModeHashQuota
+		frontCfg.ShardSpecs = specs
+		frontCfg.RemoteShards = remotes
+	}
 	if cascade {
 		hopEncl, err := enclave.New(enclave.Config{CodeIdentity: "mixnn-proxy-shard-hop"}, platform)
 		if err != nil {
@@ -172,6 +234,10 @@ func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int,
 	for i, sh := range st.Shards {
 		received[i] = sh.Received
 	}
+	label := topology
+	if label == "" {
+		label = route.ModeSticky.String()
+	}
 	return ShardedPerfResult{
 		Model:         modelName,
 		Participants:  participants,
@@ -179,6 +245,7 @@ func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int,
 		K:             k,
 		Cascade:       cascade,
 		Rounds:        rounds,
+		Topology:      label,
 		UpdateBytes:   st.UpdateBytes,
 		RoundMillis:   totalDur.Seconds() * 1000 / float64(rounds),
 		UpdatesPerSec: float64(rounds*participants) / totalDur.Seconds(),

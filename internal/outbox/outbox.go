@@ -24,13 +24,17 @@ package outbox
 
 import (
 	"bytes"
+	"crypto/rand"
 	"encoding/binary"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 )
 
@@ -46,7 +50,9 @@ var ErrEmpty = errors.New("outbox: empty")
 
 // Queue is the delivery queue contract shared by the durable on-disk
 // outbox and the in-memory variant: strictly ordered Put/Next/Ack with
-// quarantine for undeliverable entries.
+// quarantine for undeliverable entries, partial-delivery progress for
+// per-update (NoBatch) forwarding, and a stable sender identity for
+// receiver-side redelivery detection.
 type Queue interface {
 	// Put commits one entry and returns its sequence number. For the disk
 	// queue the entry is durable (sealed, atomically renamed into place)
@@ -56,41 +62,72 @@ type Queue interface {
 	// unopenable entries are quarantined and skipped so one bad entry
 	// cannot wedge the queue. ErrEmpty when drained.
 	Next() (uint64, []byte, error)
-	// Ack consumes a delivered entry.
+	// Ack consumes a delivered entry (and its progress marker).
 	Ack(seq uint64) error
 	// Quarantine sets aside an entry the receiver permanently rejected.
 	Quarantine(seq uint64, reason error) error
 	// Len counts entries awaiting delivery.
 	Len() int
+	// Quarantined counts entries set aside since the queue was opened,
+	// including (for the disk queue) .bad files a previous process left
+	// behind — the operator surface for material that left the delivery
+	// path.
+	Quarantined() int
+	// SetProgress durably records that the first done updates of entry
+	// seq are confirmed delivered, so per-update forwarding resumes
+	// after a crash instead of resending the round.
+	SetProgress(seq uint64, done int) error
+	// Progress returns the recorded progress of entry seq (0 if none).
+	Progress(seq uint64) int
+	// SenderID is a stable identity for this queue (persisted alongside
+	// the disk queue, ephemeral for the in-memory one). Receivers use it
+	// with the entry sequence number to recognise stale redeliveries
+	// that have aged out of their dedup window.
+	SenderID() string
 }
 
-// Envelope is the payload of one outbox entry: a whole drained round.
-// Binary layout (little-endian), versioned so the format can evolve:
+// Envelope is the payload of one outbox entry: one destination's share
+// of a drained round. Binary layout (little-endian), versioned so the
+// format can evolve:
 //
 //	magic   [4]byte "MXOB"
-//	version uint32 (currently 1)
+//	version uint32 (currently 2)
 //	epoch   uint64  round number the material belongs to
+//	topoVer uint64  (v2) routing-plane topology version the round closed
+//	                under — the epoch+topology key delivery is tracked by
 //	hop     uint32  cascade depth to stamp on delivery (watermark + 1)
+//	destLen uint16, dest bytes (v2) remote-shard address this entry is
+//	                addressed to; empty = the tier's upstream/next-hop
 //	count   uint32  updates in the round
 //	per update: len uint32, bytes (an encoded nn.ParamSet — opaque here)
+//
+// Version-1 entries (pre-routing-plane) still parse: they carry no
+// destination (upstream) and topology version 0.
 type Envelope struct {
-	Epoch   uint64
-	Hop     int
+	Epoch       uint64
+	TopoVersion uint64
+	Hop         int
+	// Dest is the remote shard address the entry must be relayed to
+	// (re-encrypted for that shard's enclave); empty means the tier's
+	// ordinary downstream (upstream server or cascade next hop).
+	Dest    string
 	Updates [][]byte
 }
 
 const (
 	envelopeMagic = "MXOB"
 
-	// EnvelopeVersion is the current entry format; ParseEnvelope rejects
-	// entries from other versions.
-	EnvelopeVersion = 1
+	// EnvelopeVersion is the current entry format; ParseEnvelope also
+	// reads version 1 (entries a pre-topology proxy left on disk).
+	EnvelopeVersion = 2
 
 	// maxEnvelopeUpdates bounds the updates one entry may claim (entries
 	// cross the sealing boundary, so parse limits guard allocations).
 	maxEnvelopeUpdates = 1 << 20
 	// maxEnvelopeItemBytes bounds one encoded update inside an entry.
 	maxEnvelopeItemBytes = 512 << 20
+	// maxEnvelopeDestBytes bounds the destination address.
+	maxEnvelopeDestBytes = 1 << 10
 )
 
 // Marshal encodes the envelope.
@@ -101,11 +138,17 @@ func (e *Envelope) Marshal() ([]byte, error) {
 	if e.Hop < 0 {
 		return nil, fmt.Errorf("outbox: negative hop %d", e.Hop)
 	}
+	if len(e.Dest) > maxEnvelopeDestBytes {
+		return nil, fmt.Errorf("outbox: destination exceeds %d bytes", maxEnvelopeDestBytes)
+	}
 	var buf bytes.Buffer
 	buf.WriteString(envelopeMagic)
 	binary.Write(&buf, binary.LittleEndian, uint32(EnvelopeVersion))
 	binary.Write(&buf, binary.LittleEndian, e.Epoch)
+	binary.Write(&buf, binary.LittleEndian, e.TopoVersion)
 	binary.Write(&buf, binary.LittleEndian, uint32(e.Hop))
+	binary.Write(&buf, binary.LittleEndian, uint16(len(e.Dest)))
+	buf.WriteString(e.Dest)
 	binary.Write(&buf, binary.LittleEndian, uint32(len(e.Updates)))
 	for i, u := range e.Updates {
 		if len(u) > maxEnvelopeItemBytes {
@@ -126,18 +169,37 @@ func ParseEnvelope(data []byte) (*Envelope, error) {
 		return nil, fmt.Errorf("outbox: bad entry magic %q", magic)
 	}
 	var version, hop, count uint32
-	var epoch uint64
+	var epoch, topoVer uint64
+	var dest []byte
 	if err := binary.Read(r, binary.LittleEndian, &version); err != nil {
 		return nil, fmt.Errorf("outbox: read entry version: %w", err)
 	}
-	if version != EnvelopeVersion {
-		return nil, fmt.Errorf("outbox: entry version %d, want %d", version, EnvelopeVersion)
+	if version != 1 && version != EnvelopeVersion {
+		return nil, fmt.Errorf("outbox: entry version %d, want <= %d", version, EnvelopeVersion)
 	}
 	if err := binary.Read(r, binary.LittleEndian, &epoch); err != nil {
 		return nil, fmt.Errorf("outbox: read entry epoch: %w", err)
 	}
+	if version >= 2 {
+		if err := binary.Read(r, binary.LittleEndian, &topoVer); err != nil {
+			return nil, fmt.Errorf("outbox: read entry topology version: %w", err)
+		}
+	}
 	if err := binary.Read(r, binary.LittleEndian, &hop); err != nil {
 		return nil, fmt.Errorf("outbox: read entry hop: %w", err)
+	}
+	if version >= 2 {
+		var destLen uint16
+		if err := binary.Read(r, binary.LittleEndian, &destLen); err != nil {
+			return nil, fmt.Errorf("outbox: read entry destination length: %w", err)
+		}
+		if int(destLen) > maxEnvelopeDestBytes || int(destLen) > r.Len() {
+			return nil, fmt.Errorf("outbox: destination length %d out of range", destLen)
+		}
+		dest = make([]byte, destLen)
+		if _, err := io.ReadFull(r, dest); err != nil {
+			return nil, fmt.Errorf("outbox: read entry destination: %w", err)
+		}
 	}
 	if err := binary.Read(r, binary.LittleEndian, &count); err != nil {
 		return nil, fmt.Errorf("outbox: read entry count: %w", err)
@@ -145,7 +207,7 @@ func ParseEnvelope(data []byte) (*Envelope, error) {
 	if count > maxEnvelopeUpdates {
 		return nil, fmt.Errorf("outbox: entry claims %d updates", count)
 	}
-	env := &Envelope{Epoch: epoch, Hop: int(hop), Updates: make([][]byte, 0, count)}
+	env := &Envelope{Epoch: epoch, TopoVersion: topoVer, Hop: int(hop), Dest: string(dest), Updates: make([][]byte, 0, count)}
 	for i := uint32(0); i < count; i++ {
 		var n uint32
 		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
@@ -170,9 +232,10 @@ func ParseEnvelope(data []byte) (*Envelope, error) {
 
 // Disk is the durable on-disk queue.
 type Disk struct {
-	dir  string
-	seal SealFunc
-	open OpenFunc
+	dir    string
+	seal   SealFunc
+	open   OpenFunc
+	sender string
 
 	mu   sync.Mutex
 	seqs []uint64 // pending sequence numbers, sorted ascending
@@ -182,18 +245,34 @@ type Disk struct {
 	// does not re-read and re-decrypt the same round every backoff tick.
 	headSeq     uint64
 	headPayload []byte
+	// quarantined counts entries set aside: .bad files found at Open
+	// plus quarantines since.
+	quarantined int
+	// progress maps entry seq → confirmed per-update delivery progress,
+	// mirrored to .prog sidecar files so it survives restarts.
+	progress map[uint64]int
 }
 
 const (
 	entrySuffix      = ".ent"
 	quarantineSuffix = ".bad"
+	progressSuffix   = ".prog"
+	senderFile       = "sender.id"
+	// seqFile persists the next sequence number. The sender identity is
+	// durable, and receivers key their stale-redelivery watermark on
+	// (sender, seq) — so a sequence number must NEVER be reused, even
+	// after a restart over a fully-drained (or quarantined-at-head)
+	// directory where no .ent file remains to witness the high mark.
+	seqFile = "seq.next"
 )
 
 func entryName(seq uint64) string { return fmt.Sprintf("ob-%016x%s", seq, entrySuffix) }
 
 // Open opens (creating if needed) an outbox directory and indexes the
 // entries a previous process left behind — that carry-over is what makes
-// round delivery survive a crash.
+// round delivery survive a crash. Quarantined (.bad) leftovers are
+// counted and reported loudly: they are rounds that left the delivery
+// path and need an operator.
 func Open(dir string, seal SealFunc, open OpenFunc) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o700); err != nil {
 		return nil, fmt.Errorf("outbox: create dir: %w", err)
@@ -202,14 +281,43 @@ func Open(dir string, seal SealFunc, open OpenFunc) (*Disk, error) {
 	if err != nil {
 		return nil, fmt.Errorf("outbox: scan dir: %w", err)
 	}
-	d := &Disk{dir: dir, seal: seal, open: open}
+	d := &Disk{dir: dir, seal: seal, open: open, progress: make(map[uint64]int)}
 	for _, de := range names {
+		name := de.Name()
+		if strings.HasSuffix(name, quarantineSuffix) {
+			d.quarantined++
+			// A quarantined entry's sequence number is still consumed:
+			// the receiver may have recorded it in its watermark.
+			var seq uint64
+			if _, err := fmt.Sscanf(name, "ob-%016x", &seq); err == nil && seq >= d.next {
+				d.next = seq + 1
+			}
+			continue
+		}
+		if strings.HasSuffix(name, progressSuffix) {
+			var seq uint64
+			if _, err := fmt.Sscanf(name, "ob-%016x"+progressSuffix, &seq); err != nil || name != progressName(seq) {
+				continue
+			}
+			if seq >= d.next {
+				d.next = seq + 1
+			}
+			raw, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				continue
+			}
+			var done int
+			if _, err := fmt.Sscanf(string(raw), "%d", &done); err == nil && done > 0 {
+				d.progress[seq] = done
+			}
+			continue
+		}
 		var seq uint64
 		// Sscanf ignores trailing input, so require an exact round-trip of
 		// the name — otherwise ob-N.ent.bad / ob-N.ent.tmp leftovers would
 		// be indexed as phantom entries.
-		if _, err := fmt.Sscanf(de.Name(), "ob-%016x"+entrySuffix, &seq); err != nil || de.Name() != entryName(seq) {
-			continue // tmp files, quarantined entries, foreign files
+		if _, err := fmt.Sscanf(name, "ob-%016x"+entrySuffix, &seq); err != nil || name != entryName(seq) {
+			continue // tmp files, foreign files
 		}
 		d.seqs = append(d.seqs, seq)
 		if seq >= d.next {
@@ -217,7 +325,63 @@ func Open(dir string, seal SealFunc, open OpenFunc) (*Disk, error) {
 		}
 	}
 	sort.Slice(d.seqs, func(i, j int) bool { return d.seqs[i] < d.seqs[j] })
+	// Orphaned progress markers (their entry was acked or quarantined
+	// mid-crash) must not survive to claim progress on a recycled seq.
+	for seq := range d.progress {
+		if !d.hasSeqLocked(seq) {
+			delete(d.progress, seq)
+			os.Remove(filepath.Join(dir, progressName(seq)))
+		}
+	}
+	// The persisted counter wins over anything derived from surviving
+	// files: acknowledged entries leave no .ent witness, but their
+	// sequence numbers are burned at the receivers.
+	if raw, err := os.ReadFile(filepath.Join(dir, seqFile)); err == nil {
+		var next uint64
+		if _, err := fmt.Sscanf(strings.TrimSpace(string(raw)), "%d", &next); err == nil && next > d.next {
+			d.next = next
+		}
+	}
+	if d.sender, err = loadSenderID(dir); err != nil {
+		return nil, err
+	}
+	if d.quarantined > 0 {
+		log.Printf("outbox: WARNING: %d quarantined entries (%s files) in %s — rounds that left the delivery path; inspect and re-inject or discard", d.quarantined, quarantineSuffix, dir)
+	}
 	return d, nil
+}
+
+func progressName(seq uint64) string { return fmt.Sprintf("ob-%016x%s", seq, progressSuffix) }
+
+func (d *Disk) hasSeqLocked(seq uint64) bool {
+	i := sort.Search(len(d.seqs), func(i int) bool { return d.seqs[i] >= seq })
+	return i < len(d.seqs) && d.seqs[i] == seq
+}
+
+// loadSenderID reads (or mints) the queue's stable sender identity.
+func loadSenderID(dir string) (string, error) {
+	path := filepath.Join(dir, senderFile)
+	raw, err := os.ReadFile(path)
+	if err == nil && len(raw) >= 8 {
+		return strings.TrimSpace(string(raw)), nil
+	}
+	id, err := mintSenderID()
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(path, []byte(id), 0o600); err != nil {
+		return "", fmt.Errorf("outbox: persist sender id: %w", err)
+	}
+	return id, nil
+}
+
+// mintSenderID draws a fresh random sender identity.
+func mintSenderID() (string, error) {
+	var b [12]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "", fmt.Errorf("outbox: draw sender id: %w", err)
+	}
+	return hex.EncodeToString(b[:]), nil
 }
 
 // Dir returns the outbox directory.
@@ -236,6 +400,16 @@ func (d *Disk) Put(payload []byte) (uint64, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	seq := d.next
+	// Burn the sequence number durably BEFORE the entry exists: once the
+	// entry is (ever) sent, the receiver's watermark remembers (sender,
+	// seq), and a post-restart reuse would make fresh rounds look like
+	// stale redeliveries — quarantined unseen. Best-effort on purpose: a
+	// failed counter write must not fail the round commit, and Open also
+	// rebuilds the counter from every on-disk witness.
+	seqTmp := filepath.Join(d.dir, seqFile+".tmp")
+	if err := os.WriteFile(seqTmp, []byte(fmt.Sprintf("%d\n", seq+1)), 0o600); err == nil {
+		os.Rename(seqTmp, filepath.Join(d.dir, seqFile))
+	}
 	path := filepath.Join(d.dir, entryName(seq))
 	tmp := path + ".tmp"
 	if err := os.WriteFile(tmp, payload, 0o600); err != nil {
@@ -275,7 +449,7 @@ func (d *Disk) Next() (uint64, []byte, error) {
 	return 0, nil, ErrEmpty
 }
 
-// Ack consumes a delivered entry.
+// Ack consumes a delivered entry and its progress marker.
 func (d *Disk) Ack(seq uint64) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
@@ -284,6 +458,46 @@ func (d *Disk) Ack(seq uint64) error {
 		return fmt.Errorf("outbox: ack entry %d: %w", seq, err)
 	}
 	return nil
+}
+
+// SetProgress durably records per-update delivery progress for entry seq
+// (tmp + rename, like entries, so a crash mid-write leaves the previous
+// marker intact). Progress is a plain counter, not round material, so it
+// is stored in plaintext.
+func (d *Disk) SetProgress(seq uint64, done int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if done <= 0 {
+		return nil
+	}
+	path := filepath.Join(d.dir, progressName(seq))
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(fmt.Sprintf("%d\n", done)), 0o600); err != nil {
+		return fmt.Errorf("outbox: write progress: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("outbox: commit progress: %w", err)
+	}
+	d.progress[seq] = done
+	return nil
+}
+
+// Progress returns the recorded delivery progress of entry seq.
+func (d *Disk) Progress(seq uint64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.progress[seq]
+}
+
+// SenderID returns the queue's persisted sender identity.
+func (d *Disk) SenderID() string { return d.sender }
+
+// Quarantined counts entries set aside since (and found at) Open.
+func (d *Disk) Quarantined() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.quarantined
 }
 
 // Quarantine renames an entry the downstream permanently rejected to its
@@ -297,6 +511,7 @@ func (d *Disk) Quarantine(seq uint64, reason error) error {
 
 func (d *Disk) quarantineLocked(seq uint64) {
 	d.dropLocked(seq)
+	d.quarantined++
 	path := filepath.Join(d.dir, entryName(seq))
 	if err := os.Rename(path, path+quarantineSuffix); err != nil && !errors.Is(err, os.ErrNotExist) {
 		// The entry could not even be set aside; remove it so the queue
@@ -308,6 +523,10 @@ func (d *Disk) quarantineLocked(seq uint64) {
 func (d *Disk) dropLocked(seq uint64) {
 	if d.headPayload != nil && d.headSeq == seq {
 		d.headPayload = nil
+	}
+	if _, ok := d.progress[seq]; ok {
+		delete(d.progress, seq)
+		os.Remove(filepath.Join(d.dir, progressName(seq)))
 	}
 	for i, s := range d.seqs {
 		if s == seq {
@@ -328,15 +547,25 @@ func (d *Disk) Len() int {
 // configured: delivery is still decoupled from ingress (and retried), but
 // entries do not survive the process.
 type Memory struct {
-	mu      sync.Mutex
-	entries map[uint64][]byte
-	seqs    []uint64
-	next    uint64
+	sender string
+
+	mu          sync.Mutex
+	entries     map[uint64][]byte
+	seqs        []uint64
+	next        uint64
+	quarantined int
+	progress    map[uint64]int
 }
 
 // NewMemory builds an empty in-memory queue.
 func NewMemory() *Memory {
-	return &Memory{entries: make(map[uint64][]byte)}
+	id, err := mintSenderID()
+	if err != nil {
+		// The system randomness source is broken; an empty sender id only
+		// disables receiver-side aged-redelivery detection.
+		id = ""
+	}
+	return &Memory{entries: make(map[uint64][]byte), progress: make(map[uint64]int), sender: id}
 }
 
 // Put implements Queue.
@@ -369,14 +598,46 @@ func (m *Memory) Ack(seq uint64) error {
 	return nil
 }
 
-// Quarantine implements Queue (dropping the entry; there is no disk to
-// keep evidence on).
+// Quarantine implements Queue (dropping the entry — there is no disk to
+// keep evidence on — but still counting it for the operator surface).
 func (m *Memory) Quarantine(seq uint64, reason error) error {
-	return m.Ack(seq)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dropLocked(seq)
+	m.quarantined++
+	return nil
 }
+
+// Quarantined implements Queue.
+func (m *Memory) Quarantined() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quarantined
+}
+
+// SetProgress implements Queue.
+func (m *Memory) SetProgress(seq uint64, done int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if done > 0 {
+		m.progress[seq] = done
+	}
+	return nil
+}
+
+// Progress implements Queue.
+func (m *Memory) Progress(seq uint64) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.progress[seq]
+}
+
+// SenderID implements Queue.
+func (m *Memory) SenderID() string { return m.sender }
 
 func (m *Memory) dropLocked(seq uint64) {
 	delete(m.entries, seq)
+	delete(m.progress, seq)
 	for i, s := range m.seqs {
 		if s == seq {
 			m.seqs = append(m.seqs[:i], m.seqs[i+1:]...)

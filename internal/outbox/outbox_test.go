@@ -3,6 +3,7 @@ package outbox
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -49,8 +50,15 @@ func TestDeliveryEnvelopeRejectsGarbage(t *testing.T) {
 		"trailing":    append(append([]byte(nil), good...), 0x01),
 		"forged count": func() []byte {
 			b := append([]byte(nil), good...)
-			// count field sits after magic(4)+version(4)+epoch(8)+hop(4)
-			b[20], b[21], b[22], b[23] = 0xFF, 0xFF, 0x0F, 0x00
+			// count sits after magic(4)+version(4)+epoch(8)+topoVer(8)+
+			// hop(4)+destLen(2)+dest(0)
+			b[30], b[31], b[32], b[33] = 0xFF, 0xFF, 0x0F, 0x00
+			return b
+		}(),
+		"forged dest length": func() []byte {
+			b := append([]byte(nil), good...)
+			// destLen sits after magic(4)+version(4)+epoch(8)+topoVer(8)+hop(4)
+			b[28], b[29] = 0xFF, 0xFF
 			return b
 		}(),
 	}
@@ -306,4 +314,179 @@ func TestDeliveryDispatcherCloseStopsRetrying(t *testing.T) {
 		t.Fatal("dispatcher kept delivering after Close")
 	}
 	d.Close() // idempotent
+}
+
+func TestDeliveryEnvelopeDestTopoRoundTrip(t *testing.T) {
+	env := Envelope{Epoch: 3, TopoVersion: 7, Hop: 2, Dest: "http://shard-b:8443",
+		Updates: [][]byte{[]byte("u1"), []byte("u2")}}
+	raw, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseEnvelope(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 3 || got.TopoVersion != 7 || got.Hop != 2 || got.Dest != env.Dest || len(got.Updates) != 2 {
+		t.Fatalf("parsed = %+v", got)
+	}
+}
+
+// TestDeliveryEnvelopeReadsV1 pins upgrade compatibility: entries a
+// pre-routing-plane proxy left on disk still parse (no destination,
+// topology version 0).
+func TestDeliveryEnvelopeReadsV1(t *testing.T) {
+	var v1 bytes.Buffer
+	v1.WriteString("MXOB")
+	binary.Write(&v1, binary.LittleEndian, uint32(1)) // version 1
+	binary.Write(&v1, binary.LittleEndian, uint64(9)) // epoch
+	binary.Write(&v1, binary.LittleEndian, uint32(2)) // hop
+	binary.Write(&v1, binary.LittleEndian, uint32(1)) // count
+	binary.Write(&v1, binary.LittleEndian, uint32(5))
+	v1.WriteString("hello")
+	env, err := ParseEnvelope(v1.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Epoch != 9 || env.Hop != 2 || env.Dest != "" || env.TopoVersion != 0 || string(env.Updates[0]) != "hello" {
+		t.Fatalf("v1 parsed = %+v", env)
+	}
+}
+
+// TestDeliveryProgressPersists pins the durable-progress contract:
+// SetProgress survives a queue reopen, and Ack/Quarantine clean it up.
+func TestDeliveryProgressPersists(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq1, err := d.Put(testEnvelope(1, "a", "b", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq2, err := d.Put(testEnvelope(2, "d"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.SetProgress(seq1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Progress(seq1); got != 2 {
+		t.Fatalf("progress = %d, want 2", got)
+	}
+
+	// Reopen: the marker must come back; the sender id must be stable.
+	sender := d.SenderID()
+	if sender == "" {
+		t.Fatal("empty sender id")
+	}
+	d2, err := Open(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Progress(seq1); got != 2 {
+		t.Fatalf("progress after reopen = %d, want 2", got)
+	}
+	if d2.SenderID() != sender {
+		t.Fatalf("sender id changed across reopen: %q vs %q", d2.SenderID(), sender)
+	}
+	if err := d2.Ack(seq1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d2.Progress(seq1); got != 0 {
+		t.Fatalf("progress survived ack: %d", got)
+	}
+	if err := d2.Quarantine(seq2, errors.New("nope")); err != nil {
+		t.Fatal(err)
+	}
+	// A third open must not resurrect markers for consumed entries.
+	d3, err := Open(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d3.Progress(seq1); got != 0 {
+		t.Fatalf("orphaned progress resurrected: %d", got)
+	}
+	if d3.Quarantined() != 1 {
+		t.Fatalf("quarantined = %d, want 1 (the .bad leftover)", d3.Quarantined())
+	}
+}
+
+// TestDeliveryQuarantinedCounting: counts accumulate from leftovers and
+// live quarantines, on both queue variants.
+func TestDeliveryQuarantinedCounting(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "ob-00000000000000aa.ent.bad"), []byte("junk"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Open(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Quarantined() != 1 {
+		t.Fatalf("leftover .bad not counted: %d", d.Quarantined())
+	}
+	seq, err := d.Put(testEnvelope(1, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Quarantine(seq, errors.New("rejected"))
+	if d.Quarantined() != 2 {
+		t.Fatalf("live quarantine not counted: %d", d.Quarantined())
+	}
+
+	m := NewMemory()
+	if m.SenderID() == "" {
+		t.Fatal("memory queue has no sender id")
+	}
+	mseq, _ := m.Put([]byte("y"))
+	m.Quarantine(mseq, errors.New("rejected"))
+	if m.Quarantined() != 1 || m.Len() != 0 {
+		t.Fatalf("memory quarantine: count=%d len=%d", m.Quarantined(), m.Len())
+	}
+}
+
+// TestDeliverySeqNeverReused pins the watermark-safety invariant: a
+// restart over a fully-drained (or quarantined-at-head) directory must
+// NOT recycle sequence numbers — receivers key their stale-redelivery
+// watermark on (sender, seq), so a reused pair would make fresh rounds
+// look like stale duplicates and lose them.
+func TestDeliverySeqNeverReused(t *testing.T) {
+	dir := t.TempDir()
+	d, err := Open(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		seq, err := d.Put(testEnvelope(uint64(i), "x"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Ack(seq); err != nil { // fully drained: no .ent witness left
+			t.Fatal(err)
+		}
+	}
+	d2, err := Open(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := d2.Put(testEnvelope(9, "y"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq != 3 {
+		t.Fatalf("post-restart seq = %d, want 3 (sequence numbers must never be reused)", seq)
+	}
+	// Quarantine the head (the only entry), restart again: the .bad
+	// witness alone must keep the counter monotone even without seq.next.
+	d2.Quarantine(seq, errors.New("rejected"))
+	os.Remove(filepath.Join(dir, seqFile))
+	d3, err := Open(dir, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq, err = d3.Put(testEnvelope(10, "z")); err != nil || seq != 4 {
+		t.Fatalf("post-quarantine seq = %d (%v), want 4", seq, err)
+	}
 }

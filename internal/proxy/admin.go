@@ -1,0 +1,304 @@
+// Topology administration: the HTTP surface (and Go API) through which
+// an operator reshapes the mixing tier's routing plane at run time —
+// growing or shrinking the shard set, switching the routing policy,
+// reweighting quotas, and attaching remote shards (peer proxies with
+// their own enclaves). Directives are STAGED: they take effect at the
+// next round close, the same atomic swap that rotates the per-epoch
+// mixers, so membership changes never tear an open round. A directive
+// staged while the tier is idle (no open round) applies immediately.
+package proxy
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/subtle"
+	"crypto/x509"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"mixnn/internal/route"
+	"mixnn/internal/wire"
+)
+
+// TrustBundle is the out-of-band material a participant (or a peer proxy)
+// pins before trusting an enclave: the (simulated) attestation authority
+// key and the expected enclave measurement. mixnn-proxy writes one at
+// startup (-trust-out); topology directives reference them to attest
+// remote shards.
+type TrustBundle struct {
+	AuthorityPubDER []byte `json:"authority_pub_der"`
+	MeasurementHex  string `json:"measurement"`
+}
+
+// ReadTrustBundle loads a trust bundle file.
+func ReadTrustBundle(path string) (TrustBundle, error) {
+	var bundle TrustBundle
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return bundle, fmt.Errorf("read trust bundle: %w", err)
+	}
+	if err := json.Unmarshal(raw, &bundle); err != nil {
+		return bundle, fmt.Errorf("parse trust bundle %s: %w", path, err)
+	}
+	return bundle, nil
+}
+
+// Topology returns the routing plan of the epoch currently being
+// ingested.
+func (p *ShardedProxy) Topology() *route.Topology {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.topo
+}
+
+// RegisterRemote records attested key material for a remote shard
+// address, making it usable in topology directives (and letting queued
+// entries addressed to it deliver).
+func (p *ShardedProxy) RegisterRemote(addr string, rs RemoteShard) error {
+	if addr == "" || rs.Key == nil {
+		return fmt.Errorf("proxy: RegisterRemote needs an address and a hop key")
+	}
+	p.mu.Lock()
+	p.remotes[addr] = rs
+	p.mu.Unlock()
+	p.disp.Wake() // entries may have been waiting on this key
+	return nil
+}
+
+// StageTopology validates a directive, attests any new remote shards
+// (resolving their trust material), and stages the resulting topology
+// for the next epoch. When the tier is idle (no update of the current
+// round ingested, no round close in flight) the staged topology applies
+// immediately; otherwise it applies at the next round close.
+func (p *ShardedProxy) StageTopology(ctx context.Context, d wire.TopologyDirective) (*route.Topology, error) {
+	mode, err := route.ParseMode(d.Mode)
+	if err != nil {
+		return nil, err
+	}
+	if d.Mode == "" {
+		mode = 0 // keep the current mode
+	}
+	rd := route.Directive{Mode: mode, RoundSize: d.RoundSize}
+	if d.Shards != nil {
+		rd.Shards = make([]route.ShardSpec, len(d.Shards))
+		for i, s := range d.Shards {
+			rd.Shards[i] = route.ShardSpec{Addr: s.Addr, Weight: s.Weight}
+			if s.Addr == "" {
+				continue
+			}
+			if err := p.ensureRemote(ctx, s); err != nil {
+				return nil, fmt.Errorf("proxy: remote shard %s: %w", s.Addr, err)
+			}
+		}
+	}
+	next, err := p.planner.Stage(rd)
+	if err != nil {
+		return nil, err
+	}
+	p.applyStagedIfIdle()
+	return next, nil
+}
+
+// applyStagedIfIdle promotes a staged topology right away when no round
+// is open: the current mixers are empty, so the swap loses nothing and
+// the operator sees the change without waiting for traffic.
+func (p *ShardedProxy) applyStagedIfIdle() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.inRound != 0 || p.closing != 0 || p.planner.Staged() == nil {
+		return
+	}
+	// inRound == 0 does not guarantee empty shards: packageRound re-files
+	// failed-commit remote material into the live shards without touching
+	// the round counter. Swapping those shards out would drop mixed
+	// updates; leave the plan staged for the next round close instead.
+	for _, sh := range p.shards {
+		if sh.Buffered() != 0 {
+			return
+		}
+	}
+	nextTopo := p.planner.Advance()
+	fresh, err := newShardSet(p.cfg, nextTopo, p.rounds)
+	if err != nil {
+		// Unreachable for a validated topology; the staged plan was
+		// already consumed, so fall back to keeping the current shards.
+		return
+	}
+	p.shardRecv = resizeLedger(p.shardRecv, nextTopo.P())
+	p.shardEmit = resizeLedger(p.shardEmit, nextTopo.P())
+	p.topo = nextTopo
+	rr := p.rst.RR % nextTopo.P() // the cursor carries across swaps
+	p.rst = nextTopo.NewState()
+	p.rst.RR = rr
+	p.shards = fresh
+}
+
+// ensureRemote makes sure attested key material exists for a remote
+// shard spec: already-registered addresses pass through (the secret may
+// be refreshed); new ones must carry trust material (inline DER +
+// measurement, or a trust-bundle file) and are attested now, so a bad
+// directive fails at the admin call, not at delivery time.
+func (p *ShardedProxy) ensureRemote(ctx context.Context, s wire.TopologyShardSpec) error {
+	p.mu.Lock()
+	existing, known := p.remotes[s.Addr]
+	p.mu.Unlock()
+	if known && s.AuthorityPubDER == nil && s.TrustFile == "" {
+		if s.Secret != "" && s.Secret != existing.Secret {
+			p.mu.Lock()
+			existing.Secret = s.Secret
+			p.remotes[s.Addr] = existing
+			p.mu.Unlock()
+		}
+		return nil
+	}
+	authority, measurement, err := resolveTrust(s)
+	if err != nil {
+		return err
+	}
+	actx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	key, err := AttestHop(actx, s.Addr, p.httpc, authority, measurement)
+	if err != nil {
+		return fmt.Errorf("attest: %w", err)
+	}
+	return p.RegisterRemote(s.Addr, RemoteShard{Key: key, Secret: s.Secret})
+}
+
+// ResolveRemoteShard resolves a remote shard spec's trust material and
+// runs the hop-attestation handshake against it, returning the key
+// material a ShardedConfig (or RegisterRemote) needs. mixnn-proxy uses
+// it to bring up a -shards-file topology before serving. httpc may be
+// nil for a default client.
+func ResolveRemoteShard(ctx context.Context, s wire.TopologyShardSpec, httpc *http.Client) (RemoteShard, error) {
+	if s.Addr == "" {
+		return RemoteShard{}, fmt.Errorf("proxy: remote shard spec without an address")
+	}
+	authority, measurement, err := resolveTrust(s)
+	if err != nil {
+		return RemoteShard{}, fmt.Errorf("proxy: remote shard %s: %w", s.Addr, err)
+	}
+	key, err := AttestHop(ctx, s.Addr, httpc, authority, measurement)
+	if err != nil {
+		return RemoteShard{}, fmt.Errorf("proxy: attest remote shard %s: %w", s.Addr, err)
+	}
+	return RemoteShard{Key: key, Secret: s.Secret}, nil
+}
+
+// resolveTrust extracts the attestation authority key + expected
+// measurement from a shard spec: inline material wins; a trust file
+// (the bundle mixnn-proxy writes at startup) is the file-based
+// alternative used by -shards-file.
+func resolveTrust(s wire.TopologyShardSpec) (*ecdsa.PublicKey, [32]byte, error) {
+	var meas [32]byte
+	der := s.AuthorityPubDER
+	measHex := s.MeasurementHex
+	if der == nil && s.TrustFile != "" {
+		bundle, err := ReadTrustBundle(s.TrustFile)
+		if err != nil {
+			return nil, meas, err
+		}
+		der, measHex = bundle.AuthorityPubDER, bundle.MeasurementHex
+	}
+	if der == nil {
+		return nil, meas, fmt.Errorf("no trust material (authority_pub_der+measurement or trust_file) for a new remote shard")
+	}
+	pub, err := x509.ParsePKIXPublicKey(der)
+	if err != nil {
+		return nil, meas, fmt.Errorf("parse authority key: %w", err)
+	}
+	authority, ok := pub.(*ecdsa.PublicKey)
+	if !ok {
+		return nil, meas, fmt.Errorf("authority key is %T, want ECDSA", pub)
+	}
+	raw, err := hex.DecodeString(measHex)
+	if err != nil || len(raw) != 32 {
+		return nil, meas, fmt.Errorf("malformed measurement")
+	}
+	copy(meas[:], raw)
+	return authority, meas, nil
+}
+
+// TopologyStatus snapshots the routing plane for the admin endpoint.
+func (p *ShardedProxy) TopologyStatus() wire.TopologyStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := wire.TopologyStatus{
+		Version:   p.topo.Version(),
+		Mode:      p.topo.Mode().String(),
+		RoundSize: p.topo.RoundSize(),
+		Epoch:     p.rounds,
+		Shards:    topoShards(p.topo, p.rst.Load),
+	}
+	if staged := p.planner.Staged(); staged != nil {
+		st.Staged = &wire.TopologyStaged{
+			Version:   staged.Version(),
+			Mode:      staged.Mode().String(),
+			RoundSize: staged.RoundSize(),
+			Shards:    topoShards(staged, nil),
+		}
+	}
+	return st
+}
+
+func topoShards(t *route.Topology, load []int) []wire.TopologyShard {
+	out := make([]wire.TopologyShard, t.P())
+	for s := range out {
+		spec := t.Spec(s)
+		out[s] = wire.TopologyShard{Shard: s, Addr: spec.Addr, Weight: spec.Weight, Quota: t.Quota(s)}
+		if load != nil {
+			out[s].Load = load[s]
+		}
+	}
+	return out
+}
+
+// authorizeAdmin gates the admin surface with the inter-proxy secret
+// when one is configured: reshaping the tier is at least as sensitive as
+// posting hop traffic.
+func (p *ShardedProxy) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
+	if p.cfg.HopSecret != "" &&
+		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+p.cfg.HopSecret)) != 1 {
+		http.Error(w, "topology admin requires the inter-proxy secret", http.StatusUnauthorized)
+		return false
+	}
+	return true
+}
+
+func (p *ShardedProxy) handleTopologyGet(w http.ResponseWriter, r *http.Request) {
+	if !p.authorizeAdmin(w, r) {
+		return
+	}
+	wire.WriteJSON(w, p.TopologyStatus())
+}
+
+func (p *ShardedProxy) handleTopologyPost(w http.ResponseWriter, r *http.Request) {
+	// Reshaping the tier over the network is privacy-critical either way
+	// — a forged directive could shrink the anonymity set to one shard,
+	// or attach an attacker-attested "remote shard" that receives raw
+	// pre-mix updates — so the POST surface only exists behind the
+	// inter-proxy secret. Operators without one still have -shards-file
+	// (local file, hot-reloaded) and the Go API.
+	if p.cfg.HopSecret == "" {
+		http.Error(w, "topology admin POST requires the proxy to be started with an inter-proxy secret (-hop-secret)", http.StatusForbidden)
+		return
+	}
+	if !p.authorizeAdmin(w, r) {
+		return
+	}
+	var d wire.TopologyDirective
+	if err := wire.DecodeJSON(r.Body, &d); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if _, err := p.StageTopology(r.Context(), d); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	wire.WriteJSON(w, p.TopologyStatus())
+}

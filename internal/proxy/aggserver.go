@@ -56,6 +56,12 @@ func (s *AggServer) SetObserver(obs fl.Observer) {
 	s.observer = obs
 }
 
+// SetDedupWindow sizes the batch-dedup FIFO (default DefaultDedupWindow).
+// Call before serving.
+func (s *AggServer) SetDedupWindow(n int) {
+	s.seen.SetWindow(n)
+}
+
 // SetDisseminated overrides the model served to clients for the current
 // round (the active-attack hook).
 func (s *AggServer) SetDisseminated(ps nn.ParamSet) {
@@ -180,14 +186,22 @@ func (s *AggServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// attempt must dedup, not re-apply — and an attempt still in flight
 	// must not be acked as applied (the sender would consume its outbox
 	// entry while this attempt can still fail).
+	sender, senderSeq, hasSeq := batchSender(r.Header.Get)
 	if batchID != "" {
-		claimed, done := s.seen.Begin(batchID)
-		if !claimed {
-			if done {
-				w.WriteHeader(http.StatusOK)
-			} else {
-				http.Error(w, "batch application in flight", http.StatusConflict)
-			}
+		switch s.seen.Begin(batchID, sender, senderSeq, hasSeq) {
+		case dedupApplied:
+			w.WriteHeader(http.StatusOK)
+			return
+		case dedupInFlight:
+			http.Error(w, "batch application in flight", http.StatusConflict)
+			return
+		case dedupStale:
+			// Aged out of the window but provably superseded by the
+			// sender's sequence watermark: re-absorbing would double-count
+			// a round. The stale marker makes the sender quarantine
+			// instead of retrying.
+			w.Header().Set(wire.HeaderStale, "1")
+			http.Error(w, "stale batch redelivery (sequence below the sender's applied watermark)", http.StatusConflict)
 			return
 		}
 	}
@@ -205,14 +219,14 @@ func (s *AggServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 			if closed == 0 {
 				s.seen.Forget(batchID)
 			} else {
-				s.seen.Done(batchID)
+				s.seen.Done(batchID, sender, senderSeq, hasSeq)
 			}
 		}
 		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
 		return
 	}
 	if batchID != "" {
-		s.seen.Done(batchID)
+		s.seen.Done(batchID, sender, senderSeq, hasSeq)
 	}
 	w.WriteHeader(http.StatusAccepted)
 }

@@ -855,8 +855,8 @@ func TestDeliveryNoBatchPermanentReject(t *testing.T) {
 	if st.OutboxPending != 0 || st.Forwarded != 0 {
 		t.Fatalf("pending/forwarded = %d/%d, want 0/0 (entry quarantined)", st.OutboxPending, st.Forwarded)
 	}
-	if len(px.singleProgress) != 0 {
-		t.Fatalf("quarantined entry leaked %d progress markers", len(px.singleProgress))
+	if got := px.box.Progress(0); got != 0 {
+		t.Fatalf("quarantined entry leaked a progress marker (%d)", got)
 	}
 }
 

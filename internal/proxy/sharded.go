@@ -7,9 +7,7 @@ import (
 	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/hex"
-	"errors"
 	"fmt"
-	"hash/fnv"
 	"log"
 	"math/rand"
 	"net/http"
@@ -21,6 +19,7 @@ import (
 	"mixnn/internal/enclave"
 	"mixnn/internal/nn"
 	"mixnn/internal/outbox"
+	"mixnn/internal/route"
 	"mixnn/internal/wire"
 )
 
@@ -52,7 +51,32 @@ type ShardedConfig struct {
 	// the next depth check.
 	HopSecret string
 	// Shards is the number of independent mixing shards P (default 1).
+	// It is the shorthand for a uniform all-local topology; ShardSpecs
+	// overrides it.
 	Shards int
+	// Routing selects the shard-routing policy (default route.ModeSticky,
+	// the pre-routing-plane behaviour: client-hash with round-robin
+	// fallback).
+	Routing route.Mode
+	// ShardSpecs, when non-nil, describes the initial topology in full:
+	// per-shard weights and remote placement. nil = Shards local shards
+	// of weight 1.
+	ShardSpecs []route.ShardSpec
+	// RemoteShards maps a remote shard address to its attested key
+	// material. Every remote address in ShardSpecs needs an entry (or a
+	// later RegisterRemote) before its material can be relayed.
+	RemoteShards map[string]RemoteShard
+	// DedupWindow sizes the batch-dedup FIFO on this proxy's /v1/batch
+	// endpoint (default DefaultDedupWindow). Redeliveries whose id has
+	// aged out of the window are rejected with 409 via the sender
+	// sequence watermark instead of being silently re-absorbed.
+	DedupWindow int
+	// AdoptSealedTopology makes RestoreState adopt the topology sealed
+	// inside a v3 state blob (mode, weights, remote placement, quota
+	// loads) instead of resharding the material into this tier's
+	// configured topology. mixnn-proxy sets it unless the operator
+	// explicitly asked for a different shape on the restart command line.
+	AdoptSealedTopology bool
 	// K is the per-shard list capacity of each stream mixer; it is clamped
 	// to the shard's round-robin share of RoundSize so every shard's
 	// buffer fills and drains within a round.
@@ -110,11 +134,10 @@ type ShardedProxy struct {
 	box      outbox.Queue
 	disp     *outbox.Dispatcher
 	seen     batchDedup
+	// planner owns the routing plane's lifecycle: admin directives stage
+	// the next epoch's topology there; the round-close swap advances it.
+	planner *route.Planner
 
-	// singleProgress tracks, per outbox entry, how many updates a NoBatch
-	// delivery already landed, so a retry resumes instead of resending
-	// the whole round. Touched only by the dispatcher goroutine.
-	singleProgress map[uint64]int
 	// dcache memoises the head entry's parsed envelope and (batch mode)
 	// request body between retry attempts — entries are immutable, and a
 	// long outage must not re-parse/re-encode a large round every
@@ -123,9 +146,20 @@ type ShardedProxy struct {
 
 	mu   sync.Mutex
 	cond *sync.Cond // signals closing/putEpoch transitions
-	// shards are the CURRENT epoch's mixers; round close swaps the whole
-	// slice, so a drain can never sweep in an update of the next round.
-	shards []*core.StreamMixer
+	// topo is the CURRENT epoch's routing plan and rst its mutable
+	// routing state (cursor + per-shard quota loads); both swap with the
+	// shards at round close.
+	topo *route.Topology
+	rst  *route.State
+	// remotes maps remote shard addresses to attested key material. It
+	// only grows: an address removed from the topology keeps its key so
+	// outbox entries addressed to it under an earlier topology version
+	// still deliver.
+	remotes map[string]RemoteShard
+	// shards are the CURRENT epoch's mixers (local) and relay buffers
+	// (remote); round close swaps the whole slice, so a drain can never
+	// sweep in an update of the next round.
+	shards []core.Shard
 	// pending buffers updates the mixers emitted mid-round; they join the
 	// round's outbox entry at close (and the seal blob before that).
 	pending []nn.ParamSet
@@ -146,7 +180,6 @@ type ShardedProxy struct {
 	shardRecv []int
 	shardEmit []int
 
-	rr           int // round-robin routing cursor
 	inRound      int // updates received in the current round
 	rounds       int // completed rounds == the epoch being ingested
 	hopMark      int // highest incoming hop depth seen this round
@@ -165,6 +198,33 @@ type ShardedProxy struct {
 // outboxLabel domain-separates outbox entries from other sealed material.
 const outboxLabel = "mixnn/outbox/v1"
 
+// RemoteShard is the attested key material of a remote shard: the hop
+// key pinned by the attestation handshake plus the bearer secret its hop
+// endpoints require (if any).
+type RemoteShard struct {
+	Key    *enclave.HopKey
+	Secret string
+}
+
+// initialTopology builds the tier's starting topology from the config:
+// the full ShardSpecs when given, else the uniform local topology the
+// legacy Shards knob describes.
+func initialTopology(cfg ShardedConfig) (*route.Topology, error) {
+	specs := cfg.ShardSpecs
+	if specs == nil {
+		p := cfg.Shards
+		if p <= 0 {
+			p = 1
+		}
+		specs = make([]route.ShardSpec, p)
+	}
+	topo, err := route.New(0, cfg.Routing, cfg.RoundSize, specs)
+	if err != nil {
+		return nil, fmt.Errorf("proxy: %w", err)
+	}
+	return topo, nil
+}
+
 // NewSharded builds a sharded proxy tier hosted in the given enclave and
 // starts its delivery dispatcher; callers own the tier's lifecycle and
 // should Close it when done.
@@ -178,12 +238,6 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 	if cfg.RoundSize <= 0 {
 		return nil, fmt.Errorf("proxy: ShardedConfig.RoundSize must be positive, got %d", cfg.RoundSize)
 	}
-	if cfg.Shards <= 0 {
-		cfg.Shards = 1
-	}
-	if cfg.Shards > cfg.RoundSize {
-		return nil, fmt.Errorf("proxy: %d shards for round size %d (shards must not outnumber participants)", cfg.Shards, cfg.RoundSize)
-	}
 	if cfg.MaxHops <= 0 {
 		cfg.MaxHops = DefaultMaxHops
 	}
@@ -194,7 +248,23 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 	if httpc == nil {
 		httpc = &http.Client{Timeout: 60 * time.Second}
 	}
-	shards, err := newShardMixers(cfg, 0)
+	topo, err := initialTopology(cfg)
+	if err != nil {
+		return nil, err
+	}
+	remotes := make(map[string]RemoteShard, len(cfg.RemoteShards))
+	for addr, rs := range cfg.RemoteShards {
+		if rs.Key == nil {
+			return nil, fmt.Errorf("proxy: remote shard %q configured without a hop key", addr)
+		}
+		remotes[addr] = rs
+	}
+	for _, addr := range topo.Remotes() {
+		if _, ok := remotes[addr]; !ok {
+			return nil, fmt.Errorf("proxy: remote shard %q has no attested key material (RemoteShards)", addr)
+		}
+	}
+	shards, err := newShardSet(cfg, topo, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -213,10 +283,12 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 	p := &ShardedProxy{
 		cfg: cfg, enclave: encl, platform: platform, httpc: httpc,
 		box: box, shards: shards,
-		shardRecv:      make([]int, cfg.Shards),
-		shardEmit:      make([]int, cfg.Shards),
-		singleProgress: make(map[uint64]int),
+		topo: topo, rst: topo.NewState(), remotes: remotes,
+		planner:   route.NewPlanner(topo),
+		shardRecv: make([]int, topo.P()),
+		shardEmit: make([]int, topo.P()),
 	}
+	p.seen.SetWindow(cfg.DedupWindow)
 	p.cond = sync.NewCond(&p.mu)
 	p.disp = outbox.NewDispatcher(box, p.deliver, cfg.RetryBase, cfg.RetryMax)
 	p.disp.Start()
@@ -258,23 +330,28 @@ func (p *ShardedProxy) Flush(ctx context.Context) error {
 	return nil
 }
 
-// newShardMixers builds the tier's fresh mixers for one epoch from a
-// validated config: per-shard K clamped to the round-robin share,
-// per-shard rand streams derived from the seed and epoch (each round's
-// swap gets fresh, independent streams). Shared by NewSharded, the round
+// newShardSet builds the tier's fresh shard slots for one epoch under a
+// topology: local shards get a StreamMixer with K clamped to the shard's
+// round quota and a per-shard rand stream derived from the seed and epoch
+// (each round's swap gets fresh, independent streams); remote shards get
+// a relay buffer sized by their quota. Shared by NewSharded, the round
 // close swap and RestoreState so every epoch's tier is shaped alike.
-func newShardMixers(cfg ShardedConfig, epoch int) ([]*core.StreamMixer, error) {
-	sizes := core.ShardSizes(cfg.RoundSize, cfg.Shards)
-	shards := make([]*core.StreamMixer, cfg.Shards)
+func newShardSet(cfg ShardedConfig, topo *route.Topology, epoch int) ([]core.Shard, error) {
+	shards := make([]core.Shard, topo.P())
 	for s := range shards {
+		quota := topo.Quota(s)
+		if topo.IsRemote(s) {
+			shards[s] = core.NewRelayShard(quota)
+			continue
+		}
 		k := cfg.K
-		if k <= 0 || k > sizes[s] {
-			k = sizes[s]
+		if k <= 0 || k > quota {
+			k = quota
 		}
 		// Each shard owns its rand stream: StreamMixer serialises itself,
 		// but a shared rand.Rand across concurrently-adding shards would
 		// race.
-		m, err := core.NewStreamMixer(k, rand.New(rand.NewSource(cfg.Seed+int64(epoch)*int64(cfg.Shards)+int64(s))))
+		m, err := core.NewStreamMixer(k, rand.New(rand.NewSource(cfg.Seed+int64(epoch)*int64(topo.P())+int64(s))))
 		if err != nil {
 			return nil, fmt.Errorf("proxy: shard %d: %w", s, err)
 		}
@@ -305,6 +382,8 @@ func (p *ShardedProxy) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", p.handleBatch)
 	mux.HandleFunc("GET /v1/attestation", p.handleAttestation)
 	mux.HandleFunc("GET /v1/status", p.handleStatus)
+	mux.HandleFunc("GET /v1/admin/topology", p.handleTopologyGet)
+	mux.HandleFunc("POST /v1/admin/topology", p.handleTopologyPost)
 	return mux
 }
 
@@ -415,14 +494,24 @@ func (p *ShardedProxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// attempt still in flight must NOT be acked as applied (the sender
 	// would consume the entry while this attempt can still fail).
 	batchID := r.Header.Get(wire.HeaderBatch)
+	sender, senderSeq, hasSeq := batchSender(r.Header.Get)
 	if batchID != "" {
-		claimed, done := p.seen.Begin(batchID)
-		if !claimed {
-			if done {
-				w.WriteHeader(http.StatusOK) // already applied; ack the duplicate
-			} else {
-				http.Error(w, "batch application in flight", http.StatusConflict)
-			}
+		switch p.seen.Begin(batchID, sender, senderSeq, hasSeq) {
+		case dedupApplied:
+			w.WriteHeader(http.StatusOK) // already applied; ack the duplicate
+			return
+		case dedupInFlight:
+			http.Error(w, "batch application in flight", http.StatusConflict)
+			return
+		case dedupStale:
+			// The id aged out of the dedup window but the sender's
+			// sequence watermark proves this entry was superseded:
+			// re-absorbing it would double-count a round that already
+			// reached the aggregate. The stale marker tells the sender
+			// this 409 is permanent (quarantine), unlike the retryable
+			// in-flight 409.
+			w.Header().Set(wire.HeaderStale, "1")
+			http.Error(w, "stale batch redelivery (sequence below the sender's applied watermark)", http.StatusConflict)
 			return
 		}
 	}
@@ -519,34 +608,21 @@ func (p *ShardedProxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if batchID != "" {
-		p.seen.Done(batchID)
+		p.seen.Done(batchID, sender, senderSeq, hasSeq)
 	}
 	w.WriteHeader(http.StatusAccepted)
 }
 
-// routeLocked picks the shard for an update: a stable FNV hash of the
-// client id when the participant identifies itself (so a client's updates
-// always meet the same buffer), round-robin otherwise. The caller holds
-// p.mu, which also synchronises with RestoreState's shard-slice swap.
-func (p *ShardedProxy) routeLocked(clientID string) int {
-	if clientID != "" {
-		h := fnv.New32a()
-		h.Write([]byte(clientID))
-		return int(h.Sum32() % uint32(len(p.shards)))
-	}
-	s := p.rr
-	p.rr = (p.rr + 1) % len(p.shards)
-	return s
-}
-
 // roundClose carries everything a completed round needs on its way to
-// the outbox: the epoch, the hop depth to stamp (watermark + 1), the
-// retired mixers (still holding the round's buffered material) and the
-// mid-round emissions.
+// the outbox: the epoch, the topology it closed under (which shards are
+// remote, and the version delivery is keyed by), the hop depth to stamp
+// (watermark + 1), the retired shard slots (still holding the round's
+// buffered material) and the mid-round emissions.
 type roundClose struct {
 	epoch   int
 	hop     int
-	mixers  []*core.StreamMixer
+	topo    *route.Topology
+	mixers  []core.Shard
 	pending []nn.ParamSet
 	// emitBase is each retired mixer's emitted count at swap time; the
 	// swap already rolled counters up to here into the cumulative shard
@@ -574,13 +650,16 @@ func (p *ShardedProxy) ingest(ps nn.ParamSet, size int, clientID string, hop int
 	p.enclave.Alloc(size)
 
 	p.mu.Lock()
-	shard := p.routeLocked(clientID)
+	shard := p.topo.Route(clientID, p.rst)
 	p.decryptT.add(decryptDur)
 	p.updateBytes = size
 	tAdd := time.Now()
 	out, err := p.shards[shard].Add(ps)
 	p.storeT.add(decodeDur + time.Since(tAdd)) // §6.5 store stage: decode + file into the lists
 	if err != nil {
+		// Route already charged the shard's quota; a rejected update must
+		// not consume it.
+		p.rst.Load[shard]--
 		p.mu.Unlock()
 		p.enclave.Free(size)
 		return nil, shard, fmt.Errorf("proxy: shard %d mix: %w", shard, err)
@@ -599,16 +678,21 @@ func (p *ShardedProxy) ingest(ps nn.ParamSet, size int, clientID string, hop int
 	}
 	p.inRound++
 	var closed *roundClose
-	if p.inRound >= p.cfg.RoundSize {
-		fresh, ferr := newShardMixers(p.cfg, p.rounds+1)
+	if p.inRound >= p.topo.RoundSize() {
+		// The epoch boundary is where the routing plane may change: any
+		// staged topology (admin directive, shards-file reload) becomes
+		// the next epoch's plan, applied under the same lock as the mixer
+		// swap — membership changes can never tear an open round.
+		nextTopo := p.planner.Advance()
+		fresh, ferr := newShardSet(p.cfg, nextTopo, p.rounds+1)
 		if ferr != nil {
-			// Unreachable for a validated config; leave the round open so
-			// the next ingest retries the close.
+			// Unreachable for a validated topology; leave the round open
+			// so the next ingest retries the close.
 			p.mixT.add(time.Since(t2))
 			p.mu.Unlock()
 			return nil, shard, ferr
 		}
-		closed = &roundClose{epoch: p.rounds, hop: p.hopMark + 1, mixers: p.shards, pending: p.pending}
+		closed = &roundClose{epoch: p.rounds, hop: p.hopMark + 1, topo: p.topo, mixers: p.shards, pending: p.pending}
 		// Roll the retired mixers' counters into the cumulative ledger
 		// HERE, under the same lock as the swap, so per-shard Received
 		// never appears to regress in a concurrently-polled Status. The
@@ -619,6 +703,19 @@ func (p *ShardedProxy) ingest(ps nn.ParamSet, size int, clientID string, hop int
 			closed.emitBase[s] = m.Emitted()
 			p.shardEmit[s] += closed.emitBase[s]
 		}
+		// A membership change resizes the cumulative per-shard ledgers
+		// sum-preservingly: per-shard exactness is not meaningful when
+		// the shards themselves changed.
+		p.shardRecv = resizeLedger(p.shardRecv, nextTopo.P())
+		p.shardEmit = resizeLedger(p.shardEmit, nextTopo.P())
+		p.topo = nextTopo
+		// The per-round quota loads reset, but the round-robin cursor
+		// carries across rounds (as the pre-topology tier's did), so
+		// which shards take a non-divisible round's extra updates rotates
+		// instead of always starving the last shard.
+		rr := p.rst.RR % nextTopo.P()
+		p.rst = nextTopo.NewState()
+		p.rst.RR = rr
 		p.shards = fresh
 		p.pending = nil
 		// Any retained (failed-commit) material just moved into this
@@ -634,32 +731,98 @@ func (p *ShardedProxy) ingest(ps nn.ParamSet, size int, clientID string, hop int
 	return closed, shard, nil
 }
 
-// packageRound drains a closed round's retired mixers and commits the
-// whole round — mid-round emissions plus drained buffers — to the outbox
-// as ONE sealed entry. It runs outside p.mu (and outside the enclave's
-// constant-time gate), so ingest of the next epoch proceeds concurrently;
-// commits are serialised in epoch order so the outbox replays rounds the
-// way they closed. On a commit failure the material is retained in
-// p.pending — it will ride the next committed entry — so nothing mixed is
-// ever dropped.
-func (p *ShardedProxy) packageRound(rc *roundClose) error {
-	updates := rc.pending
-	for _, m := range rc.mixers {
-		updates = append(updates, m.Drain()...)
+// destEntry is one destination's share of a closed round on its way to
+// the outbox: the tier's ordinary downstream (dest == "") or a remote
+// shard address.
+type destEntry struct {
+	dest    string
+	updates []nn.ParamSet
+	// shard is the remote shard index the material came from (-1 for the
+	// downstream entry), used to return material on a commit failure.
+	shard int
+}
+
+// resizeLedger maps a cumulative per-shard ledger onto a new shard count:
+// unchanged when P stays, otherwise the total is preserved and spread
+// evenly (per-shard exactness is not meaningful across a membership
+// change).
+func resizeLedger(old []int, pPrime int) []int {
+	if len(old) == pPrime {
+		return old
 	}
-	payloads := make([][]byte, len(updates))
 	total := 0
-	var err error
-	for i, ps := range updates {
-		if payloads[i], err = nn.EncodeParamSet(ps); err != nil {
+	for _, v := range old {
+		total += v
+	}
+	out := make([]int, pPrime)
+	for s := 0; s < pPrime; s++ {
+		out[s] = total / pPrime
+		if s < total%pPrime {
+			out[s]++
+		}
+	}
+	return out
+}
+
+// packageRound drains a closed round's retired shard slots and commits
+// the round to the outbox in epoch order: ONE sealed entry for the
+// downstream (mid-round emissions plus every local shard's drain) and, in
+// a multi-process topology, one sealed entry per remote shard holding the
+// material routed to it (relayed to that shard's enclave by the delivery
+// dispatcher). It runs outside p.mu (and outside the enclave's
+// constant-time gate), so ingest of the next epoch proceeds concurrently.
+// On a commit failure the material is retained — downstream material in
+// p.pending, remote material back in the live relay shard for its address
+// when one exists — so nothing mixed (or relayed) is ever dropped.
+func (p *ShardedProxy) packageRound(rc *roundClose) error {
+	entries := []destEntry{{dest: "", updates: rc.pending, shard: -1}}
+	for s, m := range rc.mixers {
+		drained := m.Drain()
+		if rc.topo.IsRemote(s) {
+			if len(drained) > 0 {
+				entries = append(entries, destEntry{dest: rc.topo.Spec(s).Addr, updates: drained, shard: s})
+			}
+			continue
+		}
+		entries[0].updates = append(entries[0].updates, drained...)
+	}
+	// Encode everything before taking the epoch's commit turn.
+	type rawEntry struct {
+		destEntry
+		raw   []byte
+		bytes int
+	}
+	raws := make([]rawEntry, 0, len(entries))
+	var encErr error
+	total := 0
+	for _, de := range entries {
+		payloads := make([][]byte, len(de.updates))
+		size := 0
+		for i, ps := range de.updates {
+			var err error
+			if payloads[i], err = nn.EncodeParamSet(ps); err != nil {
+				encErr = err
+				break
+			}
+			size += len(payloads[i])
+		}
+		if encErr != nil {
 			break
 		}
-		total += len(payloads[i])
-	}
-	var raw []byte
-	if err == nil {
-		env := outbox.Envelope{Epoch: uint64(rc.epoch), Hop: rc.hop, Updates: payloads}
-		raw, err = env.Marshal()
+		env := outbox.Envelope{
+			Epoch:       uint64(rc.epoch),
+			TopoVersion: rc.topo.Version(),
+			Hop:         rc.hop,
+			Dest:        de.dest,
+			Updates:     payloads,
+		}
+		raw, err := env.Marshal()
+		if err != nil {
+			encErr = err
+			break
+		}
+		raws = append(raws, rawEntry{destEntry: de, raw: raw, bytes: size})
+		total += size
 	}
 	// Ordered commit: take this epoch's turn even when there is nothing
 	// to Put — the epoch chain must advance by exactly one per close or
@@ -669,41 +832,110 @@ func (p *ShardedProxy) packageRound(rc *roundClose) error {
 		p.cond.Wait()
 	}
 	p.mu.Unlock()
-	if err == nil {
-		// A short retry absorbs transient commit failures (disk hiccups)
-		// here, while the epoch's commit turn is held: a round retained
-		// past this point only re-commits at the NEXT round close, which
-		// on a quiescent tier may never come.
-		for attempt := 0; ; attempt++ {
-			if _, err = p.box.Put(raw); err == nil || attempt >= 2 {
-				break
+	var failed []destEntry
+	err := encErr
+	if encErr != nil {
+		failed = entries
+	} else {
+		for _, re := range raws {
+			// A short retry absorbs transient commit failures (disk
+			// hiccups) here, while the epoch's commit turn is held: a
+			// round retained past this point only re-commits at the NEXT
+			// round close, which on a quiescent tier may never come.
+			var putErr error
+			for attempt := 0; ; attempt++ {
+				if _, putErr = p.box.Put(re.raw); putErr == nil || attempt >= 2 {
+					break
+				}
+				time.Sleep(100 * time.Millisecond)
 			}
-			time.Sleep(100 * time.Millisecond)
+			if putErr != nil {
+				failed = append(failed, re.destEntry)
+				if err == nil {
+					err = putErr
+				}
+				continue
+			}
+			p.enclave.Free(re.bytes)
 		}
 	}
 
 	p.mu.Lock()
 	// The swap already rolled the retired mixers' counters; only the
 	// drain's emissions (beyond emitBase) remain, regardless of the
-	// commit outcome (they describe mixing history, not delivery).
+	// commit outcome (they describe mixing history, not delivery). The
+	// ledger may have been resized by a concurrent membership change.
 	for s, m := range rc.mixers {
-		p.shardEmit[s] += m.Emitted() - rc.emitBase[s]
+		p.shardEmit[s%len(p.shardEmit)] += m.Emitted() - rc.emitBase[s]
 	}
-	if err != nil {
-		// Retain the round in memory; it joins the next entry (and any
-		// SealState blob taken before then).
-		p.pending = append(updates, p.pending...)
-		p.retained += len(updates)
+	for _, de := range failed {
+		if de.dest != "" {
+			// Remote-destined material must NOT fall back to the
+			// downstream: it is unmixed participant material whose mixing
+			// hop is a mixing enclave, and delivering it raw would hand
+			// the server individually-linkable updates. Return it to the
+			// live relay shard for the same address when the current
+			// topology still has one; otherwise file it into the current
+			// epoch's shard 0 — a local mixer absorbs it into the open
+			// round (over-full buffers stay conservative), a relay slot
+			// relays it to that shard's enclave. Either way it is mixed
+			// before it travels, is covered by SealState, and rides the
+			// next round close.
+			s := p.relayShardLocked(de.dest)
+			if s < 0 {
+				s = 0
+				log.Printf("proxy: remote shard %s left the topology with %d uncommitted updates; re-filing them into shard 0 of the current epoch", de.dest, len(de.updates))
+			}
+			refiled := len(de.updates)
+			for i, u := range de.updates {
+				if rerr := p.shards[s].RestoreEntry(u); rerr != nil {
+					// Structurally incompatible with the open round (model
+					// changed between epochs) — the only escape left is
+					// the pending buffer; it reaches the server mixed with
+					// nothing, so be loud about the privacy downgrade.
+					log.Printf("proxy: re-file update into shard %d failed (%v); %d updates will deliver downstream UNMIXED", s, rerr, len(de.updates)-i)
+					p.pending = append(append([]nn.ParamSet{}, de.updates[i:]...), p.pending...)
+					refiled = i
+					break
+				}
+			}
+			// The re-filed updates were already counted once (the retired
+			// relay's Add, rolled into the cumulative ledger at the swap);
+			// RestoreEntry counted them again inside the live shard, so
+			// compensate the carry to keep sum(per-shard Received) equal
+			// to the tier's Received.
+			p.shardRecv[s%len(p.shardRecv)] -= refiled
+			// Both halves await the next round close (re-filed head in a
+			// shard, incompatible tail in pending), so both count as
+			// retained: Flush must keep failing until they move.
+			p.retained += len(de.updates)
+			continue
+		}
+		// Downstream material is already mixed; retain it in memory and
+		// it joins the next downstream entry (and any SealState blob
+		// taken before then).
+		p.pending = append(append([]nn.ParamSet{}, de.updates...), p.pending...)
+		p.retained += len(de.updates)
 	}
 	p.putEpoch = rc.epoch + 1
 	p.closing--
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	if err == nil {
-		p.enclave.Free(total)
 		p.disp.Wake()
 	}
 	return err
+}
+
+// relayShardLocked returns the index of the live relay shard for addr,
+// -1 when the current topology has none. Caller holds p.mu.
+func (p *ShardedProxy) relayShardLocked(addr string) int {
+	for s := 0; s < p.topo.P(); s++ {
+		if p.topo.Spec(s).Addr == addr {
+			return s
+		}
+	}
+	return -1
 }
 
 // deliverCache is the dispatcher-goroutine-local memo of the head
@@ -725,9 +957,40 @@ func batchIDFor(payload []byte) string {
 	return hex.EncodeToString(sum[:16])
 }
 
-// deliver is the dispatcher callback: it sends one outbox entry (a whole
-// drained round) downstream. nil consumes the entry; a PermanentError
-// quarantines it; anything else retries with backoff.
+// hopTarget is the resolved destination of one outbox entry: where to
+// POST, and the hop-key material to wrap with (nil key = plaintext to the
+// aggregation server).
+type hopTarget struct {
+	base   string
+	key    *enclave.HopKey
+	secret string
+}
+
+// target resolves an envelope's destination: a remote shard address when
+// the entry is a relay leg of a multi-process topology, else the tier's
+// cascade next hop or upstream server. A remote address without attested
+// key material is a transient error — the material stays queued until
+// the operator re-registers the shard (losing a round over a missing key
+// would be strictly worse than stalling the queue).
+func (p *ShardedProxy) target(env *outbox.Envelope) (hopTarget, error) {
+	if env.Dest != "" {
+		p.mu.Lock()
+		rs, ok := p.remotes[env.Dest]
+		p.mu.Unlock()
+		if !ok {
+			return hopTarget{}, fmt.Errorf("proxy: no attested key for remote shard %s (topology v%d); re-register it via the topology admin endpoint", env.Dest, env.TopoVersion)
+		}
+		return hopTarget{base: env.Dest, key: rs.Key, secret: rs.Secret}, nil
+	}
+	if p.cfg.NextHop != "" {
+		return hopTarget{base: p.cfg.NextHop, key: p.cfg.NextHopKey, secret: p.cfg.NextHopSecret}, nil
+	}
+	return hopTarget{base: p.cfg.Upstream}, nil
+}
+
+// deliver is the dispatcher callback: it sends one outbox entry (one
+// destination's share of a drained round) onward. nil consumes the entry;
+// a PermanentError quarantines it; anything else retries with backoff.
 func (p *ShardedProxy) deliver(ctx context.Context, seq uint64, payload []byte) error {
 	c := &p.dcache
 	if !c.valid || c.seq != seq {
@@ -743,8 +1006,12 @@ func (p *ShardedProxy) deliver(ctx context.Context, seq uint64, payload []byte) 
 	if len(env.Updates) == 0 {
 		return nil
 	}
+	tgt, err := p.target(env)
+	if err != nil {
+		return err
+	}
 	if p.cfg.NoBatch || c.singles {
-		return p.deliverSingles(ctx, seq, env)
+		return p.deliverSingles(ctx, seq, env, tgt)
 	}
 	if c.body == nil {
 		enc, err := wire.BatchEnvelope{Updates: env.Updates}.Encode()
@@ -762,37 +1029,39 @@ func (p *ShardedProxy) deliver(ctx context.Context, seq uint64, payload []byte) 
 			// downgrade must be visible.
 			log.Printf("proxy: entry %d (%d bytes) exceeds the batch body bound; delivering per update", seq, len(enc))
 			c.singles = true
-			return p.deliverSingles(ctx, seq, env)
+			return p.deliverSingles(ctx, seq, env, tgt)
 		}
-		if p.cfg.NextHop != "" {
-			if enc, err = p.cfg.NextHopKey.Wrap(enc); err != nil {
-				return fmt.Errorf("proxy: wrap batch for next hop: %w", err)
+		if tgt.key != nil {
+			if enc, err = tgt.key.Wrap(enc); err != nil {
+				return fmt.Errorf("proxy: wrap batch for %s: %w", tgt.base, err)
 			}
 		}
 		c.body, c.id = enc, batchIDFor(payload)
 	}
-	base := p.cfg.Upstream
-	if p.cfg.NextHop != "" {
-		base = p.cfg.NextHop
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/batch", bytes.NewReader(c.body))
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, tgt.base+"/v1/batch", bytes.NewReader(c.body))
 	if err != nil {
 		return err
 	}
-	if p.cfg.NextHop != "" {
+	if tgt.key != nil {
 		req.Header.Set(wire.HeaderHop, strconv.Itoa(env.Hop))
-		if p.cfg.NextHopSecret != "" {
-			req.Header.Set("Authorization", "Bearer "+p.cfg.NextHopSecret)
+		if tgt.secret != "" {
+			req.Header.Set("Authorization", "Bearer "+tgt.secret)
 		}
 	}
 	req.Header.Set("Content-Type", wire.ContentTypeBatch)
 	req.Header.Set(wire.HeaderBatch, c.id)
+	// Sender identity + entry sequence let the receiver detect a stale
+	// redelivery even after the id aged out of its dedup window.
+	if sender := p.box.SenderID(); sender != "" {
+		req.Header.Set(wire.HeaderSender, sender)
+		req.Header.Set(wire.HeaderBatchSeq, strconv.FormatUint(seq, 10))
+	}
 	resp, err := p.httpc.Do(req)
 	if err != nil {
 		return err // transient: downstream unreachable
 	}
 	resp.Body.Close()
-	if err := classifyStatus(resp.StatusCode, resp.Status); err != nil {
+	if err := classifyResponse(resp); err != nil {
 		return err
 	}
 	p.mu.Lock()
@@ -803,52 +1072,50 @@ func (p *ShardedProxy) deliver(ctx context.Context, seq uint64, payload []byte) 
 }
 
 // deliverSingles is the NoBatch compatibility path: one POST per update
-// to the single-update endpoints. Progress is tracked per entry so a
-// mid-round outage resumes where it stopped instead of resending the
-// round (exactly-once degrades to at-least-once only across process
-// crashes, where the in-memory progress is lost).
-func (p *ShardedProxy) deliverSingles(ctx context.Context, seq uint64, env *outbox.Envelope) error {
-	for i := p.singleProgress[seq]; i < len(env.Updates); i++ {
-		if err := p.forwardOne(ctx, env.Updates[i], env.Hop); err != nil {
-			var perm *outbox.PermanentError
-			if errors.As(err, &perm) {
-				// The dispatcher will quarantine the entry; its progress
-				// marker must not outlive it.
-				delete(p.singleProgress, seq)
-			} else {
-				p.singleProgress[seq] = i
-			}
+// to the single-update endpoints. Progress is persisted into the outbox
+// on every confirmed send, so a mid-round outage — or a proxy crash —
+// resumes where delivery stopped instead of resending the round:
+// per-update delivery is exactly-once across crashes too, not just
+// within one process lifetime.
+func (p *ShardedProxy) deliverSingles(ctx context.Context, seq uint64, env *outbox.Envelope, tgt hopTarget) error {
+	for i := p.box.Progress(seq); i < len(env.Updates); i++ {
+		if err := p.forwardOne(ctx, env.Updates[i], env.Hop, tgt); err != nil {
 			return err
+		}
+		if perr := p.box.SetProgress(seq, i+1); perr != nil {
+			// Progress is an optimisation for crash recovery; failing to
+			// record it must not fail the delivery — but it must be loud,
+			// because a crash now would re-send from the last marker.
+			log.Printf("proxy: entry %d: record delivery progress %d: %v", seq, i+1, perr)
 		}
 		p.mu.Lock()
 		p.forwarded++
 		p.mu.Unlock()
 	}
-	delete(p.singleProgress, seq)
 	return nil
 }
 
-// forwardOne sends one mixed update onward: re-encrypted to the
-// cascade's next hop when one is configured, in plaintext to the
-// aggregation server otherwise.
-func (p *ShardedProxy) forwardOne(ctx context.Context, raw []byte, fwdHop int) error {
+// forwardOne sends one mixed update onward: re-encrypted for the
+// target's enclave when it has a hop key (cascade next hop or remote
+// shard), in plaintext to the aggregation server otherwise.
+func (p *ShardedProxy) forwardOne(ctx context.Context, raw []byte, fwdHop int, tgt hopTarget) error {
 	var req *http.Request
 	var err error
-	if p.cfg.NextHop != "" {
-		ct, err := p.cfg.NextHopKey.Wrap(raw)
+	if tgt.key != nil {
+		ct, err := tgt.key.Wrap(raw)
 		if err != nil {
-			return fmt.Errorf("proxy: wrap for next hop: %w", err)
+			return fmt.Errorf("proxy: wrap for %s: %w", tgt.base, err)
 		}
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.NextHop+"/v1/hop", bytes.NewReader(ct))
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, tgt.base+"/v1/hop", bytes.NewReader(ct))
 		if err != nil {
 			return err
 		}
 		req.Header.Set(wire.HeaderHop, strconv.Itoa(fwdHop))
-		if p.cfg.NextHopSecret != "" {
-			req.Header.Set("Authorization", "Bearer "+p.cfg.NextHopSecret)
+		if tgt.secret != "" {
+			req.Header.Set("Authorization", "Bearer "+tgt.secret)
 		}
 	} else {
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost, p.cfg.Upstream+"/v1/update", bytes.NewReader(raw))
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, tgt.base+"/v1/update", bytes.NewReader(raw))
 		if err != nil {
 			return err
 		}
@@ -859,6 +1126,17 @@ func (p *ShardedProxy) forwardOne(ctx context.Context, raw []byte, fwdHop int) e
 		return err
 	}
 	resp.Body.Close()
+	return classifyResponse(resp)
+}
+
+// classifyResponse applies classifyStatus plus the stale-redelivery
+// marker: a 409 carrying the stale header is a permanent rejection (the
+// receiver proved the entry was superseded), unlike the retryable
+// in-flight 409.
+func classifyResponse(resp *http.Response) error {
+	if resp.StatusCode == http.StatusConflict && resp.Header.Get(wire.HeaderStale) != "" {
+		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery as stale duplicate: %s", resp.Status))
+	}
 	return classifyStatus(resp.StatusCode, resp.Status)
 }
 
@@ -937,9 +1215,11 @@ func (p *ShardedProxy) SealState() ([]byte, error) {
 		shardRecv[s] = p.shardRecv[s] + m.Received()
 		shardEmit[s] = p.shardEmit[s] + m.Emitted()
 	}
+	load := make([]int, len(p.rst.Load))
+	copy(load, p.rst.Load)
 	raw, err := core.SealShardedState(p.shards, core.ShardedStateMeta{
-		Routing:       core.RoutingHashRR,
-		RRCursor:      p.rr,
+		Routing:       core.RoutingMode(p.topo.Mode()),
+		RRCursor:      p.rst.RR,
 		InRound:       p.inRound,
 		Rounds:        p.rounds,
 		HopMark:       p.hopMark,
@@ -949,6 +1229,8 @@ func (p *ShardedProxy) SealState() ([]byte, error) {
 		ShardReceived: shardRecv,
 		ShardEmitted:  shardEmit,
 		Pending:       p.pending,
+		ShardLoad:     load,
+		Topo:          p.topo.Marshal(),
 	}, func(s int, plain []byte) ([]byte, error) {
 		return p.enclave.SealLabeled(sectionLabel(s), plain)
 	})
@@ -963,14 +1245,22 @@ func (p *ShardedProxy) SealState() ([]byte, error) {
 }
 
 // RestoreState loads a SealState blob into a freshly-constructed tier
-// (same enclave identity and platform). The blob's shard count may
-// differ from this tier's: buffered material is redistributed across the
-// new shards (resharding on restore) with the round's layer-wise
-// aggregate unchanged, so an operator can crash a P-shard proxy and
-// bring up a P′-shard replacement mid-round. Per-shard mixer ledgers
-// restore exactly for an unchanged shard count and as a sum-preserving
-// redistribution otherwise; pending emissions restore into the pending
-// buffer and ride the next round's outbox entry.
+// (same enclave identity and platform).
+//
+// With AdoptSealedTopology set and a v3 blob, the tier comes back under
+// EXACTLY the topology it was sealed under — routing mode, shard
+// weights, remote placement, quota loads and topology version — so a
+// crash-restart lands mid-round with the routing plane intact, whatever
+// the replacement's static flags said.
+//
+// Otherwise the blob's material is resharded into THIS tier's configured
+// topology: buffered material is redistributed across the new shards
+// with the round's layer-wise aggregate unchanged, so an operator can
+// crash a P-shard proxy and bring up a P′-shard replacement mid-round.
+// Per-shard mixer ledgers restore exactly for an unchanged shard count
+// and as a sum-preserving redistribution otherwise; pending emissions
+// restore into the pending buffer and ride the next round's outbox
+// entry.
 func (p *ShardedProxy) RestoreState(blob []byte) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -988,7 +1278,26 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 	if err != nil {
 		return fmt.Errorf("proxy: restore tier state: %w", err)
 	}
-	fresh, err := newShardMixers(p.cfg, epoch)
+	topo := p.topo
+	adopted := false
+	if p.cfg.AdoptSealedTopology {
+		topoBlob, err := core.ShardedStateTopo(raw)
+		if err != nil {
+			return fmt.Errorf("proxy: restore tier state: %w", err)
+		}
+		if topoBlob != nil {
+			if topo, err = route.Parse(topoBlob); err != nil {
+				return fmt.Errorf("proxy: sealed topology: %w", err)
+			}
+			for _, addr := range topo.Remotes() {
+				if _, ok := p.remotes[addr]; !ok {
+					return fmt.Errorf("proxy: sealed topology names remote shard %q but no attested key is registered (RemoteShards)", addr)
+				}
+			}
+			adopted = true
+		}
+	}
+	fresh, err := newShardSet(p.cfg, topo, epoch)
 	if err != nil {
 		return err
 	}
@@ -998,14 +1307,28 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 	if err != nil {
 		return fmt.Errorf("proxy: restore tier state: %w", err)
 	}
-	if meta.Routing != core.RoutingHashRR {
+	if meta.Routing < core.RoutingHashRR || meta.Routing > core.RoutingHashQuota {
 		return fmt.Errorf("proxy: sealed state uses unknown routing mode %d", meta.Routing)
 	}
-	if meta.InRound >= p.cfg.RoundSize {
-		return fmt.Errorf("proxy: sealed in-round progress %d does not fit round size %d", meta.InRound, p.cfg.RoundSize)
+	if meta.InRound >= topo.RoundSize() {
+		return fmt.Errorf("proxy: sealed in-round progress %d does not fit round size %d", meta.InRound, topo.RoundSize())
 	}
 	p.shards = fresh
-	p.rr = meta.RRCursor % len(fresh)
+	p.topo = topo
+	p.planner.Reset(topo)
+	p.rst = topo.NewState()
+	p.rst.RR = meta.RRCursor % topo.P()
+	if adopted && meta.ShardLoad != nil && len(meta.ShardLoad) == topo.P() {
+		copy(p.rst.Load, meta.ShardLoad)
+	} else {
+		// Resharded restore: the sealed per-shard loads describe shards
+		// that no longer exist. Spread the open round's routed count
+		// round-robin — approximate, but quota enforcement only needs the
+		// totals to add up.
+		for i := 0; i < meta.InRound; i++ {
+			p.rst.Load[i%topo.P()]++
+		}
+	}
 	p.inRound = meta.InRound
 	p.rounds = meta.Rounds
 	p.putEpoch = meta.Rounds
@@ -1025,7 +1348,7 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 // history beyond them). Across a reshard the totals are preserved and
 // spread evenly — per-shard exactness is not meaningful when the shards
 // themselves changed.
-func restoredLedgers(meta core.ShardedStateMeta, mixers []*core.StreamMixer) (recv, emit []int) {
+func restoredLedgers(meta core.ShardedStateMeta, mixers []core.Shard) (recv, emit []int) {
 	pPrime := len(mixers)
 	recv = make([]int, pPrime)
 	emit = make([]int, pPrime)
@@ -1088,97 +1411,49 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 	defer p.mu.Unlock()
 	shards := make([]wire.ShardStatus, len(p.shards))
 	for s, m := range p.shards {
+		spec := p.topo.Spec(s)
 		shards[s] = wire.ShardStatus{
 			Shard:    s,
 			K:        m.K(),
 			Buffered: m.Buffered(),
 			Received: p.shardRecv[s] + m.Received(),
 			Emitted:  p.shardEmit[s] + m.Emitted(),
+			Quota:    p.topo.Quota(s),
+			Load:     p.rst.Load[s],
+			Addr:     spec.Addr,
+			Weight:   spec.Weight,
 		}
+	}
+	var stagedVer uint64
+	if staged := p.planner.Staged(); staged != nil {
+		stagedVer = staged.Version()
 	}
 	st := p.enclave.Stats()
 	return wire.ShardedProxyStatus{
-		Shards:        shards,
-		Received:      p.received,
-		HopReceived:   p.hopReceived,
-		Forwarded:     p.forwarded,
-		Rounds:        p.rounds,
-		InRound:       p.inRound,
-		RoundSize:     p.cfg.RoundSize,
-		Epoch:         p.rounds,
-		OutboxPending: p.box.Len(),
-		BatchesSent:   p.batches,
-		NextHop:       p.cfg.NextHop,
-		MaxHops:       p.cfg.MaxHops,
-		RestoredFrom:  p.restoredFrom,
-		UpdateBytes:   p.updateBytes,
-		EnclaveUsed:   st.MemoryUsedBytes,
-		EnclavePeak:   st.MemoryPeakBytes,
-		EnclavePaging: st.PageEvents,
-		DecryptMillis: p.decryptT.meanMillisExact(),
-		StoreMillis:   p.storeT.meanMillisExact(),
-		MixMillis:     p.mixT.meanMillisExact(),
-		ProcessMillis: p.processT.meanMillisExact(),
-	}
-}
-
-// batchDedup remembers recently-applied batch ids so a redelivered batch
-// acks instead of double-counting, and tracks in-flight applications so
-// an overlapping redelivery neither re-applies NOR falsely acks work
-// that has not finished. Bounded FIFO: old ids age out, which is safe
-// because the sender's outbox consumes an entry on the first
-// acknowledgement — redeliveries arrive promptly or not at all.
-type batchDedup struct {
-	mu    sync.Mutex
-	state map[string]bool // false = application in flight, true = applied
-	order []string
-}
-
-const batchDedupCap = 1024
-
-// Begin atomically claims id. claimed means the caller owns the
-// application and must end it with Done or Forget; otherwise done tells
-// whether a previous application completed (ack the duplicate) or is
-// still in flight (the caller must answer retryable, NOT success — a
-// success ack would let the sender consume the entry while the owning
-// attempt can still fail).
-func (d *batchDedup) Begin(id string) (claimed, done bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.state == nil {
-		d.state = make(map[string]bool)
-	}
-	if done, ok := d.state[id]; ok {
-		return false, done
-	}
-	d.state[id] = false
-	d.order = append(d.order, id)
-	if len(d.order) > batchDedupCap {
-		delete(d.state, d.order[0])
-		d.order = d.order[1:]
-	}
-	return true, false
-}
-
-// Done marks a claimed id as applied.
-func (d *batchDedup) Done(id string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.state[id]; ok {
-		d.state[id] = true
-	}
-}
-
-// Forget releases an id claimed by Begin whose application failed, so a
-// redelivery gets a fresh attempt.
-func (d *batchDedup) Forget(id string) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	delete(d.state, id)
-	for i, v := range d.order {
-		if v == id {
-			d.order = append(d.order[:i], d.order[i+1:]...)
-			return
-		}
+		Shards:            shards,
+		Received:          p.received,
+		HopReceived:       p.hopReceived,
+		Forwarded:         p.forwarded,
+		Rounds:            p.rounds,
+		InRound:           p.inRound,
+		RoundSize:         p.topo.RoundSize(),
+		Epoch:             p.rounds,
+		OutboxPending:     p.box.Len(),
+		BatchesSent:       p.batches,
+		NextHop:           p.cfg.NextHop,
+		MaxHops:           p.cfg.MaxHops,
+		TopoVersion:       p.topo.Version(),
+		RoutingMode:       p.topo.Mode().String(),
+		StagedTopoVersion: stagedVer,
+		OutboxQuarantined: p.box.Quarantined(),
+		RestoredFrom:      p.restoredFrom,
+		UpdateBytes:       p.updateBytes,
+		EnclaveUsed:       st.MemoryUsedBytes,
+		EnclavePeak:       st.MemoryPeakBytes,
+		EnclavePaging:     st.PageEvents,
+		DecryptMillis:     p.decryptT.meanMillisExact(),
+		StoreMillis:       p.storeT.meanMillisExact(),
+		MixMillis:         p.mixT.meanMillisExact(),
+		ProcessMillis:     p.processT.meanMillisExact(),
 	}
 }

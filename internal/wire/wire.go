@@ -21,6 +21,12 @@
 //	GET  {proxy}/v1/attestation   JSON AttestationResponse (nonce query param)
 //	GET  {proxy}/v1/status        JSON ShardedProxyStatus (every proxy is a
 //	                              sharded tier; single proxies are Shards=1)
+//	GET  {proxy}/v1/admin/topology  JSON TopologyStatus: the routing plane's
+//	                              current (and staged) topology
+//	POST {proxy}/v1/admin/topology  JSON TopologyDirective: stage the next
+//	                              epoch's topology (applied at round close);
+//	                              requires the inter-proxy secret — 403
+//	                              when the proxy runs without one
 //
 // The single-update endpoints remain for compatibility; batch-capable
 // proxies coalesce a drained round into one /v1/batch POST.
@@ -53,6 +59,21 @@ const (
 	// redelivery after a lost acknowledgement carries the same id and the
 	// receiver can drop the duplicate instead of double-counting a round.
 	HeaderBatch = "X-Mixnn-Batch"
+	// HeaderSender identifies the sending outbox (a stable random id) on
+	// /v1/batch POSTs, and HeaderBatchSeq carries the entry's sequence
+	// number in that outbox. Together they let a receiver recognise a
+	// redelivery whose idempotency id has already aged out of the dedup
+	// window: the sender's queue is strictly ordered, so a sequence number
+	// at or below the sender's last acknowledged one can only be a stale
+	// duplicate — the receiver answers 409 instead of re-absorbing it.
+	HeaderSender   = "X-Mixnn-Sender"
+	HeaderBatchSeq = "X-Mixnn-Batch-Seq"
+	// HeaderStale marks a 409 response as a STALE-redelivery rejection
+	// (as opposed to "application in flight", which is retryable): the
+	// batch was superseded at this receiver and retrying can never
+	// succeed, so the sender must quarantine the entry instead of
+	// retrying it forever.
+	HeaderStale = "X-Mixnn-Stale"
 )
 
 // ParseHop extracts the cascade depth from a request's HeaderHop value.
@@ -215,6 +236,15 @@ type ShardStatus struct {
 	Buffered int `json:"buffered"`
 	Received int `json:"received"`
 	Emitted  int `json:"emitted"`
+	// Quota is the shard's per-round update quota under the current
+	// topology; Load counts updates routed to it in the open round.
+	Quota int `json:"quota"`
+	Load  int `json:"load"`
+	// Addr is set for a remote shard: the peer proxy (its own enclave)
+	// this shard's material is relayed to.
+	Addr string `json:"addr,omitempty"`
+	// Weight is the shard's capacity weight in the topology.
+	Weight int `json:"weight"`
 }
 
 // ShardedProxyStatus reports a sharded proxy tier: global round progress,
@@ -242,6 +272,17 @@ type ShardedProxyStatus struct {
 	BatchesSent int    `json:"batches_sent"`
 	NextHop     string `json:"next_hop,omitempty"`
 	MaxHops     int    `json:"max_hops"`
+	// TopoVersion is the routing plane's current topology version and
+	// RoutingMode its policy ("sticky", "round-robin", "hash-quota").
+	TopoVersion uint64 `json:"topo_version"`
+	RoutingMode string `json:"routing_mode"`
+	// StagedTopoVersion is set when a topology directive awaits the next
+	// round close.
+	StagedTopoVersion uint64 `json:"staged_topo_version,omitempty"`
+	// OutboxQuarantined counts outbox entries set aside as undeliverable
+	// (.bad files) — rounds that left the delivery path and need an
+	// operator.
+	OutboxQuarantined int `json:"outbox_quarantined"`
 	// RestoredFrom is the shard count of the sealed blob this tier was
 	// restored from, 0 if it started fresh; it differs from len(Shards)
 	// when the restore resharded.
@@ -254,6 +295,68 @@ type ShardedProxyStatus struct {
 	StoreMillis   float64 `json:"store_ms_mean"`
 	MixMillis     float64 `json:"mix_ms_mean"`
 	ProcessMillis float64 `json:"process_ms_mean"`
+}
+
+// TopologyShardSpec describes one shard in a topology directive. A
+// remote shard carries the peer's address plus the attestation material
+// to pin its enclave (the same trust bundle participants use): the
+// receiving proxy runs the hop attestation handshake before staging.
+type TopologyShardSpec struct {
+	// Addr is empty for a local shard, the peer proxy's base URL for a
+	// remote one.
+	Addr string `json:"addr,omitempty"`
+	// Weight scales the shard's share of the round (default 1).
+	Weight int `json:"weight,omitempty"`
+	// AuthorityPubDER + MeasurementHex pin the remote shard's enclave
+	// (required with Addr unless the proxy already holds an attested key
+	// for it). TrustFile is the file-based alternative for -shards-file:
+	// the path of the peer's trust bundle.
+	AuthorityPubDER []byte `json:"authority_pub_der,omitempty"`
+	MeasurementHex  string `json:"measurement,omitempty"`
+	TrustFile       string `json:"trust_file,omitempty"`
+	// Secret is the inter-proxy bearer secret the remote shard's hop
+	// endpoints require, if any.
+	Secret string `json:"secret,omitempty"`
+}
+
+// TopologyDirective asks the proxy to reshape its routing plane at the
+// next round close. Empty fields keep their current values.
+type TopologyDirective struct {
+	// Mode is "sticky", "round-robin" or "hash-quota" ("" = keep).
+	Mode string `json:"mode,omitempty"`
+	// RoundSize changes the round size C (0 = keep).
+	RoundSize int `json:"round_size,omitempty"`
+	// Shards replaces the shard set (absent = keep).
+	Shards []TopologyShardSpec `json:"shards,omitempty"`
+}
+
+// TopologyStatus reports the routing plane over the admin endpoint.
+type TopologyStatus struct {
+	Version   uint64          `json:"version"`
+	Mode      string          `json:"mode"`
+	RoundSize int             `json:"round_size"`
+	Epoch     int             `json:"epoch"`
+	Shards    []TopologyShard `json:"shards"`
+	// Staged describes the topology staged for the next round close, if
+	// any.
+	Staged *TopologyStaged `json:"staged,omitempty"`
+}
+
+// TopologyShard is one shard's view in TopologyStatus.
+type TopologyShard struct {
+	Shard  int    `json:"shard"`
+	Addr   string `json:"addr,omitempty"`
+	Weight int    `json:"weight"`
+	Quota  int    `json:"quota"`
+	Load   int    `json:"load"`
+}
+
+// TopologyStaged summarises a staged (not yet applied) topology.
+type TopologyStaged struct {
+	Version   uint64          `json:"version"`
+	Mode      string          `json:"mode"`
+	RoundSize int             `json:"round_size"`
+	Shards    []TopologyShard `json:"shards"`
 }
 
 // ReadBody reads an entire request/response body with the standard bound,
