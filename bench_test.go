@@ -254,6 +254,31 @@ func BenchmarkProxyMixShardedHTTP(b *testing.B) {
 	}
 }
 
+// BenchmarkProxyMixShardedTransport runs the identical sharded §6.5
+// pipeline under both transports — "http" over real loopback sockets,
+// "loopback" over the in-process typed transport — so the delta is
+// exactly the serialization tax (HTTP framing, header encode/parse,
+// socket copies): the mixer, enclave crypto and outbox delivery are the
+// same code on both arms. Loopback's updates/sec should beat HTTP's.
+func BenchmarkProxyMixShardedTransport(b *testing.B) {
+	m := experiment.PerfModels(experiment.ScaleQuick)[0]
+	for _, kind := range []string{"http", "loopback"} {
+		b.Run(kind, func(b *testing.B) {
+			var roundMs, upsPerSec float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiment.RunShardedPerfTransport(m.Name, m.Arch, 8, 2, 2, false, 4, "", kind, int64(i)+1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				roundMs += res.RoundMillis
+				upsPerSec += res.UpdatesPerSec
+			}
+			b.ReportMetric(upsPerSec/float64(b.N), "updates/sec")
+			b.ReportMetric(roundMs/float64(b.N), "round-ms")
+		})
+	}
+}
+
 // BenchmarkProxyEndToEnd reproduces the §6.5 table: encrypted updates
 // through a real HTTP proxy into a real aggregation server, for both model
 // sizes.

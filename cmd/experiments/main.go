@@ -14,6 +14,8 @@
 //	                                            # round N+1 with delivery of N
 //	experiments -shard-perf -topology hash-quota  # quota routing arm
 //	experiments -shard-perf -topology remote    # one proxy+enclave per shard
+//	experiments -shard-perf -transport loopback # same pipeline over the
+//	                                            # in-process typed transport
 package main
 
 import (
@@ -39,22 +41,23 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		fig       = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9 or all")
-		perf      = fs.Bool("perf", false, "run the §6.5 system-performance experiment")
-		shardPerf = fs.Bool("shard-perf", false, "run the sharded mixing-tier throughput experiment")
-		shardsS   = fs.String("shards", "1,2,4", "shard counts P to sweep in -shard-perf")
-		cascade   = fs.Bool("cascade", false, "cascade the sharded tier through a second mixing hop in -shard-perf")
-		topology  = fs.String("topology", "", "routing-plane arm for -shard-perf: sticky, round-robin, hash-quota, or remote (one proxy+enclave per shard)")
-		rounds    = fs.Int("rounds", 1, "back-to-back rounds per -shard-perf run (>1 exercises cross-round pipelining)")
-		ablate    = fs.Bool("ablation", false, "run the DESIGN.md §9 ablation studies instead of figures")
-		dataset   = fs.String("dataset", "all", "dataset: cifar10, motionsense, mobiact, lfw or all")
-		scaleS    = fs.String("scale", "quick", "experiment scale: quick or full")
-		seed      = fs.Int64("seed", 1, "base random seed")
-		passive   = fs.Bool("passive", false, "use the passive (honest-server) ∇Sim variant for figures 7/8")
-		ratioS    = fs.String("ratios", "0.2,0.4,0.6,0.8,1.0", "background-knowledge ratios for figure 8")
-		radius    = fs.Float64("radius", experiment.DefaultNeighbourRadius, "neighbour radius for figure 9 (on unit-normalised directions)")
-		cdfAt     = fs.Int("cdf-round", 6, "round at which figure 6 snapshots per-participant accuracy")
-		csvDir    = fs.String("csv", "", "directory to also write CSV result files into (created if missing)")
+		fig        = fs.String("fig", "all", "figure to regenerate: 5, 6, 7, 8, 9 or all")
+		perf       = fs.Bool("perf", false, "run the §6.5 system-performance experiment")
+		shardPerf  = fs.Bool("shard-perf", false, "run the sharded mixing-tier throughput experiment")
+		shardsS    = fs.String("shards", "1,2,4", "shard counts P to sweep in -shard-perf")
+		cascade    = fs.Bool("cascade", false, "cascade the sharded tier through a second mixing hop in -shard-perf")
+		topology   = fs.String("topology", "", "routing-plane arm for -shard-perf: sticky, round-robin, hash-quota, or remote (one proxy+enclave per shard)")
+		rounds     = fs.Int("rounds", 1, "back-to-back rounds per -shard-perf run (>1 exercises cross-round pipelining)")
+		transportK = fs.String("transport", "http", "transport arm for -shard-perf: http (real sockets) or loopback (in-process typed transport)")
+		ablate     = fs.Bool("ablation", false, "run the DESIGN.md §9 ablation studies instead of figures")
+		dataset    = fs.String("dataset", "all", "dataset: cifar10, motionsense, mobiact, lfw or all")
+		scaleS     = fs.String("scale", "quick", "experiment scale: quick or full")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		passive    = fs.Bool("passive", false, "use the passive (honest-server) ∇Sim variant for figures 7/8")
+		ratioS     = fs.String("ratios", "0.2,0.4,0.6,0.8,1.0", "background-knowledge ratios for figure 8")
+		radius     = fs.Float64("radius", experiment.DefaultNeighbourRadius, "neighbour radius for figure 9 (on unit-normalised directions)")
+		cdfAt      = fs.Int("cdf-round", 6, "round at which figure 6 snapshots per-participant accuracy")
+		csvDir     = fs.String("csv", "", "directory to also write CSV result files into (created if missing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,7 +88,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		return runShardPerf(scale, *seed, shardCounts, *cascade, *rounds, *topology, *csvDir)
+		return runShardPerf(scale, *seed, shardCounts, *cascade, *rounds, *topology, *transportK, *csvDir)
 	}
 	if *ablate {
 		return runAblations(specs, *seed)
@@ -333,7 +336,7 @@ func runPerf(scale experiment.Scale, seed int64, csvDir string) error {
 // runShardPerf prints the sharded mixing-tier throughput table: one full
 // round of concurrent participants through P shards (optionally cascaded
 // through a second mixing hop), for each requested P.
-func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade bool, rounds int, topology, csvDir string) error {
+func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade bool, rounds int, topology, transportKind, csvDir string) error {
 	mode := "direct"
 	if cascade {
 		mode = "cascade (2 mixing hops)"
@@ -343,6 +346,9 @@ func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade
 	}
 	if rounds > 1 {
 		mode += fmt.Sprintf(", %d pipelined rounds", rounds)
+	}
+	if transportKind != "" && transportKind != "http" {
+		mode += ", transport " + transportKind
 	}
 	fmt.Printf("=== Sharded mixing tier throughput, %s ===\n", mode)
 	fmt.Printf("%-12s %7s %5s %12s %12s %14s %12s %8s\n",
@@ -354,7 +360,7 @@ func runShardPerf(scale experiment.Scale, seed int64, shardCounts []int, cascade
 	m := experiment.PerfModels(scale)[0]
 	var all []experiment.ShardedPerfResult
 	for _, p := range shardCounts {
-		res, err := experiment.RunShardedPerfTopology(m.Name, m.Arch, participants, k, p, cascade, rounds, topology, seed)
+		res, err := experiment.RunShardedPerfTransport(m.Name, m.Arch, participants, k, p, cascade, rounds, topology, transportKind, seed)
 		if err != nil {
 			return err
 		}

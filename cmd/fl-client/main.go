@@ -1,12 +1,16 @@
-// Command fl-client runs one federated participant: it verifies the MixNN
-// proxy's attestation, then loops — fetch the global model, train locally
-// on its private partition, encrypt the update for the enclave and send it
-// through the proxy.
+// Command fl-client runs one federated participant through the
+// participant SDK (internal/client): it verifies the MixNN proxies'
+// attestation, then loops — fetch the global model, train locally on
+// its private partition, encrypt the update for the attested enclave
+// and send it through the mixing tier. -proxy takes a comma-separated
+// FAILOVER LIST: a proxy that is down or answers 5xx is skipped and the
+// update is re-encrypted for the next proxy's enclave.
 //
 // The participant's private data is its deterministic partition of the
 // synthetic dataset (-dataset/-scale/-seed must match the server):
 //
-//	fl-client -id 0 -rounds 3 -proxy http://localhost:8441 \
+//	fl-client -id 0 -rounds 3 \
+//	    -proxy http://localhost:8441,http://localhost:8442 \
 //	    -server http://localhost:8440 -trust trust.json
 package main
 
@@ -20,11 +24,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
+	"mixnn/internal/client"
 	"mixnn/internal/experiment"
 	"mixnn/internal/fl"
-	"mixnn/internal/proxy"
 )
 
 // trustBundle mirrors the file written by mixnn-proxy -trust-out.
@@ -43,7 +48,7 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("fl-client", flag.ContinueOnError)
 	var (
-		proxyURL  = fs.String("proxy", "http://localhost:8441", "MixNN proxy base URL")
+		proxyURL  = fs.String("proxy", "http://localhost:8441", "MixNN proxy base URL, or a comma-separated failover list tried in order")
 		serverURL = fs.String("server", "http://localhost:8440", "aggregation server base URL")
 		dataset   = fs.String("dataset", "motionsense", "dataset key")
 		scaleS    = fs.String("scale", "quick", "experiment scale: quick or full")
@@ -73,7 +78,7 @@ func run(args []string) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	client := fl.NewClient(parts[*id], spec.Arch, cfg)
+	learner := fl.NewClient(parts[*id], spec.Arch, cfg)
 
 	authority, measurement, err := loadTrust(*trustFile)
 	if err != nil {
@@ -83,26 +88,39 @@ func run(args []string) error {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	transport := proxy.NewParticipant(*proxyURL, *serverURL, nil)
-	transport.SetClientID(fmt.Sprintf("fl-client-%d", *id))
-	if err := transport.Attest(ctx, authority, measurement); err != nil {
+	var proxies []string
+	for _, ep := range strings.Split(*proxyURL, ",") {
+		if ep = strings.TrimSpace(ep); ep != "" {
+			proxies = append(proxies, ep)
+		}
+	}
+	session, err := client.New(client.Config{
+		Proxies:  proxies,
+		Server:   *serverURL,
+		ClientID: fmt.Sprintf("fl-client-%d", *id),
+	})
+	if err != nil {
+		return err
+	}
+	if err := session.Attest(ctx, authority, measurement); err != nil {
 		return fmt.Errorf("attestation failed — refusing to send updates: %w", err)
 	}
-	log.Printf("fl-client %d: proxy enclave attested (measurement %s)", *id, hex.EncodeToString(measurement[:]))
+	log.Printf("fl-client %d: proxy enclave attested (measurement %s, %d proxies on the failover list)",
+		*id, hex.EncodeToString(measurement[:]), len(proxies))
 
 	for r := 0; r < *rounds; r++ {
-		round, global, err := transport.WaitForRound(ctx, r, 200*time.Millisecond)
+		round, global, err := session.WaitForRound(ctx, r, 200*time.Millisecond)
 		if err != nil {
 			return err
 		}
-		update, err := client.LocalTrain(global)
+		update, err := learner.LocalTrain(global)
 		if err != nil {
 			return err
 		}
-		if err := transport.SendUpdate(ctx, update); err != nil {
+		if err := session.SendUpdate(ctx, update); err != nil {
 			return err
 		}
-		acc, err := client.TestAccuracy(update)
+		acc, err := learner.TestAccuracy(update)
 		if err != nil {
 			return err
 		}

@@ -209,6 +209,19 @@ func run(args []string) error {
 			st := px.Status()
 			log.Printf("mixnn-proxy: restored sealed state (sealed at %d shards, now %d, %s routing; %d updates into the round)",
 				st.RestoredFrom, len(st.Shards), st.RoutingMode, st.InRound)
+			// Re-attest remote shards from the sealed trust material so
+			// the tier's relay legs deliver without waiting for an admin
+			// directive or a shards-file reload. Best-effort AND
+			// asynchronous: a still-down peer keeps its queued material
+			// stalled (never lost), and blocking startup on it would
+			// take participant ingress down with it.
+			go func() {
+				rctx, rcancel := context.WithTimeout(context.Background(), 60*time.Second)
+				defer rcancel()
+				if err := px.ReattestRemotes(rctx); err != nil {
+					log.Printf("mixnn-proxy: re-attest remote shards: %v", err)
+				}
+			}()
 		}
 	}
 

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"mixnn"
+	"mixnn/internal/client"
 	"mixnn/internal/enclave"
 	"mixnn/internal/fl"
 	"mixnn/internal/proxy"
@@ -141,7 +142,10 @@ func run() error {
 
 // participate performs one participant's round: attest, fetch, train, send.
 func participate(ctx context.Context, c *fl.Client, proxyURL, serverURL string, platform *enclave.Platform, encl *enclave.Enclave, round int) error {
-	t := proxy.NewParticipant(proxyURL, serverURL, nil)
+	t, err := client.New(client.Config{Proxies: []string{proxyURL}, Server: serverURL})
+	if err != nil {
+		return err
+	}
 	if err := t.Attest(ctx, platform.AttestationPublicKey(), encl.Measurement()); err != nil {
 		return err
 	}

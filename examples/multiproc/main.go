@@ -18,6 +18,7 @@ import (
 	"net/http/httptest"
 	"time"
 
+	"mixnn/internal/client"
 	"mixnn/internal/enclave"
 	"mixnn/internal/experiment"
 	"mixnn/internal/nn"
@@ -113,15 +114,23 @@ func run() error {
 	fmt.Printf("front:   enclave mixnn-front, %d shards (1 local + %d remote), serving %s\n\n",
 		topo.P(), len(procs), frontSrv.URL)
 
-	// One round of participants through the front tier.
+	// One round of participants through the front tier, each a
+	// participant-SDK session (the same client.New call drives a real
+	// deployment; here the failover list has one entry).
 	updates := make([]nn.ParamSet, participants)
 	for i := range updates {
 		updates[i] = arch.New(seed + int64(i) + 1).SnapshotParams()
-		part := proxy.NewParticipant(frontSrv.URL, aggSrv.URL, nil)
+		part, err := client.New(client.Config{
+			Proxies:  []string{frontSrv.URL},
+			Server:   aggSrv.URL,
+			ClientID: fmt.Sprintf("client-%d", i),
+		})
+		if err != nil {
+			return err
+		}
 		if err := part.Attest(ctx, platform.AttestationPublicKey(), frontEncl.Measurement()); err != nil {
 			return err
 		}
-		part.SetClientID(fmt.Sprintf("client-%d", i))
 		if err := part.SendUpdate(ctx, updates[i]); err != nil {
 			return err
 		}

@@ -1,0 +1,51 @@
+package client
+
+import (
+	"context"
+
+	"mixnn/internal/transport"
+	"mixnn/internal/wire"
+)
+
+// Admin is the operator sub-client for one proxy's routing-plane admin
+// surface: it reads the current (and staged) topology and stages
+// directives — reshaping the shard set, switching routing policy,
+// reweighting quotas, attaching remote shards, and (with SyncPeers)
+// driving a remote shard's quota AND the peer's own round size in one
+// step. Directives apply at the proxy's next round close (immediately
+// when the tier is idle).
+type Admin struct {
+	tr     transport.Transport
+	ep     string
+	secret string
+}
+
+// NewAdmin builds an admin sub-client for a proxy endpoint. secret is
+// the tier's inter-proxy secret; staging over the network requires the
+// proxy to run with one.
+func NewAdmin(tr transport.Transport, endpoint, secret string) *Admin {
+	if tr == nil {
+		tr = transport.NewHTTP(nil)
+	}
+	return &Admin{tr: tr, ep: endpoint, secret: secret}
+}
+
+// Topology reads the proxy's current routing plane (including any
+// staged-but-not-yet-applied plan).
+func (a *Admin) Topology(ctx context.Context) (wire.TopologyStatus, error) {
+	return a.tr.Topology(ctx, a.ep, transport.TopologyRequest{Secret: a.secret})
+}
+
+// Stage validates and stages a topology directive on the proxy and
+// returns the resulting routing-plane view. With d.SyncPeers set the
+// proxy also drives every remote shard's own round size to its new
+// quota before staging completes, so one call reshapes both ends of
+// every relay leg in the same epoch.
+func (a *Admin) Stage(ctx context.Context, d wire.TopologyDirective) (wire.TopologyStatus, error) {
+	return a.tr.Topology(ctx, a.ep, transport.TopologyRequest{Directive: &d, Secret: a.secret})
+}
+
+// Status fetches the proxy's tier status.
+func (a *Admin) Status(ctx context.Context) (wire.ShardedProxyStatus, error) {
+	return proxyStatus(ctx, a.tr, a.ep)
+}

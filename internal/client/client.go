@@ -1,0 +1,341 @@
+// Package client is the participant SDK: the component behind the
+// paper's "users have only to configure its system to use a proxy",
+// grown into an API a real deployment can hold onto. A Participant is a
+// session handle onto the MixNN deployment: it discovers and attests
+// the mixing tier's enclave, holds an ORDERED FAILOVER LIST of proxy
+// endpoints, encrypts each round's update for the enclave it attested,
+// and sends with retry semantics that respect the tier's protocol (202
+// acknowledges acceptance into the tier; definitive 4xx rejections are
+// permanent and never failed over; transport failures and 5xx answers
+// fail over to the next proxy). An Admin sub-client drives the
+// routing-plane directives of PR 4's admin surface through the same
+// typed transport.
+//
+// Every leg goes through a transport.Transport, so the same Participant
+// drives a networked deployment (HTTP) or an in-process one (Loopback)
+// unchanged.
+package client
+
+import (
+	"context"
+	"crypto/ecdsa"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"mixnn/internal/enclave"
+	"mixnn/internal/nn"
+	"mixnn/internal/transport"
+	"mixnn/internal/wire"
+)
+
+// Config parameterises a Participant session.
+type Config struct {
+	// Proxies is the ordered failover list of mixing-tier endpoints:
+	// sends try them in order until one accepts. At least one is
+	// required.
+	Proxies []string
+	// Server is the aggregation server endpoint (model fetches).
+	Server string
+	// Transport carries every leg; nil = the HTTP transport.
+	Transport transport.Transport
+	// ClientID is the pseudonymous id sent with each update. A sharded
+	// proxy uses it for sticky shard routing, so a participant's updates
+	// always meet the same mixing buffer; without it routing falls back
+	// to the tier's anonymous policy.
+	ClientID string
+	// Authority and Measurement pin the attestation trust: the
+	// (simulated) authority key and the expected enclave measurement
+	// every proxy on the failover list must attest to. They may instead
+	// be supplied through Attest.
+	Authority   *ecdsa.PublicKey
+	Measurement [32]byte
+}
+
+// Participant is the participant-side session handle. It is safe for
+// concurrent use.
+type Participant struct {
+	tr      transport.Transport
+	proxies []string
+	server  string
+
+	mu          sync.Mutex
+	clientID    string
+	authority   *ecdsa.PublicKey
+	measurement [32]byte
+	// keys holds the attested (or pinned) enclave encryption key per
+	// proxy endpoint; failover re-encrypts for the endpoint it lands on.
+	keys map[string]*rsa.PublicKey
+}
+
+// New builds a participant session. The trust material may arrive later
+// via Attest; sends fail until a key is attested or pinned.
+func New(cfg Config) (*Participant, error) {
+	if len(cfg.Proxies) == 0 {
+		return nil, fmt.Errorf("client: Config.Proxies must name at least one proxy endpoint")
+	}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.NewHTTP(nil)
+	}
+	return &Participant{
+		tr:          tr,
+		proxies:     append([]string(nil), cfg.Proxies...),
+		server:      cfg.Server,
+		clientID:    cfg.ClientID,
+		authority:   cfg.Authority,
+		measurement: cfg.Measurement,
+		keys:        make(map[string]*rsa.PublicKey),
+	}, nil
+}
+
+// SetClientID sets the pseudonymous id sent with each update.
+func (c *Participant) SetClientID(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.clientID = id
+}
+
+// SetEnclaveKey pins the primary proxy's enclave key directly (for
+// deployments where the key is distributed out of band instead of via
+// attestation).
+func (c *Participant) SetEnclaveKey(pub *rsa.PublicKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.keys[c.proxies[0]] = pub
+}
+
+// Proxies returns the session's failover list.
+func (c *Participant) Proxies() []string {
+	return append([]string(nil), c.proxies...)
+}
+
+// Attest pins the trust material and runs the attestation handshake
+// against every proxy of the failover list CONCURRENTLY, pinning the
+// enclave key of each proxy it reaches — a down fallback costs one
+// transport timeout in parallel with the others, not a serial stall
+// per endpoint. It succeeds when at least one proxy attested (the rest
+// attest lazily when a send fails over to them) and fails only when NO
+// proxy could be attested.
+func (c *Participant) Attest(ctx context.Context, authority *ecdsa.PublicKey, measurement [32]byte) error {
+	c.mu.Lock()
+	c.authority = authority
+	c.measurement = measurement
+	c.mu.Unlock()
+	errs := make([]error, len(c.proxies))
+	var wg sync.WaitGroup
+	for i, ep := range c.proxies {
+		wg.Add(1)
+		go func(i int, ep string) {
+			defer wg.Done()
+			if _, err := c.attestOne(ctx, ep); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", ep, err)
+			}
+		}(i, ep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("client: no proxy attested: %w", errors.Join(errs...))
+}
+
+// attestOne runs the handshake against one endpoint and pins its key.
+func (c *Participant) attestOne(ctx context.Context, ep string) (*rsa.PublicKey, error) {
+	c.mu.Lock()
+	authority := c.authority
+	measurement := c.measurement
+	c.mu.Unlock()
+	if authority == nil {
+		return nil, fmt.Errorf("client: no trust material; call Attest first")
+	}
+	rep, nonce, err := transport.FetchReport(ctx, c.tr, ep)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := rep.Verify(authority, measurement, nonce)
+	if err != nil {
+		return nil, err
+	}
+	rsaPub, ok := pub.(*rsa.PublicKey)
+	if !ok {
+		return nil, fmt.Errorf("client: attested key is %T, want RSA", pub)
+	}
+	c.mu.Lock()
+	c.keys[ep] = rsaPub
+	c.mu.Unlock()
+	return rsaPub, nil
+}
+
+// SendUpdate encrypts the parameter update for the attested enclave and
+// sends it into the mixing tier, failing over down the proxy list ONLY
+// when the failed attempt provably did not ingest the update: a proxy
+// that was never reached (dial failure, unregistered loopback name),
+// answered an error status (any non-2xx response means the handler
+// rejected before counting anything), or cannot be attested is
+// skipped. Two failures stop the walk instead: a MATERIAL-shaped 4xx
+// rejection (bad request, too large, unprocessable, protocol version)
+// is returned immediately — every proxy of the tier would reject the
+// same bytes, while endpoint-specific 4xx like auth or routing
+// failures do fail over — and an AMBIGUOUS transport failure — a
+// timeout or connection loss after the request went out — is returned
+// without trying further proxies, because the slow proxy may have
+// ingested the update and re-sending it elsewhere would double-count
+// this participant in the round. Acceptance (202) means the update
+// entered the tier — delivery to the aggregation server is
+// asynchronous (the proxy's sealed outbox retries across downstream
+// outages), so observe round progress with WaitForRound rather than
+// inferring it from the send.
+func (c *Participant) SendUpdate(ctx context.Context, ps nn.ParamSet) error {
+	raw, err := nn.EncodeParamSet(ps)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	clientID := c.clientID
+	haveAny := c.authority != nil || len(c.keys) > 0
+	c.mu.Unlock()
+	if !haveAny {
+		return fmt.Errorf("client: no enclave key pinned; call Attest first")
+	}
+	var errs []error
+	for _, ep := range c.proxies {
+		c.mu.Lock()
+		key := c.keys[ep]
+		c.mu.Unlock()
+		if key == nil {
+			// Lazy failover attestation: this proxy was down (or not yet
+			// attested) when the session started.
+			if key, err = c.attestOne(ctx, ep); err != nil {
+				errs = append(errs, fmt.Errorf("%s: attest: %w", ep, err))
+				continue
+			}
+		}
+		ct, err := enclave.Encrypt(key, raw)
+		if err != nil {
+			return err
+		}
+		_, err = c.tr.SendUpdate(ctx, ep, transport.UpdateRequest{Body: ct, ClientID: clientID})
+		if err == nil {
+			return nil
+		}
+		if se := transport.AsStatus(err); se != nil {
+			switch se.Code {
+			case http.StatusBadRequest, http.StatusRequestEntityTooLarge,
+				http.StatusUnprocessableEntity, http.StatusUpgradeRequired:
+				// MATERIAL-shaped rejection: every proxy of the tier
+				// would reject the same bytes, so failing over cannot
+				// help — and a 4xx proves the handler refused before
+				// counting anything. Endpoint-specific 4xx (401/403
+				// auth, 404 routing) fall through to failover instead:
+				// they condemn this endpoint, not the update.
+				return fmt.Errorf("client: update rejected: %w", err)
+			}
+			if se.Code == http.StatusBadGateway || se.Code == http.StatusGatewayTimeout {
+				// These conventionally come from an INTERMEDIARY (reverse
+				// proxy, ingress) whose backend connection broke or timed
+				// out — the mixing proxy behind it may have ingested the
+				// update before the gateway gave up, so they are as
+				// ambiguous as a client-side timeout.
+				return fmt.Errorf("client: gateway failure at %s after the request may have been delivered (not failing over — a duplicate would skew the round): %w", ep, err)
+			}
+			// Everything else (401/403/404/408/429, 500, 503, …): the
+			// endpoint refused or failed before ingesting (our handlers
+			// only answer 2xx after mixing), and the failure is specific
+			// to this endpoint; safe elsewhere.
+		} else if !transport.Unreached(err) {
+			// Ambiguous transport failure: the request may have been
+			// delivered and ingested before the connection died.
+			// Re-sending to another proxy of the SAME tier could count
+			// this participant twice in the round, so surface the
+			// ambiguity instead of guessing.
+			return fmt.Errorf("client: send to %s failed after the request may have been delivered (not failing over — a duplicate would skew the round): %w", ep, err)
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", ep, err))
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return fmt.Errorf("client: send update failed on every proxy: %w", errors.Join(errs...))
+}
+
+// FetchModel retrieves the current global model and round number from
+// the aggregation server.
+func (c *Participant) FetchModel(ctx context.Context) (int, nn.ParamSet, error) {
+	if c.server == "" {
+		return 0, nn.ParamSet{}, fmt.Errorf("client: no aggregation server endpoint configured")
+	}
+	m, err := c.tr.Model(ctx, c.server)
+	if err != nil {
+		return 0, nn.ParamSet{}, fmt.Errorf("client: fetch model: %w", err)
+	}
+	ps, err := nn.DecodeParamSet(m.Body)
+	if err != nil {
+		return 0, nn.ParamSet{}, err
+	}
+	return m.Round, ps, nil
+}
+
+// WaitForRound polls the server until its round counter reaches
+// minRound (or ctx expires) and returns the model of that round.
+func (c *Participant) WaitForRound(ctx context.Context, minRound int, poll time.Duration) (int, nn.ParamSet, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		round, ps, err := c.FetchModel(ctx)
+		if err == nil && round >= minRound {
+			return round, ps, nil
+		}
+		select {
+		case <-ctx.Done():
+			if err == nil {
+				err = ctx.Err()
+			}
+			return 0, nn.ParamSet{}, fmt.Errorf("client: waiting for round %d: %w", minRound, err)
+		case <-time.After(poll):
+		}
+	}
+}
+
+// ProxyStatus fetches the primary proxy's tier status.
+func (c *Participant) ProxyStatus(ctx context.Context) (wire.ShardedProxyStatus, error) {
+	return proxyStatus(ctx, c.tr, c.proxies[0])
+}
+
+// proxyStatus fetches a proxy status report, shared by the session and
+// admin sub-client. A non-proxy peer is a local validation failure (a
+// plain error), not a peer rejection.
+func proxyStatus(ctx context.Context, tr transport.Transport, ep string) (wire.ShardedProxyStatus, error) {
+	st, err := tr.Status(ctx, ep)
+	if err != nil {
+		return wire.ShardedProxyStatus{}, err
+	}
+	if st.Proxy == nil {
+		return wire.ShardedProxyStatus{}, fmt.Errorf("client: endpoint %s is not a proxy", ep)
+	}
+	return *st.Proxy, nil
+}
+
+// ServerStatus fetches the aggregation server's round progress.
+func (c *Participant) ServerStatus(ctx context.Context) (wire.ServerStatus, error) {
+	st, err := c.tr.Status(ctx, c.server)
+	if err != nil {
+		return wire.ServerStatus{}, err
+	}
+	if st.Server == nil {
+		return wire.ServerStatus{}, fmt.Errorf("client: endpoint %s is not an aggregation server", c.server)
+	}
+	return *st.Server, nil
+}
+
+// Admin returns the admin sub-client for the primary proxy's topology
+// plane, authenticated with the tier's inter-proxy secret.
+func (c *Participant) Admin(secret string) *Admin {
+	return NewAdmin(c.tr, c.proxies[0], secret)
+}

@@ -18,7 +18,7 @@ import (
 // Binary layout (little-endian), versioned so the format can evolve:
 //
 //	magic    [4]byte "MXSH"
-//	version  uint32 (currently 3)
+//	version  uint32 (currently 4)
 //	shards   uint32 P at seal time
 //	routing  uint8  RoutingMode tag
 //	rr       uint32 round-robin routing cursor
@@ -31,6 +31,9 @@ import (
 //	  quota-routing state of the open round)
 //	topoLen  uint32, topo bytes (v3: the routing-plane topology blob,
 //	  opaque here — internal/route marshals it; zero length = none)
+//	trustLen uint32, trust section (v4: the remote shards' attestation
+//	  trust material, opaque here and sealed under TrustSection; zero
+//	  length = none)
 //	pendingLen uint32, pending section (v2: updates the mixers emitted
 //	  mid-round that have not yet been committed to the delivery outbox)
 //	per shard: sectionLen uint32, section bytes
@@ -58,10 +61,13 @@ const (
 	// version 3 adds the routing-plane topology blob and the open
 	// round's per-shard quota loads, so a restored tier comes back under
 	// the exact topology (mode, weights, remote placement) it was sealed
-	// under. RestoreShardedState still reads version 1 and 2 blobs
-	// (missing fields restore empty), so an upgrade does not strand a
-	// sealed mid-round.
-	ShardedStateVersion = 3
+	// under; version 4 adds a remote-trust section (sealed like a shard
+	// section, under the TrustSection index) so a restarted tier can
+	// RE-ATTEST its remote shards from the blob alone.
+	// RestoreShardedState still reads versions 1 through 3 (missing
+	// fields restore empty), so an upgrade does not strand a sealed
+	// mid-round.
+	ShardedStateVersion = 4
 
 	// maxSealedShards bounds the shard count a blob may claim (the blob
 	// crosses the sealing boundary, so parse limits guard allocations).
@@ -94,6 +100,13 @@ const (
 // PendingSection is the shard index SealSectionFunc/OpenSectionFunc see
 // for the pending-emission section, which belongs to no single shard.
 const PendingSection = -1
+
+// TrustSection is the shard index SealSectionFunc/OpenSectionFunc see
+// for the remote-trust section (v4): the attestation trust material of
+// the tier's remote shards, opaque to core (the proxy owns the
+// encoding). It carries inter-proxy secrets, so it is sealed like
+// buffered participant material.
+const TrustSection = -2
 
 // SealSectionFunc seals one shard's plaintext section (e.g. under a
 // per-shard derived enclave key). The pending-emission section is sealed
@@ -142,6 +155,11 @@ type ShardedStateMeta struct {
 	// Topo is the routing plane's marshalled topology, opaque to core
 	// (internal/route owns the encoding). v3 only; nil on older blobs.
 	Topo []byte
+	// RemoteTrust is the remote shards' attestation trust material,
+	// opaque to core (the proxy owns the encoding); it is sealed under
+	// the TrustSection index. v4 only; nil on older blobs or when the
+	// tier has no remote shards.
+	RemoteTrust []byte
 }
 
 // SnapshotEntries exports the mixer's buffered contents as complete
@@ -319,6 +337,22 @@ func SealShardedState(shards []Shard, meta ShardedStateMeta, seal SealSectionFun
 		return nil, fmt.Errorf("core: marshal sharded state: %w", err)
 	}
 	buf.Write(meta.Topo)
+	// v4: the remote-trust section, sealed under the TrustSection index
+	// (it carries inter-proxy secrets).
+	trustSec := meta.RemoteTrust
+	if len(trustSec) > 0 && seal != nil {
+		var err error
+		if trustSec, err = seal(TrustSection, trustSec); err != nil {
+			return nil, fmt.Errorf("core: seal trust section: %w", err)
+		}
+	}
+	if len(trustSec) > maxSectionBytes {
+		return nil, fmt.Errorf("core: trust section exceeds %d bytes", maxSectionBytes)
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, uint32(len(trustSec))); err != nil {
+		return nil, fmt.Errorf("core: marshal sharded state: %w", err)
+	}
+	buf.Write(trustSec)
 	// Pending-emission section, sealed like a shard section but under the
 	// PendingSection index.
 	pendingSec, err := marshalSection(meta.Pending)
@@ -513,10 +547,10 @@ func RestoreShardedState(blob []byte, shards []Shard, open OpenSectionFunc) (Sha
 			}
 		}
 	}
-	// readSection pulls one length-prefixed section, bounding by the
-	// bytes actually present before allocating: a forged header must not
-	// buy a 512 MiB allocation against a tiny blob.
-	readSection := func(shard int) ([]nn.ParamSet, error) {
+	// readRaw pulls one length-prefixed section, bounding by the bytes
+	// actually present before allocating: a forged header must not buy a
+	// 512 MiB allocation against a tiny blob.
+	readRaw := func(shard int) ([]byte, error) {
 		var n uint32
 		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
 			return nil, fmt.Errorf("core: read section length: %w", err)
@@ -531,13 +565,29 @@ func RestoreShardedState(blob []byte, shards []Shard, open OpenSectionFunc) (Sha
 		if _, err := io.ReadFull(r, section); err != nil {
 			return nil, fmt.Errorf("core: read section: %w", err)
 		}
-		if open != nil {
+		if len(section) > 0 && open != nil {
 			var err error
 			if section, err = open(shard, section); err != nil {
 				return nil, fmt.Errorf("core: open section: %w", err)
 			}
 		}
+		return section, nil
+	}
+	readSection := func(shard int) ([]nn.ParamSet, error) {
+		section, err := readRaw(shard)
+		if err != nil {
+			return nil, err
+		}
 		return unmarshalSection(section)
+	}
+	// v4: the remote-trust section.
+	if version >= 4 {
+		if meta.RemoteTrust, err = readRaw(TrustSection); err != nil {
+			return meta, fmt.Errorf("core: trust section: %w", err)
+		}
+		if len(meta.RemoteTrust) == 0 {
+			meta.RemoteTrust = nil
+		}
 	}
 	// Pending-emission section: v2 only (v1 had no delivery pipeline, so
 	// nothing could be pending).

@@ -109,7 +109,7 @@ func WritePerfCSV(w io.Writer, results []PerfResult) error {
 // WriteShardedPerfCSV emits one row per sharded-tier throughput run.
 func WriteShardedPerfCSV(w io.Writer, results []ShardedPerfResult) error {
 	cw := csv.NewWriter(w)
-	header := []string{"model", "participants", "shards", "k", "cascade", "rounds", "topology",
+	header := []string{"model", "participants", "shards", "k", "cascade", "rounds", "topology", "transport",
 		"update_bytes", "round_ms", "updates_per_sec", "process_ms", "batches_sent"}
 	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("experiment: write csv header: %w", err)
@@ -117,7 +117,7 @@ func WriteShardedPerfCSV(w io.Writer, results []ShardedPerfResult) error {
 	for _, r := range results {
 		row := []string{
 			r.Model, strconv.Itoa(r.Participants), strconv.Itoa(r.Shards), strconv.Itoa(r.K),
-			strconv.FormatBool(r.Cascade), strconv.Itoa(r.Rounds), r.Topology, strconv.Itoa(r.UpdateBytes),
+			strconv.FormatBool(r.Cascade), strconv.Itoa(r.Rounds), r.Topology, r.Transport, strconv.Itoa(r.UpdateBytes),
 			formatFloat(r.RoundMillis), formatFloat(r.UpdatesPerSec), formatFloat(r.ProcessMillis),
 			strconv.Itoa(r.BatchesSent),
 		}

@@ -7,10 +7,12 @@ import (
 	"sync"
 	"time"
 
+	"mixnn/internal/client"
 	"mixnn/internal/enclave"
 	"mixnn/internal/nn"
 	"mixnn/internal/proxy"
 	"mixnn/internal/route"
+	"mixnn/internal/transport"
 )
 
 // ShardedPerfResult reports one sharded-tier throughput experiment: one
@@ -31,6 +33,11 @@ type ShardedPerfResult struct {
 	// "round-robin", "hash-quota", or "remote" (every shard is its own
 	// proxy process with its own enclave — the multi-process tier).
 	Topology string
+	// Transport names the transport arm: "http" (real sockets on
+	// loopback) or "loopback" (the in-process typed transport — the same
+	// pipeline at hardware speed, isolating the mixer's own cost from
+	// HTTP framing and socket copies).
+	Transport string
 	// UpdateBytes is the plaintext size of one encoded update.
 	UpdateBytes int
 	// RoundMillis is the mean wall-clock time per round, from the first
@@ -43,22 +50,60 @@ type ShardedPerfResult struct {
 	UpdatesPerSec float64
 	// ProcessMillis is the front tier's mean in-enclave processing time.
 	ProcessMillis float64
-	// BatchesSent counts the front tier's /v1/batch deliveries (one per
+	// BatchesSent counts the front tier's batch deliveries (one per
 	// round when batching is on).
 	BatchesSent int
 	// ShardReceived is the per-shard ingest distribution of the front tier.
 	ShardReceived []int
 }
 
-// RunShardedPerf stands up the sharded mixing tier over real HTTP —
-// optionally cascaded through a second mixing proxy with per-hop
-// re-encryption — and drives `rounds` back-to-back rounds of concurrent
-// participants through it. Delivery is asynchronous (outbox + batched
+// perfNet abstracts how the experiment's tiers are served: over real
+// HTTP listeners, or registered in one in-process Loopback.
+type perfNet struct {
+	lb      *transport.Loopback // nil = HTTP
+	tr      transport.Transport // what senders (proxies, participants) use
+	cleanup []func()
+}
+
+func newPerfNet(kind string) (*perfNet, error) {
+	switch kind {
+	case "", "http":
+		return &perfNet{tr: nil}, nil // nil Transport = each tier's default HTTP
+	case "loopback":
+		lb := transport.NewLoopback()
+		return &perfNet{lb: lb, tr: lb}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown transport %q (want http or loopback)", kind)
+	}
+}
+
+// serve exposes a typed server under a stable name and returns its
+// endpoint: a registry name over Loopback, a listener URL over HTTP.
+func (pn *perfNet) serve(name string, s transport.Server) string {
+	if pn.lb != nil {
+		pn.lb.Register(name, s)
+		return name
+	}
+	srv := httptest.NewServer(transport.NewHandler(s))
+	pn.cleanup = append(pn.cleanup, srv.Close)
+	return srv.URL
+}
+
+func (pn *perfNet) close() {
+	for i := len(pn.cleanup) - 1; i >= 0; i-- {
+		pn.cleanup[i]()
+	}
+}
+
+// RunShardedPerf stands up the sharded mixing tier — optionally
+// cascaded through a second mixing proxy with per-hop re-encryption —
+// and drives `rounds` back-to-back rounds of concurrent participants
+// through it over HTTP. Delivery is asynchronous (outbox + batched
 // forwarding), so the measured window runs until the aggregation server
 // has closed every round, not merely until the proxy acknowledged the
 // sends.
 func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int, cascade bool, rounds int, seed int64) (ShardedPerfResult, error) {
-	return RunShardedPerfTopology(modelName, arch, participants, k, shards, cascade, rounds, "", seed)
+	return RunShardedPerfTransport(modelName, arch, participants, k, shards, cascade, rounds, "", "http", seed)
 }
 
 // RunShardedPerfTopology is RunShardedPerf with a routing-plane arm:
@@ -68,6 +113,17 @@ func RunShardedPerf(modelName string, arch nn.Arch, participants, k, shards int,
 // each shard re-encrypted for that shard's enclave — measuring the
 // multi-process deployment the routing plane unlocks.
 func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, shards int, cascade bool, rounds int, topology string, seed int64) (ShardedPerfResult, error) {
+	return RunShardedPerfTransport(modelName, arch, participants, k, shards, cascade, rounds, topology, "http", seed)
+}
+
+// RunShardedPerfTransport is the full experiment surface: routing-plane
+// arm × transport arm. With transportKind "loopback" the whole
+// deployment — participants, front tier, optional cascade hop or remote
+// shard proxies, and the aggregation server — runs over the in-process
+// typed transport: the identical pipeline (same enclave crypto, same
+// mixing, same outbox delivery) minus HTTP framing and socket copies,
+// which is the apples-to-apples measurement of the mixer's own cost.
+func RunShardedPerfTransport(modelName string, arch nn.Arch, participants, k, shards int, cascade bool, rounds int, topology, transportKind string, seed int64) (ShardedPerfResult, error) {
 	if participants <= 0 {
 		return ShardedPerfResult{}, fmt.Errorf("experiment: sharded perf requires participants > 0")
 	}
@@ -85,6 +141,11 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 	if remote && cascade {
 		return ShardedPerfResult{}, fmt.Errorf("experiment: -topology remote and -cascade are mutually exclusive")
 	}
+	pn, err := newPerfNet(transportKind)
+	if err != nil {
+		return ShardedPerfResult{}, err
+	}
+	defer pn.close()
 	platform, err := enclave.NewPlatform()
 	if err != nil {
 		return ShardedPerfResult{}, err
@@ -98,13 +159,15 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 	if err != nil {
 		return ShardedPerfResult{}, err
 	}
-	aggSrv := httptest.NewServer(agg.Handler())
-	defer aggSrv.Close()
+	aggEP := pn.serve("loop://agg", agg)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
 	defer cancel()
 
-	frontCfg := proxy.ShardedConfig{Upstream: aggSrv.URL, K: k, RoundSize: participants, Shards: shards, Routing: routing, Seed: seed}
+	frontCfg := proxy.ShardedConfig{
+		Upstream: aggEP, K: k, RoundSize: participants, Shards: shards,
+		Routing: routing, Seed: seed, Transport: pn.tr,
+	}
 	if remote {
 		// One proxy per shard, each hosting its own enclave: the front
 		// tier routes by hash-quota and relays each shard's material
@@ -121,20 +184,20 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 				return ShardedPerfResult{}, err
 			}
 			shardPx, err := proxy.NewSharded(proxy.ShardedConfig{
-				Upstream: aggSrv.URL, K: k, RoundSize: topo.Quota(s), Shards: 1, Seed: seed + int64(s) + 1,
+				Upstream: aggEP, K: k, RoundSize: topo.Quota(s), Shards: 1,
+				Seed: seed + int64(s) + 1, Transport: pn.tr,
 			}, shardEncl, platform)
 			if err != nil {
 				return ShardedPerfResult{}, err
 			}
 			defer shardPx.Close()
-			shardSrv := httptest.NewServer(shardPx.Handler())
-			defer shardSrv.Close()
-			key, err := proxy.AttestHop(ctx, shardSrv.URL, nil, platform.AttestationPublicKey(), shardEncl.Measurement())
+			shardEP := pn.serve(fmt.Sprintf("loop://shard-%d", s), shardPx)
+			key, err := attestHop(ctx, pn, shardEP, platform, shardEncl)
 			if err != nil {
 				return ShardedPerfResult{}, err
 			}
-			specs[s] = route.ShardSpec{Addr: shardSrv.URL}
-			remotes[shardSrv.URL] = proxy.RemoteShard{Key: key}
+			specs[s] = route.ShardSpec{Addr: shardEP}
+			remotes[shardEP] = proxy.RemoteShard{Key: key}
 		}
 		frontCfg.Shards = 0
 		frontCfg.Routing = route.ModeHashQuota
@@ -147,19 +210,19 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 			return ShardedPerfResult{}, err
 		}
 		hopPx, err := proxy.NewSharded(proxy.ShardedConfig{
-			Upstream: aggSrv.URL, K: k, RoundSize: participants, Shards: shards, Seed: seed + 1,
+			Upstream: aggEP, K: k, RoundSize: participants, Shards: shards,
+			Seed: seed + 1, Transport: pn.tr,
 		}, hopEncl, platform)
 		if err != nil {
 			return ShardedPerfResult{}, err
 		}
 		defer hopPx.Close()
-		hopSrv := httptest.NewServer(hopPx.Handler())
-		defer hopSrv.Close()
-		hopKey, err := proxy.AttestHop(ctx, hopSrv.URL, nil, platform.AttestationPublicKey(), hopEncl.Measurement())
+		hopEP := pn.serve("loop://hop", hopPx)
+		hopKey, err := attestHop(ctx, pn, hopEP, platform, hopEncl)
 		if err != nil {
 			return ShardedPerfResult{}, err
 		}
-		frontCfg.Upstream, frontCfg.NextHop, frontCfg.NextHopKey = "", hopSrv.URL, hopKey
+		frontCfg.Upstream, frontCfg.NextHop, frontCfg.NextHopKey = "", hopEP, hopKey
 	}
 
 	frontPx, err := proxy.NewSharded(frontCfg, frontEncl, platform)
@@ -167,15 +230,18 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 		return ShardedPerfResult{}, err
 	}
 	defer frontPx.Close()
-	frontSrv := httptest.NewServer(frontPx.Handler())
-	defer frontSrv.Close()
+	frontEP := pn.serve("loop://front", frontPx)
 
 	// Pre-build and pre-attest all participants so the timed window
 	// contains only the rounds themselves.
-	parts := make([]*proxy.Participant, participants)
+	parts := make([]*client.Participant, participants)
 	updates := make([][]nn.ParamSet, rounds)
 	for i := range parts {
-		parts[i] = proxy.NewParticipant(frontSrv.URL, aggSrv.URL, nil)
+		if parts[i], err = client.New(client.Config{
+			Proxies: []string{frontEP}, Server: aggEP, Transport: pn.tr,
+		}); err != nil {
+			return ShardedPerfResult{}, err
+		}
 		if err := parts[i].Attest(ctx, platform.AttestationPublicKey(), frontEncl.Measurement()); err != nil {
 			return ShardedPerfResult{}, err
 		}
@@ -223,8 +289,8 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 	}
 	totalDur := time.Since(start)
 	// Settle the delivery pipeline before reading counters: the server
-	// closes a round inside the batch POST, an instant before the proxy
-	// records the acknowledgement.
+	// closes a round inside the batch delivery, an instant before the
+	// proxy records the acknowledgement.
 	if err := frontPx.Flush(ctx); err != nil {
 		return ShardedPerfResult{}, err
 	}
@@ -238,6 +304,10 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 	if label == "" {
 		label = route.ModeSticky.String()
 	}
+	trLabel := transportKind
+	if trLabel == "" {
+		trLabel = "http"
+	}
 	return ShardedPerfResult{
 		Model:         modelName,
 		Participants:  participants,
@@ -246,6 +316,7 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 		Cascade:       cascade,
 		Rounds:        rounds,
 		Topology:      label,
+		Transport:     trLabel,
 		UpdateBytes:   st.UpdateBytes,
 		RoundMillis:   totalDur.Seconds() * 1000 / float64(rounds),
 		UpdatesPerSec: float64(rounds*participants) / totalDur.Seconds(),
@@ -253,4 +324,14 @@ func RunShardedPerfTopology(modelName string, arch nn.Arch, participants, k, sha
 		BatchesSent:   st.BatchesSent,
 		ShardReceived: received,
 	}, nil
+}
+
+// attestHop runs the proxy-to-proxy attestation handshake over the
+// experiment's transport.
+func attestHop(ctx context.Context, pn *perfNet, ep string, platform *enclave.Platform, encl *enclave.Enclave) (*enclave.HopKey, error) {
+	tr := pn.tr
+	if tr == nil {
+		tr = transport.NewHTTP(nil)
+	}
+	return proxy.AttestHopOver(ctx, tr, ep, platform.AttestationPublicKey(), encl.Measurement())
 }

@@ -11,16 +11,17 @@ package proxy
 import (
 	"context"
 	"crypto/ecdsa"
-	"crypto/subtle"
 	"crypto/x509"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"log"
 	"net/http"
 	"os"
 	"time"
 
 	"mixnn/internal/route"
+	"mixnn/internal/transport"
 	"mixnn/internal/wire"
 )
 
@@ -74,10 +75,29 @@ func (p *ShardedProxy) RegisterRemote(addr string, rs RemoteShard) error {
 // for the next epoch. When the tier is idle (no update of the current
 // round ingested, no round close in flight) the staged topology applies
 // immediately; otherwise it applies at the next round close.
+//
+// With d.SyncPeers set, each remote shard's OWN round size is driven to
+// its new quota in the same step: the proxy posts a RoundSize directive
+// to every remote peer's admin plane before promoting the staged plan,
+// so one directive reshapes both ends of every relay leg in the same
+// epoch. Peers must run with an inter-proxy secret (their admin POST is
+// gated on it); the secret used is the one registered for the shard.
+// SyncPeers requires a QUIESCENT tier (no open round, no round close in
+// flight, empty delivery outbox): a peer applies its round-size change
+// as soon as it is idle, so reshaping it while this tier still has an
+// old-quota round open (or queued) would deliver q_old updates into a
+// round sized q_new — stalling the peer's round or splitting an epoch
+// across two of its rounds. The directive fails cleanly instead; retry
+// between rounds.
 func (p *ShardedProxy) StageTopology(ctx context.Context, d wire.TopologyDirective) (*route.Topology, error) {
 	mode, err := route.ParseMode(d.Mode)
 	if err != nil {
 		return nil, err
+	}
+	if d.SyncPeers {
+		if err := p.requireQuiesced(); err != nil {
+			return nil, fmt.Errorf("proxy: sync_peers: %w", err)
+		}
 	}
 	if d.Mode == "" {
 		mode = 0 // keep the current mode
@@ -99,8 +119,93 @@ func (p *ShardedProxy) StageTopology(ctx context.Context, d wire.TopologyDirecti
 	if err != nil {
 		return nil, err
 	}
+	if d.SyncPeers {
+		if err := p.syncPeerRoundSizes(ctx, next); err != nil {
+			// The directive is all-or-nothing: a plan whose peers were
+			// not (all) resized must not auto-promote at the next round
+			// close — that would relay new-quota shares into old-size
+			// peer rounds. syncPeerRoundSizes already rolled back any
+			// peer it had resized; discard the staged plan too.
+			p.planner.Unstage()
+			return nil, err
+		}
+	}
 	p.applyStagedIfIdle()
 	return next, nil
+}
+
+// requireQuiesced fails unless the tier has no open round, no round
+// close in flight, and an empty delivery outbox — the precondition for
+// reshaping both ends of a relay leg atomically. Advisory: an update
+// racing in between this check and the staged plan's promotion narrows
+// but cannot fully close the window; the systematic mid-round skew is
+// what it prevents.
+func (p *ShardedProxy) requireQuiesced() error {
+	p.mu.Lock()
+	inRound, closing, retained := p.inRound, p.closing, p.retained
+	p.mu.Unlock()
+	if inRound != 0 || closing != 0 || retained != 0 {
+		return fmt.Errorf("tier is mid-round (%d updates in, %d closes in flight); retry between rounds", inRound, closing)
+	}
+	if n := p.box.Len(); n != 0 {
+		return fmt.Errorf("delivery outbox still holds %d entries routed under the current quotas; retry after it drains", n)
+	}
+	return nil
+}
+
+// syncPeerRoundSizes drives every remote shard's round size to its
+// quota under the staged topology, via the peer's typed admin plane.
+// It is as close to atomic as a cross-process config change gets
+// without two-phase commit: every peer's admin plane is PROBED (an
+// authenticated read, recording its current round size) before any
+// peer is mutated — so the common failures, an unreachable or
+// misauthenticated peer, abort with nothing changed — and if a resize
+// still fails mid-way, the peers already resized are rolled back to
+// the round size the probe recorded.
+func (p *ShardedProxy) syncPeerRoundSizes(ctx context.Context, next *route.Topology) error {
+	type peerSync struct {
+		addr   string
+		secret string
+		quota  int
+		oldRS  int
+	}
+	var peers []peerSync
+	for s := 0; s < next.P(); s++ {
+		if !next.IsRemote(s) {
+			continue
+		}
+		addr := next.Spec(s).Addr
+		p.mu.Lock()
+		secret := p.remotes[addr].Secret
+		p.mu.Unlock()
+		st, err := p.tr.Topology(ctx, addr, transport.TopologyRequest{Secret: secret})
+		if err != nil {
+			return fmt.Errorf("proxy: probe peer %s admin plane before resizing any peer: %w", addr, err)
+		}
+		peers = append(peers, peerSync{addr: addr, secret: secret, quota: next.Quota(s), oldRS: st.RoundSize})
+	}
+	for i, ps := range peers {
+		_, err := p.tr.Topology(ctx, ps.addr, transport.TopologyRequest{
+			Directive: &wire.TopologyDirective{RoundSize: ps.quota},
+			Secret:    ps.secret,
+		})
+		if err == nil {
+			continue
+		}
+		// Roll the already-resized peers back to their probed round
+		// sizes; a rollback that itself fails needs the operator (the
+		// caller also unstages, so nothing promotes meanwhile).
+		for _, done := range peers[:i] {
+			if _, rerr := p.tr.Topology(ctx, done.addr, transport.TopologyRequest{
+				Directive: &wire.TopologyDirective{RoundSize: done.oldRS},
+				Secret:    done.secret,
+			}); rerr != nil {
+				log.Printf("proxy: rollback of peer %s round size to %d failed (operator must reconcile): %v", done.addr, done.oldRS, rerr)
+			}
+		}
+		return fmt.Errorf("proxy: sync peer %s round size to quota %d: %w", ps.addr, ps.quota, err)
+	}
+	return nil
 }
 
 // applyStagedIfIdle promotes a staged topology right away when no round
@@ -150,22 +255,21 @@ func (p *ShardedProxy) ensureRemote(ctx context.Context, s wire.TopologyShardSpe
 		if s.Secret != "" && s.Secret != existing.Secret {
 			p.mu.Lock()
 			existing.Secret = s.Secret
+			if existing.Trust != nil {
+				existing.Trust.Secret = s.Secret
+			}
 			p.remotes[s.Addr] = existing
 			p.mu.Unlock()
 		}
 		return nil
 	}
-	authority, measurement, err := resolveTrust(s)
+	actx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	rs, err := resolveRemoteShard(actx, s, p.tr)
 	if err != nil {
 		return err
 	}
-	actx, cancel := context.WithTimeout(ctx, 30*time.Second)
-	defer cancel()
-	key, err := AttestHop(actx, s.Addr, p.httpc, authority, measurement)
-	if err != nil {
-		return fmt.Errorf("attest: %w", err)
-	}
-	return p.RegisterRemote(s.Addr, RemoteShard{Key: key, Secret: s.Secret})
+	return p.RegisterRemote(s.Addr, rs)
 }
 
 // ResolveRemoteShard resolves a remote shard spec's trust material and
@@ -174,52 +278,72 @@ func (p *ShardedProxy) ensureRemote(ctx context.Context, s wire.TopologyShardSpe
 // it to bring up a -shards-file topology before serving. httpc may be
 // nil for a default client.
 func ResolveRemoteShard(ctx context.Context, s wire.TopologyShardSpec, httpc *http.Client) (RemoteShard, error) {
+	return ResolveRemoteShardOver(ctx, s, transport.NewHTTP(httpc))
+}
+
+// ResolveRemoteShardOver is ResolveRemoteShard over an arbitrary
+// transport.
+func ResolveRemoteShardOver(ctx context.Context, s wire.TopologyShardSpec, tr transport.Transport) (RemoteShard, error) {
 	if s.Addr == "" {
 		return RemoteShard{}, fmt.Errorf("proxy: remote shard spec without an address")
 	}
-	authority, measurement, err := resolveTrust(s)
+	rs, err := resolveRemoteShard(ctx, s, tr)
 	if err != nil {
 		return RemoteShard{}, fmt.Errorf("proxy: remote shard %s: %w", s.Addr, err)
 	}
-	key, err := AttestHop(ctx, s.Addr, httpc, authority, measurement)
-	if err != nil {
-		return RemoteShard{}, fmt.Errorf("proxy: attest remote shard %s: %w", s.Addr, err)
-	}
-	return RemoteShard{Key: key, Secret: s.Secret}, nil
+	return rs, nil
 }
 
-// resolveTrust extracts the attestation authority key + expected
-// measurement from a shard spec: inline material wins; a trust file
-// (the bundle mixnn-proxy writes at startup) is the file-based
-// alternative used by -shards-file.
-func resolveTrust(s wire.TopologyShardSpec) (*ecdsa.PublicKey, [32]byte, error) {
-	var meas [32]byte
-	der := s.AuthorityPubDER
-	measHex := s.MeasurementHex
-	if der == nil && s.TrustFile != "" {
-		bundle, err := ReadTrustBundle(s.TrustFile)
-		if err != nil {
-			return nil, meas, err
-		}
-		der, measHex = bundle.AuthorityPubDER, bundle.MeasurementHex
-	}
-	if der == nil {
-		return nil, meas, fmt.Errorf("no trust material (authority_pub_der+measurement or trust_file) for a new remote shard")
-	}
-	pub, err := x509.ParsePKIXPublicKey(der)
+// resolveRemoteShard resolves trust material and attests, recording the
+// trust bundle inside the RemoteShard so the tier can seal it (a
+// restarted replacement re-attests the peer from the blob alone).
+func resolveRemoteShard(ctx context.Context, s wire.TopologyShardSpec, tr transport.Transport) (RemoteShard, error) {
+	authority, measurement, bundle, err := resolveTrust(s)
 	if err != nil {
-		return nil, meas, fmt.Errorf("parse authority key: %w", err)
+		return RemoteShard{}, err
+	}
+	key, err := AttestHopOver(ctx, tr, s.Addr, authority, measurement)
+	if err != nil {
+		return RemoteShard{}, fmt.Errorf("attest: %w", err)
+	}
+	return RemoteShard{
+		Key:    key,
+		Secret: s.Secret,
+		Trust:  &RemoteTrust{AuthorityPubDER: bundle.AuthorityPubDER, MeasurementHex: bundle.MeasurementHex, Secret: s.Secret},
+	}, nil
+}
+
+// resolveTrust extracts the attestation trust of a shard spec: inline
+// material wins; a trust file (the bundle mixnn-proxy writes at
+// startup) is the file-based alternative used by -shards-file. It
+// returns both the parsed forms (for the handshake) and the raw bundle
+// (for sealing).
+func resolveTrust(s wire.TopologyShardSpec) (*ecdsa.PublicKey, [32]byte, TrustBundle, error) {
+	var meas [32]byte
+	bundle := TrustBundle{AuthorityPubDER: s.AuthorityPubDER, MeasurementHex: s.MeasurementHex}
+	if bundle.AuthorityPubDER == nil && s.TrustFile != "" {
+		var err error
+		if bundle, err = ReadTrustBundle(s.TrustFile); err != nil {
+			return nil, meas, bundle, err
+		}
+	}
+	if bundle.AuthorityPubDER == nil {
+		return nil, meas, bundle, fmt.Errorf("no trust material (authority_pub_der+measurement or trust_file) for a new remote shard")
+	}
+	pub, err := x509.ParsePKIXPublicKey(bundle.AuthorityPubDER)
+	if err != nil {
+		return nil, meas, bundle, fmt.Errorf("parse authority key: %w", err)
 	}
 	authority, ok := pub.(*ecdsa.PublicKey)
 	if !ok {
-		return nil, meas, fmt.Errorf("authority key is %T, want ECDSA", pub)
+		return nil, meas, bundle, fmt.Errorf("authority key is %T, want ECDSA", pub)
 	}
-	raw, err := hex.DecodeString(measHex)
+	raw, err := hex.DecodeString(bundle.MeasurementHex)
 	if err != nil || len(raw) != 32 {
-		return nil, meas, fmt.Errorf("malformed measurement")
+		return nil, meas, bundle, fmt.Errorf("malformed measurement")
 	}
 	copy(meas[:], raw)
-	return authority, meas, nil
+	return authority, meas, bundle, nil
 }
 
 // TopologyStatus snapshots the routing plane for the admin endpoint.
@@ -254,51 +378,4 @@ func topoShards(t *route.Topology, load []int) []wire.TopologyShard {
 		}
 	}
 	return out
-}
-
-// authorizeAdmin gates the admin surface with the inter-proxy secret
-// when one is configured: reshaping the tier is at least as sensitive as
-// posting hop traffic.
-func (p *ShardedProxy) authorizeAdmin(w http.ResponseWriter, r *http.Request) bool {
-	if p.cfg.HopSecret != "" &&
-		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+p.cfg.HopSecret)) != 1 {
-		http.Error(w, "topology admin requires the inter-proxy secret", http.StatusUnauthorized)
-		return false
-	}
-	return true
-}
-
-func (p *ShardedProxy) handleTopologyGet(w http.ResponseWriter, r *http.Request) {
-	if !p.authorizeAdmin(w, r) {
-		return
-	}
-	wire.WriteJSON(w, p.TopologyStatus())
-}
-
-func (p *ShardedProxy) handleTopologyPost(w http.ResponseWriter, r *http.Request) {
-	// Reshaping the tier over the network is privacy-critical either way
-	// — a forged directive could shrink the anonymity set to one shard,
-	// or attach an attacker-attested "remote shard" that receives raw
-	// pre-mix updates — so the POST surface only exists behind the
-	// inter-proxy secret. Operators without one still have -shards-file
-	// (local file, hot-reloaded) and the Go API.
-	if p.cfg.HopSecret == "" {
-		http.Error(w, "topology admin POST requires the proxy to be started with an inter-proxy secret (-hop-secret)", http.StatusForbidden)
-		return
-	}
-	if !p.authorizeAdmin(w, r) {
-		return
-	}
-	var d wire.TopologyDirective
-	if err := wire.DecodeJSON(r.Body, &d); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
-	if _, err := p.StageTopology(r.Context(), d); err != nil {
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
-	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusAccepted)
-	wire.WriteJSON(w, p.TopologyStatus())
 }

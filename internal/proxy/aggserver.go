@@ -5,13 +5,14 @@
 package proxy
 
 import (
+	"context"
 	"fmt"
 	"net/http"
-	"strconv"
 	"sync"
 
 	"mixnn/internal/fl"
 	"mixnn/internal/nn"
+	"mixnn/internal/transport"
 	"mixnn/internal/wire"
 )
 
@@ -34,6 +35,12 @@ type AggServer struct {
 	// disseminated is the model as served for the current round (what
 	// clients train on); recorded so observers get the exact base model.
 	disseminated nn.ParamSet
+	// encModel caches the encoded form of disseminated for the model
+	// endpoint (participants poll it every few hundred ms; re-encoding
+	// megabytes per poll would be pure garbage). modelGen bumps on every
+	// disseminated change, invalidating the cache.
+	encModel []byte
+	modelGen uint64
 }
 
 // NewAggServer builds the server with its initial global model and the
@@ -68,6 +75,8 @@ func (s *AggServer) SetDisseminated(ps nn.ParamSet) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.disseminated = ps.Clone()
+	s.encModel = nil
+	s.modelGen++
 }
 
 // Round returns the current round number (completed rounds).
@@ -80,14 +89,12 @@ func (s *AggServer) Round() int {
 // Global returns the current global model.
 func (s *AggServer) Global() nn.ParamSet { return s.server.Global() }
 
-// Handler returns the HTTP API.
+// Handler returns the HTTP API: the typed protocol served over the
+// wire-compatible HTTP adapter. Endpoints the aggregation server does
+// not provide (cascade ingress, attestation, topology admin) answer 404
+// exactly as the unregistered routes did.
 func (s *AggServer) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/update", s.handleUpdate)
-	mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/model", s.handleModel)
-	mux.HandleFunc("GET /v1/status", s.handleStatus)
-	return mux
+	return transport.NewHandler(s)
 }
 
 // absorb appends updates to the open round and closes as many rounds as
@@ -127,88 +134,83 @@ func (s *AggServer) absorb(updates []nn.ParamSet) (int, error) {
 		s.pending = s.pending[s.expect:]
 		s.round++
 		s.disseminated = s.server.Global()
+		s.encModel = nil
+		s.modelGen++
 		closed++
 	}
 	return closed, nil
 }
 
-func (s *AggServer) handleUpdate(w http.ResponseWriter, r *http.Request) {
-	body, err := wire.ReadBody(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+// HandleUpdate ingests one plaintext mixed update. It implements
+// transport.Server.
+func (s *AggServer) HandleUpdate(ctx context.Context, req transport.UpdateRequest) (transport.Receipt, error) {
+	if err := transport.CheckBody(req.Body); err != nil {
+		return transport.Receipt{Shard: -1}, err
 	}
-	ps, err := nn.DecodeParamSet(body)
+	ps, err := nn.DecodeParamSet(req.Body)
 	if err != nil {
-		http.Error(w, fmt.Sprintf("decode update: %v", err), http.StatusBadRequest)
-		return
+		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusBadRequest, "decode update: %v", err)
 	}
 	if _, err := s.absorb([]nn.ParamSet{ps}); err != nil {
 		// An aggregate failure is structural (updates incompatible with
 		// the global model) — retrying the same material cannot succeed,
 		// so answer 422: proxies classify it permanent and quarantine the
 		// entry instead of wedging their queue on it.
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
+		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusUnprocessableEntity, "%s", err.Error())
 	}
-	w.WriteHeader(http.StatusAccepted)
+	return transport.Receipt{Shard: -1}, nil
 }
 
-// handleBatch ingests a whole drained round in one POST. The body is a
-// plaintext wire.BatchEnvelope; the X-Mixnn-Batch id makes redelivery
-// idempotent: a batch the server already applied is acknowledged without
+// HandleBatch ingests a whole drained round in one request. The body is
+// a plaintext wire.BatchEnvelope; the idempotency id makes redelivery
+// safe: a batch the server already applied is acknowledged without
 // reprocessing, so proxy retry after a lost acknowledgement cannot skew
-// the round mean with duplicates.
-func (s *AggServer) handleBatch(w http.ResponseWriter, r *http.Request) {
-	batchID := r.Header.Get(wire.HeaderBatch)
-	body, err := wire.ReadBody(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+// the round mean with duplicates. It implements transport.Server.
+func (s *AggServer) HandleBatch(ctx context.Context, req transport.BatchRequest) (transport.Receipt, error) {
+	if err := transport.CheckBody(req.Body); err != nil {
+		return transport.Receipt{Shard: -1}, err
 	}
-	env, err := wire.DecodeBatchEnvelope(body)
+	batchID := req.ID
+	env, err := wire.DecodeBatchEnvelope(req.Body)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusBadRequest, "%s", err.Error())
 	}
 	// Decode every update before absorbing any, so a malformed item
 	// cannot leave a round half-counted.
 	updates := make([]nn.ParamSet, len(env.Updates))
 	for i, raw := range env.Updates {
-		// The envelope was read into a fresh buffer this handler owns, so
+		// The request body's ownership transferred to this handler, so
 		// the zero-copy decode is safe; aggregation never mutates updates.
 		if updates[i], err = nn.DecodeParamSetNoCopy(raw); err != nil {
-			http.Error(w, fmt.Sprintf("decode batch update %d: %v", i, err), http.StatusBadRequest)
-			return
+			return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusBadRequest, "decode batch update %d: %v", i, err)
 		}
 	}
 	// Claim the id BEFORE absorbing: a retry overlapping a slow first
 	// attempt must dedup, not re-apply — and an attempt still in flight
 	// must not be acked as applied (the sender would consume its outbox
 	// entry while this attempt can still fail).
-	sender, senderSeq, hasSeq := batchSender(r.Header.Get)
+	sender, senderSeq, hasSeq := req.Sender, req.Seq, req.HasSeq && req.Sender != ""
 	if batchID != "" {
 		switch s.seen.Begin(batchID, sender, senderSeq, hasSeq) {
 		case dedupApplied:
-			w.WriteHeader(http.StatusOK)
-			return
+			return transport.Receipt{Shard: -1, Duplicate: true}, nil
 		case dedupInFlight:
-			http.Error(w, "batch application in flight", http.StatusConflict)
-			return
+			return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusConflict, "batch application in flight")
 		case dedupStale:
 			// Aged out of the window but provably superseded by the
 			// sender's sequence watermark: re-absorbing would double-count
 			// a round. The stale marker makes the sender quarantine
 			// instead of retrying.
-			w.Header().Set(wire.HeaderStale, "1")
-			http.Error(w, "stale batch redelivery (sequence below the sender's applied watermark)", http.StatusConflict)
-			return
+			return transport.Receipt{Shard: -1}, &transport.StatusError{
+				Code: http.StatusConflict, Stale: true,
+				Msg: "stale batch redelivery (sequence below the sender's applied watermark)",
+			}
 		}
 	}
 	closed, err := s.absorb(updates)
 	if err != nil {
 		// Structural failure — permanent from the sender's point of view
-		// (see handleUpdate); a 5xx here would make the proxy retry the
+		// (see HandleUpdate); a 5xx here would make the proxy retry the
 		// same poison batch forever. If the batch spanned round
 		// boundaries and some rounds DID close before the failure, keep
 		// its id recorded as applied: the entry will be quarantined
@@ -222,33 +224,68 @@ func (s *AggServer) handleBatch(w http.ResponseWriter, r *http.Request) {
 				s.seen.Done(batchID, sender, senderSeq, hasSeq)
 			}
 		}
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
-		return
+		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusUnprocessableEntity, "%s", err.Error())
 	}
 	if batchID != "" {
 		s.seen.Done(batchID, sender, senderSeq, hasSeq)
 	}
-	w.WriteHeader(http.StatusAccepted)
+	return transport.Receipt{Shard: -1}, nil
 }
 
-func (s *AggServer) handleModel(w http.ResponseWriter, r *http.Request) {
+// HandleHop implements transport.Server: the aggregation server is not
+// a cascade hop.
+func (s *AggServer) HandleHop(ctx context.Context, req transport.HopRequest) (transport.Receipt, error) {
+	return transport.Receipt{Shard: -1}, transport.ErrNotSupported
+}
+
+// HandleAttest implements transport.Server: the server runs no enclave.
+func (s *AggServer) HandleAttest(ctx context.Context, nonce []byte) (wire.AttestationResponse, error) {
+	return wire.AttestationResponse{}, transport.ErrNotSupported
+}
+
+// HandleTopology implements transport.Server: the server has no
+// routing plane.
+func (s *AggServer) HandleTopology(ctx context.Context, req transport.TopologyRequest) (wire.TopologyStatus, error) {
+	return wire.TopologyStatus{}, transport.ErrNotSupported
+}
+
+// HandleModel serves the current global model. It implements
+// transport.Server. The encoded body is cached per model generation —
+// participants poll this endpoint continuously, and the cache turns
+// each poll into a buffer handoff instead of a clone + encode. The
+// returned Body is shared between concurrent polls and MUST NOT be
+// mutated by callers (the HTTP adapter only writes it; the SDK's
+// FetchModel decodes it with the copying decoder).
+func (s *AggServer) HandleModel(ctx context.Context) (transport.ModelResponse, error) {
 	s.mu.Lock()
-	round := s.round
+	if s.encModel != nil {
+		resp := transport.ModelResponse{Round: s.round, Body: s.encModel}
+		s.mu.Unlock()
+		return resp, nil
+	}
+	round, gen := s.round, s.modelGen
 	model := s.disseminated.Clone()
 	s.mu.Unlock()
-
-	w.Header().Set("Content-Type", wire.ContentTypeUpdate)
-	w.Header().Set(wire.HeaderRound, strconv.Itoa(round))
-	if err := nn.WriteParamSet(w, model); err != nil {
-		// Response already started; the client's decode will fail and it
-		// will retry.
-		return
+	// Encode outside the lock: a multi-megabyte encode must not block
+	// ingress. The generation check below keeps a concurrent round
+	// close (or an active-attack SetDisseminated) from caching a stale
+	// body.
+	body, err := nn.EncodeParamSet(model)
+	if err != nil {
+		return transport.ModelResponse{}, err
 	}
+	s.mu.Lock()
+	if s.modelGen == gen && s.encModel == nil {
+		s.encModel = body
+	}
+	s.mu.Unlock()
+	return transport.ModelResponse{Round: round, Body: body}, nil
 }
 
-func (s *AggServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+// HandleStatus implements transport.Server.
+func (s *AggServer) HandleStatus(ctx context.Context) (transport.StatusResponse, error) {
 	s.mu.Lock()
 	st := wire.ServerStatus{Round: s.round, UpdatesInRound: len(s.pending), ExpectPerRound: s.expect}
 	s.mu.Unlock()
-	wire.WriteJSON(w, st)
+	return transport.StatusResponse{Server: &st}, nil
 }

@@ -1,10 +1,7 @@
 package proxy
 
 import (
-	"strconv"
 	"sync"
-
-	"mixnn/internal/wire"
 )
 
 // DefaultDedupWindow is the batch-dedup FIFO capacity when the operator
@@ -74,21 +71,6 @@ func (d *batchDedup) capLocked() int {
 		return d.cap
 	}
 	return DefaultDedupWindow
-}
-
-// batchSender extracts the sender identity + entry sequence headers of a
-// /v1/batch request (ok only when both are present and well-formed).
-func batchSender(get func(string) string) (sender string, seq uint64, ok bool) {
-	sender = get(wire.HeaderSender)
-	seqStr := get(wire.HeaderBatchSeq)
-	if sender == "" || seqStr == "" {
-		return "", 0, false
-	}
-	v, err := strconv.ParseUint(seqStr, 10, 64)
-	if err != nil {
-		return "", 0, false
-	}
-	return sender, v, true
 }
 
 // Begin atomically decides what to do with batch id from (sender, seq);

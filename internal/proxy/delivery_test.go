@@ -18,6 +18,7 @@ import (
 	"mixnn/internal/fl"
 	"mixnn/internal/nn"
 	"mixnn/internal/outbox"
+	"mixnn/internal/transport"
 	"mixnn/internal/wire"
 )
 
@@ -939,33 +940,44 @@ func TestDeliveryBatchIncompatibleWithOpenRound(t *testing.T) {
 }
 
 // TestDeliveryClassifyStatus pins the retry-vs-quarantine mapping the
-// dispatcher depends on.
+// dispatcher depends on, now expressed over typed transport errors.
 func TestDeliveryClassifyStatus(t *testing.T) {
-	permanent := func(code int) bool {
-		err := classifyStatus(code, http.StatusText(code))
+	isPermanent := func(err error) bool {
 		if err == nil {
 			return false
 		}
 		var perm *outbox.PermanentError
 		return errors.As(err, &perm)
 	}
-	if err := classifyStatus(http.StatusOK, "200 OK"); err != nil {
-		t.Fatalf("200 classified as %v", err)
+	permanent := func(code int) bool {
+		return isPermanent(classifyDelivery(&transport.StatusError{Code: code, Msg: http.StatusText(code)}))
 	}
-	if err := classifyStatus(http.StatusAccepted, "202 Accepted"); err != nil {
-		t.Fatalf("202 classified as %v", err)
-	}
-	for _, code := range []int{http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusNotFound, http.StatusLoopDetected} {
+	for _, code := range []int{http.StatusBadRequest, http.StatusUnprocessableEntity, http.StatusNotFound,
+		http.StatusUpgradeRequired, http.StatusLoopDetected} {
 		if !permanent(code) {
 			t.Fatalf("%d must be permanent (retry can never succeed)", code)
 		}
 	}
 	for _, code := range []int{http.StatusUnauthorized, http.StatusForbidden, http.StatusRequestTimeout,
 		http.StatusTooManyRequests, http.StatusInternalServerError, http.StatusServiceUnavailable} {
-		err := classifyStatus(code, http.StatusText(code))
+		err := classifyDelivery(&transport.StatusError{Code: code, Msg: http.StatusText(code)})
 		if err == nil || permanent(code) {
 			t.Fatalf("%d must be transient (recoverable downstream state)", code)
 		}
+	}
+	// A 409 is transient (an earlier attempt may still be applying) —
+	// unless it carries the stale marker, which proves retrying can
+	// never succeed.
+	if isPermanent(classifyDelivery(&transport.StatusError{Code: http.StatusConflict})) {
+		t.Fatal("plain 409 must stay transient")
+	}
+	if !isPermanent(classifyDelivery(&transport.StatusError{Code: http.StatusConflict, Stale: true})) {
+		t.Fatal("stale 409 must be permanent")
+	}
+	// Transport-level failures (downstream unreachable) are transient by
+	// definition.
+	if isPermanent(classifyDelivery(errors.New("connection refused"))) {
+		t.Fatal("transport errors must stay transient")
 	}
 }
 
@@ -1068,11 +1080,11 @@ func TestAggServerBatchRejectsGarbage(t *testing.T) {
 // over epochs × shard count × round size × batch mode: every epoch's
 // delivered round must average to exactly that epoch's classic-FL mean.
 func FuzzDeliveryEquivalence(f *testing.F) {
-	f.Add(uint8(1), uint8(1), uint8(3), true)
-	f.Add(uint8(2), uint8(2), uint8(4), true)
-	f.Add(uint8(3), uint8(3), uint8(5), true)
-	f.Add(uint8(2), uint8(2), uint8(4), false)
-	f.Fuzz(func(t *testing.T, epochs, shards, c uint8, batch bool) {
+	f.Add(uint8(1), uint8(1), uint8(3), true, false)
+	f.Add(uint8(2), uint8(2), uint8(4), true, false)
+	f.Add(uint8(3), uint8(3), uint8(5), true, true)
+	f.Add(uint8(2), uint8(2), uint8(4), false, true)
+	f.Fuzz(func(t *testing.T, epochs, shards, c uint8, batch, loop bool) {
 		e := int(epochs)%3 + 1
 		p := int(shards)%4 + 1
 		clients := p + int(c)%8
@@ -1085,29 +1097,27 @@ func FuzzDeliveryEquivalence(f *testing.F) {
 		}
 		obs := &roundObserver{}
 		agg.SetObserver(obs)
-		aggSrv := httptest.NewServer(agg.Handler())
-		defer aggSrv.Close()
+		// Transport dimension: the same pipeline over real HTTP or over
+		// the in-process Loopback must deliver identical aggregates.
+		tn := newTestNet(t, loop)
+		aggEP := tn.serve("loop://agg", agg)
 		px, err := NewSharded(ShardedConfig{
-			Upstream: aggSrv.URL, K: 1, RoundSize: clients, Shards: p,
+			Upstream: aggEP, K: 1, RoundSize: clients, Shards: p,
 			Seed: int64(e*100 + p*10 + clients), NoBatch: !batch,
 			RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
+			Transport: tn.cfgTransport(),
 		}, encl, platform)
 		if err != nil {
 			t.Fatal(err)
 		}
 		defer px.Close()
-		pxSrv := httptest.NewServer(px.Handler())
-		defer pxSrv.Close()
+		pxEP := tn.serve("loop://front", px)
 
 		sent := make([][]nn.ParamSet, e)
 		for epoch := 0; epoch < e; epoch++ {
 			sent[epoch] = perturbed(initial, clients, float64(epoch*1000))
 			for i, u := range sent[epoch] {
-				resp := sendRaw(t, encl, pxSrv.URL, fmt.Sprintf("c%d", i), u)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusAccepted {
-					t.Fatalf("epoch %d send %d: %s", epoch, i, resp.Status)
-				}
+				sendTyped(t, tn.tr(), encl, pxEP, fmt.Sprintf("c%d", i), u)
 			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

@@ -1,197 +1,31 @@
 package proxy
 
 import (
-	"bytes"
-	"context"
-	"crypto/ecdsa"
-	"crypto/rand"
-	"crypto/rsa"
-	"encoding/hex"
-	"fmt"
 	"net/http"
-	"strconv"
-	"time"
 
-	"mixnn/internal/enclave"
-	"mixnn/internal/nn"
-	"mixnn/internal/wire"
+	"mixnn/internal/client"
+	"mixnn/internal/transport"
 )
 
-// Participant is the client-side transport: it attests the MixNN proxy,
-// encrypts parameter updates with the attested enclave key, and fetches
-// global models from the aggregation server. This is the component behind
-// the paper's "users have only to configure its system to use a proxy".
-type Participant struct {
-	proxyURL  string
-	serverURL string
-	httpc     *http.Client
-	clientID  string
+// Participant is the participant-side session handle, now implemented
+// by the SDK in internal/client (attestation, per-proxy enclave keys,
+// ordered failover, typed transport). The alias keeps the package's
+// historical construction site working.
+type Participant = client.Participant
 
-	enclaveKey *rsa.PublicKey
-}
-
-// SetClientID sets the pseudonymous id sent as the X-Mixnn-Client header
-// with each update. A sharded proxy uses it for sticky shard routing, so
-// a participant's updates always meet the same mixing buffer; without it
-// routing falls back to round-robin.
-func (c *Participant) SetClientID(id string) { c.clientID = id }
-
-// NewParticipant builds a transport for the given proxy and server URLs.
-// httpc may be nil for a default client.
+// NewParticipant builds a single-proxy participant session over HTTP —
+// the pre-SDK constructor, kept for callers that predate failover
+// lists. httpc may be nil for a default client; use client.New for the
+// full configuration surface (failover, custom transports, client ids).
 func NewParticipant(proxyURL, serverURL string, httpc *http.Client) *Participant {
-	if httpc == nil {
-		httpc = &http.Client{Timeout: 60 * time.Second}
-	}
-	return &Participant{proxyURL: proxyURL, serverURL: serverURL, httpc: httpc}
-}
-
-// fetchReport retrieves a proxy's attestation report bound to a fresh
-// nonce (shared by the participant handshake and the cascade hop
-// handshake).
-func fetchReport(ctx context.Context, httpc *http.Client, baseURL string) (enclave.Report, []byte, error) {
-	nonce := make([]byte, 16)
-	if _, err := rand.Read(nonce); err != nil {
-		return enclave.Report{}, nil, fmt.Errorf("proxy: attestation nonce: %w", err)
-	}
-	url := fmt.Sprintf("%s/v1/attestation?nonce=%s", baseURL, hex.EncodeToString(nonce))
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	p, err := client.New(client.Config{
+		Proxies:   []string{proxyURL},
+		Server:    serverURL,
+		Transport: transport.NewHTTP(httpc),
+	})
 	if err != nil {
-		return enclave.Report{}, nil, err
+		// Unreachable: the config always names one proxy.
+		panic(err)
 	}
-	resp, err := httpc.Do(req)
-	if err != nil {
-		return enclave.Report{}, nil, fmt.Errorf("proxy: attestation request: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return enclave.Report{}, nil, fmt.Errorf("proxy: attestation returned %s", resp.Status)
-	}
-	var ar wire.AttestationResponse
-	if err := wire.DecodeJSON(resp.Body, &ar); err != nil {
-		return enclave.Report{}, nil, err
-	}
-	var rep enclave.Report
-	meas, err := hex.DecodeString(ar.MeasurementHex)
-	if err != nil || len(meas) != 32 {
-		return enclave.Report{}, nil, fmt.Errorf("proxy: malformed measurement in report")
-	}
-	copy(rep.Measurement[:], meas)
-	if rep.Nonce, err = hex.DecodeString(ar.NonceHex); err != nil {
-		return enclave.Report{}, nil, fmt.Errorf("proxy: malformed nonce in report")
-	}
-	rep.PubKeyDER = ar.PubKeyDER
-	rep.Signature = ar.Signature
-	return rep, nonce, nil
-}
-
-// Attest fetches and verifies the proxy's attestation report against the
-// pinned authority key and expected measurement, then pins the enclave's
-// encryption key for subsequent SendUpdate calls.
-func (c *Participant) Attest(ctx context.Context, authority *ecdsa.PublicKey, measurement [32]byte) error {
-	rep, nonce, err := fetchReport(ctx, c.httpc, c.proxyURL)
-	if err != nil {
-		return err
-	}
-	pub, err := rep.Verify(authority, measurement, nonce)
-	if err != nil {
-		return err
-	}
-	rsaPub, ok := pub.(*rsa.PublicKey)
-	if !ok {
-		return fmt.Errorf("proxy: attested key is %T, want RSA", pub)
-	}
-	c.enclaveKey = rsaPub
-	return nil
-}
-
-// SetEnclaveKey pins the enclave key directly (for deployments where the
-// key is distributed out of band instead of via attestation).
-func (c *Participant) SetEnclaveKey(pub *rsa.PublicKey) { c.enclaveKey = pub }
-
-// SendUpdate encrypts the parameter update for the attested enclave and
-// posts it to the proxy. A 202 acknowledges acceptance into the mixing
-// tier — delivery to the aggregation server is asynchronous (the proxy's
-// sealed outbox retries across downstream outages), so observe round
-// progress with WaitForRound rather than inferring it from the send.
-func (c *Participant) SendUpdate(ctx context.Context, ps nn.ParamSet) error {
-	if c.enclaveKey == nil {
-		return fmt.Errorf("proxy: no enclave key pinned; call Attest first")
-	}
-	raw, err := nn.EncodeParamSet(ps)
-	if err != nil {
-		return err
-	}
-	ct, err := enclave.Encrypt(c.enclaveKey, raw)
-	if err != nil {
-		return err
-	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.proxyURL+"/v1/update", bytes.NewReader(ct))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", wire.ContentTypeUpdate)
-	if c.clientID != "" {
-		req.Header.Set(wire.HeaderClient, c.clientID)
-	}
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return fmt.Errorf("proxy: send update: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("proxy: update rejected: %s", resp.Status)
-	}
-	return nil
-}
-
-// FetchModel retrieves the current global model and round number from the
-// aggregation server.
-func (c *Participant) FetchModel(ctx context.Context) (int, nn.ParamSet, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.serverURL+"/v1/model", nil)
-	if err != nil {
-		return 0, nn.ParamSet{}, err
-	}
-	resp, err := c.httpc.Do(req)
-	if err != nil {
-		return 0, nn.ParamSet{}, fmt.Errorf("proxy: fetch model: %w", err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return 0, nn.ParamSet{}, fmt.Errorf("proxy: model fetch returned %s", resp.Status)
-	}
-	round, err := strconv.Atoi(resp.Header.Get(wire.HeaderRound))
-	if err != nil {
-		return 0, nn.ParamSet{}, fmt.Errorf("proxy: missing round header: %w", err)
-	}
-	body, err := wire.ReadBody(resp.Body)
-	if err != nil {
-		return 0, nn.ParamSet{}, err
-	}
-	ps, err := nn.DecodeParamSet(body)
-	if err != nil {
-		return 0, nn.ParamSet{}, err
-	}
-	return round, ps, nil
-}
-
-// WaitForRound polls the server until its round counter reaches minRound
-// (or ctx expires) and returns the model of that round.
-func (c *Participant) WaitForRound(ctx context.Context, minRound int, poll time.Duration) (int, nn.ParamSet, error) {
-	if poll <= 0 {
-		poll = 50 * time.Millisecond
-	}
-	for {
-		round, ps, err := c.FetchModel(ctx)
-		if err == nil && round >= minRound {
-			return round, ps, nil
-		}
-		select {
-		case <-ctx.Done():
-			if err == nil {
-				err = ctx.Err()
-			}
-			return 0, nn.ParamSet{}, fmt.Errorf("proxy: waiting for round %d: %w", minRound, err)
-		case <-time.After(poll):
-		}
-	}
+	return p
 }

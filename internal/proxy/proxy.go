@@ -1,7 +1,6 @@
 package proxy
 
 import (
-	"encoding/hex"
 	"fmt"
 	"net/http"
 	"time"
@@ -102,27 +101,4 @@ func (p *Proxy) Status() wire.ProxyStatus {
 		MixMillis:     st.MixMillis,
 		ProcessMillis: st.ProcessMillis,
 	}
-}
-
-// serveAttestation serves a signed enclave report bound to the caller's
-// nonce so participants (and upstream cascade proxies) can verify an
-// enclave before trusting its key.
-func serveAttestation(w http.ResponseWriter, r *http.Request, encl *enclave.Enclave, platform *enclave.Platform) {
-	nonceHex := r.URL.Query().Get("nonce")
-	nonce, err := hex.DecodeString(nonceHex)
-	if err != nil || len(nonce) == 0 {
-		http.Error(w, "missing or invalid nonce", http.StatusBadRequest)
-		return
-	}
-	rep, err := platform.Attest(encl, nonce)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	wire.WriteJSON(w, wire.AttestationResponse{
-		MeasurementHex: hex.EncodeToString(rep.Measurement[:]),
-		NonceHex:       hex.EncodeToString(rep.Nonce),
-		PubKeyDER:      rep.PubKeyDER,
-		Signature:      rep.Signature,
-	})
 }

@@ -1,17 +1,17 @@
 package proxy
 
 import (
-	"bytes"
 	"context"
 	"crypto/ecdsa"
 	"crypto/sha256"
 	"crypto/subtle"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"math/rand"
 	"net/http"
-	"strconv"
 	"sync"
 	"time"
 
@@ -20,6 +20,7 @@ import (
 	"mixnn/internal/nn"
 	"mixnn/internal/outbox"
 	"mixnn/internal/route"
+	"mixnn/internal/transport"
 	"mixnn/internal/wire"
 )
 
@@ -107,7 +108,14 @@ type ShardedConfig struct {
 	// backoff (defaults outbox.DefaultRetryBase/Max).
 	RetryBase time.Duration
 	RetryMax  time.Duration
-	// HTTPClient overrides the forwarding client (tests); nil = default.
+	// Transport carries every outbound leg of this tier — batch/single
+	// delivery downstream, relay legs to remote shards, and the hop
+	// attestation handshakes admin directives trigger. nil = the HTTP
+	// transport (over HTTPClient when set); a transport.Loopback here
+	// runs the whole tier in-process.
+	Transport transport.Transport
+	// HTTPClient overrides the HTTP forwarding client (tests); ignored
+	// when Transport is set.
 	HTTPClient *http.Client
 }
 
@@ -130,7 +138,7 @@ type ShardedProxy struct {
 	cfg      ShardedConfig
 	enclave  *enclave.Enclave
 	platform *enclave.Platform
-	httpc    *http.Client
+	tr       transport.Transport
 	box      outbox.Queue
 	disp     *outbox.Dispatcher
 	seen     batchDedup
@@ -156,6 +164,10 @@ type ShardedProxy struct {
 	// outbox entries addressed to it under an earlier topology version
 	// still deliver.
 	remotes map[string]RemoteShard
+	// sealedTrust is the remote-trust material restored from a seal
+	// blob for addresses whose hop keys are not yet re-attested;
+	// ReattestRemotes drains it.
+	sealedTrust map[string]RemoteTrust
 	// shards are the CURRENT epoch's mixers (local) and relay buffers
 	// (remote); round close swaps the whole slice, so a drain can never
 	// sweep in an update of the next round.
@@ -204,6 +216,22 @@ const outboxLabel = "mixnn/outbox/v1"
 type RemoteShard struct {
 	Key    *enclave.HopKey
 	Secret string
+	// Trust is the attestation trust bundle the key was pinned under,
+	// when known (directives and shards files carry it; a bare Key
+	// handed to ShardedConfig.RemoteShards has none). It rides the seal
+	// blob so a restarted replacement can RE-ATTEST the peer — the
+	// peer's enclave key does not survive the peer's own restarts, so
+	// sealing the pinned key would not be enough.
+	Trust *RemoteTrust
+}
+
+// RemoteTrust is the sealable trust material of one remote shard: what
+// a proxy needs to re-run the hop attestation handshake after a
+// restart, without an admin directive or a shards-file reload.
+type RemoteTrust struct {
+	AuthorityPubDER []byte `json:"authority_pub_der"`
+	MeasurementHex  string `json:"measurement"`
+	Secret          string `json:"secret,omitempty"`
 }
 
 // initialTopology builds the tier's starting topology from the config:
@@ -244,9 +272,9 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 	if encl == nil || platform == nil {
 		return nil, fmt.Errorf("proxy: enclave and platform are required")
 	}
-	httpc := cfg.HTTPClient
-	if httpc == nil {
-		httpc = &http.Client{Timeout: 60 * time.Second}
+	tr := cfg.Transport
+	if tr == nil {
+		tr = transport.NewHTTP(cfg.HTTPClient)
 	}
 	topo, err := initialTopology(cfg)
 	if err != nil {
@@ -281,7 +309,7 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 		box = outbox.NewMemory()
 	}
 	p := &ShardedProxy{
-		cfg: cfg, enclave: encl, platform: platform, httpc: httpc,
+		cfg: cfg, enclave: encl, platform: platform, tr: tr,
 		box: box, shards: shards,
 		topo: topo, rst: topo.NewState(), remotes: remotes,
 		planner:   route.NewPlanner(topo),
@@ -368,74 +396,61 @@ func (p *ShardedProxy) Shards() int {
 	return len(p.shards)
 }
 
-// Handler returns the sharded proxy's HTTP API: the participant endpoint,
-// the inter-proxy cascade endpoints (single and batched), attestation and
-// status.
+// Handler returns the sharded proxy's HTTP API — the typed protocol
+// served over the wire-compatible HTTP adapter: the participant
+// endpoint, the inter-proxy cascade endpoints (single and batched),
+// attestation, status and the topology admin plane.
 func (p *ShardedProxy) Handler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/update", func(w http.ResponseWriter, r *http.Request) {
-		p.handleIngress(w, r, false)
-	})
-	mux.HandleFunc("POST /v1/hop", func(w http.ResponseWriter, r *http.Request) {
-		p.handleIngress(w, r, true)
-	})
-	mux.HandleFunc("POST /v1/batch", p.handleBatch)
-	mux.HandleFunc("GET /v1/attestation", p.handleAttestation)
-	mux.HandleFunc("GET /v1/status", p.handleStatus)
-	mux.HandleFunc("GET /v1/admin/topology", p.handleTopologyGet)
-	mux.HandleFunc("POST /v1/admin/topology", p.handleTopologyPost)
-	return mux
+	return transport.NewHandler(p)
 }
 
 // authorizeHop enforces the inter-proxy secret and the cascade depth
-// rules shared by /v1/hop and /v1/batch. It writes the error response
-// itself and returns ok=false when the request must not proceed.
-func (p *ShardedProxy) authorizeHop(w http.ResponseWriter, r *http.Request) (hop int, ok bool) {
+// rules shared by the hop and batch ingresses, over any transport.
+func (p *ShardedProxy) authorizeHop(secret string, hop int) (int, error) {
 	if p.cfg.HopSecret != "" &&
-		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+p.cfg.HopSecret)) != 1 {
-		http.Error(w, "hop endpoint requires the inter-proxy secret", http.StatusUnauthorized)
-		return 0, false
+		subtle.ConstantTimeCompare([]byte(secret), []byte(p.cfg.HopSecret)) != 1 {
+		return 0, transport.Errorf(http.StatusUnauthorized, "hop endpoint requires the inter-proxy secret")
 	}
-	hop, err := wire.ParseHop(r.Header)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return 0, false
+	if hop < 0 {
+		return 0, transport.Errorf(http.StatusBadRequest, "proxy: negative cascade depth %d", hop)
 	}
 	if hop == 0 {
-		hop = 1 // an upstream proxy that omitted the header is hop 1
+		hop = 1 // an upstream proxy that omitted the depth is hop 1
 	}
 	if hop > p.cfg.MaxHops {
-		http.Error(w, fmt.Sprintf("cascade depth %d exceeds limit %d", hop, p.cfg.MaxHops), http.StatusLoopDetected)
-		return 0, false
+		return 0, transport.Errorf(http.StatusLoopDetected, "cascade depth %d exceeds limit %d", hop, p.cfg.MaxHops)
 	}
-	return hop, true
+	return hop, nil
 }
 
-// handleIngress processes one encrypted update, from a participant
-// (/v1/update, hop 0) or from an upstream proxy of the cascade (/v1/hop).
-// The response acknowledges ACCEPTANCE INTO THE TIER: forwarding happens
-// asynchronously through the outbox, so a downstream outage no longer
-// turns into participant-visible errors (or lost rounds).
-func (p *ShardedProxy) handleIngress(w http.ResponseWriter, r *http.Request, fromHop bool) {
-	hop := 0
-	if fromHop {
-		var ok bool
-		if hop, ok = p.authorizeHop(w, r); !ok {
-			return
-		}
-	} else if r.Header.Get(wire.HeaderHop) != "" {
-		// Participants must not forge cascade depth: a forged header
-		// would be stamped +1 onto every update their round emits and
-		// could poison the whole round at the next hop's depth check.
-		http.Error(w, fmt.Sprintf("%s not allowed on the participant endpoint", wire.HeaderHop), http.StatusBadRequest)
-		return
-	}
-	body, err := wire.ReadBody(r.Body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
+// HandleUpdate ingests one encrypted participant update (hop 0). It
+// implements transport.Server; the acknowledgement means ACCEPTANCE
+// INTO THE TIER — forwarding happens asynchronously through the outbox,
+// so a downstream outage never turns into participant-visible errors
+// (or lost rounds). Forged cascade depth is unrepresentable here: the
+// typed participant request has no depth field, and the HTTP adapter
+// rejects a raw X-Mixnn-Hop header before it reaches this method.
+func (p *ShardedProxy) HandleUpdate(ctx context.Context, req transport.UpdateRequest) (transport.Receipt, error) {
+	return p.ingressOne(req.Body, req.ClientID, 0, false)
+}
 
+// HandleHop ingests one re-encrypted mixed update from an upstream
+// proxy of the cascade. It implements transport.Server.
+func (p *ShardedProxy) HandleHop(ctx context.Context, req transport.HopRequest) (transport.Receipt, error) {
+	hop, err := p.authorizeHop(req.Secret, req.Hop)
+	if err != nil {
+		return transport.Receipt{Shard: -1}, err
+	}
+	return p.ingressOne(req.Body, "", hop, true)
+}
+
+// ingressOne processes one encrypted update through the enclave
+// pipeline: decrypt, zero-copy decode, mix, and — when the round closes
+// — package it for delivery.
+func (p *ShardedProxy) ingressOne(body []byte, clientID string, hop int, fromHop bool) (transport.Receipt, error) {
+	if err := transport.CheckBody(body); err != nil {
+		return transport.Receipt{Shard: -1}, err
+	}
 	var (
 		closed *roundClose
 		shard  int
@@ -456,15 +471,14 @@ func (p *ShardedProxy) handleIngress(w http.ResponseWriter, r *http.Request, fro
 		if err != nil {
 			return fmt.Errorf("proxy: decode: %w", err)
 		}
-		closed, shard, err = p.ingest(ps, len(plain), r.Header.Get(wire.HeaderClient), hop, fromHop, decryptDur, decodeDur)
+		closed, shard, err = p.ingest(ps, len(plain), clientID, hop, fromHop, decryptDur, decodeDur)
 		return err
 	})
 	p.mu.Lock()
 	p.processT.add(time.Since(start))
 	p.mu.Unlock()
 	if procErr != nil {
-		http.Error(w, procErr.Error(), http.StatusBadRequest)
-		return
+		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusBadRequest, "%s", procErr.Error())
 	}
 	if closed != nil {
 		if err := p.packageRound(closed); err != nil {
@@ -475,34 +489,34 @@ func (p *ShardedProxy) handleIngress(w http.ResponseWriter, r *http.Request, fro
 			log.Printf("proxy: round %d outbox commit failed (material retained): %v", closed.epoch, err)
 		}
 	}
-	w.Header().Set(wire.HeaderShard, strconv.Itoa(shard))
-	w.WriteHeader(http.StatusAccepted)
+	return transport.Receipt{Shard: shard}, nil
 }
 
-// handleBatch ingests a whole drained round from an upstream proxy: a
-// BatchEnvelope wrapped for this enclave. It shares the hop gate and
-// depth rules with /v1/hop, and dedups on the sender's idempotency id so
-// a redelivered batch (lost acknowledgement, crashed upstream) cannot
-// double-count a round.
-func (p *ShardedProxy) handleBatch(w http.ResponseWriter, r *http.Request) {
-	hop, ok := p.authorizeHop(w, r)
-	if !ok {
-		return
+// HandleBatch ingests a whole drained round from an upstream proxy: a
+// BatchEnvelope wrapped for this enclave. It implements
+// transport.Server, shares the hop gate and depth rules with HandleHop,
+// and dedups on the sender's idempotency id so a redelivered batch
+// (lost acknowledgement, crashed upstream) cannot double-count a round.
+func (p *ShardedProxy) HandleBatch(ctx context.Context, req transport.BatchRequest) (transport.Receipt, error) {
+	hop, err := p.authorizeHop(req.Secret, req.Hop)
+	if err != nil {
+		return transport.Receipt{Shard: -1}, err
+	}
+	if err := transport.CheckBody(req.Body); err != nil {
+		return transport.Receipt{Shard: -1}, err
 	}
 	// Claim the id atomically BEFORE ingesting: a retry overlapping a
 	// slow first attempt must dedup, not re-mix the round — and an
 	// attempt still in flight must NOT be acked as applied (the sender
 	// would consume the entry while this attempt can still fail).
-	batchID := r.Header.Get(wire.HeaderBatch)
-	sender, senderSeq, hasSeq := batchSender(r.Header.Get)
+	batchID := req.ID
+	sender, senderSeq, hasSeq := req.Sender, req.Seq, req.HasSeq && req.Sender != ""
 	if batchID != "" {
 		switch p.seen.Begin(batchID, sender, senderSeq, hasSeq) {
 		case dedupApplied:
-			w.WriteHeader(http.StatusOK) // already applied; ack the duplicate
-			return
+			return transport.Receipt{Shard: -1, Duplicate: true}, nil // already applied; ack the duplicate
 		case dedupInFlight:
-			http.Error(w, "batch application in flight", http.StatusConflict)
-			return
+			return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusConflict, "batch application in flight")
 		case dedupStale:
 			// The id aged out of the dedup window but the sender's
 			// sequence watermark proves this entry was superseded:
@@ -510,19 +524,13 @@ func (p *ShardedProxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 			// reached the aggregate. The stale marker tells the sender
 			// this 409 is permanent (quarantine), unlike the retryable
 			// in-flight 409.
-			w.Header().Set(wire.HeaderStale, "1")
-			http.Error(w, "stale batch redelivery (sequence below the sender's applied watermark)", http.StatusConflict)
-			return
+			return transport.Receipt{Shard: -1}, &transport.StatusError{
+				Code: http.StatusConflict, Stale: true,
+				Msg: "stale batch redelivery (sequence below the sender's applied watermark)",
+			}
 		}
 	}
-	body, err := wire.ReadBody(r.Body)
-	if err != nil {
-		if batchID != "" {
-			p.seen.Forget(batchID)
-		}
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
-	}
+	body := req.Body
 
 	var closes []*roundClose
 	start := time.Now()
@@ -604,13 +612,12 @@ func (p *ShardedProxy) handleBatch(w http.ResponseWriter, r *http.Request) {
 		if batchID != "" {
 			p.seen.Forget(batchID)
 		}
-		http.Error(w, procErr.Error(), http.StatusBadRequest)
-		return
+		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusBadRequest, "%s", procErr.Error())
 	}
 	if batchID != "" {
 		p.seen.Done(batchID, sender, senderSeq, hasSeq)
 	}
-	w.WriteHeader(http.StatusAccepted)
+	return transport.Receipt{Shard: -1}, nil
 }
 
 // roundClose carries everything a completed round needs on its way to
@@ -1038,31 +1045,17 @@ func (p *ShardedProxy) deliver(ctx context.Context, seq uint64, payload []byte) 
 		}
 		c.body, c.id = enc, batchIDFor(payload)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, tgt.base+"/v1/batch", bytes.NewReader(c.body))
-	if err != nil {
-		return err
-	}
+	req := transport.BatchRequest{Body: c.body, ID: c.id}
 	if tgt.key != nil {
-		req.Header.Set(wire.HeaderHop, strconv.Itoa(env.Hop))
-		if tgt.secret != "" {
-			req.Header.Set("Authorization", "Bearer "+tgt.secret)
-		}
+		req.Hop, req.Secret = env.Hop, tgt.secret
 	}
-	req.Header.Set("Content-Type", wire.ContentTypeBatch)
-	req.Header.Set(wire.HeaderBatch, c.id)
 	// Sender identity + entry sequence let the receiver detect a stale
 	// redelivery even after the id aged out of its dedup window.
 	if sender := p.box.SenderID(); sender != "" {
-		req.Header.Set(wire.HeaderSender, sender)
-		req.Header.Set(wire.HeaderBatchSeq, strconv.FormatUint(seq, 10))
+		req.Sender, req.Seq, req.HasSeq = sender, seq, true
 	}
-	resp, err := p.httpc.Do(req)
-	if err != nil {
-		return err // transient: downstream unreachable
-	}
-	resp.Body.Close()
-	if err := classifyResponse(resp); err != nil {
-		return err
+	if _, err := p.tr.SendBatch(ctx, tgt.base, req); err != nil {
+		return classifyDelivery(err)
 	}
 	p.mu.Lock()
 	p.forwarded += len(env.Updates)
@@ -1099,81 +1092,74 @@ func (p *ShardedProxy) deliverSingles(ctx context.Context, seq uint64, env *outb
 // target's enclave when it has a hop key (cascade next hop or remote
 // shard), in plaintext to the aggregation server otherwise.
 func (p *ShardedProxy) forwardOne(ctx context.Context, raw []byte, fwdHop int, tgt hopTarget) error {
-	var req *http.Request
 	var err error
 	if tgt.key != nil {
-		ct, err := tgt.key.Wrap(raw)
-		if err != nil {
-			return fmt.Errorf("proxy: wrap for %s: %w", tgt.base, err)
+		ct, werr := tgt.key.Wrap(raw)
+		if werr != nil {
+			return fmt.Errorf("proxy: wrap for %s: %w", tgt.base, werr)
 		}
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost, tgt.base+"/v1/hop", bytes.NewReader(ct))
-		if err != nil {
-			return err
-		}
-		req.Header.Set(wire.HeaderHop, strconv.Itoa(fwdHop))
-		if tgt.secret != "" {
-			req.Header.Set("Authorization", "Bearer "+tgt.secret)
-		}
+		_, err = p.tr.Hop(ctx, tgt.base, transport.HopRequest{Body: ct, Hop: fwdHop, Secret: tgt.secret})
 	} else {
-		req, err = http.NewRequestWithContext(ctx, http.MethodPost, tgt.base+"/v1/update", bytes.NewReader(raw))
-		if err != nil {
-			return err
-		}
+		_, err = p.tr.SendUpdate(ctx, tgt.base, transport.UpdateRequest{Body: raw})
 	}
-	req.Header.Set("Content-Type", wire.ContentTypeUpdate)
-	resp, err := p.httpc.Do(req)
 	if err != nil {
-		return err
+		return classifyDelivery(err)
 	}
-	resp.Body.Close()
-	return classifyResponse(resp)
+	return nil
 }
 
-// classifyResponse applies classifyStatus plus the stale-redelivery
-// marker: a 409 carrying the stale header is a permanent rejection (the
-// receiver proved the entry was superseded), unlike the retryable
-// in-flight 409.
-func classifyResponse(resp *http.Response) error {
-	if resp.StatusCode == http.StatusConflict && resp.Header.Get(wire.HeaderStale) != "" {
-		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery as stale duplicate: %s", resp.Status))
+// classifyDelivery maps a transport error onto the dispatcher's retry
+// semantics: a typed rejection carrying the stale marker, a definitive
+// 4xx, or a depth rejection is permanent (retrying an entry the
+// downstream rejects forever would wedge the strictly-ordered queue);
+// anything else — including transport-level failures, where the
+// downstream is simply unreachable — is transient. Auth failures
+// (401/403) stay transient: they usually mean a secret rotation in
+// progress, and quarantining a whole round over a recoverable operator
+// mistake would lose it.
+func classifyDelivery(err error) error {
+	if errors.Is(err, transport.ErrNotSupported) {
+		// A Loopback receiver that does not serve the operation — the
+		// same misconfiguration an HTTP receiver answers with 404, which
+		// the branch below quarantines; the two transports must agree on
+		// retry policy.
+		return outbox.Permanent(fmt.Errorf("proxy: downstream does not serve this operation: %w", err))
 	}
-	return classifyStatus(resp.StatusCode, resp.Status)
-}
-
-// classifyStatus maps a downstream HTTP status onto the dispatcher's
-// retry semantics: 2xx delivered, definitive 4xx permanent (retrying an
-// entry the downstream rejects forever would wedge the queue), anything
-// else transient. Auth failures (401/403) stay transient: they usually
-// mean a secret rotation in progress, and quarantining a whole round
-// over a recoverable operator mistake would lose it.
-func classifyStatus(code int, status string) error {
+	se := transport.AsStatus(err)
+	if se == nil {
+		return err // transient: downstream unreachable
+	}
+	code := se.Code
 	switch {
-	case code == http.StatusOK || code == http.StatusAccepted:
-		return nil
+	case se.Stale && code == http.StatusConflict:
+		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery as stale duplicate: %d %s", code, se.Msg))
 	case code >= 400 && code < 500 &&
 		code != http.StatusUnauthorized && code != http.StatusForbidden &&
 		code != http.StatusConflict && // a duplicate still being applied by an earlier attempt
 		code != http.StatusRequestTimeout && code != http.StatusTooManyRequests:
-		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery: %s", status))
+		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery: %d %s", code, se.Msg))
 	case code == http.StatusLoopDetected:
 		// The hop stamp inside the entry is immutable, so a depth
-		// rejection can never succeed on retry; treating it as transient
-		// would wedge the strictly-ordered queue head forever.
-		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery: %s", status))
+		// rejection can never succeed on retry.
+		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery: %d %s", code, se.Msg))
 	default:
-		return fmt.Errorf("proxy: downstream returned %s", status)
+		return fmt.Errorf("proxy: downstream returned %d %s", code, se.Msg)
 	}
 }
 
-// AttestHop performs the proxy-to-proxy attestation handshake: it fetches
-// the next hop's report, verifies it against the attestation authority and
-// expected measurement, and returns the pinned hop key for
-// ShardedConfig.NextHopKey. httpc may be nil for a default client.
+// AttestHop performs the proxy-to-proxy attestation handshake over
+// HTTP: it fetches the next hop's report, verifies it against the
+// attestation authority and expected measurement, and returns the
+// pinned hop key for ShardedConfig.NextHopKey. httpc may be nil for a
+// default client.
 func AttestHop(ctx context.Context, nextHopURL string, httpc *http.Client, authority *ecdsa.PublicKey, measurement [32]byte) (*enclave.HopKey, error) {
-	if httpc == nil {
-		httpc = &http.Client{Timeout: 60 * time.Second}
-	}
-	rep, nonce, err := fetchReport(ctx, httpc, nextHopURL)
+	return AttestHopOver(ctx, transport.NewHTTP(httpc), nextHopURL, authority, measurement)
+}
+
+// AttestHopOver is AttestHop over an arbitrary transport (a Loopback
+// tier attests its hops the same way an HTTP one does).
+func AttestHopOver(ctx context.Context, tr transport.Transport, nextHopEP string, authority *ecdsa.PublicKey, measurement [32]byte) (*enclave.HopKey, error) {
+	rep, nonce, err := transport.FetchReport(ctx, tr, nextHopEP)
 	if err != nil {
 		return nil, err
 	}
@@ -1186,8 +1172,11 @@ func AttestHop(ctx context.Context, nextHopURL string, httpc *http.Client, autho
 const shardStateLabel = "mixnn/sharded-state/v1"
 
 func sectionLabel(shard int) string {
-	if shard == core.PendingSection {
+	switch shard {
+	case core.PendingSection:
 		return shardStateLabel + "/pending"
+	case core.TrustSection:
+		return shardStateLabel + "/trust"
 	}
 	return fmt.Sprintf("%s/shard/%d", shardStateLabel, shard)
 }
@@ -1217,6 +1206,28 @@ func (p *ShardedProxy) SealState() ([]byte, error) {
 	}
 	load := make([]int, len(p.rst.Load))
 	copy(load, p.rst.Load)
+	// Remote-shard trust material rides the blob (sealed under its own
+	// derived key — it carries inter-proxy secrets) so the replacement
+	// tier can re-attest its relay peers without an admin directive.
+	// Restored-but-not-yet-reattested trust is included too: a tier
+	// sealed while a peer was still down must not lose that peer's
+	// trust, or its own blob would become unrestorable.
+	trust := make(map[string]RemoteTrust)
+	for addr, rt := range p.sealedTrust {
+		trust[addr] = rt
+	}
+	for addr, rs := range p.remotes {
+		if rs.Trust != nil {
+			trust[addr] = *rs.Trust
+		}
+	}
+	var trustBlob []byte
+	if len(trust) > 0 {
+		var err error
+		if trustBlob, err = json.Marshal(trust); err != nil {
+			return nil, fmt.Errorf("proxy: marshal remote trust: %w", err)
+		}
+	}
 	raw, err := core.SealShardedState(p.shards, core.ShardedStateMeta{
 		Routing:       core.RoutingMode(p.topo.Mode()),
 		RRCursor:      p.rst.RR,
@@ -1231,6 +1242,7 @@ func (p *ShardedProxy) SealState() ([]byte, error) {
 		Pending:       p.pending,
 		ShardLoad:     load,
 		Topo:          p.topo.Marshal(),
+		RemoteTrust:   trustBlob,
 	}, func(s int, plain []byte) ([]byte, error) {
 		return p.enclave.SealLabeled(sectionLabel(s), plain)
 	})
@@ -1289,11 +1301,6 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 			if topo, err = route.Parse(topoBlob); err != nil {
 				return fmt.Errorf("proxy: sealed topology: %w", err)
 			}
-			for _, addr := range topo.Remotes() {
-				if _, ok := p.remotes[addr]; !ok {
-					return fmt.Errorf("proxy: sealed topology names remote shard %q but no attested key is registered (RemoteShards)", addr)
-				}
-			}
 			adopted = true
 		}
 	}
@@ -1306,6 +1313,26 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 	})
 	if err != nil {
 		return fmt.Errorf("proxy: restore tier state: %w", err)
+	}
+	// Every remote shard of the adopted topology needs either an
+	// already-registered key or sealed trust material to re-attest from
+	// (v4 blobs carry it); with neither the relay leg could never
+	// deliver, so refuse the restore up front.
+	sealedTrust := make(map[string]RemoteTrust)
+	if meta.RemoteTrust != nil {
+		if err := json.Unmarshal(meta.RemoteTrust, &sealedTrust); err != nil {
+			return fmt.Errorf("proxy: sealed remote trust: %w", err)
+		}
+	}
+	if adopted {
+		for _, addr := range topo.Remotes() {
+			if _, ok := p.remotes[addr]; ok {
+				continue
+			}
+			if _, ok := sealedTrust[addr]; !ok {
+				return fmt.Errorf("proxy: sealed topology names remote shard %q but no attested key is registered (RemoteShards) and the blob carries no trust material for it", addr)
+			}
+		}
 	}
 	if meta.Routing < core.RoutingHashRR || meta.Routing > core.RoutingHashQuota {
 		return fmt.Errorf("proxy: sealed state uses unknown routing mode %d", meta.Routing)
@@ -1339,7 +1366,62 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 	p.pending = meta.Pending
 	p.restoredFrom = meta.SealedShards
 	p.shardRecv, p.shardEmit = restoredLedgers(meta, fresh)
+	// Keep the sealed trust for addresses still lacking a key;
+	// ReattestRemotes (or an explicit RegisterRemote) turns them into
+	// deliverable relay legs.
+	for addr, rt := range sealedTrust {
+		if _, ok := p.remotes[addr]; ok {
+			continue
+		}
+		if p.sealedTrust == nil {
+			p.sealedTrust = make(map[string]RemoteTrust)
+		}
+		p.sealedTrust[addr] = rt
+	}
 	return nil
+}
+
+// ReattestRemotes re-runs the hop attestation handshake for every
+// remote shard whose trust material was restored from a seal blob but
+// whose key has not been re-attested yet, registering the fresh keys it
+// pins (which also wakes the delivery dispatcher: queued relay entries
+// for those shards become deliverable). The sealed PINNED key would not
+// have been enough — a peer's enclave key does not survive the peer's
+// own restart — which is why the blob carries trust material instead.
+// A peer that is down stays in the pending set (its queued material
+// stalls, it is never lost) and the returned error reports it; calling
+// again retries.
+func (p *ShardedProxy) ReattestRemotes(ctx context.Context) error {
+	p.mu.Lock()
+	pending := make(map[string]RemoteTrust, len(p.sealedTrust))
+	for addr, rt := range p.sealedTrust {
+		if _, ok := p.remotes[addr]; ok {
+			continue // registered out of band since the restore
+		}
+		pending[addr] = rt
+	}
+	p.mu.Unlock()
+	var errs []error
+	for addr, rt := range pending {
+		rs, err := resolveRemoteShard(ctx, wire.TopologyShardSpec{
+			Addr:            addr,
+			AuthorityPubDER: rt.AuthorityPubDER,
+			MeasurementHex:  rt.MeasurementHex,
+			Secret:          rt.Secret,
+		}, p.tr)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("proxy: re-attest remote shard %s: %w", addr, err))
+			continue
+		}
+		if err := p.RegisterRemote(addr, rs); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		p.mu.Lock()
+		delete(p.sealedTrust, addr)
+		p.mu.Unlock()
+	}
+	return errors.Join(errs...)
 }
 
 // restoredLedgers maps the sealed per-shard mixer ledgers onto the
@@ -1392,12 +1474,59 @@ func restoredLedgers(meta core.ShardedStateMeta, mixers []core.Shard) (recv, emi
 	return recv, emit
 }
 
-func (p *ShardedProxy) handleAttestation(w http.ResponseWriter, r *http.Request) {
-	serveAttestation(w, r, p.enclave, p.platform)
+// HandleAttest serves a signed enclave report bound to the caller's
+// nonce so participants (and upstream cascade proxies) can verify this
+// enclave before trusting its key. It implements transport.Server.
+func (p *ShardedProxy) HandleAttest(ctx context.Context, nonce []byte) (wire.AttestationResponse, error) {
+	if len(nonce) == 0 {
+		return wire.AttestationResponse{}, transport.Errorf(http.StatusBadRequest, "missing or invalid nonce")
+	}
+	rep, err := p.platform.Attest(p.enclave, nonce)
+	if err != nil {
+		return wire.AttestationResponse{}, err
+	}
+	return wire.AttestationResponse{
+		MeasurementHex: hex.EncodeToString(rep.Measurement[:]),
+		NonceHex:       hex.EncodeToString(rep.Nonce),
+		PubKeyDER:      rep.PubKeyDER,
+		Signature:      rep.Signature,
+	}, nil
 }
 
-func (p *ShardedProxy) handleStatus(w http.ResponseWriter, r *http.Request) {
-	wire.WriteJSON(w, p.Status())
+// HandleModel implements transport.Server: proxies serve no model.
+func (p *ShardedProxy) HandleModel(ctx context.Context) (transport.ModelResponse, error) {
+	return transport.ModelResponse{}, transport.ErrNotSupported
+}
+
+// HandleStatus implements transport.Server.
+func (p *ShardedProxy) HandleStatus(ctx context.Context) (transport.StatusResponse, error) {
+	st := p.Status()
+	return transport.StatusResponse{Proxy: &st}, nil
+}
+
+// HandleTopology implements transport.Server: the admin plane. A nil
+// directive reads the routing plane; a non-nil one stages it for the
+// next round close. Both sides are gated on the inter-proxy secret —
+// and staging over the network requires the proxy to HAVE one:
+// reshaping the tier is privacy-critical either way (a forged directive
+// could shrink the anonymity set to one shard, or attach an
+// attacker-attested "remote shard" that receives raw pre-mix updates).
+// Operators without a secret still have -shards-file and the Go API.
+func (p *ShardedProxy) HandleTopology(ctx context.Context, req transport.TopologyRequest) (wire.TopologyStatus, error) {
+	if req.Directive != nil && p.cfg.HopSecret == "" {
+		return wire.TopologyStatus{}, transport.Errorf(http.StatusForbidden,
+			"topology admin POST requires the proxy to be started with an inter-proxy secret (-hop-secret)")
+	}
+	if p.cfg.HopSecret != "" &&
+		subtle.ConstantTimeCompare([]byte(req.Secret), []byte(p.cfg.HopSecret)) != 1 {
+		return wire.TopologyStatus{}, transport.Errorf(http.StatusUnauthorized, "topology admin requires the inter-proxy secret")
+	}
+	if req.Directive != nil {
+		if _, err := p.StageTopology(ctx, *req.Directive); err != nil {
+			return wire.TopologyStatus{}, transport.Errorf(http.StatusUnprocessableEntity, "%s", err.Error())
+		}
+	}
+	return p.TopologyStatus(), nil
 }
 
 // Status snapshots the tier: global round progress plus per-shard mixers

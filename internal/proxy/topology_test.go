@@ -16,6 +16,7 @@ import (
 	"mixnn/internal/enclave"
 	"mixnn/internal/nn"
 	"mixnn/internal/route"
+	"mixnn/internal/transport"
 	"mixnn/internal/wire"
 )
 
@@ -449,28 +450,49 @@ func TestTopologyCrashRestartAdoptsSealedPlan(t *testing.T) {
 // (the multi-process deployment unit) whose round size is the quota the
 // front tier will route to it.
 func remoteShardFixture(t *testing.T, platform *enclave.Platform, upstream string, roundSize int, seed int64) (*ShardedProxy, string, RemoteShard) {
+	return remoteShardFixtureOver(t, platform, nil, upstream, roundSize, seed)
+}
+
+// remoteShardFixtureOver is remoteShardFixture over an explicit
+// transport: registered in lb when non-nil, served over httptest
+// otherwise.
+func remoteShardFixtureOver(t *testing.T, platform *enclave.Platform, lb *transport.Loopback, upstream string, roundSize int, seed int64) (*ShardedProxy, string, RemoteShard) {
 	t.Helper()
 	encl, err := enclave.New(enclave.Config{CodeIdentity: fmt.Sprintf("shard-enclave-%d", seed), RSABits: 1024}, platform)
 	if err != nil {
 		t.Fatal(err)
 	}
+	var cfgTr transport.Transport
+	if lb != nil {
+		cfgTr = lb
+	}
 	px, err := NewSharded(ShardedConfig{
 		Upstream: upstream, K: 1, RoundSize: roundSize, Shards: 1, Seed: seed,
 		RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
+		Transport: cfgTr,
 	}, encl, platform)
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Cleanup(px.Close)
-	srv := httptest.NewServer(px.Handler())
-	t.Cleanup(srv.Close)
+	var addr string
+	var tr transport.Transport
+	if lb != nil {
+		addr = fmt.Sprintf("loop://rshard-%d", seed)
+		lb.Register(addr, px)
+		tr = lb
+	} else {
+		srv := httptest.NewServer(px.Handler())
+		t.Cleanup(srv.Close)
+		addr, tr = srv.URL, transport.NewHTTP(nil)
+	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	key, err := AttestHop(ctx, srv.URL, nil, platform.AttestationPublicKey(), encl.Measurement())
+	key, err := AttestHopOver(ctx, tr, addr, platform.AttestationPublicKey(), encl.Measurement())
 	if err != nil {
 		t.Fatal(err)
 	}
-	return px, srv.URL, RemoteShard{Key: key}
+	return px, addr, RemoteShard{Key: key}
 }
 
 // TestTopologyRemoteShardEndToEnd: a front tier with one local and one
@@ -812,11 +834,11 @@ func TestOutboxQuarantinedSurfaced(t *testing.T) {
 // placement, every round's delivered mean equals the classic FedAvg mean
 // of its inputs at 1e-9.
 func FuzzTopologyEquivalence(f *testing.F) {
-	f.Add(uint8(1), uint8(2), uint8(0), uint8(3), false, int64(1))
-	f.Add(uint8(2), uint8(3), uint8(1), uint8(4), false, int64(2))
-	f.Add(uint8(3), uint8(1), uint8(2), uint8(5), true, int64(3))
-	f.Add(uint8(2), uint8(2), uint8(2), uint8(0), true, int64(4))
-	f.Fuzz(func(t *testing.T, pRaw, pPrimeRaw, modeRaw, cRaw uint8, remote bool, seed int64) {
+	f.Add(uint8(1), uint8(2), uint8(0), uint8(3), false, int64(1), false)
+	f.Add(uint8(2), uint8(3), uint8(1), uint8(4), false, int64(2), true)
+	f.Add(uint8(3), uint8(1), uint8(2), uint8(5), true, int64(3), false)
+	f.Add(uint8(2), uint8(2), uint8(2), uint8(0), true, int64(4), true)
+	f.Fuzz(func(t *testing.T, pRaw, pPrimeRaw, modeRaw, cRaw uint8, remote bool, seed int64, loop bool) {
 		p := int(pRaw)%4 + 1
 		pPrime := int(pPrimeRaw)%4 + 1
 		modes := []route.Mode{route.ModeSticky, route.ModeRoundRobin, route.ModeHashQuota}
@@ -837,15 +859,18 @@ func FuzzTopologyEquivalence(f *testing.F) {
 		}
 		obs := &roundObserver{}
 		agg.SetObserver(obs)
-		aggSrv := httptest.NewServer(agg.Handler())
-		defer aggSrv.Close()
+		// Transport dimension: the reshard equivalence must hold over
+		// the in-process Loopback exactly as over HTTP.
+		tn := newTestNet(t, loop)
+		aggEP := tn.serve("loop://agg", agg)
 
 		// Round-1 topology: P shards; optionally the last one remote (its
 		// own enclave, reached over the hop leg).
 		cfg := ShardedConfig{
-			Upstream: aggSrv.URL, K: 1, RoundSize: c, Seed: seed,
+			Upstream: aggEP, K: 1, RoundSize: c, Seed: seed,
 			Routing:   mode,
 			RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
+			Transport: tn.cfgTransport(),
 		}
 		specs := make([]route.ShardSpec, p)
 		if remote && p >= 2 {
@@ -853,7 +878,7 @@ func FuzzTopologyEquivalence(f *testing.F) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			_, addr, rs := remoteShardFixture(t, platform, aggSrv.URL, quotaTopo.Quota(p-1), seed+1000)
+			_, addr, rs := remoteShardFixtureOver(t, platform, tn.lb, aggEP, quotaTopo.Quota(p-1), seed+1000)
 			specs[p-1].Addr = addr
 			cfg.RemoteShards = map[string]RemoteShard{addr: rs}
 		}
@@ -863,20 +888,15 @@ func FuzzTopologyEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 		defer px.Close()
-		pxSrv := httptest.NewServer(px.Handler())
-		defer pxSrv.Close()
+		pxEP := tn.serve("loop://front", px)
 
-		send := func(round int, sent []nn.ParamSet) {
+		send := func(sent []nn.ParamSet) {
 			for i, u := range sent {
-				resp := sendRaw(t, encl, pxSrv.URL, fmt.Sprintf("fz-%d", i), u)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusAccepted {
-					t.Fatalf("round %d send %d: %s", round, i, resp.Status)
-				}
+				sendTyped(t, tn.tr(), encl, pxEP, fmt.Sprintf("fz-%d", i), u)
 			}
 		}
 		round0 := perturbed(initial, c, 10)
-		send(0, round0)
+		send(round0)
 		waitServerRound(t, agg, 1)
 
 		// Epoch-boundary reshard: P→P′ and a different routing mode.
@@ -887,7 +907,7 @@ func FuzzTopologyEquivalence(f *testing.F) {
 			t.Fatal(err)
 		}
 		round1 := perturbed(initial, c, 2000)
-		send(1, round1)
+		send(round1)
 		waitServerRound(t, agg, 2)
 		if got := px.Topology().P(); got != pPrime {
 			t.Fatalf("post-reshard P = %d, want %d", got, pPrime)

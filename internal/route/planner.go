@@ -80,6 +80,16 @@ func (p *Planner) Stage(d Directive) (*Topology, error) {
 	return next, nil
 }
 
+// Unstage discards the staged topology (if any). The proxy uses it to
+// roll back a directive whose cross-process side effects (peer
+// round-size syncs) could not complete — a half-applied plan must not
+// auto-promote at the next round close.
+func (p *Planner) Unstage() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.staged = nil
+}
+
 // Advance promotes the staged topology (if any) and returns the topology
 // the new epoch should run under. Callers must invoke it exactly once per
 // epoch swap, inside the swap's critical section.

@@ -1,0 +1,230 @@
+package transport
+
+import (
+	"encoding/hex"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"mixnn/internal/wire"
+)
+
+// NewHandler adapts a typed Server onto net/http with the exact wire
+// behaviour the pre-transport handlers had: same routes, headers,
+// status codes and rejection messages. Wire-level validation that the
+// typed protocol makes unrepresentable — a forged X-Mixnn-Hop on the
+// participant endpoint, a malformed depth, a bad nonce encoding — lives
+// here, where the wire form still exists.
+func NewHandler(s Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/update", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		if r.Header.Get(wire.HeaderHop) != "" {
+			// Participants must not forge cascade depth: a forged header
+			// would be stamped +1 onto every update their round emits and
+			// could poison the whole round at the next hop's depth check.
+			http.Error(w, wire.HeaderHop+" not allowed on the participant endpoint", http.StatusBadRequest)
+			return
+		}
+		body, err := wire.ReadBody(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rcpt, err := s.HandleUpdate(r.Context(), UpdateRequest{Body: body, ClientID: r.Header.Get(wire.HeaderClient)})
+		writeReceipt(w, rcpt, err)
+	})
+	mux.HandleFunc("POST /v1/hop", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		hop, err := wire.ParseHop(r.Header)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		body, err := wire.ReadBody(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rcpt, err := s.HandleHop(r.Context(), HopRequest{Body: body, Hop: hop, Secret: bearerToken(r.Header)})
+		writeReceipt(w, rcpt, err)
+	})
+	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		hop, err := wire.ParseHop(r.Header)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		req := BatchRequest{
+			Hop:    hop,
+			Secret: bearerToken(r.Header),
+			ID:     r.Header.Get(wire.HeaderBatch),
+			Sender: r.Header.Get(wire.HeaderSender),
+		}
+		if seqStr := r.Header.Get(wire.HeaderBatchSeq); req.Sender != "" && seqStr != "" {
+			if v, err := strconv.ParseUint(seqStr, 10, 64); err == nil {
+				req.Seq, req.HasSeq = v, true
+			}
+		}
+		if req.Body, err = wire.ReadBody(r.Body); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		rcpt, err := s.HandleBatch(r.Context(), req)
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		if rcpt.Duplicate {
+			w.WriteHeader(http.StatusOK) // already applied; ack the duplicate
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+	})
+	mux.HandleFunc("GET /v1/attestation", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		nonce, err := hex.DecodeString(r.URL.Query().Get("nonce"))
+		if err != nil || len(nonce) == 0 {
+			http.Error(w, "missing or invalid nonce", http.StatusBadRequest)
+			return
+		}
+		ar, err := s.HandleAttest(r.Context(), nonce)
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		wire.WriteJSON(w, ar)
+	})
+	mux.HandleFunc("GET /v1/model", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		m, err := s.HandleModel(r.Context())
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", wire.ContentTypeUpdate)
+		w.Header().Set(wire.HeaderRound, strconv.Itoa(m.Round))
+		w.Write(m.Body)
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		st, err := s.HandleStatus(r.Context())
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		switch {
+		case st.Proxy != nil:
+			wire.WriteJSON(w, st.Proxy)
+		case st.Server != nil:
+			wire.WriteJSON(w, st.Server)
+		default:
+			http.Error(w, "empty status", http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("GET /v1/admin/topology", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		st, err := s.HandleTopology(r.Context(), TopologyRequest{Secret: bearerToken(r.Header)})
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		wire.WriteJSON(w, st)
+	})
+	mux.HandleFunc("POST /v1/admin/topology", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		var d wire.TopologyDirective
+		if err := wire.DecodeJSON(r.Body, &d); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		st, err := s.HandleTopology(r.Context(), TopologyRequest{Directive: &d, Secret: bearerToken(r.Header)})
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		wire.WriteJSON(w, st)
+	})
+	return protoStamp(mux)
+}
+
+// protoStamp tags every response with the protocol version this binary
+// speaks (old clients ignore the header).
+func protoStamp(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(wire.HeaderProto, strconv.Itoa(wire.ProtoV1))
+		h.ServeHTTP(w, r)
+	})
+}
+
+// checkProto rejects requests claiming a protocol version this binary
+// cannot serve. A missing header is version 1 (old senders), so old
+// peers pass untouched.
+func checkProto(w http.ResponseWriter, r *http.Request) bool {
+	p, err := wire.ParseProto(r.Header)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if p > wire.ProtoV1 {
+		// 426 is in the permanent 4xx class senders quarantine on: a
+		// version mismatch can never succeed on retry.
+		http.Error(w, "peer protocol version not supported", http.StatusUpgradeRequired)
+		return false
+	}
+	return true
+}
+
+// writeReceipt renders an ingress acknowledgement: the shard diagnostic
+// plus 202, or the typed rejection.
+func writeReceipt(w http.ResponseWriter, rcpt Receipt, err error) {
+	if err != nil {
+		writeError(w, nil, err)
+		return
+	}
+	if rcpt.Shard >= 0 {
+		w.Header().Set(wire.HeaderShard, strconv.Itoa(rcpt.Shard))
+	}
+	w.WriteHeader(http.StatusAccepted)
+}
+
+// writeError renders a typed rejection with the wire protocol's exact
+// vocabulary: StatusError code + optional stale marker, 404 for
+// operations this tier does not serve, 500 for anything else.
+func writeError(w http.ResponseWriter, r *http.Request, err error) {
+	if errors.Is(err, ErrNotSupported) {
+		if r != nil {
+			http.NotFound(w, r)
+		} else {
+			http.Error(w, "404 page not found", http.StatusNotFound)
+		}
+		return
+	}
+	if se := AsStatus(err); se != nil {
+		if se.Stale {
+			w.Header().Set(wire.HeaderStale, "1")
+		}
+		http.Error(w, se.Msg, se.Code)
+		return
+	}
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}

@@ -1,0 +1,252 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"mixnn/internal/wire"
+)
+
+// HTTP is the network Transport: it speaks the exact wire protocol of
+// the pre-transport binaries (paths, headers, content types — see
+// package wire), so a tier using it interoperates with old peers in
+// both directions. The only addition is the X-Mixnn-Proto version tag,
+// which old receivers ignore and old senders omit (= version 1).
+type HTTP struct {
+	c *http.Client
+}
+
+// NewHTTP builds the HTTP transport; httpc may be nil for a default
+// client with a 60 s timeout.
+func NewHTTP(httpc *http.Client) *HTTP {
+	if httpc == nil {
+		httpc = &http.Client{Timeout: 60 * time.Second}
+	}
+	return &HTTP{c: httpc}
+}
+
+// do runs one request, mapping non-2xx responses onto StatusError and
+// returning the body reader to the caller (closed on error).
+//
+// Version negotiation is one-sided by design: the RECEIVER refuses
+// requests claiming a future version (it cannot honour semantics it
+// does not implement), but a response's version stamp is purely
+// informational — a newer peer that accepted our older request has
+// already served it compatibly, and discarding the acknowledgement
+// would turn a success into a retry.
+func (t *HTTP) do(req *http.Request) (*http.Response, error) {
+	req.Header.Set(wire.HeaderProto, strconv.Itoa(wire.ProtoV1))
+	resp, err := t.c.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
+		return resp, nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	resp.Body.Close()
+	return nil, &StatusError{
+		Code:  resp.StatusCode,
+		Stale: resp.Header.Get(wire.HeaderStale) != "",
+		Msg:   string(bytes.TrimSpace(msg)),
+	}
+}
+
+// post builds and runs one POST, discarding the response body.
+func (t *HTTP) post(ctx context.Context, url, contentType string, body []byte, hdr func(http.Header)) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	if hdr != nil {
+		hdr(req.Header)
+	}
+	resp, err := t.do(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	return resp, nil
+}
+
+// hopHeaders stamps the cascade depth and bearer secret of a hop leg.
+func hopHeaders(hop int, secret string) func(http.Header) {
+	return func(h http.Header) {
+		h.Set(wire.HeaderHop, strconv.Itoa(hop))
+		if secret != "" {
+			h.Set("Authorization", "Bearer "+secret)
+		}
+	}
+}
+
+// SendUpdate implements Transport.
+func (t *HTTP) SendUpdate(ctx context.Context, ep string, req UpdateRequest) (Receipt, error) {
+	resp, err := t.post(ctx, ep+"/v1/update", wire.ContentTypeUpdate, req.Body, func(h http.Header) {
+		if req.ClientID != "" {
+			h.Set(wire.HeaderClient, req.ClientID)
+		}
+	})
+	if err != nil {
+		return Receipt{Shard: -1}, err
+	}
+	return receiptFrom(resp), nil
+}
+
+// Hop implements Transport.
+func (t *HTTP) Hop(ctx context.Context, ep string, req HopRequest) (Receipt, error) {
+	resp, err := t.post(ctx, ep+"/v1/hop", wire.ContentTypeUpdate, req.Body, hopHeaders(req.Hop, req.Secret))
+	if err != nil {
+		return Receipt{Shard: -1}, err
+	}
+	return receiptFrom(resp), nil
+}
+
+// SendBatch implements Transport. The hop depth and secret only travel
+// on cascade/relay legs (Hop > 0), exactly as the pre-transport sender
+// behaved on the plaintext server leg.
+func (t *HTTP) SendBatch(ctx context.Context, ep string, req BatchRequest) (Receipt, error) {
+	resp, err := t.post(ctx, ep+"/v1/batch", wire.ContentTypeBatch, req.Body, func(h http.Header) {
+		if req.Hop > 0 {
+			hopHeaders(req.Hop, req.Secret)(h)
+		}
+		if req.ID != "" {
+			h.Set(wire.HeaderBatch, req.ID)
+		}
+		if req.HasSeq && req.Sender != "" {
+			h.Set(wire.HeaderSender, req.Sender)
+			h.Set(wire.HeaderBatchSeq, strconv.FormatUint(req.Seq, 10))
+		}
+	})
+	if err != nil {
+		return Receipt{Shard: -1}, err
+	}
+	r := receiptFrom(resp)
+	r.Duplicate = resp.StatusCode == http.StatusOK
+	return r, nil
+}
+
+// receiptFrom reads the shard diagnostic off an accepted response.
+func receiptFrom(resp *http.Response) Receipt {
+	shard := -1
+	if v := resp.Header.Get(wire.HeaderShard); v != "" {
+		if s, err := strconv.Atoi(v); err == nil {
+			shard = s
+		}
+	}
+	return Receipt{Shard: shard}
+}
+
+// get runs one GET through the status mapping.
+func (t *HTTP) get(ctx context.Context, url string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	return t.do(req)
+}
+
+// Attest implements Transport.
+func (t *HTTP) Attest(ctx context.Context, ep string, nonce []byte) (wire.AttestationResponse, error) {
+	var ar wire.AttestationResponse
+	resp, err := t.get(ctx, fmt.Sprintf("%s/v1/attestation?nonce=%s", ep, hex.EncodeToString(nonce)))
+	if err != nil {
+		return ar, err
+	}
+	defer resp.Body.Close()
+	if err := wire.DecodeJSON(resp.Body, &ar); err != nil {
+		return ar, err
+	}
+	return ar, nil
+}
+
+// Model implements Transport.
+func (t *HTTP) Model(ctx context.Context, ep string) (ModelResponse, error) {
+	resp, err := t.get(ctx, ep+"/v1/model")
+	if err != nil {
+		return ModelResponse{}, err
+	}
+	defer resp.Body.Close()
+	round, err := strconv.Atoi(resp.Header.Get(wire.HeaderRound))
+	if err != nil {
+		return ModelResponse{}, fmt.Errorf("transport: missing round header: %w", err)
+	}
+	body, err := wire.ReadBody(resp.Body)
+	if err != nil {
+		return ModelResponse{}, err
+	}
+	return ModelResponse{Round: round, Body: body}, nil
+}
+
+// Topology implements Transport: GET when req.Directive is nil, POST
+// otherwise.
+func (t *HTTP) Topology(ctx context.Context, ep string, req TopologyRequest) (wire.TopologyStatus, error) {
+	var st wire.TopologyStatus
+	var hreq *http.Request
+	var err error
+	if req.Directive == nil {
+		hreq, err = http.NewRequestWithContext(ctx, http.MethodGet, ep+"/v1/admin/topology", nil)
+	} else {
+		var body []byte
+		if body, err = json.Marshal(req.Directive); err != nil {
+			return st, err
+		}
+		hreq, err = http.NewRequestWithContext(ctx, http.MethodPost, ep+"/v1/admin/topology", bytes.NewReader(body))
+		if hreq != nil {
+			hreq.Header.Set("Content-Type", "application/json")
+		}
+	}
+	if err != nil {
+		return st, err
+	}
+	if req.Secret != "" {
+		hreq.Header.Set("Authorization", "Bearer "+req.Secret)
+	}
+	resp, err := t.do(hreq)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if err := wire.DecodeJSON(resp.Body, &st); err != nil {
+		return st, err
+	}
+	return st, nil
+}
+
+// Status implements Transport, sniffing which status form the peer
+// serves: proxies report a "shards" array, aggregation servers an
+// "expect_per_round" counter.
+func (t *HTTP) Status(ctx context.Context, ep string) (StatusResponse, error) {
+	resp, err := t.get(ctx, ep+"/v1/status")
+	if err != nil {
+		return StatusResponse{}, err
+	}
+	defer resp.Body.Close()
+	raw, err := wire.ReadBody(resp.Body)
+	if err != nil {
+		return StatusResponse{}, err
+	}
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &probe); err != nil {
+		return StatusResponse{}, fmt.Errorf("transport: decode status: %w", err)
+	}
+	if _, ok := probe["shards"]; ok {
+		var ps wire.ShardedProxyStatus
+		if err := json.Unmarshal(raw, &ps); err != nil {
+			return StatusResponse{}, fmt.Errorf("transport: decode proxy status: %w", err)
+		}
+		return StatusResponse{Proxy: &ps}, nil
+	}
+	var ss wire.ServerStatus
+	if err := json.Unmarshal(raw, &ss); err != nil {
+		return StatusResponse{}, fmt.Errorf("transport: decode server status: %w", err)
+	}
+	return StatusResponse{Server: &ss}, nil
+}

@@ -74,7 +74,35 @@ const (
 	// succeed, so the sender must quarantine the entry instead of
 	// retrying it forever.
 	HeaderStale = "X-Mixnn-Stale"
+	// HeaderProto carries the typed-protocol version a peer speaks. A
+	// missing header means ProtoV1 — exactly what pre-transport binaries
+	// send — so version negotiation is wire-compatible in both
+	// directions: new senders tag their requests, new receivers reject
+	// only versions they provably cannot serve, and old peers never see a
+	// difference.
+	HeaderProto = "X-Mixnn-Proto"
 )
+
+// ProtoV1 is the current typed-protocol version. The typed transport
+// stamps it on every request and response; endpoints refuse requests
+// claiming a HIGHER version (the peer would rely on semantics this
+// binary does not implement) and accept everything at or below it.
+const ProtoV1 = 1
+
+// ParseProto extracts the typed-protocol version from a header set. A
+// missing header is version 1 (pre-negotiation binaries). Malformed or
+// non-positive values are rejected.
+func ParseProto(h http.Header) (int, error) {
+	v := h.Get(HeaderProto)
+	if v == "" {
+		return ProtoV1, nil
+	}
+	p, err := strconv.Atoi(v)
+	if err != nil || p <= 0 {
+		return 0, fmt.Errorf("wire: invalid %s header %q", HeaderProto, v)
+	}
+	return p, nil
+}
 
 // ParseHop extracts the cascade depth from a request's HeaderHop value.
 // A missing header means depth 0 (a participant update). Negative or
@@ -328,6 +356,17 @@ type TopologyDirective struct {
 	RoundSize int `json:"round_size,omitempty"`
 	// Shards replaces the shard set (absent = keep).
 	Shards []TopologyShardSpec `json:"shards,omitempty"`
+	// SyncPeers makes the receiving proxy drive each remote shard's OWN
+	// round size to that shard's new quota, by posting a RoundSize
+	// directive to the peer's admin endpoint as part of staging this one.
+	// One directive thus reshapes both ends of every relay leg in the
+	// same epoch, instead of the operator coordinating two proxies by
+	// hand. Peers must run with an inter-proxy secret (their admin POST
+	// surface is gated on it), and the receiving proxy must be QUIESCENT
+	// (no open round, empty delivery outbox) — otherwise the directive is
+	// rejected, because material routed under the old quotas could land
+	// in peer rounds already resized to the new ones.
+	SyncPeers bool `json:"sync_peers,omitempty"`
 }
 
 // TopologyStatus reports the routing plane over the admin endpoint.

@@ -13,9 +13,25 @@
 //	sim, attrs, _ := mixnn.NewFederation(spec, mixnn.MixNNArm(), 1)
 //	metrics, _ := sim.Run(spec.FL.Rounds)
 //
+// Networked deployments are driven through the participant SDK: a
+// ParticipantClient holds an ordered failover list of mixing proxies,
+// attests their enclaves, and sends each round's update with typed
+// retry semantics; its Admin sub-client drives routing-plane
+// directives. Every inter-tier leg rides a Transport — NewHTTPTransport
+// for the wire deployment, NewLoopbackTransport to run a whole
+// multi-tier deployment in one process:
+//
+//	part, _ := mixnn.NewParticipantClient(mixnn.ParticipantConfig{
+//	    Proxies: []string{"http://proxy-a:8441", "http://proxy-b:8441"},
+//	    Server:  "http://agg:8440",
+//	})
+//	_ = part.Attest(ctx, authority, measurement)
+//	_ = part.SendUpdate(ctx, update) // fails over down the proxy list
+//
 // Layering (see DESIGN.md):
 //
-//	tensor → nn → {data, fl, core, privacy} → {attack, proxy} → experiment
+//	tensor → nn → {data, fl, core, privacy, wire} → transport →
+//	{attack, proxy, client} → experiment
 //
 // The three evaluation arms of the paper are exposed as UpdateTransforms:
 // classic FL (Identity), the MixNN mixer (layer mixing; batch or
@@ -23,7 +39,10 @@
 package mixnn
 
 import (
+	"net/http"
+
 	"mixnn/internal/attack"
+	"mixnn/internal/client"
 	"mixnn/internal/core"
 	"mixnn/internal/data"
 	"mixnn/internal/enclave"
@@ -32,6 +51,7 @@ import (
 	"mixnn/internal/nn"
 	"mixnn/internal/privacy"
 	"mixnn/internal/proxy"
+	"mixnn/internal/transport"
 )
 
 // Model/parameter types.
@@ -102,10 +122,47 @@ type (
 	HopKey = enclave.HopKey
 	// AggServer is the HTTP aggregation server.
 	AggServer = proxy.AggServer
-	// ParticipantClient is the participant-side transport (attest,
-	// encrypt, send).
-	ParticipantClient = proxy.Participant
+	// ParticipantClient is the participant SDK: a session handle that
+	// attests the mixing tier, holds an ordered failover list of proxy
+	// endpoints, and sends updates with typed retry semantics.
+	ParticipantClient = client.Participant
+	// ParticipantConfig parameterises a ParticipantClient.
+	ParticipantConfig = client.Config
+	// AdminClient drives a proxy's routing-plane admin surface
+	// (topology reads and directives) through the typed transport.
+	AdminClient = client.Admin
 )
+
+// Transport types: the typed communication layer every inter-tier leg
+// rides (see internal/transport).
+type (
+	// Transport is the typed inter-tier protocol (SendUpdate, SendBatch,
+	// Hop, Attest, Model, Topology, Status).
+	Transport = transport.Transport
+	// TransportServer is the receiving side of the typed protocol,
+	// implemented by ShardedProxy and AggServer.
+	TransportServer = transport.Server
+	// LoopbackTransport runs a whole deployment in one process: peers
+	// are names in a registry, operations are direct method calls.
+	LoopbackTransport = transport.Loopback
+)
+
+// NewHTTPTransport returns the wire-compatible network transport;
+// httpc may be nil for a default client.
+func NewHTTPTransport(httpc *http.Client) Transport { return transport.NewHTTP(httpc) }
+
+// NewLoopbackTransport returns an empty in-process transport registry.
+func NewLoopbackTransport() *LoopbackTransport { return transport.NewLoopback() }
+
+// NewParticipantClient builds a participant session from a config.
+func NewParticipantClient(cfg ParticipantConfig) (*ParticipantClient, error) {
+	return client.New(cfg)
+}
+
+// NewAdminClient builds an admin sub-client for a proxy endpoint.
+func NewAdminClient(tr Transport, endpoint, secret string) *AdminClient {
+	return client.NewAdmin(tr, endpoint, secret)
+}
 
 // Experiment types.
 type (
