@@ -8,8 +8,10 @@
 package mixnn
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/rand"
+	"os"
 	"testing"
 
 	"mixnn/internal/attack"
@@ -276,6 +278,79 @@ func BenchmarkProxyMixShardedTransport(b *testing.B) {
 			b.ReportMetric(upsPerSec/float64(b.N), "updates/sec")
 			b.ReportMetric(roundMs/float64(b.N), "round-ms")
 		})
+	}
+}
+
+// BenchmarkOutboxLaneDeadPeer measures the per-destination outbox lanes
+// under the failure they exist for: one remote peer of a three-destination
+// tier is unreachable for the whole run, and the reported updates/sec is
+// the delivery throughput of the HEALTHY lanes during the outage. Before
+// the lane split this number was ~0 — the single ordered queue wedged
+// behind the dead peer's first entry. The dead-lane-depth metric is the
+// parked backlog (one sealed entry per round: degradation, not loss).
+//
+// The run also writes BENCH_outbox.json next to the test binary's working
+// directory so CI can persist the numbers as a comparable artifact.
+func BenchmarkOutboxLaneDeadPeer(b *testing.B) {
+	m := experiment.PerfModels(experiment.ScaleQuick)[0]
+	var (
+		ups, drainMs, depth float64
+		last                experiment.LanePerfResult
+	)
+	for i := 0; i < b.N; i++ {
+		res, err := experiment.RunLanePerf(m.Name, m.Arch, 6, 2, 3, int64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ups += res.UpdatesPerSec
+		drainMs += res.DrainMillis
+		depth += float64(res.DeadLaneDepth)
+		last = res
+	}
+	n := float64(b.N)
+	b.ReportMetric(ups/n, "updates/sec")
+	b.ReportMetric(drainMs/n, "healthy-drain-ms")
+	b.ReportMetric(depth/n, "dead-lane-depth")
+	writeOutboxBench(b, outboxBenchSnapshot{
+		Bench:            "BenchmarkOutboxLaneDeadPeer",
+		Model:            last.Model,
+		Participants:     last.Participants,
+		Shards:           last.Shards,
+		Rounds:           last.Rounds,
+		HealthyUpdates:   last.HealthyUpdates,
+		UpdatesPerSec:    ups / n,
+		HealthyDrainMs:   drainMs / n,
+		DeadLaneDepth:    depth / n,
+		DeadLaneFailures: last.DeadLaneFailures,
+		Iterations:       b.N,
+	})
+}
+
+// outboxBenchSnapshot is the persisted shape of BENCH_outbox.json — the
+// repo's first committed perf baseline. Keep fields append-only so old
+// baselines stay comparable.
+type outboxBenchSnapshot struct {
+	Bench            string  `json:"bench"`
+	Model            string  `json:"model"`
+	Participants     int     `json:"participants"`
+	Shards           int     `json:"shards"`
+	Rounds           int     `json:"rounds"`
+	HealthyUpdates   int     `json:"healthy_updates"`
+	UpdatesPerSec    float64 `json:"updates_per_sec"`
+	HealthyDrainMs   float64 `json:"healthy_drain_ms"`
+	DeadLaneDepth    float64 `json:"dead_lane_depth"`
+	DeadLaneFailures uint64  `json:"dead_lane_failures"`
+	Iterations       int     `json:"iterations"`
+}
+
+func writeOutboxBench(b *testing.B, snap outboxBenchSnapshot) {
+	b.Helper()
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_outbox.json", append(enc, '\n'), 0o644); err != nil {
+		b.Fatal(err)
 	}
 }
 

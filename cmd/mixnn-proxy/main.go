@@ -45,6 +45,7 @@ import (
 	"context"
 	"crypto/ecdsa"
 	"crypto/rand"
+	"crypto/sha256"
 	"crypto/x509"
 	"encoding/hex"
 	"encoding/json"
@@ -59,6 +60,7 @@ import (
 	"time"
 
 	"mixnn/internal/enclave"
+	"mixnn/internal/outbox"
 	"mixnn/internal/proxy"
 	"mixnn/internal/route"
 	"mixnn/internal/wire"
@@ -99,7 +101,9 @@ func run(args []string) error {
 		fuseFile     = fs.String("fuse-file", "", "platform fuse-secret file (created if missing); required for -state-file/-outbox-dir restores across process restarts")
 		outboxDir    = fs.String("outbox-dir", "", "sealed delivery outbox directory: drained rounds are committed here before forwarding and survive restarts (requires -fuse-file); empty = in-memory queue")
 		batch        = fs.Bool("batch", true, "coalesce each drained round into one /v1/batch POST; false = one POST per update for pre-batch downstreams")
-		retry        = fs.Duration("retry", 5*time.Second, "maximum delivery retry backoff")
+		retry        = fs.Duration("retry", 5*time.Second, "maximum delivery retry backoff per destination lane (jittered)")
+		workers      = fs.Int("delivery-workers", outbox.DefaultWorkers, "destination lanes delivered concurrently; a dead peer stalls only its own lane")
+		deliveryTO   = fs.Duration("delivery-timeout", outbox.DefaultAttemptTimeout, "per-attempt delivery timeout (raised to -retry if set lower)")
 		seed         = fs.Int64("seed", time.Now().UnixNano(), "mixing randomness seed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -144,9 +148,11 @@ func run(args []string) error {
 		Seed:          *seed,
 		HopSecret:     *hopSecret,
 		NextHopSecret: *nextHopSec,
-		OutboxDir:     *outboxDir,
-		NoBatch:       !*batch,
-		RetryMax:      *retry,
+		OutboxDir:       *outboxDir,
+		NoBatch:         !*batch,
+		RetryMax:        *retry,
+		DeliveryWorkers: *workers,
+		DeliveryTimeout: *deliveryTO,
 	}
 	// A restored tier comes back under the topology it was sealed under,
 	// UNLESS the operator explicitly asked for a different shape on this
@@ -374,21 +380,32 @@ func applyDirectiveToConfig(cfg *proxy.ShardedConfig, d wire.TopologyDirective) 
 	return nil
 }
 
+// shardsFileFingerprint identifies the topology file's current contents.
+// A content hash — not mtime — is what change detection compares:
+// filesystem timestamps are often second-granular, so an edit-save-edit
+// within one second leaves the mtime unchanged and a ModTime comparison
+// would silently skip the second edit. Hashing also makes touch(1) (same
+// bytes, new mtime) a no-op instead of a spurious reload.
+func shardsFileFingerprint(path string) ([sha256.Size]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return [sha256.Size]byte{}, err
+	}
+	return sha256.Sum256(raw), nil
+}
+
 // watchShardsFile polls the topology file and stages its directive when
-// the file changes. A bad edit is logged and skipped — the tier keeps
+// its contents change. A bad edit is logged and skipped — the tier keeps
 // its current topology.
 func watchShardsFile(path string, px *proxy.ShardedProxy) {
-	last := time.Time{}
-	if st, err := os.Stat(path); err == nil {
-		last = st.ModTime()
-	}
+	last, _ := shardsFileFingerprint(path)
 	for {
 		time.Sleep(2 * time.Second)
-		st, err := os.Stat(path)
-		if err != nil || !st.ModTime().After(last) {
+		sum, err := shardsFileFingerprint(path)
+		if err != nil || sum == last {
 			continue
 		}
-		last = st.ModTime()
+		last = sum
 		d, err := loadShardsFile(path)
 		if err != nil {
 			log.Printf("mixnn-proxy: shards file reload: %v", err)

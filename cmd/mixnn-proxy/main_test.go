@@ -1,0 +1,72 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestShardsFileFingerprintSameSecondRewrite pins the hot-reload fix: a
+// rewrite that lands within the mtime's granularity window (simulated by
+// forcing the same mtime back onto the file) must still be detected,
+// because detection compares contents, not timestamps. The old
+// ModTime().After(last) comparison silently ignored exactly this case.
+func TestShardsFileFingerprintSameSecondRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.json")
+	v1 := []byte(`{"mode":"hash-quota","shards":[{"weight":1}]}`)
+	if err := os.WriteFile(path, v1, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mtime := st.ModTime()
+	last, err := shardsFileFingerprint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v2 := []byte(`{"mode":"hash-quota","shards":[{"weight":1},{"weight":2}]}`)
+	if err := os.WriteFile(path, v2, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the original mtime back: the rewrite is now invisible to any
+	// timestamp-based comparison.
+	if err := os.Chtimes(path, mtime, mtime); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := shardsFileFingerprint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum == last {
+		t.Fatal("same-mtime rewrite not detected: fingerprint unchanged across a content change")
+	}
+
+	// The converse: touching the file without changing it (fresh mtime,
+	// same bytes) must NOT read as a change — no spurious reloads.
+	if err := os.Chtimes(path, time.Now(), time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	again, err := shardsFileFingerprint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != sum {
+		t.Fatal("mtime-only touch read as a content change")
+	}
+}
+
+// TestLoadShardsFileRejectsEmpty keeps the loader honest about a
+// directive that names no shards (an empty tier can route nothing).
+func TestLoadShardsFileRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shards.json")
+	if err := os.WriteFile(path, []byte(`{"mode":"sticky","shards":[]}`), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadShardsFile(path); err == nil {
+		t.Fatal("shards file with no shards accepted")
+	}
+}

@@ -1,0 +1,214 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"mixnn/internal/client"
+	"mixnn/internal/enclave"
+	"mixnn/internal/nn"
+	"mixnn/internal/proxy"
+	"mixnn/internal/route"
+	"mixnn/internal/transport"
+	"mixnn/internal/wire"
+)
+
+// LanePerfResult reports one dead-peer lane-isolation experiment: a
+// three-destination front tier (aggregation server, one healthy remote
+// peer, one unreachable peer) ingests `rounds` of participants while
+// the dead peer stays down, and the measured window runs until every
+// HEALTHY lane has drained. Before the per-destination lane split this
+// scenario wedged the whole pipeline — the single ordered queue parked
+// behind the dead peer's first entry — so the healthy drain time is the
+// headline regression number for head-of-line blocking.
+type LanePerfResult struct {
+	Model        string
+	Participants int
+	// Shards is the destination count of the front tier (local shard +
+	// healthy peer + dead peer).
+	Shards int
+	Rounds int
+	// HealthyUpdates is how many updates reached a live destination
+	// during the outage (everything except the dead peer's quota).
+	HealthyUpdates int
+	// DrainMillis is the wall-clock time from the first send until all
+	// healthy lanes had delivered every round, with the dead peer down
+	// throughout.
+	DrainMillis float64
+	// UpdatesPerSec is HealthyUpdates divided by the drain duration —
+	// the tier's delivery throughput under one dead peer.
+	UpdatesPerSec float64
+	// DeadLaneDepth is the dead peer's outbox backlog at the end of the
+	// window (one sealed entry per round: parked, not lost).
+	DeadLaneDepth int
+	// DeadLaneFailures counts the dead lane's recorded delivery
+	// attempts — evidence the lane was retrying in the background, not
+	// starved, while the healthy lanes drained.
+	DeadLaneFailures uint64
+}
+
+func laneByDest(st wire.ShardedProxyStatus, dest string) wire.OutboxLaneStatus {
+	for _, ls := range st.OutboxLanes {
+		if ls.Dest == dest {
+			return ls
+		}
+	}
+	return wire.OutboxLaneStatus{}
+}
+
+// RunLanePerf stands up the dead-peer topology over the in-process
+// Loopback transport: a front proxy routing by hash-quota across its
+// local shard, a healthy remote peer, and a peer whose endpoint is
+// never registered — every send to it fails as unreachable, the same
+// transient error a downed HTTP listener produces. It drives `rounds`
+// of concurrent participants and times how long the healthy lanes take
+// to drain while the dead lane accumulates and retries its backlog.
+func RunLanePerf(modelName string, arch nn.Arch, participants, k, rounds int, seed int64) (LanePerfResult, error) {
+	if participants < 3 || participants%3 != 0 {
+		return LanePerfResult{}, fmt.Errorf("experiment: lane perf wants participants divisible by 3 (one quota per destination), got %d", participants)
+	}
+	if rounds <= 0 {
+		rounds = 1
+	}
+	quota := participants / 3
+	lb := transport.NewLoopback()
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		return LanePerfResult{}, err
+	}
+
+	agg, err := proxy.NewAggServer(arch.New(seed).SnapshotParams(), participants)
+	if err != nil {
+		return LanePerfResult{}, err
+	}
+	lb.Register("loop://agg", agg)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// The healthy peer is a real relay shard proxy with its own enclave.
+	healthyEncl, err := enclave.New(enclave.Config{CodeIdentity: "mixnn-proxy-lane-healthy"}, platform)
+	if err != nil {
+		return LanePerfResult{}, err
+	}
+	healthy, err := proxy.NewSharded(proxy.ShardedConfig{
+		Upstream: "loop://agg", K: k, RoundSize: quota, Shards: 1,
+		Seed: seed + 1, Transport: lb,
+	}, healthyEncl, platform)
+	if err != nil {
+		return LanePerfResult{}, err
+	}
+	defer healthy.Close()
+	lb.Register("loop://peer-healthy", healthy)
+	healthyKey, err := proxy.AttestHopOver(ctx, lb, "loop://peer-healthy", platform.AttestationPublicKey(), healthyEncl.Measurement())
+	if err != nil {
+		return LanePerfResult{}, err
+	}
+
+	// The dead peer exists only as key material: its endpoint is never
+	// registered with the Loopback, so the front tier can seal and
+	// address entries for it but every delivery attempt fails.
+	deadEncl, err := enclave.New(enclave.Config{CodeIdentity: "mixnn-proxy-lane-dead"}, platform)
+	if err != nil {
+		return LanePerfResult{}, err
+	}
+	deadKey := enclave.PinnedHop(deadEncl.PublicKey(), deadEncl.Measurement())
+	const deadEP = "loop://peer-dead"
+
+	frontEncl, err := enclave.New(enclave.Config{CodeIdentity: "mixnn-proxy-lane-front"}, platform)
+	if err != nil {
+		return LanePerfResult{}, err
+	}
+	front, err := proxy.NewSharded(proxy.ShardedConfig{
+		Upstream: "loop://agg", K: k, RoundSize: participants,
+		Routing:    route.ModeHashQuota,
+		ShardSpecs: []route.ShardSpec{{}, {Addr: "loop://peer-healthy"}, {Addr: deadEP}},
+		RemoteShards: map[string]proxy.RemoteShard{
+			"loop://peer-healthy": {Key: healthyKey},
+			deadEP:               {Key: deadKey},
+		},
+		Seed: seed, Transport: lb,
+		RetryBase: 2 * time.Millisecond, RetryMax: 20 * time.Millisecond,
+		DeliveryWorkers: 3,
+	}, frontEncl, platform)
+	if err != nil {
+		return LanePerfResult{}, err
+	}
+	defer front.Close()
+	lb.Register("loop://front", front)
+
+	parts := make([]*client.Participant, participants)
+	updates := make([][]nn.ParamSet, rounds)
+	for i := range parts {
+		if parts[i], err = client.New(client.Config{
+			Proxies: []string{"loop://front"}, Server: "loop://agg", Transport: lb,
+		}); err != nil {
+			return LanePerfResult{}, err
+		}
+		if err := parts[i].Attest(ctx, platform.AttestationPublicKey(), frontEncl.Measurement()); err != nil {
+			return LanePerfResult{}, err
+		}
+	}
+	for r := range updates {
+		updates[r] = make([]nn.ParamSet, participants)
+		for i := range updates[r] {
+			updates[r][i] = arch.New(seed + int64(r*participants+i) + 1).SnapshotParams()
+		}
+	}
+
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < participants; i++ {
+			if err := parts[i].SendUpdate(ctx, updates[r][i]); err != nil {
+				return LanePerfResult{}, fmt.Errorf("experiment: lane perf round %d update %d: %w", r, i, err)
+			}
+		}
+	}
+
+	// The window closes when the healthy lanes have fully drained with
+	// the dead peer STILL down: the agg and healthy-peer lanes empty
+	// with one delivery per round each, and the healthy peer has both
+	// ingested its quota and relayed it onward. The dead lane must be
+	// parked with its whole backlog — if the old single-queue behaviour
+	// regressed, this poll times out instead of completing.
+	for {
+		st := front.Status()
+		aggLane := laneByDest(st, "")
+		healthyLane := laneByDest(st, "loop://peer-healthy")
+		if aggLane.Pending == 0 && aggLane.Delivered == uint64(rounds) &&
+			healthyLane.Pending == 0 && healthyLane.Delivered == uint64(rounds) &&
+			healthy.Status().HopReceived == quota*rounds {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return LanePerfResult{}, fmt.Errorf("experiment: lane perf: healthy lanes did not drain during the outage (lanes %+v): %w", st.OutboxLanes, ctx.Err())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Let the healthy peer finish relaying its own outbox so the drain
+	// time covers the full healthy path, not just the front tier.
+	if err := healthy.Flush(ctx); err != nil {
+		return LanePerfResult{}, err
+	}
+	dur := time.Since(start)
+
+	st := front.Status()
+	deadLane := laneByDest(st, deadEP)
+	if deadLane.Pending != rounds {
+		return LanePerfResult{}, fmt.Errorf("experiment: lane perf: dead lane holds %d entries, want %d (one per round)", deadLane.Pending, rounds)
+	}
+	healthyUpdates := rounds * (participants - quota)
+	return LanePerfResult{
+		Model:            modelName,
+		Participants:     participants,
+		Shards:           3,
+		Rounds:           rounds,
+		HealthyUpdates:   healthyUpdates,
+		DrainMillis:      dur.Seconds() * 1000,
+		UpdatesPerSec:    float64(healthyUpdates) / dur.Seconds(),
+		DeadLaneDepth:    deadLane.Pending,
+		DeadLaneFailures: deadLane.Failures,
+	}, nil
+}

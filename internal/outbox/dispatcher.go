@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 )
@@ -26,36 +28,91 @@ func (e *PermanentError) Unwrap() error { return e.Err }
 // Permanent wraps err as a PermanentError.
 func Permanent(err error) error { return &PermanentError{Err: err} }
 
-// Dispatcher drains a Queue in sequence order through a DeliverFunc with
-// bounded exponential backoff. It is the background half of the delivery
-// pipeline: ingress commits rounds to the queue and returns immediately;
-// the dispatcher owns every retry, so a downstream outage never blocks
-// (or loses) mixing.
-type Dispatcher struct {
-	q       Queue
-	deliver DeliverFunc
-	base    time.Duration // first retry delay
-	max     time.Duration // backoff ceiling
+// Default bounds for the dispatcher's knobs when the caller does not
+// override them.
+const (
+	DefaultRetryBase      = 50 * time.Millisecond
+	DefaultRetryMax       = 5 * time.Second
+	DefaultWorkers        = 4
+	DefaultAttemptTimeout = 60 * time.Second
+)
 
-	wake chan struct{}
-	stop chan struct{}
-	done chan struct{}
+// Options configures a Dispatcher. Zero values take the defaults above.
+type Options struct {
+	// RetryBase is a lane's first retry delay after a transient failure;
+	// RetryMax is its backoff ceiling (doubling in between, jittered).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Workers bounds how many lanes deliver concurrently. One lane is
+	// only ever drained by one worker at a time, so per-lane ordering
+	// holds for any worker count.
+	Workers int
+	// AttemptTimeout bounds one delivery attempt. It is clamped to at
+	// least RetryMax: an attempt ceiling shorter than the backoff ceiling
+	// would cancel slow-but-succeeding sends only to wait even longer
+	// before retrying them.
+	AttemptTimeout time.Duration
+}
+
+// laneState is the dispatcher's retry book-keeping for one lane.
+type laneState struct {
+	busy      bool          // a worker currently owns this lane
+	backoff   time.Duration // delay the last failure scheduled (0 = healthy)
+	notBefore time.Time     // next attempt is gated until this instant
+	delivered uint64        // entries acknowledged on this lane
+	failures  uint64        // transient delivery failures on this lane
+}
+
+// LaneStat is a point-in-time snapshot of one lane, for status surfaces.
+type LaneStat struct {
+	// Lane is the envelope destination ("" = the tier's downstream).
+	Lane      string
+	Pending   int           // entries awaiting delivery
+	InFlight  bool          // a worker is draining the lane right now
+	Backoff   time.Duration // current retry delay (0 when healthy)
+	NextRetry time.Duration // time until the next gated attempt (0 = none)
+	Delivered uint64        // entries acknowledged since Start
+	Failures  uint64        // transient failures since Start
+}
+
+// Dispatcher drains a Queue through a DeliverFunc using a pool of
+// workers, one independent delivery lane per envelope destination. It is
+// the background half of the delivery pipeline: ingress commits rounds to
+// the queue and returns immediately; the dispatcher owns every retry.
+// Each lane keeps its own jittered exponential backoff, so a dead peer's
+// lane parks itself between retries while every other lane keeps
+// delivering — a partial failure degrades one destination, not the tier.
+type Dispatcher struct {
+	q              Queue
+	deliver        DeliverFunc
+	base           time.Duration // first retry delay
+	max            time.Duration // backoff ceiling
+	workers        int
+	attemptTimeout time.Duration
+
+	wake    chan struct{}
+	stop    chan struct{}
+	done    chan struct{}
+	jobs    chan string
+	results chan laneResult
+	wg      sync.WaitGroup
 
 	mu       sync.Mutex
-	inFlight bool
+	lanes    map[string]*laneState
+	inFlight int // lanes handed to workers and not yet reported back
 	started  bool
 }
 
-// DefaultRetryBase and DefaultRetryMax bound the dispatcher's backoff
-// when the caller does not override them.
-const (
-	DefaultRetryBase = 50 * time.Millisecond
-	DefaultRetryMax  = 5 * time.Second
-)
+// laneResult is a worker's report after releasing a lane.
+type laneResult struct {
+	lane      string
+	delivered uint64 // entries acknowledged this pass
+	failed    bool   // pass ended on a transient failure (back the lane off)
+}
 
-// NewDispatcher builds a dispatcher over q. base/max bound the retry
-// backoff (zero values take the defaults). Call Start to begin draining.
-func NewDispatcher(q Queue, deliver DeliverFunc, base, max time.Duration) *Dispatcher {
+// NewDispatcher builds a dispatcher over q. Call Start to begin draining.
+func NewDispatcher(q Queue, deliver DeliverFunc, opts Options) *Dispatcher {
+	base, max := opts.RetryBase, opts.RetryMax
 	if base <= 0 {
 		base = DefaultRetryBase
 	}
@@ -65,15 +122,30 @@ func NewDispatcher(q Queue, deliver DeliverFunc, base, max time.Duration) *Dispa
 	if max < base {
 		max = base
 	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = DefaultWorkers
+	}
+	timeout := opts.AttemptTimeout
+	if timeout <= 0 {
+		timeout = DefaultAttemptTimeout
+	}
+	if timeout < max {
+		timeout = max
+	}
 	return &Dispatcher{
 		q: q, deliver: deliver, base: base, max: max,
-		wake: make(chan struct{}, 1),
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
+		workers: workers, attemptTimeout: timeout,
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+		jobs:    make(chan string, workers),
+		results: make(chan laneResult, workers),
+		lanes:   make(map[string]*laneState),
 	}
 }
 
-// Start launches the drain loop.
+// Start launches the coordinator and the worker pool.
 func (d *Dispatcher) Start() {
 	d.mu.Lock()
 	if d.started {
@@ -82,21 +154,32 @@ func (d *Dispatcher) Start() {
 	}
 	d.started = true
 	d.mu.Unlock()
+	for i := 0; i < d.workers; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
 	go d.loop()
 }
 
-// Wake nudges the dispatcher after a Put so a fresh entry is tried
+// Wake nudges the dispatcher after a Put (or after new routing state,
+// e.g. a remote key registration, may have unblocked a stalled lane):
+// every lane's backoff gate is lifted so the fresh state is tried
 // immediately instead of at the next backoff tick.
 func (d *Dispatcher) Wake() {
+	d.mu.Lock()
+	for _, st := range d.lanes {
+		st.notBefore = time.Time{}
+	}
+	d.mu.Unlock()
 	select {
 	case d.wake <- struct{}{}:
 	default:
 	}
 }
 
-// Close stops the drain loop and waits for any in-flight delivery attempt
-// to return. Queued entries stay queued (on disk for a durable queue) for
-// the next process.
+// Close stops the coordinator and workers and waits for any in-flight
+// delivery attempts to return. Queued entries stay queued (on disk for a
+// durable queue) for the next process.
 func (d *Dispatcher) Close() {
 	d.mu.Lock()
 	if !d.started {
@@ -109,12 +192,14 @@ func (d *Dispatcher) Close() {
 	case <-d.stop:
 		d.mu.Unlock()
 		<-d.done
+		d.wg.Wait()
 		return
 	default:
 	}
 	close(d.stop)
 	d.mu.Unlock()
 	<-d.done
+	d.wg.Wait()
 }
 
 // Flush blocks until the queue is empty and no delivery is in flight, or
@@ -125,7 +210,7 @@ func (d *Dispatcher) Flush(ctx context.Context) error {
 	defer tick.Stop()
 	for {
 		d.mu.Lock()
-		idle := !d.inFlight
+		idle := d.inFlight == 0
 		d.mu.Unlock()
 		if idle && d.q.Len() == 0 {
 			return nil
@@ -138,88 +223,205 @@ func (d *Dispatcher) Flush(ctx context.Context) error {
 	}
 }
 
+// LaneStats snapshots every lane the dispatcher knows about — lanes with
+// pending entries plus lanes that delivered or failed since Start.
+func (d *Dispatcher) LaneStats() []LaneStat {
+	pending := d.q.Lanes()
+	now := time.Now()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seen := make(map[string]bool, len(pending)+len(d.lanes))
+	names := make([]string, 0, len(pending)+len(d.lanes))
+	for _, lane := range pending {
+		if !seen[lane] {
+			seen[lane] = true
+			names = append(names, lane)
+		}
+	}
+	for lane := range d.lanes {
+		if !seen[lane] {
+			seen[lane] = true
+			names = append(names, lane)
+		}
+	}
+	sort.Strings(names)
+	out := make([]LaneStat, 0, len(names))
+	for _, lane := range names {
+		stat := LaneStat{Lane: lane, Pending: d.q.LaneLen(lane)}
+		if st := d.lanes[lane]; st != nil {
+			stat.InFlight = st.busy
+			stat.Backoff = st.backoff
+			stat.Delivered = st.delivered
+			stat.Failures = st.failures
+			if wait := st.notBefore.Sub(now); wait > 0 {
+				stat.NextRetry = wait
+			}
+		}
+		out = append(out, stat)
+	}
+	return out
+}
+
+// loop is the coordinator: it hands eligible lanes to workers, applies
+// each worker's verdict to the lane's backoff state, and sleeps until the
+// earliest gated retry (or a wake) when nothing is runnable.
 func (d *Dispatcher) loop() {
 	defer close(d.done)
-	backoff := d.base
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		now := time.Now()
+		var nextGate time.Time
+		d.mu.Lock()
+		for _, lane := range d.q.Lanes() {
+			if d.inFlight >= d.workers {
+				break
+			}
+			st := d.lanes[lane]
+			if st == nil {
+				st = &laneState{}
+				d.lanes[lane] = st
+			}
+			if st.busy {
+				continue
+			}
+			if now.Before(st.notBefore) {
+				if nextGate.IsZero() || st.notBefore.Before(nextGate) {
+					nextGate = st.notBefore
+				}
+				continue
+			}
+			st.busy = true
+			d.inFlight++
+			// Never blocks: jobs is buffered to the worker count and
+			// inFlight < workers guarantees a free slot.
+			d.jobs <- lane
+		}
+		d.mu.Unlock()
+
+		var timerC <-chan time.Time
+		if !nextGate.IsZero() {
+			timer.Reset(time.Until(nextGate))
+			timerC = timer.C
+		}
+		select {
+		case <-d.stop:
+			return
+		case <-d.wake:
+		case res := <-d.results:
+			d.settle(res)
+		case <-timerC:
+			timerC = nil
+		}
+		if timerC != nil && !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+}
+
+// settle applies a worker's report to the lane's retry state.
+func (d *Dispatcher) settle(res laneResult) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	st := d.lanes[res.lane]
+	if st == nil {
+		return
+	}
+	st.busy = false
+	d.inFlight--
+	st.delivered += res.delivered
+	if !res.failed {
+		st.backoff = 0
+		st.notBefore = time.Time{}
+		return
+	}
+	st.failures++
+	if st.backoff <= 0 {
+		st.backoff = d.base
+	} else {
+		st.backoff *= 2
+		if st.backoff > d.max {
+			st.backoff = d.max
+		}
+	}
+	st.notBefore = time.Now().Add(jitter(st.backoff))
+}
+
+// jitter spreads a retry delay over [backoff/2, backoff]. The doubling
+// schedule itself stays deterministic; the jitter decorrelates the
+// proxies of a tier so a recovered downstream is not hit by every proxy's
+// retry in lockstep (each proxy failed at the same moment the downstream
+// went away, so un-jittered deterministic backoff synchronises the herd).
+func jitter(backoff time.Duration) time.Duration {
+	half := backoff / 2
+	if half <= 0 {
+		return backoff
+	}
+	return half + time.Duration(rand.Int63n(int64(half)+1))
+}
+
+// worker takes lane assignments from the coordinator, drains each as far
+// as it will go, and reports the outcome.
+func (d *Dispatcher) worker() {
+	defer d.wg.Done()
 	for {
 		select {
 		case <-d.stop:
 			return
-		default:
-		}
-		seq, payload, err := d.q.Next()
-		if errors.Is(err, ErrEmpty) {
-			backoff = d.base
+		case lane := <-d.jobs:
+			res := d.drainLane(lane)
 			select {
+			case d.results <- res:
 			case <-d.stop:
 				return
-			case <-d.wake:
 			}
-			continue
+		}
+	}
+}
+
+// drainLane delivers a lane's entries head-first until the lane is empty,
+// a transient failure parks it, or the dispatcher stops. Permanent
+// rejections quarantine the entry and the drain continues — one poisoned
+// round must not park the lane behind it.
+func (d *Dispatcher) drainLane(lane string) laneResult {
+	res := laneResult{lane: lane}
+	for {
+		select {
+		case <-d.stop:
+			return res
+		default:
+		}
+		seq, payload, err := d.q.NextIn(lane)
+		if errors.Is(err, ErrEmpty) {
+			return res
 		}
 		if err != nil {
 			// Queue-level read failure with entries still indexed; back
 			// off rather than spin.
-			if !d.sleep(backoff) {
-				return
-			}
-			backoff = d.bump(backoff)
-			continue
+			res.failed = true
+			return res
 		}
-
-		d.mu.Lock()
-		d.inFlight = true
-		d.mu.Unlock()
-		ctx, cancel := context.WithTimeout(context.Background(), deliveryTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), d.attemptTimeout)
 		deliverErr := d.deliver(ctx, seq, payload)
 		cancel()
-		d.mu.Lock()
-		d.inFlight = false
-		d.mu.Unlock()
-
 		var perm *PermanentError
 		switch {
 		case deliverErr == nil:
 			d.q.Ack(seq)
-			backoff = d.base
+			res.delivered++
 		case errors.As(deliverErr, &perm):
 			// Quarantining loses the entry from the delivery path; that
 			// must never be silent.
 			log.Printf("outbox: entry %d quarantined: %v", seq, deliverErr)
 			d.q.Quarantine(seq, deliverErr)
-			backoff = d.base
 		default:
-			if !d.sleep(backoff) {
-				return
-			}
-			backoff = d.bump(backoff)
+			res.failed = true
+			return res
 		}
-	}
-}
-
-// deliveryTimeout bounds one delivery attempt; the dispatcher's retry
-// loop is the only other cancellation delivery has.
-const deliveryTimeout = 60 * time.Second
-
-func (d *Dispatcher) bump(backoff time.Duration) time.Duration {
-	backoff *= 2
-	if backoff > d.max {
-		backoff = d.max
-	}
-	return backoff
-}
-
-// sleep waits for the backoff, a wake (fresh entry — retry immediately),
-// or shutdown. Returns false when the dispatcher should exit.
-func (d *Dispatcher) sleep(backoff time.Duration) bool {
-	t := time.NewTimer(backoff)
-	defer t.Stop()
-	select {
-	case <-d.stop:
-		return false
-	case <-d.wake:
-		return true
-	case <-t.C:
-		return true
 	}
 }

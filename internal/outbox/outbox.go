@@ -49,19 +49,33 @@ type OpenFunc func(sealed []byte) ([]byte, error)
 var ErrEmpty = errors.New("outbox: empty")
 
 // Queue is the delivery queue contract shared by the durable on-disk
-// outbox and the in-memory variant: strictly ordered Put/Next/Ack with
-// quarantine for undeliverable entries, partial-delivery progress for
-// per-update (NoBatch) forwarding, and a stable sender identity for
+// outbox and the in-memory variant: per-destination-ordered Put/Next/Ack
+// with quarantine for undeliverable entries, partial-delivery progress
+// for per-update (NoBatch) forwarding, and a stable sender identity for
 // receiver-side redelivery detection.
+//
+// Entries are partitioned into lanes keyed by the envelope destination
+// (LaneOf), so a dead peer's backlog never blocks deliveries bound for
+// the cascade hop, the aggregation server, or a healthy peer. Ordering
+// is guaranteed per lane, not across lanes.
 type Queue interface {
 	// Put commits one entry and returns its sequence number. For the disk
 	// queue the entry is durable (sealed, atomically renamed into place)
-	// before Put returns.
+	// before Put returns. The entry joins the lane named by its envelope
+	// destination (LaneOf of the plaintext payload).
 	Put(payload []byte) (uint64, error)
-	// Next returns the oldest entry, opened and parsed. Corrupt or
+	// Next returns the oldest entry across all lanes, opened. Corrupt or
 	// unopenable entries are quarantined and skipped so one bad entry
 	// cannot wedge the queue. ErrEmpty when drained.
 	Next() (uint64, []byte, error)
+	// NextIn returns the oldest entry of one lane, with the same
+	// quarantine-and-skip behaviour as Next. ErrEmpty when the lane is
+	// drained.
+	NextIn(lane string) (uint64, []byte, error)
+	// Lanes lists the lanes that currently hold pending entries, sorted.
+	Lanes() []string
+	// LaneLen counts entries awaiting delivery in one lane.
+	LaneLen(lane string) int
 	// Ack consumes a delivered entry (and its progress marker).
 	Ack(seq uint64) error
 	// Quarantine sets aside an entry the receiver permanently rejected.
@@ -230,6 +244,40 @@ func ParseEnvelope(data []byte) (*Envelope, error) {
 	return env, nil
 }
 
+// LaneOf extracts the delivery lane of an entry payload by decoding only
+// the envelope header (magic through dest), without touching the update
+// bodies. Version-1 entries carry no destination and payloads that do not
+// parse as envelopes cannot be steered anywhere better, so both land in
+// the default lane "" — the tier's ordinary downstream — where delivery
+// (not lane indexing) decides whether to quarantine them.
+func LaneOf(payload []byte) string {
+	r := bytes.NewReader(payload)
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil || string(magic[:]) != envelopeMagic {
+		return ""
+	}
+	var version uint32
+	if err := binary.Read(r, binary.LittleEndian, &version); err != nil || version < 2 || version > EnvelopeVersion {
+		return ""
+	}
+	// Skip epoch + topoVer (uint64 each) and hop (uint32).
+	if _, err := r.Seek(8+8+4, io.SeekCurrent); err != nil {
+		return ""
+	}
+	var destLen uint16
+	if err := binary.Read(r, binary.LittleEndian, &destLen); err != nil {
+		return ""
+	}
+	if int(destLen) > maxEnvelopeDestBytes || int(destLen) > r.Len() {
+		return ""
+	}
+	dest := make([]byte, destLen)
+	if _, err := io.ReadFull(r, dest); err != nil {
+		return ""
+	}
+	return string(dest)
+}
+
 // Disk is the durable on-disk queue.
 type Disk struct {
 	dir    string
@@ -240,17 +288,28 @@ type Disk struct {
 	mu   sync.Mutex
 	seqs []uint64 // pending sequence numbers, sorted ascending
 	next uint64   // next sequence number to assign
-	// head caches the opened payload of the queue head between retry
-	// attempts (entries are immutable once written), so a long outage
-	// does not re-read and re-decrypt the same round every backoff tick.
-	headSeq     uint64
-	headPayload []byte
+	// laneOf maps each pending seq to its delivery lane; lanes holds the
+	// per-lane pending seqs, sorted ascending. Both are derived from the
+	// envelope headers: recorded at Put, rebuilt at Open.
+	laneOf map[uint64]string
+	lanes  map[string][]uint64
+	// heads caches the opened payload at the head of each lane between
+	// retry attempts (entries are immutable once written), so a long
+	// outage does not re-read and re-decrypt the same round every backoff
+	// tick.
+	heads map[string]headCache
 	// quarantined counts entries set aside: .bad files found at Open
 	// plus quarantines since.
 	quarantined int
 	// progress maps entry seq → confirmed per-update delivery progress,
 	// mirrored to .prog sidecar files so it survives restarts.
 	progress map[uint64]int
+}
+
+// headCache is one lane's memoised head entry.
+type headCache struct {
+	seq     uint64
+	payload []byte
 }
 
 const (
@@ -281,7 +340,13 @@ func Open(dir string, seal SealFunc, open OpenFunc) (*Disk, error) {
 	if err != nil {
 		return nil, fmt.Errorf("outbox: scan dir: %w", err)
 	}
-	d := &Disk{dir: dir, seal: seal, open: open, progress: make(map[uint64]int)}
+	d := &Disk{
+		dir: dir, seal: seal, open: open,
+		progress: make(map[uint64]int),
+		laneOf:   make(map[uint64]string),
+		lanes:    make(map[string][]uint64),
+		heads:    make(map[string]headCache),
+	}
 	for _, de := range names {
 		name := de.Name()
 		if strings.HasSuffix(name, quarantineSuffix) {
@@ -342,6 +407,25 @@ func Open(dir string, seal SealFunc, open OpenFunc) (*Disk, error) {
 			d.next = next
 		}
 	}
+	// Rebuild the lane index: each carried-over entry is opened once to
+	// read its envelope destination. Entries that fail to read or unseal
+	// here would fail identically at delivery time, so they are
+	// quarantined now instead of wedging a lane later; the opened payloads
+	// are NOT retained (a restart after a long outage could hold many
+	// rounds) — only the lane label is.
+	for _, seq := range append([]uint64(nil), d.seqs...) {
+		raw, rerr := os.ReadFile(filepath.Join(dir, entryName(seq)))
+		if rerr == nil && d.open != nil {
+			raw, rerr = d.open(raw)
+		}
+		if rerr != nil {
+			d.quarantineLocked(seq)
+			continue
+		}
+		lane := LaneOf(raw)
+		d.laneOf[seq] = lane
+		d.lanes[lane] = append(d.lanes[lane], seq)
+	}
 	if d.sender, err = loadSenderID(dir); err != nil {
 		return nil, err
 	}
@@ -391,6 +475,8 @@ func (d *Disk) Dir() string { return d.dir }
 // or full disk mid-write cannot leave a truncated entry where a good one
 // should be.
 func (d *Disk) Put(payload []byte) (uint64, error) {
+	// The lane is read from the plaintext header, before sealing hides it.
+	lane := LaneOf(payload)
 	if d.seal != nil {
 		var err error
 		if payload, err = d.seal(payload); err != nil {
@@ -421,19 +507,42 @@ func (d *Disk) Put(payload []byte) (uint64, error) {
 	}
 	d.next = seq + 1
 	d.seqs = append(d.seqs, seq)
+	d.laneOf[seq] = lane
+	d.lanes[lane] = append(d.lanes[lane], seq)
 	return seq, nil
 }
 
-// Next returns the oldest entry, opened. Entries that fail to read or
-// unseal are quarantined and skipped, so the queue drains past garbage a
-// corrupted disk (or an adversarial host) left in the directory.
+// Next returns the oldest entry across all lanes, opened. Entries that
+// fail to read or unseal are quarantined and skipped, so the queue drains
+// past garbage a corrupted disk (or an adversarial host) left in the
+// directory.
 func (d *Disk) Next() (uint64, []byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for len(d.seqs) > 0 {
-		seq := d.seqs[0]
-		if d.headPayload != nil && d.headSeq == seq {
-			return seq, d.headPayload, nil
+		// The globally-oldest entry is also the head of its own lane.
+		seq, payload, err := d.nextInLocked(d.laneOf[d.seqs[0]])
+		if errors.Is(err, ErrEmpty) {
+			continue
+		}
+		return seq, payload, err
+	}
+	return 0, nil, ErrEmpty
+}
+
+// NextIn returns the oldest entry of one lane, opened, with the same
+// quarantine-and-skip behaviour as Next.
+func (d *Disk) NextIn(lane string) (uint64, []byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nextInLocked(lane)
+}
+
+func (d *Disk) nextInLocked(lane string) (uint64, []byte, error) {
+	for len(d.lanes[lane]) > 0 {
+		seq := d.lanes[lane][0]
+		if h, ok := d.heads[lane]; ok && h.seq == seq {
+			return seq, h.payload, nil
 		}
 		raw, err := os.ReadFile(filepath.Join(d.dir, entryName(seq)))
 		if err == nil && d.open != nil {
@@ -443,10 +552,31 @@ func (d *Disk) Next() (uint64, []byte, error) {
 			d.quarantineLocked(seq)
 			continue
 		}
-		d.headSeq, d.headPayload = seq, raw
+		d.heads[lane] = headCache{seq: seq, payload: raw}
 		return seq, raw, nil
 	}
 	return 0, nil, ErrEmpty
+}
+
+// Lanes lists the lanes that currently hold pending entries, sorted.
+func (d *Disk) Lanes() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.lanes))
+	for lane, seqs := range d.lanes {
+		if len(seqs) > 0 {
+			out = append(out, lane)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LaneLen counts entries awaiting delivery in one lane.
+func (d *Disk) LaneLen(lane string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.lanes[lane])
 }
 
 // Ack consumes a delivered entry and its progress marker.
@@ -521,8 +651,21 @@ func (d *Disk) quarantineLocked(seq uint64) {
 }
 
 func (d *Disk) dropLocked(seq uint64) {
-	if d.headPayload != nil && d.headSeq == seq {
-		d.headPayload = nil
+	lane, tracked := d.laneOf[seq]
+	if tracked {
+		if h, ok := d.heads[lane]; ok && h.seq == seq {
+			delete(d.heads, lane)
+		}
+		delete(d.laneOf, seq)
+		for i, s := range d.lanes[lane] {
+			if s == seq {
+				d.lanes[lane] = append(d.lanes[lane][:i], d.lanes[lane][i+1:]...)
+				break
+			}
+		}
+		if len(d.lanes[lane]) == 0 {
+			delete(d.lanes, lane)
+		}
 	}
 	if _, ok := d.progress[seq]; ok {
 		delete(d.progress, seq)
@@ -553,6 +696,8 @@ type Memory struct {
 	entries     map[uint64][]byte
 	seqs        []uint64
 	next        uint64
+	laneOf      map[uint64]string
+	lanes       map[string][]uint64
 	quarantined int
 	progress    map[uint64]int
 }
@@ -565,17 +710,26 @@ func NewMemory() *Memory {
 		// disables receiver-side aged-redelivery detection.
 		id = ""
 	}
-	return &Memory{entries: make(map[uint64][]byte), progress: make(map[uint64]int), sender: id}
+	return &Memory{
+		entries:  make(map[uint64][]byte),
+		progress: make(map[uint64]int),
+		laneOf:   make(map[uint64]string),
+		lanes:    make(map[string][]uint64),
+		sender:   id,
+	}
 }
 
 // Put implements Queue.
 func (m *Memory) Put(payload []byte) (uint64, error) {
+	lane := LaneOf(payload)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	seq := m.next
 	m.next++
 	m.entries[seq] = payload
 	m.seqs = append(m.seqs, seq)
+	m.laneOf[seq] = lane
+	m.lanes[lane] = append(m.lanes[lane], seq)
 	return seq, nil
 }
 
@@ -588,6 +742,38 @@ func (m *Memory) Next() (uint64, []byte, error) {
 	}
 	seq := m.seqs[0]
 	return seq, m.entries[seq], nil
+}
+
+// NextIn implements Queue.
+func (m *Memory) NextIn(lane string) (uint64, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.lanes[lane]) == 0 {
+		return 0, nil, ErrEmpty
+	}
+	seq := m.lanes[lane][0]
+	return seq, m.entries[seq], nil
+}
+
+// Lanes implements Queue.
+func (m *Memory) Lanes() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.lanes))
+	for lane, seqs := range m.lanes {
+		if len(seqs) > 0 {
+			out = append(out, lane)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// LaneLen implements Queue.
+func (m *Memory) LaneLen(lane string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.lanes[lane])
 }
 
 // Ack implements Queue.
@@ -638,6 +824,18 @@ func (m *Memory) SenderID() string { return m.sender }
 func (m *Memory) dropLocked(seq uint64) {
 	delete(m.entries, seq)
 	delete(m.progress, seq)
+	if lane, ok := m.laneOf[seq]; ok {
+		delete(m.laneOf, seq)
+		for i, s := range m.lanes[lane] {
+			if s == seq {
+				m.lanes[lane] = append(m.lanes[lane][:i], m.lanes[lane][i+1:]...)
+				break
+			}
+		}
+		if len(m.lanes[lane]) == 0 {
+			delete(m.lanes, lane)
+		}
+	}
 	for i, s := range m.seqs {
 		if s == seq {
 			m.seqs = append(m.seqs[:i], m.seqs[i+1:]...)

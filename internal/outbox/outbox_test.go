@@ -257,7 +257,7 @@ func TestDeliveryDispatcherDrainRetryQuarantine(t *testing.T) {
 		}
 		delivered = append(delivered, seq)
 		return nil
-	}, time.Millisecond, 4*time.Millisecond)
+	}, Options{RetryBase: time.Millisecond, RetryMax: 4 * time.Millisecond})
 	d.Start()
 	defer d.Close()
 
@@ -295,7 +295,7 @@ func TestDeliveryDispatcherCloseStopsRetrying(t *testing.T) {
 	d := NewDispatcher(q, func(ctx context.Context, seq uint64, payload []byte) error {
 		attempts <- struct{}{}
 		return errors.New("always down")
-	}, time.Millisecond, 2*time.Millisecond)
+	}, Options{RetryBase: time.Millisecond, RetryMax: 2 * time.Millisecond})
 	d.Start()
 	if _, err := q.Put(testEnvelope(0, "stuck")); err != nil {
 		t.Fatal(err)

@@ -104,10 +104,18 @@ type ShardedConfig struct {
 	// downstreams, at C requests per round and without the batch
 	// idempotency id (delivery degrades to at-least-once across crashes).
 	NoBatch bool
-	// RetryBase and RetryMax bound the delivery dispatcher's exponential
+	// RetryBase and RetryMax bound each delivery lane's exponential
 	// backoff (defaults outbox.DefaultRetryBase/Max).
 	RetryBase time.Duration
 	RetryMax  time.Duration
+	// DeliveryWorkers bounds how many destination lanes deliver
+	// concurrently (default outbox.DefaultWorkers). A lane is drained by
+	// at most one worker at a time, so per-destination ordering is
+	// unaffected by the worker count.
+	DeliveryWorkers int
+	// DeliveryTimeout bounds one delivery attempt (default
+	// outbox.DefaultAttemptTimeout; clamped to at least RetryMax).
+	DeliveryTimeout time.Duration
 	// Transport carries every outbound leg of this tier — batch/single
 	// delivery downstream, relay legs to remote shards, and the hop
 	// attestation handshakes admin directives trigger. nil = the HTTP
@@ -146,10 +154,10 @@ type ShardedProxy struct {
 	// the next epoch's topology there; the round-close swap advances it.
 	planner *route.Planner
 
-	// dcache memoises the head entry's parsed envelope and (batch mode)
-	// request body between retry attempts — entries are immutable, and a
-	// long outage must not re-parse/re-encode a large round every
-	// backoff tick. Touched only by the dispatcher goroutine.
+	// dcache memoises each in-flight entry's parsed envelope and (batch
+	// mode) request body between retry attempts — entries are immutable,
+	// and a long outage must not re-parse/re-encode a large round every
+	// backoff tick. Keyed by entry seq: delivery lanes run concurrently.
 	dcache deliverCache
 
 	mu   sync.Mutex
@@ -318,7 +326,12 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 	}
 	p.seen.SetWindow(cfg.DedupWindow)
 	p.cond = sync.NewCond(&p.mu)
-	p.disp = outbox.NewDispatcher(box, p.deliver, cfg.RetryBase, cfg.RetryMax)
+	p.disp = outbox.NewDispatcher(box, p.deliver, outbox.Options{
+		RetryBase:      cfg.RetryBase,
+		RetryMax:       cfg.RetryMax,
+		Workers:        cfg.DeliveryWorkers,
+		AttemptTimeout: cfg.DeliveryTimeout,
+	})
 	p.disp.Start()
 	return p, nil
 }
@@ -945,15 +958,42 @@ func (p *ShardedProxy) relayShardLocked(addr string) int {
 	return -1
 }
 
-// deliverCache is the dispatcher-goroutine-local memo of the head
-// entry's delivery artefacts (see ShardedProxy.dcache).
+// deliverCache is the per-entry memo of delivery artefacts (see
+// ShardedProxy.dcache). The mutex guards only the map: an entry's memo is
+// mutated exclusively by the one worker that owns the entry's lane.
 type deliverCache struct {
-	seq     uint64
-	valid   bool
+	mu      sync.Mutex
+	entries map[uint64]*deliverMemo
+}
+
+// deliverMemo caches one outbox entry's delivery artefacts across retry
+// attempts.
+type deliverMemo struct {
 	env     *outbox.Envelope
 	body    []byte // assembled /v1/batch body (hop-wrapped if cascading)
 	id      string // idempotency id for body
 	singles bool   // round too large to batch; use the singles path
+}
+
+func (c *deliverCache) get(seq uint64) *deliverMemo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.entries[seq]
+}
+
+func (c *deliverCache) put(seq uint64, m *deliverMemo) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.entries == nil {
+		c.entries = make(map[uint64]*deliverMemo)
+	}
+	c.entries[seq] = m
+}
+
+func (c *deliverCache) drop(seq uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, seq)
 }
 
 // batchIDFor derives the idempotency id of an outbox entry from its
@@ -998,16 +1038,29 @@ func (p *ShardedProxy) target(env *outbox.Envelope) (hopTarget, error) {
 // deliver is the dispatcher callback: it sends one outbox entry (one
 // destination's share of a drained round) onward. nil consumes the entry;
 // a PermanentError quarantines it; anything else retries with backoff.
+// It wraps deliverPayload to evict the entry's memo once the entry leaves
+// the queue (acked or quarantined) — the memo map must track only live
+// retries, not every entry ever delivered.
 func (p *ShardedProxy) deliver(ctx context.Context, seq uint64, payload []byte) error {
-	c := &p.dcache
-	if !c.valid || c.seq != seq {
+	err := p.deliverPayload(ctx, seq, payload)
+	var perm *outbox.PermanentError
+	if err == nil || errors.As(err, &perm) {
+		p.dcache.drop(seq)
+	}
+	return err
+}
+
+func (p *ShardedProxy) deliverPayload(ctx context.Context, seq uint64, payload []byte) error {
+	c := p.dcache.get(seq)
+	if c == nil {
 		env, err := outbox.ParseEnvelope(payload)
 		if err != nil {
 			// The queue's open hook already authenticated the entry, so a
 			// parse failure means a foreign or torn payload: set it aside.
 			return outbox.Permanent(err)
 		}
-		p.dcache = deliverCache{seq: seq, valid: true, env: env}
+		c = &deliverMemo{env: env}
+		p.dcache.put(seq, c)
 	}
 	env := c.env
 	if len(env.Updates) == 0 {
@@ -1536,6 +1589,21 @@ func (p *ShardedProxy) HandleTopology(ctx context.Context, req transport.Topolog
 // consistent with the global round state — a concurrent round close
 // cannot appear half-applied.
 func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
+	// Lane stats are snapshotted before p.mu: the dispatcher runs its own
+	// lock domain, and holding p.mu across it would nest p.mu outside the
+	// delivery locks for no consistency gain.
+	var lanes []wire.OutboxLaneStatus
+	for _, ls := range p.disp.LaneStats() {
+		lanes = append(lanes, wire.OutboxLaneStatus{
+			Dest:        ls.Lane,
+			Pending:     ls.Pending,
+			InFlight:    ls.InFlight,
+			BackoffMs:   float64(ls.Backoff) / float64(time.Millisecond),
+			NextRetryMs: float64(ls.NextRetry) / float64(time.Millisecond),
+			Delivered:   ls.Delivered,
+			Failures:    ls.Failures,
+		})
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	shards := make([]wire.ShardStatus, len(p.shards))
@@ -1568,6 +1636,7 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 		RoundSize:         p.topo.RoundSize(),
 		Epoch:             p.rounds,
 		OutboxPending:     p.box.Len(),
+		OutboxLanes:       lanes,
 		BatchesSent:       p.batches,
 		NextHop:           p.cfg.NextHop,
 		MaxHops:           p.cfg.MaxHops,

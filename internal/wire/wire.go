@@ -275,6 +275,25 @@ type ShardStatus struct {
 	Weight int `json:"weight"`
 }
 
+// OutboxLaneStatus reports one delivery lane of the outbox: the pending
+// backlog and retry state for a single destination. Dest is the remote
+// shard address the lane serves; empty means the tier's ordinary
+// downstream (aggregation server or cascade next hop).
+type OutboxLaneStatus struct {
+	Dest    string `json:"dest,omitempty"`
+	Pending int    `json:"pending"`
+	// InFlight reports a delivery attempt running right now.
+	InFlight bool `json:"in_flight,omitempty"`
+	// BackoffMs is the lane's current retry delay (0 when healthy) and
+	// NextRetryMs the time until its next gated attempt.
+	BackoffMs   float64 `json:"backoff_ms,omitempty"`
+	NextRetryMs float64 `json:"next_retry_ms,omitempty"`
+	// Delivered counts entries acknowledged on this lane since the
+	// process started; Failures counts transient delivery failures.
+	Delivered uint64 `json:"delivered"`
+	Failures  uint64 `json:"failures,omitempty"`
+}
+
 // ShardedProxyStatus reports a sharded proxy tier: global round progress,
 // cascade wiring and the per-shard mixer states.
 type ShardedProxyStatus struct {
@@ -294,8 +313,13 @@ type ShardedProxyStatus struct {
 	// pre-pipeline round counter.
 	Epoch int `json:"epoch"`
 	// OutboxPending counts drained rounds committed to the delivery
-	// outbox but not yet acknowledged downstream.
+	// outbox but not yet acknowledged downstream, across all lanes.
 	OutboxPending int `json:"outbox_pending"`
+	// OutboxLanes breaks the delivery backlog down per destination lane:
+	// each remote peer, plus the tier's ordinary downstream (empty
+	// dest). A healthy tier shows every lane at backoff 0; a dead peer
+	// shows its own lane backing off while the others stay clear.
+	OutboxLanes []OutboxLaneStatus `json:"outbox_lanes,omitempty"`
 	// BatchesSent counts /v1/batch POSTs acknowledged downstream.
 	BatchesSent int    `json:"batches_sent"`
 	NextHop     string `json:"next_hop,omitempty"`
