@@ -69,6 +69,20 @@ type Participant struct {
 	// keys holds the attested (or pinned) enclave encryption key per
 	// proxy endpoint; failover re-encrypts for the endpoint it lands on.
 	keys map[string]*rsa.PublicKey
+	// flights single-flights the lazy failover attestation per endpoint:
+	// when many goroutines share one client and fail over simultaneously
+	// (a primary dying under load), exactly one runs the handshake and
+	// the rest wait on its result instead of stampeding the fallback
+	// proxy with duplicate attestations.
+	flights map[string]*attestFlight
+}
+
+// attestFlight is one in-progress lazy attestation; waiters block on
+// done and read key/err after it closes.
+type attestFlight struct {
+	done chan struct{}
+	key  *rsa.PublicKey
+	err  error
 }
 
 // New builds a participant session. The trust material may arrive later
@@ -89,6 +103,7 @@ func New(cfg Config) (*Participant, error) {
 		authority:   cfg.Authority,
 		measurement: cfg.Measurement,
 		keys:        make(map[string]*rsa.PublicKey),
+		flights:     make(map[string]*attestFlight),
 	}, nil
 }
 
@@ -143,6 +158,40 @@ func (c *Participant) Attest(ctx context.Context, authority *ecdsa.PublicKey, me
 		}
 	}
 	return fmt.Errorf("client: no proxy attested: %w", errors.Join(errs...))
+}
+
+// attestedKey returns ep's pinned enclave key, running the lazy
+// failover attestation at most ONCE per endpoint no matter how many
+// goroutines ask concurrently. The first caller owns the handshake;
+// the rest wait for its outcome (or their own ctx) — without this,
+// every sender failing over in the same instant ran a full handshake
+// against the fallback proxy, and the loser of each race overwrote the
+// winner's pinned key mid-send. Failures are not cached: the flight is
+// cleared before its waiters wake, so the next send retries afresh.
+func (c *Participant) attestedKey(ctx context.Context, ep string) (*rsa.PublicKey, error) {
+	c.mu.Lock()
+	if key := c.keys[ep]; key != nil {
+		c.mu.Unlock()
+		return key, nil
+	}
+	if f := c.flights[ep]; f != nil {
+		c.mu.Unlock()
+		select {
+		case <-f.done:
+			return f.key, f.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	f := &attestFlight{done: make(chan struct{})}
+	c.flights[ep] = f
+	c.mu.Unlock()
+	f.key, f.err = c.attestOne(ctx, ep)
+	c.mu.Lock()
+	delete(c.flights, ep)
+	c.mu.Unlock()
+	close(f.done)
+	return f.key, f.err
 }
 
 // attestOne runs the handshake against one endpoint and pins its key.
@@ -210,8 +259,10 @@ func (c *Participant) SendUpdate(ctx context.Context, ps nn.ParamSet) error {
 		c.mu.Unlock()
 		if key == nil {
 			// Lazy failover attestation: this proxy was down (or not yet
-			// attested) when the session started.
-			if key, err = c.attestOne(ctx, ep); err != nil {
+			// attested) when the session started. Single-flighted — a
+			// failover storm attests the fallback once, not once per
+			// in-flight send.
+			if key, err = c.attestedKey(ctx, ep); err != nil {
 				errs = append(errs, fmt.Errorf("%s: attest: %w", ep, err))
 				continue
 			}

@@ -1,0 +1,193 @@
+package client_test
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mixnn/internal/client"
+	"mixnn/internal/enclave"
+	"mixnn/internal/proxy"
+	"mixnn/internal/transport"
+	"mixnn/internal/wire"
+)
+
+// attestCounter wraps a real proxy and counts attestation handshakes,
+// delegating everything to the wrapped Server.
+type attestCounter struct {
+	transport.Server
+	n atomic.Int32
+}
+
+func (a *attestCounter) HandleAttest(ctx context.Context, nonce []byte) (wire.AttestationResponse, error) {
+	a.n.Add(1)
+	return a.Server.HandleAttest(ctx, nonce)
+}
+
+// blockingIngress wraps a real proxy and parks HandleUpdate on a gate,
+// so a test can hold the peer's loopback workers busy; every other
+// operation (attestation included) passes through.
+type blockingIngress struct {
+	transport.Server
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (b *blockingIngress) HandleUpdate(ctx context.Context, req transport.UpdateRequest) (transport.Receipt, error) {
+	b.entered <- struct{}{}
+	<-b.release
+	return b.Server.HandleUpdate(ctx, req)
+}
+
+// twoProxyTier stands up an agg server plus two real single-shard
+// proxies (same code identity, so one (authority, measurement) pin
+// covers both) over lb, registering them as primaryEP/backupEP via the
+// given wrappers.
+func twoProxyTier(t *testing.T, lb *transport.Loopback, primary, backup func(transport.Server) transport.Server) (*enclave.Platform, *enclave.Enclave, *proxy.ShardedProxy, *proxy.ShardedProxy) {
+	t.Helper()
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := proxy.NewAggServer(testUpdate(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Register("loop://agg", agg)
+	mk := func(id string, seed int64) (*enclave.Enclave, *proxy.ShardedProxy) {
+		encl, err := enclave.New(enclave.Config{CodeIdentity: "mixnn-proxy-failover-test"}, platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		px, err := proxy.NewSharded(proxy.ShardedConfig{
+			Upstream: "loop://agg", K: 2, RoundSize: 4, Shards: 1,
+			Seed: seed, Transport: lb,
+		}, encl, platform)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(px.Close)
+		return encl, px
+	}
+	enclA, pxA := mk("a", 1)
+	_, pxB := mk("b", 2)
+	lb.Register("loop://primary", primary(pxA))
+	lb.Register("loop://backup", backup(pxB))
+	return platform, enclA, pxA, pxB
+}
+
+func ident(s transport.Server) transport.Server { return s }
+
+// TestFailoverAttestSingleFlight pins the duplicate-attest fix: many
+// goroutines sharing one Participant fail over simultaneously (the
+// primary is dead), and the fallback proxy must see exactly ONE
+// attestation handshake — the stampede waits on the single flight
+// instead of each sender re-running the handshake and re-pinning the
+// key over its neighbour's. Run under -race, this also pins the
+// key-map writes the old stampede raced on.
+func TestFailoverAttestSingleFlight(t *testing.T) {
+	lb := transport.NewLoopback()
+	defer lb.Close()
+	counter := &attestCounter{}
+	platform, encl, _, pxB := twoProxyTier(t, lb, ident, func(s transport.Server) transport.Server {
+		counter.Server = s
+		return counter
+	})
+	lb.Unregister("loop://primary") // the primary is dead from the start
+
+	c, err := client.New(client.Config{
+		Proxies: []string{"loop://primary", "loop://backup"}, Server: "loop://agg",
+		Transport: lb, Authority: platform.AttestationPublicKey(), Measurement: encl.Measurement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const senders = 32
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, senders)
+	start := make(chan struct{})
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = c.SendUpdate(ctx, testUpdate())
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sender %d failed over unsuccessfully: %v", i, err)
+		}
+	}
+	if got := counter.n.Load(); got != 1 {
+		t.Fatalf("failover storm ran %d attestation handshakes against the fallback, want exactly 1 (single-flight)", got)
+	}
+	if got := pxB.Status().Received; got != senders {
+		t.Fatalf("fallback ingested %d updates, want %d", got, senders)
+	}
+}
+
+// TestSendUpdateFailsOverOnBusy: a primary whose bounded ingress queue
+// is full rejects with ErrBusy — transient and provably-not-ingested —
+// and the SDK fails over to the next proxy instead of surfacing an
+// error or risking a duplicate.
+func TestSendUpdateFailsOverOnBusy(t *testing.T) {
+	lb := transport.NewLoopbackWith(transport.LoopbackOptions{QueueDepth: 1, Workers: 1})
+	defer lb.Close()
+	gate := &blockingIngress{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	platform, encl, _, pxB := twoProxyTier(t, lb, func(s transport.Server) transport.Server {
+		gate.Server = s
+		return gate
+	}, ident)
+
+	c, err := client.New(client.Config{
+		Proxies: []string{"loop://primary", "loop://backup"}, Server: "loop://agg",
+		Transport: lb, Authority: platform.AttestationPublicKey(), Measurement: encl.Measurement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Wedge the primary: one request inside the handler, one filling the
+	// depth-1 queue. (Raw sends — they park in the gate before the real
+	// proxy would decode them.)
+	var wedged sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wedged.Add(1)
+		go func() {
+			defer wedged.Done()
+			lb.SendUpdate(context.Background(), "loop://primary", transport.UpdateRequest{Body: []byte("wedge")})
+		}()
+	}
+	<-gate.entered // the worker owns one; wait until the other is queued
+	for {
+		queued := false
+		for _, s := range lb.Stats() {
+			if s.Endpoint == "loop://primary" && s.Queued >= 1 {
+				queued = true
+			}
+		}
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	if err := c.SendUpdate(ctx, testUpdate()); err != nil {
+		t.Fatalf("send with a busy primary must fail over cleanly, got %v", err)
+	}
+	if got := pxB.Status().Received; got != 1 {
+		t.Fatalf("backup ingested %d updates, want 1 (the failed-over send)", got)
+	}
+	close(gate.release)
+	wedged.Wait()
+}

@@ -126,7 +126,7 @@ func RunLanePerf(modelName string, arch nn.Arch, participants, k, rounds int, se
 		ShardSpecs: []route.ShardSpec{{}, {Addr: "loop://peer-healthy"}, {Addr: deadEP}},
 		RemoteShards: map[string]proxy.RemoteShard{
 			"loop://peer-healthy": {Key: healthyKey},
-			deadEP:               {Key: deadKey},
+			deadEP:                {Key: deadKey},
 		},
 		Seed: seed, Transport: lb,
 		RetryBase: 2 * time.Millisecond, RetryMax: 20 * time.Millisecond,

@@ -90,6 +90,13 @@ type Dispatcher struct {
 	workers        int
 	attemptTimeout time.Duration
 
+	// ctx is the dispatcher's lifetime: every delivery attempt derives
+	// its per-attempt timeout from it, so Close can abort an attempt
+	// still hung after closeGrace instead of waiting out the full
+	// attempt timeout against a dead peer.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	wake    chan struct{}
 	stop    chan struct{}
 	done    chan struct{}
@@ -103,11 +110,12 @@ type Dispatcher struct {
 	started  bool
 }
 
-// laneResult is a worker's report after releasing a lane.
+// laneResult is a worker's report after releasing a lane. Deliveries
+// are not carried here: drainLane counts each ack into the lane's
+// state as it happens, so status snapshots stay live mid-drain.
 type laneResult struct {
-	lane      string
-	delivered uint64 // entries acknowledged this pass
-	failed    bool   // pass ended on a transient failure (back the lane off)
+	lane   string
+	failed bool // pass ended on a transient failure (back the lane off)
 }
 
 // NewDispatcher builds a dispatcher over q. Call Start to begin draining.
@@ -133,9 +141,11 @@ func NewDispatcher(q Queue, deliver DeliverFunc, opts Options) *Dispatcher {
 	if timeout < max {
 		timeout = max
 	}
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Dispatcher{
 		q: q, deliver: deliver, base: base, max: max,
 		workers: workers, attemptTimeout: timeout,
+		ctx: ctx, cancel: cancel,
 		wake:    make(chan struct{}, 1),
 		stop:    make(chan struct{}),
 		done:    make(chan struct{}),
@@ -177,29 +187,62 @@ func (d *Dispatcher) Wake() {
 	}
 }
 
-// Close stops the coordinator and workers and waits for any in-flight
-// delivery attempts to return. Queued entries stay queued (on disk for a
-// durable queue) for the next process.
+// closeGrace is how long Close lets an in-flight delivery attempt run
+// before cancelling it. The two failure modes it balances: an attempt
+// that already reached its peer but has not yet recorded progress must
+// be allowed to finish — cancelling it loses the ack and the entry
+// redelivers (double-counting at receivers without dedup) after a
+// restart; an attempt hung on a dead peer must NOT hold shutdown for
+// the full attempt timeout. A real in-flight response completes in
+// milliseconds; only a blackholed connection is still going after a
+// second, and aborting that one is safe (nothing was acked).
+const closeGrace = time.Second
+
+// Close stops the coordinator and workers and waits for them to
+// return. In-flight delivery attempts get closeGrace to complete
+// cleanly; attempts still running after that are cancelled via the
+// dispatcher-lifetime context every attempt derives from. Queued
+// entries stay queued (on disk for a durable queue) for the next
+// process; a cancelled attempt's entry was never acked, so it
+// redelivers.
 func (d *Dispatcher) Close() {
 	d.mu.Lock()
 	if !d.started {
 		d.started = true // a never-started dispatcher just closes its channels
 		close(d.done)
 		d.mu.Unlock()
+		d.cancel()
 		return
 	}
 	select {
 	case <-d.stop:
 		d.mu.Unlock()
 		<-d.done
-		d.wg.Wait()
+		d.joinWorkers()
 		return
 	default:
 	}
 	close(d.stop)
 	d.mu.Unlock()
 	<-d.done
-	d.wg.Wait()
+	d.joinWorkers()
+}
+
+// joinWorkers waits for the worker pool: a grace period first, so an
+// attempt that is mid-response can finish and record its progress,
+// then the lifetime context is cancelled to abort attempts that are
+// actually hung.
+func (d *Dispatcher) joinWorkers() {
+	defer d.cancel() // release the lifetime context either way
+	workersDone := make(chan struct{})
+	go func() { d.wg.Wait(); close(workersDone) }()
+	select {
+	case <-workersDone:
+		return
+	case <-time.After(closeGrace):
+	}
+	d.cancel()
+	<-workersDone
 }
 
 // Flush blocks until the queue is empty and no delivery is in flight, or
@@ -224,15 +267,25 @@ func (d *Dispatcher) Flush(ctx context.Context) error {
 }
 
 // LaneStats snapshots every lane the dispatcher knows about — lanes with
-// pending entries plus lanes that delivered or failed since Start.
+// pending entries plus lanes that delivered or failed since Start. The
+// per-lane depths come from ONE queue snapshot (a single lock
+// acquisition), so they are mutually consistent and sum to the queue's
+// total at that instant — polling them under load used to read each
+// lane's depth separately, racing the workers' acks in between, and
+// could report totals no single moment ever held.
 func (d *Dispatcher) LaneStats() []LaneStat {
-	pending := d.q.Lanes()
 	now := time.Now()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	seen := make(map[string]bool, len(pending)+len(d.lanes))
-	names := make([]string, 0, len(pending)+len(d.lanes))
-	for _, lane := range pending {
+	// The depth snapshot is taken while holding d.mu (the same
+	// mu-then-queue order loop uses): delivered counters bump under
+	// d.mu just before each ack, so reading depths outside the lock
+	// let workers ack entries between the two reads — entries then
+	// counted as both Pending and Delivered in one snapshot.
+	depths := d.q.LaneLens()
+	seen := make(map[string]bool, len(depths)+len(d.lanes))
+	names := make([]string, 0, len(depths)+len(d.lanes))
+	for lane := range depths {
 		if !seen[lane] {
 			seen[lane] = true
 			names = append(names, lane)
@@ -247,7 +300,7 @@ func (d *Dispatcher) LaneStats() []LaneStat {
 	sort.Strings(names)
 	out := make([]LaneStat, 0, len(names))
 	for _, lane := range names {
-		stat := LaneStat{Lane: lane, Pending: d.q.LaneLen(lane)}
+		stat := LaneStat{Lane: lane, Pending: depths[lane]}
 		if st := d.lanes[lane]; st != nil {
 			stat.InFlight = st.busy
 			stat.Backoff = st.backoff
@@ -334,7 +387,6 @@ func (d *Dispatcher) settle(res laneResult) {
 	}
 	st.busy = false
 	d.inFlight--
-	st.delivered += res.delivered
 	if !res.failed {
 		st.backoff = 0
 		st.notBefore = time.Time{}
@@ -406,14 +458,25 @@ func (d *Dispatcher) drainLane(lane string) laneResult {
 			res.failed = true
 			return res
 		}
-		ctx, cancel := context.WithTimeout(context.Background(), d.attemptTimeout)
+		// Derive the attempt from the dispatcher's lifetime, not
+		// context.Background(): Close cancels d.ctx, so shutdown aborts a
+		// hung attempt instead of waiting out attemptTimeout.
+		ctx, cancel := context.WithTimeout(d.ctx, d.attemptTimeout)
 		deliverErr := d.deliver(ctx, seq, payload)
 		cancel()
 		var perm *PermanentError
 		switch {
 		case deliverErr == nil:
+			// Count the delivery BEFORE the ack removes the entry, under
+			// d.mu, so a concurrent LaneStats never sees an entry vanish
+			// from Pending without having appeared in Delivered (settle
+			// reporting at lane release left a whole drain pass torn).
+			d.mu.Lock()
+			if st := d.lanes[lane]; st != nil {
+				st.delivered++
+			}
+			d.mu.Unlock()
 			d.q.Ack(seq)
-			res.delivered++
 		case errors.As(deliverErr, &perm):
 			// Quarantining loses the entry from the delivery path; that
 			// must never be silent.

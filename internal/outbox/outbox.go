@@ -76,6 +76,12 @@ type Queue interface {
 	Lanes() []string
 	// LaneLen counts entries awaiting delivery in one lane.
 	LaneLen(lane string) int
+	// LaneLens counts every lane's pending entries in ONE consistent
+	// snapshot (a single lock acquisition), so the per-lane depths sum
+	// to the queue's total at that instant. Status surfaces polled
+	// under load use it instead of Lanes+LaneLen, whose per-lane reads
+	// each race the dispatcher's acks.
+	LaneLens() map[string]int
 	// Ack consumes a delivered entry (and its progress marker).
 	Ack(seq uint64) error
 	// Quarantine sets aside an entry the receiver permanently rejected.
@@ -579,6 +585,19 @@ func (d *Disk) LaneLen(lane string) int {
 	return len(d.lanes[lane])
 }
 
+// LaneLens snapshots every lane's depth under one lock acquisition.
+func (d *Disk) LaneLens() map[string]int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string]int, len(d.lanes))
+	for lane, seqs := range d.lanes {
+		if len(seqs) > 0 {
+			out[lane] = len(seqs)
+		}
+	}
+	return out
+}
+
 // Ack consumes a delivered entry and its progress marker.
 func (d *Disk) Ack(seq uint64) error {
 	d.mu.Lock()
@@ -774,6 +793,20 @@ func (m *Memory) LaneLen(lane string) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.lanes[lane])
+}
+
+// LaneLens implements Queue: every lane's depth under one lock
+// acquisition.
+func (m *Memory) LaneLens() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int, len(m.lanes))
+	for lane, seqs := range m.lanes {
+		if len(seqs) > 0 {
+			out[lane] = len(seqs)
+		}
+	}
+	return out
 }
 
 // Ack implements Queue.

@@ -1591,9 +1591,14 @@ func (p *ShardedProxy) HandleTopology(ctx context.Context, req transport.Topolog
 func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 	// Lane stats are snapshotted before p.mu: the dispatcher runs its own
 	// lock domain, and holding p.mu across it would nest p.mu outside the
-	// delivery locks for no consistency gain.
+	// delivery locks for no consistency gain. OutboxPending is the SUM of
+	// this one snapshot, not a separate p.box.Len() read — two reads at
+	// different instants race the dispatcher's acks, and a status poller
+	// under load would see a total no set of lanes ever added up to.
 	var lanes []wire.OutboxLaneStatus
+	pending := 0
 	for _, ls := range p.disp.LaneStats() {
+		pending += ls.Pending
 		lanes = append(lanes, wire.OutboxLaneStatus{
 			Dest:        ls.Lane,
 			Pending:     ls.Pending,
@@ -1635,7 +1640,7 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 		InRound:           p.inRound,
 		RoundSize:         p.topo.RoundSize(),
 		Epoch:             p.rounds,
-		OutboxPending:     p.box.Len(),
+		OutboxPending:     pending,
 		OutboxLanes:       lanes,
 		BatchesSent:       p.batches,
 		NextHop:           p.cfg.NextHop,

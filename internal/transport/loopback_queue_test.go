@@ -1,0 +1,241 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// gateServer blocks HandleUpdate until released, so tests can hold a
+// peer's workers busy and fill its ingress queue deterministically.
+type gateServer struct {
+	fakeServer
+	mu      sync.Mutex
+	entered chan struct{} // one token per handler entry
+	release chan struct{}
+	served  int
+}
+
+func newGateServer() *gateServer {
+	return &gateServer{
+		entered: make(chan struct{}, 64),
+		release: make(chan struct{}),
+	}
+}
+
+func (g *gateServer) HandleUpdate(ctx context.Context, req UpdateRequest) (Receipt, error) {
+	g.entered <- struct{}{}
+	<-g.release
+	g.mu.Lock()
+	g.served++
+	g.mu.Unlock()
+	return Receipt{Shard: 0}, nil
+}
+
+func (g *gateServer) Served() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.served
+}
+
+// TestLoopbackQueueFullBusy: with the one worker held inside a handler
+// and the depth-1 queue occupied, the next send is rejected at the door
+// with ErrBusy — typed, transient, and provably not ingested.
+func TestLoopbackQueueFullBusy(t *testing.T) {
+	lb := NewLoopbackWith(LoopbackOptions{QueueDepth: 1, Workers: 1})
+	g := newGateServer()
+	lb.Register("loop://px", g)
+	defer lb.Close()
+
+	errc := make(chan error, 2)
+	send := func() {
+		_, err := lb.SendUpdate(context.Background(), "loop://px", UpdateRequest{Body: []byte("u")})
+		errc <- err
+	}
+	go send()
+	<-g.entered // the worker owns send #1
+	go send()   // send #2 sits in the depth-1 queue
+	waitQueued(t, lb, "loop://px", 1)
+
+	_, err := lb.SendUpdate(context.Background(), "loop://px", UpdateRequest{Body: []byte("u3")})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("queue-full send returned %v, want ErrBusy", err)
+	}
+	if !Unreached(err) {
+		t.Fatal("ErrBusy must report Unreached: the request was turned away before any handler saw it")
+	}
+
+	close(g.release)
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatalf("accepted send %d failed: %v", i, err)
+		}
+	}
+	if g.Served() != 2 {
+		t.Fatalf("handler served %d updates, want exactly the 2 accepted", g.Served())
+	}
+	st := lb.Stats()
+	if len(st) != 1 || st[0].Busy != 1 || st[0].Handled != 2 {
+		t.Fatalf("stats = %+v, want 1 busy rejection and 2 handled", st)
+	}
+}
+
+func waitQueued(t *testing.T, lb *Loopback, ep string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, s := range lb.Stats() {
+			if s.Endpoint == ep && s.Queued >= n {
+				return
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("peer %s never queued %d requests", ep, n)
+}
+
+// TestLoopbackSlowPeerIsolation: a peer wedged inside its handler must
+// not delay sends to a different peer — the whole point of per-peer
+// queues over deliver-on-the-caller's-goroutine.
+func TestLoopbackSlowPeerIsolation(t *testing.T) {
+	lb := NewLoopbackWith(LoopbackOptions{QueueDepth: 4, Workers: 1})
+	slow := newGateServer()
+	fast := &fakeServer{receipt: Receipt{Shard: 1}}
+	lb.Register("loop://slow", slow)
+	lb.Register("loop://fast", fast)
+	defer lb.Close()
+
+	go lb.SendUpdate(context.Background(), "loop://slow", UpdateRequest{Body: []byte("u")})
+	<-slow.entered
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := lb.SendUpdate(context.Background(), "loop://fast", UpdateRequest{Body: []byte("u")})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("send to the healthy peer failed: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("send to the healthy peer stalled behind the wedged peer")
+	}
+	close(slow.release)
+}
+
+// TestLoopbackUnregisterFailsQueuedAsUnreached: killing a peer fails its
+// QUEUED-but-unstarted requests as unreachable (safe to fail over — they
+// provably were not ingested), while a request a worker already started
+// runs to completion and its sender gets the real result.
+func TestLoopbackUnregisterFailsQueuedAsUnreached(t *testing.T) {
+	lb := NewLoopbackWith(LoopbackOptions{QueueDepth: 2, Workers: 1})
+	g := newGateServer()
+	lb.Register("loop://px", g)
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := lb.SendUpdate(context.Background(), "loop://px", UpdateRequest{Body: []byte("started")})
+		inflight <- err
+	}()
+	<-g.entered // worker started request #1
+
+	queued := make(chan error, 1)
+	go func() {
+		_, err := lb.SendUpdate(context.Background(), "loop://px", UpdateRequest{Body: []byte("queued")})
+		queued <- err
+	}()
+	waitQueued(t, lb, "loop://px", 1)
+
+	lb.Unregister("loop://px")
+
+	if err := <-queued; !Unreached(err) {
+		t.Fatalf("queued request got %v, want an Unreached error after the peer died", err)
+	}
+	close(g.release)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request must finish with the real result, got %v", err)
+	}
+	if g.Served() != 1 {
+		t.Fatalf("handler served %d, want exactly the 1 started request", g.Served())
+	}
+}
+
+// TestLoopbackCancelWhileQueued: a sender cancelling while its request
+// is still queued gets its ctx error marked Unreached — in process, the
+// transport KNOWS the handler never ran, so the cancellation is not
+// ambiguous the way an HTTP timeout is.
+func TestLoopbackCancelWhileQueued(t *testing.T) {
+	lb := NewLoopbackWith(LoopbackOptions{QueueDepth: 2, Workers: 1})
+	g := newGateServer()
+	lb.Register("loop://px", g)
+	defer lb.Close()
+
+	inflight := make(chan error, 1)
+	go func() {
+		_, err := lb.SendUpdate(context.Background(), "loop://px", UpdateRequest{Body: []byte("started")})
+		inflight <- err
+	}()
+	<-g.entered
+
+	ctx, cancel := context.WithCancel(context.Background())
+	queued := make(chan error, 1)
+	go func() {
+		_, err := lb.SendUpdate(ctx, "loop://px", UpdateRequest{Body: []byte("queued")})
+		queued <- err
+	}()
+	waitQueued(t, lb, "loop://px", 1)
+	cancel()
+
+	err := <-queued
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled queued send got %v, want a context.Canceled error", err)
+	}
+	if !Unreached(err) {
+		t.Fatal("a request cancelled while queued provably never ran; it must report Unreached")
+	}
+	close(g.release)
+	if err := <-inflight; err != nil {
+		t.Fatalf("in-flight request failed: %v", err)
+	}
+	if got := g.Served(); got != 1 {
+		t.Fatalf("handler served %d, want 1 — the cancelled request must never execute", got)
+	}
+}
+
+// TestLoopbackRegisterReplacesPeer: re-registering a name is a restart —
+// the old instance's workers stop, and new sends reach the new Server.
+func TestLoopbackRegisterReplacesPeer(t *testing.T) {
+	lb := NewLoopback()
+	defer lb.Close()
+	old := &fakeServer{receipt: Receipt{Shard: 1}}
+	lb.Register("loop://px", old)
+	if rec, err := lb.SendUpdate(context.Background(), "loop://px", UpdateRequest{Body: []byte("u")}); err != nil || rec.Shard != 1 {
+		t.Fatalf("send to first instance: rec=%+v err=%v", rec, err)
+	}
+	fresh := &fakeServer{receipt: Receipt{Shard: 2}}
+	lb.Register("loop://px", fresh)
+	if rec, err := lb.SendUpdate(context.Background(), "loop://px", UpdateRequest{Body: []byte("u")}); err != nil || rec.Shard != 2 {
+		t.Fatalf("send after restart: rec=%+v err=%v, want shard 2 from the new instance", rec, err)
+	}
+}
+
+// TestLoopbackHandlerErrorsPassThrough: handler results (including
+// typed StatusError rejections) cross the queue unchanged, so the
+// bounded queue is invisible to the protocol semantics.
+func TestLoopbackHandlerErrorsPassThrough(t *testing.T) {
+	lb := NewLoopback()
+	defer lb.Close()
+	f := &fakeServer{receipt: Receipt{Shard: -1}, err: Errorf(409, "round conflict")}
+	lb.Register("loop://px", f)
+	_, err := lb.SendBatch(context.Background(), "loop://px", BatchRequest{Body: []byte("b"), ID: "id-1"})
+	se := AsStatus(err)
+	if se == nil || se.Code != 409 {
+		t.Fatalf("handler's typed rejection arrived as %v, want StatusError 409", err)
+	}
+	if Unreached(err) {
+		t.Fatal("a handler rejection reached the peer; it must NOT report Unreached")
+	}
+}

@@ -90,3 +90,11 @@ var ErrNotSupported = errors.New("transport: operation not supported by this end
 // the request went out is ambiguous. Detect it with Unreached, which
 // also recognises HTTP dial failures.
 var ErrUnreachable = errors.New("transport: peer unreachable")
+
+// ErrBusy marks a send rejected at the peer's ingress door because its
+// bounded delivery queue was full — backpressure, not failure. It is
+// transient (retry with backoff, or fail over: the SDK and the outbox
+// dispatcher both already classify it that way) and PROVABLY NOT
+// INGESTED: the request was turned away before any handler saw it, so
+// Unreached reports true and retrying elsewhere cannot double-count.
+var ErrBusy = errors.New("transport: peer busy (ingress queue full)")

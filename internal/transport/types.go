@@ -132,12 +132,13 @@ func AsStatus(err error) *StatusError {
 // peer — an ErrUnreachable (Loopback name miss) or an HTTP dial
 // failure (connection refused, no route, DNS, or a dial TIMEOUT: a
 // blackholed host that never answers the SYN still means no request
-// bytes were sent). Timeouts and failures AFTER the connection was
-// established are NOT unreached: the request may have been delivered
-// and processed, so a sender must treat them as ambiguous rather than
-// safely retryable elsewhere.
+// bytes were sent), or an ErrBusy rejection at a full ingress queue
+// (turned away at the door before any handler ran). Timeouts and
+// failures AFTER the connection was established are NOT unreached: the
+// request may have been delivered and processed, so a sender must
+// treat them as ambiguous rather than safely retryable elsewhere.
 func Unreached(err error) bool {
-	if errors.Is(err, ErrUnreachable) {
+	if errors.Is(err, ErrUnreachable) || errors.Is(err, ErrBusy) {
 		return true
 	}
 	var ue *url.Error
