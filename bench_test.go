@@ -12,7 +12,10 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sync"
 	"testing"
+	"time"
 
 	"mixnn/internal/attack"
 	"mixnn/internal/core"
@@ -194,6 +197,7 @@ func BenchmarkProxyMix(b *testing.B) {
 		updates[i] = arch.New(int64(i)).SnapshotParams()
 	}
 	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.BatchMix(updates, rng); err != nil {
@@ -216,6 +220,7 @@ func BenchmarkProxyMixSharded(b *testing.B) {
 		b.Run(fmt.Sprintf("shards=%d", p), func(b *testing.B) {
 			tr := core.ShardedStreamTransform{K: 4, Shards: p}
 			rng := rand.New(rand.NewSource(1))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := tr.Apply(updates, rng); err != nil {
@@ -463,20 +468,258 @@ func BenchmarkAblationNoiseScale(b *testing.B) {
 
 // --- Micro-benchmarks of the core pipeline stages --------------------------
 
-func BenchmarkStreamMixerAdd(b *testing.B) {
-	arch := experiment.PerfModels(experiment.ScaleQuick)[0].Arch
-	update := arch.New(1).SnapshotParams()
-	rng := rand.New(rand.NewSource(1))
-	m, err := core.NewStreamMixer(8, rng)
+// mixBenchArm is one measured arm of the slab-vs-legacy hot-path
+// benchmarks, persisted in BENCH_mix.json (see writeMixBench).
+type mixBenchArm struct {
+	Name            string  `json:"name"`
+	NsPerUpdate     float64 `json:"ns_per_update"`
+	AllocsPerUpdate float64 `json:"allocs_per_update"`
+	BytesPerUpdate  float64 `json:"bytes_per_update"`
+	UpdatesPerSec   float64 `json:"updates_per_sec"`
+	Updates         int     `json:"updates"`
+}
+
+// mixBench collects arms across the mixer benchmarks of one `go test
+// -bench` run; each parent benchmark rewrites BENCH_mix.json with
+// everything collected so far, so a run covering both parents leaves the
+// complete before/after picture.
+var mixBench struct {
+	sync.Mutex
+	Model       string       `json:"model"`
+	UpdateBytes int          `json:"update_bytes"`
+	RoundSize   int          `json:"round_size"`
+	Arms        []mixBenchArm `json:"arms"`
+}
+
+func recordMixArm(b *testing.B, model string, updateBytes, roundSize, updates int, elapsed time.Duration, mallocs, bytes uint64) {
+	b.Helper()
+	arm := mixBenchArm{
+		Name:            b.Name(),
+		NsPerUpdate:     float64(elapsed.Nanoseconds()) / float64(updates),
+		AllocsPerUpdate: float64(mallocs) / float64(updates),
+		BytesPerUpdate:  float64(bytes) / float64(updates),
+		UpdatesPerSec:   float64(updates) / elapsed.Seconds(),
+		Updates:         updates,
+	}
+	b.ReportMetric(arm.AllocsPerUpdate, "allocs/update")
+	b.ReportMetric(arm.UpdatesPerSec, "updates/sec")
+	mixBench.Lock()
+	defer mixBench.Unlock()
+	mixBench.Model = model
+	mixBench.UpdateBytes = updateBytes
+	mixBench.RoundSize = roundSize
+	for i := range mixBench.Arms {
+		if mixBench.Arms[i].Name == arm.Name {
+			mixBench.Arms[i] = arm
+			arm.Name = ""
+		}
+	}
+	if arm.Name != "" {
+		mixBench.Arms = append(mixBench.Arms, arm)
+	}
+}
+
+func writeMixBench(b *testing.B) {
+	b.Helper()
+	mixBench.Lock()
+	defer mixBench.Unlock()
+	if len(mixBench.Arms) == 0 {
+		return
+	}
+	snap := struct {
+		Model       string        `json:"model"`
+		UpdateBytes int           `json:"update_bytes"`
+		RoundSize   int           `json:"round_size"`
+		Arms        []mixBenchArm `json:"arms"`
+	}{mixBench.Model, mixBench.UpdateBytes, mixBench.RoundSize, mixBench.Arms}
+	enc, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := m.Add(update); err != nil {
-			b.Fatal(err)
+	if err := os.WriteFile("BENCH_mix.json", append(enc, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// mixRoundSize is the per-mixer round the hot-path benchmarks cycle:
+// every mixRoundSize updates the round closes — drain, encode for the
+// outbox, swap to a fresh mixer (recycling the slab in slab mode) —
+// exactly the steady-state epoch cycle of the sharded proxy.
+const mixRoundSize = 64
+
+// BenchmarkStreamMixerAdd measures the §6.5 store+mix hot path per
+// storage mode over the REAL per-update cycle: a fresh wire buffer (the
+// decrypt output each request materialises), AddWire into the mixer, and
+// at each round close the drain plus the outbox-side re-encode of every
+// mixed update. The legacy arm is the pre-slab pipeline (zero-copy
+// decode aliasing the buffer, per-emission allocations, EncodeParamSet
+// per outgoing update); the slab arm decodes into pooled slab rows and
+// re-encodes through the skeleton fast path into a reused buffer.
+func BenchmarkStreamMixerAdd(b *testing.B) {
+	model := experiment.PerfModels(experiment.ScaleQuick)[0]
+	update := model.Arch.New(1).SnapshotParams()
+	wire, err := nn.EncodeParamSet(update)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []string{"legacy", "slab"} {
+		b.Run(mode, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			pool := core.NewSlabPool()
+			newMixer := func() *core.StreamMixer {
+				var m *core.StreamMixer
+				var err error
+				if mode == "slab" {
+					m, err = core.NewStreamMixerSlab(8, rng, pool)
+				} else {
+					m, err = core.NewStreamMixer(8, rng)
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				return m
+			}
+			closeRound := func(m *core.StreamMixer, emitted []nn.ParamSet, encBuf []byte) []byte {
+				emitted = append(emitted, m.Drain()...)
+				for _, ps := range emitted {
+					if mode == "slab" {
+						encBuf = encBuf[:0]
+						var err error
+						if encBuf, err = nn.AppendParamSet(encBuf, ps); err != nil {
+							b.Fatal(err)
+						}
+					} else {
+						if _, err := nn.EncodeParamSet(ps); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				m.ReleaseSlab()
+				return encBuf
+			}
+			m := newMixer()
+			emitted := make([]nn.ParamSet, 0, mixRoundSize)
+			encBuf := make([]byte, 0, len(wire))
+			b.ReportAllocs()
+			b.SetBytes(int64(len(wire)))
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			start := time.Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// The decrypt output is a fresh buffer per request in both
+				// modes; the slab arm drops it immediately after the copy,
+				// the legacy arm's views pin it until the round closes.
+				buf := make([]byte, len(wire))
+				copy(buf, wire)
+				out, err := m.AddWire(buf)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if out != nil {
+					emitted = append(emitted, *out)
+				}
+				if (i+1)%mixRoundSize == 0 {
+					encBuf = closeRound(m, emitted, encBuf)
+					emitted = emitted[:0]
+					m = newMixer()
+				}
+			}
+			b.StopTimer()
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&ms1)
+			recordMixArm(b, model.Name, len(wire), mixRoundSize, b.N, elapsed,
+				ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
+		})
+	}
+	writeMixBench(b)
+}
+
+// BenchmarkProxyMixWire is the sharded wire-ingress benchmark: one round
+// of raw encoded updates round-robined across P shards (the proxy's
+// ingest path minus crypto), per storage mode, including each round's
+// drain + outbox re-encode. The slab arms are what a default-config
+// sharded proxy runs per update since the slab refactor.
+func BenchmarkProxyMixWire(b *testing.B) {
+	model := experiment.PerfModels(experiment.ScaleQuick)[0]
+	update := model.Arch.New(1).SnapshotParams()
+	wire, err := nn.EncodeParamSet(update)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []int{1, 4} {
+		for _, mode := range []string{"legacy", "slab"} {
+			b.Run(fmt.Sprintf("shards=%d/%s", p, mode), func(b *testing.B) {
+				pool := core.NewSlabPool()
+				newTier := func(epoch int64) []*core.StreamMixer {
+					tier := make([]*core.StreamMixer, p)
+					for s := range tier {
+						rng := rand.New(rand.NewSource(epoch*int64(p) + int64(s)))
+						var err error
+						if mode == "slab" {
+							tier[s], err = core.NewStreamMixerSlab(8, rng, pool)
+						} else {
+							tier[s], err = core.NewStreamMixer(8, rng)
+						}
+						if err != nil {
+							b.Fatal(err)
+						}
+					}
+					return tier
+				}
+				encode := func(ps nn.ParamSet, encBuf []byte) []byte {
+					if mode == "slab" {
+						encBuf = encBuf[:0]
+						var err error
+						if encBuf, err = nn.AppendParamSet(encBuf, ps); err != nil {
+							b.Fatal(err)
+						}
+						return encBuf
+					}
+					if _, err := nn.EncodeParamSet(ps); err != nil {
+						b.Fatal(err)
+					}
+					return encBuf
+				}
+				tier := newTier(0)
+				epoch := int64(0)
+				encBuf := make([]byte, 0, len(wire))
+				b.ReportAllocs()
+				b.SetBytes(int64(len(wire)))
+				var ms0, ms1 runtime.MemStats
+				runtime.ReadMemStats(&ms0)
+				start := time.Now()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					buf := make([]byte, len(wire))
+					copy(buf, wire)
+					out, err := tier[i%p].AddWire(buf)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if out != nil {
+						encBuf = encode(*out, encBuf)
+					}
+					if (i+1)%mixRoundSize == 0 {
+						for _, m := range tier {
+							for _, ps := range m.Drain() {
+								encBuf = encode(ps, encBuf)
+							}
+							m.ReleaseSlab()
+						}
+						epoch++
+						tier = newTier(epoch)
+					}
+				}
+				b.StopTimer()
+				elapsed := time.Since(start)
+				runtime.ReadMemStats(&ms1)
+				recordMixArm(b, model.Name, len(wire), mixRoundSize, b.N, elapsed,
+					ms1.Mallocs-ms0.Mallocs, ms1.TotalAlloc-ms0.TotalAlloc)
+			})
 		}
 	}
+	writeMixBench(b)
 }
 
 func BenchmarkLocalTraining(b *testing.B) {

@@ -101,6 +101,7 @@ func run(args []string) error {
 		fuseFile     = fs.String("fuse-file", "", "platform fuse-secret file (created if missing); required for -state-file/-outbox-dir restores across process restarts")
 		outboxDir    = fs.String("outbox-dir", "", "sealed delivery outbox directory: drained rounds are committed here before forwarding and survive restarts (requires -fuse-file); empty = in-memory queue")
 		batch        = fs.Bool("batch", true, "coalesce each drained round into one /v1/batch POST; false = one POST per update for pre-batch downstreams")
+		legacyMix    = fs.Bool("legacy-mix", false, "run the shards on the legacy per-tensor mixer storage instead of pooled slab storage (same mixing output; escape hatch)")
 		retry        = fs.Duration("retry", 5*time.Second, "maximum delivery retry backoff per destination lane (jittered)")
 		workers      = fs.Int("delivery-workers", outbox.DefaultWorkers, "destination lanes delivered concurrently; a dead peer stalls only its own lane")
 		deliveryTO   = fs.Duration("delivery-timeout", outbox.DefaultAttemptTimeout, "per-attempt delivery timeout (raised to -retry if set lower)")
@@ -150,6 +151,7 @@ func run(args []string) error {
 		NextHopSecret: *nextHopSec,
 		OutboxDir:       *outboxDir,
 		NoBatch:         !*batch,
+		LegacyMix:       *legacyMix,
 		RetryMax:        *retry,
 		DeliveryWorkers: *workers,
 		DeliveryTimeout: *deliveryTO,

@@ -191,3 +191,85 @@ func TestSendUpdateFailsOverOnBusy(t *testing.T) {
 	close(gate.release)
 	wedged.Wait()
 }
+
+// TestSendUpdateBusyBackoffBounded pins the busy-retry fix: against a
+// tier whose EVERY proxy answers ErrBusy (wedged bounded queue, no
+// fallback), SendUpdate must keep retrying under jittered exponential
+// backoff until its context expires — a handful of walks over hundreds
+// of milliseconds, not the thousands a hot spin produces (the
+// participant-scale load run measured 10.4M busy rejections) and not
+// the single walk the old code gave up after.
+func TestSendUpdateBusyBackoffBounded(t *testing.T) {
+	lb := transport.NewLoopbackWith(transport.LoopbackOptions{QueueDepth: 1, Workers: 1})
+	defer lb.Close()
+	gate := &blockingIngress{entered: make(chan struct{}, 8), release: make(chan struct{})}
+	platform, encl, _, _ := twoProxyTier(t, lb, func(s transport.Server) transport.Server {
+		gate.Server = s
+		return gate
+	}, ident)
+
+	// Single-proxy list: no fallback to absorb the send, so every walk
+	// ends busy.
+	c, err := client.New(client.Config{
+		Proxies: []string{"loop://primary"}, Server: "loop://agg",
+		Transport: lb, Authority: platform.AttestationPublicKey(), Measurement: encl.Measurement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attest BEFORE wedging the queue (the single worker about to park in
+	// the gate serves attestation too).
+	attCtx, attCancel := context.WithTimeout(context.Background(), time.Minute)
+	defer attCancel()
+	if err := c.Attest(attCtx, platform.AttestationPublicKey(), encl.Measurement()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wedge the primary: one request inside the handler, one filling the
+	// depth-1 queue.
+	var wedged sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wedged.Add(1)
+		go func() {
+			defer wedged.Done()
+			lb.SendUpdate(context.Background(), "loop://primary", transport.UpdateRequest{Body: []byte("wedge")})
+		}()
+	}
+	<-gate.entered
+	for {
+		queued := false
+		for _, s := range lb.Stats() {
+			if s.Endpoint == "loop://primary" && s.Queued >= 1 {
+				queued = true
+			}
+		}
+		if queued {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+	defer cancel()
+	err = c.SendUpdate(ctx, testUpdate())
+	close(gate.release)
+	wedged.Wait()
+	if err == nil {
+		t.Fatal("send against a fully wedged tier returned nil")
+	}
+	// Every walk the client ran was rejected at the door and counted by
+	// the peer's busy counter; the two wedge sends never saw the counter
+	// (one entered the handler, one queued).
+	walks := uint64(0)
+	for _, s := range lb.Stats() {
+		if s.Endpoint == "loop://primary" {
+			walks = s.Busy
+		}
+	}
+	if walks < 2 {
+		t.Fatalf("client gave up after %d walks; the busy backoff must retry within the context budget", walks)
+	}
+	if walks > 16 {
+		t.Fatalf("client ran %d walks in 400ms: busy backoff is not backing off (hot spin)", walks)
+	}
+}

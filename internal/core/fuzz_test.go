@@ -46,7 +46,15 @@ func FuzzShardedStateRestore(f *testing.F) {
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fresh := make([]*StreamMixer, 2)
 		for s := range fresh {
-			m, err := NewStreamMixer(3, rand.New(rand.NewSource(int64(10+s))))
+			// Alternate the restored tier's storage mode by input length:
+			// garbage must be rejected cleanly by both.
+			var m *StreamMixer
+			var err error
+			if len(data)%2 == 0 {
+				m, err = NewStreamMixerSlab(3, rand.New(rand.NewSource(int64(10+s))), nil)
+			} else {
+				m, err = NewStreamMixer(3, rand.New(rand.NewSource(int64(10+s))))
+			}
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -113,9 +121,19 @@ func FuzzShardedAggregationEquivalence(f *testing.F) {
 		batch, err := ShardedTransform{Granularity: g, Shards: p}.Apply(updates, rng)
 		check("sharded batch", batch, err)
 		// The stream mixer always works at layer granularity; sweep it over
-		// the same C × P grid with a k that exercises emit-then-drain.
-		stream, err := ShardedStreamTransform{K: 2, Shards: p}.Apply(updates, rng)
+		// the same C × P grid with a k that exercises emit-then-drain. The
+		// legacy and slab storage modes run on identical fresh RNGs: beyond
+		// the mean property, their outputs must be BIT-identical (slab mode
+		// changes storage, not mixing decisions).
+		stream, err := ShardedStreamTransform{K: 2, Shards: p}.Apply(updates, rand.New(rand.NewSource(seed+7)))
 		check("sharded stream", stream, err)
+		slab, err := ShardedStreamTransform{K: 2, Shards: p, Slab: true}.Apply(updates, rand.New(rand.NewSource(seed+7)))
+		check("sharded slab stream", slab, err)
+		for i := range stream {
+			if !stream[i].ApproxEqual(slab[i], 0) {
+				t.Fatalf("C=%d P=%d: slab output %d is not bit-identical to legacy", c, p, i)
+			}
+		}
 	})
 }
 
@@ -143,6 +161,13 @@ func FuzzSealRestoreRoundtrip(f *testing.F) {
 		pPrime := shardChoices[int(pPrimeRaw)%len(shardChoices)]
 		k := int(kRaw)%4 + 1
 
+		// The storage-mode dimension rides the seed instead of a new fuzz
+		// parameter (which would orphan the existing corpus): both the
+		// sealed tier and the restored tier independently run slab-backed
+		// or legacy, covering all four cross-restore combinations.
+		slabSealed := seed&1 == 0
+		slabRestored := seed&2 == 0
+
 		rng := rand.New(rand.NewSource(seed))
 		updates := makeUpdates(c, 3, rng)
 		before, err := nn.Average(updates)
@@ -150,9 +175,15 @@ func FuzzSealRestoreRoundtrip(f *testing.F) {
 			t.Fatal(err)
 		}
 
+		newMixer := func(slab bool, k int, seed int64) (*StreamMixer, error) {
+			if slab {
+				return NewStreamMixerSlab(k, rand.New(rand.NewSource(seed)), nil)
+			}
+			return NewStreamMixer(k, rand.New(rand.NewSource(seed)))
+		}
 		tier := make([]*StreamMixer, p)
 		for s := range tier {
-			if tier[s], err = NewStreamMixer(k, rand.New(rand.NewSource(seed+int64(s)))); err != nil {
+			if tier[s], err = newMixer(slabSealed, k, seed+int64(s)); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -175,7 +206,7 @@ func FuzzSealRestoreRoundtrip(f *testing.F) {
 		}
 		restored := make([]*StreamMixer, pPrime)
 		for s := range restored {
-			if restored[s], err = NewStreamMixer(k, rand.New(rand.NewSource(seed+100+int64(s)))); err != nil {
+			if restored[s], err = newMixer(slabRestored, k, seed+100+int64(s)); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -18,6 +18,13 @@ type Shard interface {
 	// Add files one update; a non-nil return is an emission (a mixed
 	// update leaving the shard mid-round).
 	Add(u nn.ParamSet) (*nn.ParamSet, error)
+	// AddWire files one ENCODED update, letting the shard choose the
+	// cheapest path from wire bytes to its storage: a slab mixer decodes
+	// straight into its slab (zero intermediate copies), a legacy mixer
+	// or relay runs the zero-copy decoder and aliases the buffer. The
+	// wire buffer's ownership transfers to the shard — the caller must
+	// not modify it afterwards.
+	AddWire(wire []byte) (*nn.ParamSet, error)
 	// Drain empties the shard at round close and returns the remainder.
 	Drain() []nn.ParamSet
 	// Buffered, Received and Emitted report the shard's ledger.
@@ -68,6 +75,17 @@ func (r *RelayShard) Add(u nn.ParamSet) (*nn.ParamSet, error) {
 	r.buf = append(r.buf, u)
 	r.received++
 	return nil, nil
+}
+
+// AddWire implements Shard: decode zero-copy (the relayed material is
+// re-encoded per destination at round close anyway) and buffer. The
+// views alias wire, whose ownership transfers to the relay.
+func (r *RelayShard) AddWire(wire []byte) (*nn.ParamSet, error) {
+	ps, err := nn.DecodeParamSetNoCopy(wire)
+	if err != nil {
+		return nil, err
+	}
+	return r.Add(ps)
 }
 
 // Drain implements Shard: hand the round's buffered material to the
@@ -190,6 +208,11 @@ type ShardedStreamTransform struct {
 	// Shards is the shard count P (defaults to 1; clamped to the number of
 	// updates).
 	Shards int
+	// Slab runs each shard's mixer in slab-backed storage mode. The
+	// output is bit-identical to the legacy mode for the same rng (the
+	// mixing decisions consume the identical RNG sequence; only storage
+	// differs) — which is exactly what the equivalence fuzz targets pin.
+	Slab bool
 }
 
 // Name implements fl.UpdateTransform.
@@ -207,7 +230,13 @@ func (t ShardedStreamTransform) Apply(updates []nn.ParamSet, rng *rand.Rand) ([]
 		if k <= 0 || k > len(part) {
 			k = len(part)
 		}
-		m, err := NewStreamMixer(k, rng)
+		var m *StreamMixer
+		var err error
+		if t.Slab {
+			m, err = NewStreamMixerSlab(k, rng, nil)
+		} else {
+			m, err = NewStreamMixer(k, rng)
+		}
 		if err != nil {
 			return nil, err
 		}

@@ -195,16 +195,26 @@ func (m *StreamMixer) RestoreEntry(u nn.ParamSet) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.lists == nil {
-		if m.received != 0 {
-			return fmt.Errorf("core: RestoreEntry on a non-fresh mixer")
+	if m.lists == nil && m.received != 0 {
+		return fmt.Errorf("core: RestoreEntry on a non-fresh mixer")
+	}
+	if m.slab != nil {
+		// A slab mixer owns its storage: copy the restored entry into a
+		// fresh row and file the row's view (restores may push past k —
+		// chunks grow, they never reject).
+		view, err := m.slab.fileParamSet(u)
+		if err != nil {
+			return fmt.Errorf("core: restored update incompatible with mixer model structure")
 		}
+		u = view
+	}
+	if m.lists == nil {
 		m.template = u
 		m.lists = make([][]nn.LayerParams, len(u.Layers))
 		for i := range m.lists {
 			m.lists[i] = make([]nn.LayerParams, 0, m.k)
 		}
-	} else if !m.template.Compatible(u) {
+	} else if m.slab == nil && !m.template.Compatible(u) {
 		return fmt.Errorf("core: restored update incompatible with mixer model structure")
 	}
 	for li, lp := range u.Layers {

@@ -1,0 +1,267 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"mixnn/internal/nn"
+)
+
+// SlabPool recycles slab chunks across rounds: a round-scoped pool, in
+// the sense that a chunk returns to it exactly once — at the epoch swap,
+// after the retired mixers' round has been drained, encoded and
+// committed to the outbox — and is handed to a later epoch's fresh
+// mixers. Steady-state rounds therefore allocate no slab storage and no
+// per-row view structures at all: the chunk carries its ParamSet views
+// with it, and because a recycled chunk keeps its layout, the views are
+// valid the moment the chunk is reused.
+//
+// Matching is by layout identity (skeleton bytes): a pooled chunk of a
+// different model structure or a smaller row count is dropped to the GC
+// rather than reshaped. The pool is safe for concurrent use and a nil
+// *SlabPool is valid (every get misses, every put discards).
+type SlabPool struct {
+	p sync.Pool
+}
+
+// NewSlabPool builds an empty pool.
+func NewSlabPool() *SlabPool { return &SlabPool{} }
+
+func (p *SlabPool) get(layout *nn.SlabLayout, rows int) *slabChunk {
+	if p == nil {
+		return nil
+	}
+	// A pool may hold chunks of an older topology's shape (membership or
+	// model changes); try a few before giving up so one stale chunk does
+	// not defeat recycling forever.
+	for i := 0; i < 4; i++ {
+		v := p.p.Get()
+		if v == nil {
+			return nil
+		}
+		c := v.(*slabChunk)
+		if c.rows >= rows && bytes.Equal(c.skeleton, layout.Skeleton()) {
+			return c
+		}
+	}
+	return nil
+}
+
+func (p *SlabPool) put(c *slabChunk) {
+	if p != nil && c != nil {
+		p.p.Put(c)
+	}
+}
+
+// slabChunk is one contiguous allocation of slab rows plus the ParamSet
+// views materialised over them (one per row, bulk-allocated). Chunks are
+// never grown or reshaped: a store that outgrows its chunk appends a new
+// one, so every view handed out stays valid for the whole round.
+type slabChunk struct {
+	skeleton []byte // layout identity (aliases the layout's skeleton)
+	rows     int
+	data     []float64
+	views    []nn.ParamSet
+}
+
+// slabStore is a StreamMixer's slab-backed storage: each accepted update
+// occupies one stride-length row of a chunk, and what the mixing lists
+// hold are LayerParams drawn from the row's pre-built view — so the
+// mixer's swap/drain logic runs unchanged (and RNG-identically) over
+// tensors that all live in a handful of flat float64 allocations.
+//
+// Rows are never reused within a round: an emitted update's view aliases
+// its row until the round's outbox entry is committed, so the store only
+// ever appends. The whole round's storage is recycled at once through
+// the SlabPool (see StreamMixer.ReleaseSlab). The store is guarded by
+// the owning mixer's mutex.
+type slabStore struct {
+	pool      *SlabPool
+	layout    *nn.SlabLayout
+	chunkRows int
+	chunks    []*slabChunk
+	used      int // rows used in the last chunk
+
+	// Emission arenas: mid-round emissions hand out *nn.ParamSet whose
+	// struct and Layers slice come from bulk allocations, amortising the
+	// two per-emission allocations of the legacy path to ~zero. Exhausted
+	// arenas are abandoned to the GC (outstanding emissions keep them
+	// alive) and replaced.
+	emSets    []nn.ParamSet
+	emSetUsed int
+	emLayers  []nn.LayerParams
+	emLayUsed int
+}
+
+func newSlabStore(k int, pool *SlabPool) *slabStore {
+	rows := k
+	if rows < 8 {
+		rows = 8
+	}
+	return &slabStore{pool: pool, chunkRows: rows}
+}
+
+// ensureLayout learns the round's model structure from its first update.
+func (s *slabStore) ensureLayout(build func() (*nn.SlabLayout, error)) error {
+	if s.layout != nil {
+		return nil
+	}
+	l, err := build()
+	if err != nil {
+		return err
+	}
+	s.layout = l
+	return nil
+}
+
+// nextRow claims a fresh row, returning its pre-built view and storage.
+func (s *slabStore) nextRow() (nn.ParamSet, []float64) {
+	if len(s.chunks) == 0 || s.used == s.chunkRows {
+		c := s.pool.get(s.layout, s.chunkRows)
+		if c == nil {
+			data := make([]float64, s.chunkRows*s.layout.Stride())
+			c = &slabChunk{
+				skeleton: s.layout.Skeleton(),
+				rows:     s.chunkRows,
+				data:     data,
+				views:    s.layout.NewChunkViews(data, s.chunkRows),
+			}
+		}
+		s.chunks = append(s.chunks, c)
+		s.used = 0
+	}
+	c := s.chunks[len(s.chunks)-1]
+	stride := s.layout.Stride()
+	row := c.data[s.used*stride : (s.used+1)*stride]
+	view := c.views[s.used]
+	s.used++
+	return view, row
+}
+
+// fileWire decodes one encoded update straight into a fresh row and
+// returns its view — the wire-bytes → slab path with no intermediate
+// materialisation.
+func (s *slabStore) fileWire(wire []byte) (nn.ParamSet, error) {
+	if err := s.ensureLayout(func() (*nn.SlabLayout, error) { return nn.SlabLayoutFromWire(wire) }); err != nil {
+		return nn.ParamSet{}, err
+	}
+	view, row := s.nextRow()
+	if err := s.layout.DecodeIntoSlab(row, wire); err != nil {
+		s.used-- // the row was never published; reclaim it
+		return nn.ParamSet{}, err
+	}
+	return view, nil
+}
+
+// fileParamSet copies one already-decoded update into a fresh row and
+// returns its view (batch items and seal restores arrive decoded).
+func (s *slabStore) fileParamSet(u nn.ParamSet) (nn.ParamSet, error) {
+	if err := s.ensureLayout(func() (*nn.SlabLayout, error) { return nn.NewSlabLayout(u) }); err != nil {
+		return nn.ParamSet{}, err
+	}
+	view, row := s.nextRow()
+	if err := s.layout.CopyIntoRow(row, u); err != nil {
+		s.used--
+		return nn.ParamSet{}, err
+	}
+	return view, nil
+}
+
+// emission hands out an emission ParamSet with a Layers slice of length
+// L, both drawn from the arenas.
+func (s *slabStore) emission(L int) *nn.ParamSet {
+	if s.emSetUsed == len(s.emSets) {
+		s.emSets = make([]nn.ParamSet, s.chunkRows)
+		s.emSetUsed = 0
+	}
+	if s.emLayUsed+L > len(s.emLayers) {
+		n := s.chunkRows * L
+		if n < L {
+			n = L
+		}
+		s.emLayers = make([]nn.LayerParams, n)
+		s.emLayUsed = 0
+	}
+	out := &s.emSets[s.emSetUsed]
+	s.emSetUsed++
+	out.Layers = s.emLayers[s.emLayUsed : s.emLayUsed+L : s.emLayUsed+L]
+	s.emLayUsed += L
+	return out
+}
+
+// release returns every chunk to the pool for the next epoch's mixers.
+// The caller (ReleaseSlab) guarantees no view into the chunks is still
+// referenced.
+func (s *slabStore) release() {
+	for i, c := range s.chunks {
+		s.pool.put(c)
+		s.chunks[i] = nil
+	}
+	s.chunks = nil
+	s.used = 0
+	s.emSets = nil
+	s.emSetUsed = 0
+	s.emLayers = nil
+	s.emLayUsed = 0
+}
+
+// Layout exposes the store's learned layout (nil before the first
+// update); the proxy's round packaging uses it to re-encode emissions
+// through the skeleton fast path.
+func (m *StreamMixer) Layout() *nn.SlabLayout {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.slab == nil {
+		return nil
+	}
+	return m.slab.layout
+}
+
+// ReleaseSlab recycles a slab-backed mixer's storage into its pool. It
+// is the round-scoped half of the pool lifecycle: the proxy calls it on
+// a RETIRED epoch's mixers after the round's outbox entry committed —
+// at that point every emission and drained update of the round has been
+// encoded into the sealed entry, so no live reference into the slab
+// remains. It must NOT be called while the round's material can still
+// be referenced (a failed commit retains emissions that alias the slab;
+// the proxy skips the release and lets the GC reclaim the chunks
+// instead). A legacy mixer, a mixer without a pool, or a mixer still
+// holding buffered material ignores the call.
+func (m *StreamMixer) ReleaseSlab() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.slab == nil || m.slab.pool == nil || m.buffered != 0 {
+		return
+	}
+	m.slab.release()
+	m.lists = nil
+	m.template = nn.ParamSet{}
+}
+
+// AddWire ingests one ENCODED update: the slab path decodes it straight
+// into a fresh slab row (header-skeleton validation plus one bulk
+// payload copy — no intermediate ParamSet, no per-tensor allocation) and
+// mixes the row's pre-built view; a legacy mixer falls back to the
+// zero-copy decoder plus Add. Emission semantics and the RNG call
+// sequence are identical to Add, so slab and legacy mixers given the
+// same seed produce bit-identical streams.
+func (m *StreamMixer) AddWire(wire []byte) (*nn.ParamSet, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.slab == nil {
+		ps, err := nn.DecodeParamSetNoCopy(wire)
+		if err != nil {
+			return nil, err
+		}
+		if len(ps.Layers) == 0 {
+			return nil, fmt.Errorf("core: empty update")
+		}
+		return m.addLocked(ps)
+	}
+	view, err := m.slab.fileWire(wire)
+	if err != nil {
+		return nil, fmt.Errorf("core: update incompatible with mixer model structure: %w", err)
+	}
+	return m.addLocked(view)
+}

@@ -29,6 +29,13 @@ type StreamMixer struct {
 	buffered int
 	emitted  int
 	received int
+	// slab, when non-nil, switches the mixer to slab-backed storage:
+	// every accepted update is copied (or wire-decoded) into one
+	// stride-length row of a contiguous float64 chunk and the lists hold
+	// that row's pre-built view, so the swap/drain logic below runs
+	// unchanged — and RNG-identically — while per-update allocation
+	// drops to ~zero. See slab.go.
+	slab *slabStore
 }
 
 // NewStreamMixer creates a mixer with per-layer lists of capacity k.
@@ -40,6 +47,20 @@ func NewStreamMixer(k int, rng *rand.Rand) (*StreamMixer, error) {
 		return nil, fmt.Errorf("core: stream mixer requires a rand source")
 	}
 	return &StreamMixer{k: k, rng: rng}, nil
+}
+
+// NewStreamMixerSlab creates a slab-backed mixer: same mixing semantics
+// as NewStreamMixer (bit-identical output for the same seed), storage in
+// contiguous per-round float64 slabs drawn from pool. pool may be nil
+// (the mixer then allocates chunks that die with it instead of
+// recycling them at the epoch swap).
+func NewStreamMixerSlab(k int, rng *rand.Rand, pool *SlabPool) (*StreamMixer, error) {
+	m, err := NewStreamMixer(k, rng)
+	if err != nil {
+		return nil, err
+	}
+	m.slab = newSlabStore(k, pool)
+	return m, nil
 }
 
 // K returns the list capacity.
@@ -76,13 +97,29 @@ func (m *StreamMixer) Add(u nn.ParamSet) (*nn.ParamSet, error) {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.slab != nil {
+		view, err := m.slab.fileParamSet(u)
+		if err != nil {
+			return nil, fmt.Errorf("core: update incompatible with mixer model structure")
+		}
+		u = view
+	}
+	return m.addLocked(u)
+}
+
+// addLocked runs the §4.3 fill/swap step on an update whose storage is
+// already settled (the caller's ParamSet for a legacy mixer, a slab row
+// view for a slab mixer). Caller holds m.mu.
+func (m *StreamMixer) addLocked(u nn.ParamSet) (*nn.ParamSet, error) {
 	if m.lists == nil {
 		m.template = u
 		m.lists = make([][]nn.LayerParams, len(u.Layers))
 		for i := range m.lists {
 			m.lists[i] = make([]nn.LayerParams, 0, m.k)
 		}
-	} else if !m.template.Compatible(u) {
+	} else if m.slab == nil && !m.template.Compatible(u) {
+		// A slab mixer already checked structure against its layout while
+		// filing the row.
 		return nil, fmt.Errorf("core: update incompatible with mixer model structure")
 	}
 	m.received++
@@ -95,7 +132,12 @@ func (m *StreamMixer) Add(u nn.ParamSet) (*nn.ParamSet, error) {
 		return nil, nil
 	}
 
-	out := nn.ParamSet{Layers: make([]nn.LayerParams, len(m.lists))}
+	var out *nn.ParamSet
+	if m.slab != nil {
+		out = m.slab.emission(len(m.lists))
+	} else {
+		out = &nn.ParamSet{Layers: make([]nn.LayerParams, len(m.lists))}
+	}
 	for li := range m.lists {
 		pick := m.rng.Intn(len(m.lists[li]))
 		out.Layers[li] = m.lists[li][pick]
@@ -105,7 +147,7 @@ func (m *StreamMixer) Add(u nn.ParamSet) (*nn.ParamSet, error) {
 		m.lists[li][pick] = u.Layers[li]
 	}
 	m.emitted++
-	return &out, nil
+	return out, nil
 }
 
 // Drain empties the lists at the end of a round, emitting the remaining

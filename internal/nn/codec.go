@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"unsafe"
 
 	"mixnn/internal/tensor"
 )
@@ -49,11 +50,53 @@ func EncodedSize(ps ParamSet) int {
 
 // EncodeParamSet serialises ps into the binary wire format.
 func EncodeParamSet(ps ParamSet) ([]byte, error) {
-	buf := bytes.NewBuffer(make([]byte, 0, EncodedSize(ps)))
-	if err := WriteParamSet(buf, ps); err != nil {
-		return nil, err
+	return AppendParamSet(make([]byte, 0, EncodedSize(ps)), ps)
+}
+
+// AppendParamSet serialises ps into the binary wire format, appending to
+// buf and returning the extended slice. It is the allocation-conscious
+// sibling of EncodeParamSet: the round-close packaging encodes a whole
+// round of updates back-to-back into ONE reused buffer, so per-update
+// encode cost is a bulk byte copy instead of a bytes.Buffer plus a
+// scratch slice per tensor.
+func AppendParamSet(buf []byte, ps ParamSet) ([]byte, error) {
+	buf = append(buf, codecMagic...)
+	buf = append(buf, codecVersion)
+	buf = appendU32(buf, uint32(len(ps.Layers)))
+	for _, lp := range ps.Layers {
+		if len(lp.Name) > math.MaxUint16 {
+			return nil, fmt.Errorf("nn: layer name %q too long", lp.Name[:32])
+		}
+		buf = append(buf, byte(len(lp.Name)), byte(len(lp.Name)>>8))
+		buf = append(buf, lp.Name...)
+		buf = appendU32(buf, uint32(len(lp.Tensors)))
+		for _, t := range lp.Tensors {
+			// Rank/Dim instead of Shape(): the defensive shape copy was one
+			// allocation per tensor, which dominated the whole encode.
+			rank := t.Rank()
+			buf = append(buf, byte(rank))
+			for i := 0; i < rank; i++ {
+				buf = appendU32(buf, uint32(t.Dim(i)))
+			}
+			data := t.Data()
+			if hostLittleEndian && len(data) > 0 {
+				// The host representation already IS the wire payload;
+				// viewing the floats as bytes (alignment 1) is always legal.
+				buf = append(buf, unsafe.Slice((*byte)(unsafe.Pointer(&data[0])), 8*len(data))...)
+			} else {
+				for _, v := range data {
+					bits := math.Float64bits(v)
+					buf = append(buf, byte(bits), byte(bits>>8), byte(bits>>16), byte(bits>>24),
+						byte(bits>>32), byte(bits>>40), byte(bits>>48), byte(bits>>56))
+				}
+			}
+		}
 	}
-	return buf.Bytes(), nil
+	return buf, nil
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	return append(buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
 }
 
 // WriteParamSet streams the encoding of ps to w.

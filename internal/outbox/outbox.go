@@ -161,23 +161,31 @@ func (e *Envelope) Marshal() ([]byte, error) {
 	if len(e.Dest) > maxEnvelopeDestBytes {
 		return nil, fmt.Errorf("outbox: destination exceeds %d bytes", maxEnvelopeDestBytes)
 	}
-	var buf bytes.Buffer
-	buf.WriteString(envelopeMagic)
-	binary.Write(&buf, binary.LittleEndian, uint32(EnvelopeVersion))
-	binary.Write(&buf, binary.LittleEndian, e.Epoch)
-	binary.Write(&buf, binary.LittleEndian, e.TopoVersion)
-	binary.Write(&buf, binary.LittleEndian, uint32(e.Hop))
-	binary.Write(&buf, binary.LittleEndian, uint16(len(e.Dest)))
-	buf.WriteString(e.Dest)
-	binary.Write(&buf, binary.LittleEndian, uint32(len(e.Updates)))
+	// Append-encode into one exactly-sized allocation: entries can carry a
+	// whole round (megabytes at participant scale), where the old
+	// bytes.Buffer + binary.Write path cost repeated growth copies plus an
+	// interface allocation per field.
+	size := len(envelopeMagic) + 4 + 8 + 8 + 4 + 2 + len(e.Dest) + 4
 	for i, u := range e.Updates {
 		if len(u) > maxEnvelopeItemBytes {
 			return nil, fmt.Errorf("outbox: update %d exceeds %d bytes", i, maxEnvelopeItemBytes)
 		}
-		binary.Write(&buf, binary.LittleEndian, uint32(len(u)))
-		buf.Write(u)
+		size += 4 + len(u)
 	}
-	return buf.Bytes(), nil
+	buf := make([]byte, 0, size)
+	buf = append(buf, envelopeMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(EnvelopeVersion))
+	buf = binary.LittleEndian.AppendUint64(buf, e.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, e.TopoVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.Hop))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(e.Dest)))
+	buf = append(buf, e.Dest...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Updates)))
+	for _, u := range e.Updates {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(u)))
+		buf = append(buf, u...)
+	}
+	return buf, nil
 }
 
 // ParseEnvelope decodes an entry payload, validating structure before

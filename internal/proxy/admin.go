@@ -227,7 +227,7 @@ func (p *ShardedProxy) applyStagedIfIdle() {
 		}
 	}
 	nextTopo := p.planner.Advance()
-	fresh, err := newShardSet(p.cfg, nextTopo, p.rounds)
+	fresh, err := newShardSet(p.cfg, nextTopo, p.rounds, p.slabPool)
 	if err != nil {
 		// Unreachable for a validated topology; the staged plan was
 		// already consumed, so fall back to keeping the current shards.

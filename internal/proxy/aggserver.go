@@ -147,7 +147,10 @@ func (s *AggServer) HandleUpdate(ctx context.Context, req transport.UpdateReques
 	if err := transport.CheckBody(req.Body); err != nil {
 		return transport.Receipt{Shard: -1}, err
 	}
-	ps, err := nn.DecodeParamSet(req.Body)
+	// Zero-copy decode: the views alias req.Body, which this request owns
+	// and the aggregation path never mutates (absorb buffers the views and
+	// Average allocates a fresh result).
+	ps, err := nn.DecodeParamSetNoCopy(req.Body)
 	if err != nil {
 		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusBadRequest, "decode update: %v", err)
 	}

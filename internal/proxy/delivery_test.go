@@ -1077,8 +1077,9 @@ func TestAggServerBatchRejectsGarbage(t *testing.T) {
 }
 
 // FuzzDeliveryEquivalence fuzzes the delivery pipeline's core invariant
-// over epochs × shard count × round size × batch mode: every epoch's
-// delivered round must average to exactly that epoch's classic-FL mean.
+// over epochs × shard count × round size × batch mode × mixer storage
+// mode: every epoch's delivered round must average to exactly that
+// epoch's classic-FL mean.
 func FuzzDeliveryEquivalence(f *testing.F) {
 	f.Add(uint8(1), uint8(1), uint8(3), true, false)
 	f.Add(uint8(2), uint8(2), uint8(4), true, false)
@@ -1106,6 +1107,10 @@ func FuzzDeliveryEquivalence(f *testing.F) {
 			Seed: int64(e*100 + p*10 + clients), NoBatch: !batch,
 			RetryBase: time.Millisecond, RetryMax: 5 * time.Millisecond,
 			Transport: tn.cfgTransport(),
+			// Storage-mode dimension, derived from an existing parameter so
+			// the corpus stays valid: slab-backed (the default) and legacy
+			// mixers must deliver identical aggregates.
+			LegacyMix: c&1 == 1,
 		}, encl, platform)
 		if err != nil {
 			t.Fatal(err)

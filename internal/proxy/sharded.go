@@ -89,6 +89,13 @@ type ShardedConfig struct {
 	RoundSize int
 	// MaxHops bounds cascade depth (default DefaultMaxHops).
 	MaxHops int
+	// LegacyMix switches the local shards back to the legacy per-tensor
+	// mixer storage. By default every local shard runs slab-backed (one
+	// contiguous float64 slab per round, recycled across epochs through a
+	// pool), which mixes bit-identically for the same seed but without
+	// the per-update decode allocations. The flag exists as an escape
+	// hatch while the slab path beds in.
+	LegacyMix bool
 	// Seed drives the mixing randomness (each shard derives its own
 	// stream from it, per epoch).
 	Seed int64
@@ -153,6 +160,10 @@ type ShardedProxy struct {
 	// planner owns the routing plane's lifecycle: admin directives stage
 	// the next epoch's topology there; the round-close swap advances it.
 	planner *route.Planner
+	// slabPool recycles the local mixers' slab chunks across epochs (nil
+	// with LegacyMix). Chunks return to it only after their round's
+	// outbox commit fully succeeded — see packageRound.
+	slabPool *core.SlabPool
 
 	// dcache memoises each in-flight entry's parsed envelope and (batch
 	// mode) request body between retry attempts — entries are immutable,
@@ -300,7 +311,11 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 			return nil, fmt.Errorf("proxy: remote shard %q has no attested key material (RemoteShards)", addr)
 		}
 	}
-	shards, err := newShardSet(cfg, topo, 0)
+	var pool *core.SlabPool
+	if !cfg.LegacyMix {
+		pool = core.NewSlabPool()
+	}
+	shards, err := newShardSet(cfg, topo, 0, pool)
 	if err != nil {
 		return nil, err
 	}
@@ -321,6 +336,7 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 		box: box, shards: shards,
 		topo: topo, rst: topo.NewState(), remotes: remotes,
 		planner:   route.NewPlanner(topo),
+		slabPool:  pool,
 		shardRecv: make([]int, topo.P()),
 		shardEmit: make([]int, topo.P()),
 	}
@@ -377,7 +393,7 @@ func (p *ShardedProxy) Flush(ctx context.Context) error {
 // (each round's swap gets fresh, independent streams); remote shards get
 // a relay buffer sized by their quota. Shared by NewSharded, the round
 // close swap and RestoreState so every epoch's tier is shaped alike.
-func newShardSet(cfg ShardedConfig, topo *route.Topology, epoch int) ([]core.Shard, error) {
+func newShardSet(cfg ShardedConfig, topo *route.Topology, epoch int, pool *core.SlabPool) ([]core.Shard, error) {
 	shards := make([]core.Shard, topo.P())
 	for s := range shards {
 		quota := topo.Quota(s)
@@ -392,7 +408,14 @@ func newShardSet(cfg ShardedConfig, topo *route.Topology, epoch int) ([]core.Sha
 		// Each shard owns its rand stream: StreamMixer serialises itself,
 		// but a shared rand.Rand across concurrently-adding shards would
 		// race.
-		m, err := core.NewStreamMixer(k, rand.New(rand.NewSource(cfg.Seed+int64(epoch)*int64(topo.P())+int64(s))))
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(epoch)*int64(topo.P()) + int64(s)))
+		var m *core.StreamMixer
+		var err error
+		if cfg.LegacyMix {
+			m, err = core.NewStreamMixer(k, rng)
+		} else {
+			m, err = core.NewStreamMixerSlab(k, rng, pool)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("proxy: shard %d: %w", s, err)
 		}
@@ -476,15 +499,12 @@ func (p *ShardedProxy) ingressOne(body []byte, clientID string, hop int, fromHop
 		if err != nil {
 			return fmt.Errorf("proxy: decrypt: %w", err)
 		}
-		t1 := time.Now()
-		// Zero-copy decode: the tensors alias plain, which this request
-		// owns and the mixers never mutate in place.
-		ps, err := nn.DecodeParamSetNoCopy(plain)
-		decodeDur := time.Since(t1) // measured outside p.mu so lock wait doesn't pollute it
-		if err != nil {
-			return fmt.Errorf("proxy: decode: %w", err)
-		}
-		closed, shard, err = p.ingest(ps, len(plain), clientID, hop, fromHop, decryptDur, decodeDur)
+		// No decode here: the plaintext wire bytes go straight to the
+		// routed shard, which picks its cheapest path to storage — a slab
+		// mixer decodes the payload directly into its slab row, a legacy
+		// mixer or relay shard runs the zero-copy decoder and aliases the
+		// buffer. Ownership of plain transfers with it.
+		closed, shard, err = p.ingest(nn.ParamSet{}, plain, len(plain), clientID, hop, fromHop, decryptDur, 0)
 		return err
 	})
 	p.mu.Lock()
@@ -579,7 +599,7 @@ func (p *ShardedProxy) HandleBatch(ctx context.Context, req transport.BatchReque
 		var itemErrs int
 		var firstErr error
 		for i, ps := range pss {
-			closed, _, err := p.ingest(ps, len(env.Updates[i]), "", hop, true, decryptDur/n, decodeDur/n)
+			closed, _, err := p.ingest(ps, nil, len(env.Updates[i]), "", hop, true, decryptDur/n, decodeDur/n)
 			if err != nil {
 				// An item the open round's mixers reject (structure set
 				// by earlier traffic of this epoch) can never be mixed at
@@ -666,7 +686,7 @@ type roundClose struct {
 // loses its individual depth inside the mixers, so the watermark is what
 // keeps depth monotone — in an accidental proxy cycle the watermark grows
 // every traversal until the MaxHops check breaks the loop.
-func (p *ShardedProxy) ingest(ps nn.ParamSet, size int, clientID string, hop int, fromHop bool, decryptDur, decodeDur time.Duration) (*roundClose, int, error) {
+func (p *ShardedProxy) ingest(ps nn.ParamSet, wire []byte, size int, clientID string, hop int, fromHop bool, decryptDur, decodeDur time.Duration) (*roundClose, int, error) {
 	p.enclave.Alloc(size)
 
 	p.mu.Lock()
@@ -674,7 +694,18 @@ func (p *ShardedProxy) ingest(ps nn.ParamSet, size int, clientID string, hop int
 	p.decryptT.add(decryptDur)
 	p.updateBytes = size
 	tAdd := time.Now()
-	out, err := p.shards[shard].Add(ps)
+	// Single-update ingress hands the shard the raw wire bytes (wire
+	// non-nil) so a slab mixer can decode straight into its slab row; the
+	// batch path validated and decoded every item up front and files the
+	// decoded views. Either way there is exactly one copy of the floats
+	// between the decrypted buffer and the mixer's storage.
+	var out *nn.ParamSet
+	var err error
+	if wire != nil {
+		out, err = p.shards[shard].AddWire(wire)
+	} else {
+		out, err = p.shards[shard].Add(ps)
+	}
 	p.storeT.add(decodeDur + time.Since(tAdd)) // §6.5 store stage: decode + file into the lists
 	if err != nil {
 		// Route already charged the shard's quota; a rejected update must
@@ -704,7 +735,7 @@ func (p *ShardedProxy) ingest(ps nn.ParamSet, size int, clientID string, hop int
 		// the next epoch's plan, applied under the same lock as the mixer
 		// swap — membership changes can never tear an open round.
 		nextTopo := p.planner.Advance()
-		fresh, ferr := newShardSet(p.cfg, nextTopo, p.rounds+1)
+		fresh, ferr := newShardSet(p.cfg, nextTopo, p.rounds+1, p.slabPool)
 		if ferr != nil {
 			// Unreachable for a validated topology; leave the round open
 			// so the next ingest retries the close.
@@ -784,6 +815,11 @@ func resizeLedger(old []int, pPrime int) []int {
 	return out
 }
 
+// encodeBufPool recycles the append-encode buffers packageRound slices
+// outbox payloads from; a tier re-encodes one round's worth of updates
+// per epoch, so a handful of buffers reach steady state quickly.
+var encodeBufPool sync.Pool
+
 // packageRound drains a closed round's retired shard slots and commits
 // the round to the outbox in epoch order: ONE sealed entry for the
 // downstream (mid-round emissions plus every local shard's drain) and, in
@@ -816,29 +852,52 @@ func (p *ShardedProxy) packageRound(rc *roundClose) error {
 	var encErr error
 	total := 0
 	for _, de := range entries {
+		// One pooled buffer carries the whole entry's encoded updates:
+		// each update is append-encoded into it and its payload sliced
+		// out, so encoding a round costs zero allocations at steady state
+		// (Envelope.Marshal copies the payloads into the sealed entry,
+		// after which the buffer recycles).
+		bp, _ := encodeBufPool.Get().(*[]byte)
+		if bp == nil {
+			bp = new([]byte)
+		}
+		need := 0
+		for _, ps := range de.updates {
+			need += nn.EncodedSize(ps)
+		}
+		buf := (*bp)[:0]
+		if cap(buf) < need {
+			buf = make([]byte, 0, need)
+		}
 		payloads := make([][]byte, len(de.updates))
 		size := 0
 		for i, ps := range de.updates {
+			start := len(buf)
 			var err error
-			if payloads[i], err = nn.EncodeParamSet(ps); err != nil {
+			if buf, err = nn.AppendParamSet(buf, ps); err != nil {
 				encErr = err
 				break
 			}
+			payloads[i] = buf[start:len(buf):len(buf)]
 			size += len(payloads[i])
 		}
+		var raw []byte
+		if encErr == nil {
+			env := outbox.Envelope{
+				Epoch:       uint64(rc.epoch),
+				TopoVersion: rc.topo.Version(),
+				Hop:         rc.hop,
+				Dest:        de.dest,
+				Updates:     payloads,
+			}
+			var err error
+			if raw, err = env.Marshal(); err != nil {
+				encErr = err
+			}
+		}
+		*bp = buf
+		encodeBufPool.Put(bp)
 		if encErr != nil {
-			break
-		}
-		env := outbox.Envelope{
-			Epoch:       uint64(rc.epoch),
-			TopoVersion: rc.topo.Version(),
-			Hop:         rc.hop,
-			Dest:        de.dest,
-			Updates:     payloads,
-		}
-		raw, err := env.Marshal()
-		if err != nil {
-			encErr = err
 			break
 		}
 		raws = append(raws, rawEntry{destEntry: de, raw: raw, bytes: size})
@@ -942,6 +1001,17 @@ func (p *ShardedProxy) packageRound(rc *roundClose) error {
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	if err == nil {
+		// The whole round is sealed in the outbox: every emission and
+		// drained update was copied into the committed entries, so nothing
+		// references the retired mixers' slab rows any more — recycle the
+		// chunks for a future epoch's mixers. On a failed commit the
+		// retained material still aliases the slabs, so we skip this and
+		// let the GC reclaim them instead.
+		for _, m := range rc.mixers {
+			if sm, ok := m.(*core.StreamMixer); ok {
+				sm.ReleaseSlab()
+			}
+		}
 		p.disp.Wake()
 	}
 	return err
@@ -1357,7 +1427,7 @@ func (p *ShardedProxy) RestoreState(blob []byte) error {
 			adopted = true
 		}
 	}
-	fresh, err := newShardSet(p.cfg, topo, epoch)
+	fresh, err := newShardSet(p.cfg, topo, epoch, p.slabPool)
 	if err != nil {
 		return err
 	}

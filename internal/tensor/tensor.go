@@ -44,6 +44,25 @@ func FromSlice(data []float64, shape ...int) (*Tensor, error) {
 	return &Tensor{shape: append([]int(nil), shape...), data: data}, nil
 }
 
+// View initialises t in place as a view over data with the given shape,
+// aliasing BOTH slices (FromSlice copies the shape; View does not). It
+// exists for bulk view construction — the slab accumulator materialises
+// thousands of row views per round and must not allocate a shape copy
+// (or a Tensor box) per tensor — so it trades safety for allocation
+// count: the caller guarantees that data and shape outlive t, that
+// len(data) matches the shape's element count, and that shape is never
+// mutated. Shape mismatches are programmer errors here (the slab layout
+// was validated when it was built), so View panics like the arithmetic
+// kernels rather than returning an error.
+func View(t *Tensor, data []float64, shape []int) {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: view data length %d does not match shape %v (want %d)", len(data), shape, n))
+	}
+	t.shape = shape
+	t.data = data
+}
+
 // MustFromSlice is FromSlice that panics on error; for tests and literals.
 func MustFromSlice(data []float64, shape ...int) *Tensor {
 	t, err := FromSlice(data, shape...)
