@@ -8,11 +8,16 @@
 package mixnn
 
 import (
+	"crypto/aes"
+	"crypto/cipher"
+	crand "crypto/rand"
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -171,6 +176,182 @@ func BenchmarkProxyDecrypt(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// cryptoBenchArm is one measured arm of the ingress-crypto benchmark,
+// persisted in BENCH_crypto.json (see writeCryptoBench).
+type cryptoBenchArm struct {
+	Name          string  `json:"name"`
+	NsPerUpdate   float64 `json:"ns_per_update"`
+	UpdatesPerSec float64 `json:"updates_per_sec"`
+	Updates       int     `json:"updates"`
+}
+
+var cryptoBench struct {
+	sync.Mutex
+	Model       string
+	UpdateBytes int
+	Arms        []cryptoBenchArm
+}
+
+func recordCryptoArm(b *testing.B, model string, updateBytes, updates int, elapsed time.Duration) {
+	b.Helper()
+	arm := cryptoBenchArm{
+		Name:          b.Name(),
+		NsPerUpdate:   float64(elapsed.Nanoseconds()) / float64(updates),
+		UpdatesPerSec: float64(updates) / elapsed.Seconds(),
+		Updates:       updates,
+	}
+	b.ReportMetric(arm.NsPerUpdate, "ns/update")
+	b.ReportMetric(arm.UpdatesPerSec, "updates/sec")
+	cryptoBench.Lock()
+	defer cryptoBench.Unlock()
+	cryptoBench.Model = model
+	cryptoBench.UpdateBytes = updateBytes
+	for i := range cryptoBench.Arms {
+		if cryptoBench.Arms[i].Name == arm.Name {
+			cryptoBench.Arms[i] = arm
+			arm.Name = ""
+		}
+	}
+	if arm.Name != "" {
+		cryptoBench.Arms = append(cryptoBench.Arms, arm)
+	}
+}
+
+func writeCryptoBench(b *testing.B) {
+	b.Helper()
+	cryptoBench.Lock()
+	defer cryptoBench.Unlock()
+	if len(cryptoBench.Arms) == 0 {
+		return
+	}
+	var legacy, session float64
+	for _, arm := range cryptoBench.Arms {
+		switch {
+		case strings.HasSuffix(arm.Name, "/legacy"):
+			legacy = arm.NsPerUpdate
+		case strings.HasSuffix(arm.Name, "/session"):
+			session = arm.NsPerUpdate
+		}
+	}
+	snap := struct {
+		Model                  string          `json:"model"`
+		UpdateBytes            int             `json:"update_bytes"`
+		Arms                   []cryptoBenchArm `json:"arms"`
+		SpeedupSessionVsLegacy float64         `json:"speedup_session_vs_legacy,omitempty"`
+	}{cryptoBench.Model, cryptoBench.UpdateBytes, cryptoBench.Arms, 0}
+	if legacy > 0 && session > 0 {
+		snap.SpeedupSessionVsLegacy = legacy / session
+	}
+	enc, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile("BENCH_crypto.json", append(enc, '\n'), 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkProxyCrypto measures the full per-update crypto round trip —
+// sender wrap plus enclave decrypt, both in-loop — for the legacy hybrid
+// format (RSA-OAEP unwrap every update) against the session-keyed format
+// (RSA amortised into the establish handshake, steady state is one
+// AES-GCM pass each side). The gcm-floor arm is the raw seal+open of the
+// same payload with no framing: the theoretical lower bound the session
+// path should sit within a small constant factor of. Writes
+// BENCH_crypto.json so CI can gate on the steady-state cost.
+func BenchmarkProxyCrypto(b *testing.B) {
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		b.Fatal(err)
+	}
+	encl, err := enclave.New(enclave.Config{}, platform)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := experiment.PerfModels(experiment.ScaleQuick)[0]
+	raw, err := nn.EncodeParamSet(model.Arch.New(1).SnapshotParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	b.Run("legacy", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		start := time.Now()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ct, err := enclave.Encrypt(encl.PublicKey(), raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := encl.Decrypt(ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		recordCryptoArm(b, model.Name, len(raw), b.N, time.Since(start))
+	})
+
+	b.Run("session", func(b *testing.B) {
+		sess, err := enclave.NewSession(encl.PublicKey())
+		if err != nil {
+			b.Fatal(err)
+		}
+		est, err := sess.Wrap(raw) // one-time handshake, amortised away
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := encl.Decrypt(est); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(raw)))
+		start := time.Now()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ct, err := sess.Wrap(raw)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := encl.Decrypt(ct); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		recordCryptoArm(b, model.Name, len(raw), b.N, time.Since(start))
+	})
+
+	b.Run("gcm-floor", func(b *testing.B) {
+		key := make([]byte, 32)
+		if _, err := crand.Read(key); err != nil {
+			b.Fatal(err)
+		}
+		blk, err := aes.NewCipher(key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		aead, err := cipher.NewGCM(blk)
+		if err != nil {
+			b.Fatal(err)
+		}
+		nonce := make([]byte, aead.NonceSize())
+		sealBuf := make([]byte, 0, len(raw)+aead.Overhead())
+		openBuf := make([]byte, 0, len(raw))
+		b.SetBytes(int64(len(raw)))
+		start := time.Now()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			binary.LittleEndian.PutUint64(nonce, uint64(i)+1)
+			ct := aead.Seal(sealBuf[:0], nonce, raw, nil)
+			if _, err := aead.Open(openBuf[:0], nonce, ct, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		recordCryptoArm(b, model.Name, len(raw), b.N, time.Since(start))
+	})
+
+	writeCryptoBench(b)
 }
 
 // BenchmarkProxyStore isolates decode-and-buffer (the §6.5 "storage" step).

@@ -54,6 +54,14 @@ type Config struct {
 	// be supplied through Attest.
 	Authority   *ecdsa.PublicKey
 	Measurement [32]byte
+	// DisableSessions reverts the send path to the legacy one-shot
+	// hybrid wrap (a fresh RSA-wrapped key per update) instead of the
+	// default per-endpoint crypto session. The session path costs one
+	// RSA wrap per session instead of one per update; the knob exists
+	// for comparison runs and as an escape hatch against pre-session
+	// proxies' error vocabulary (ingestion itself is compatible both
+	// ways).
+	DisableSessions bool
 }
 
 // Participant is the participant-side session handle. It is safe for
@@ -70,6 +78,13 @@ type Participant struct {
 	// keys holds the attested (or pinned) enclave encryption key per
 	// proxy endpoint; failover re-encrypts for the endpoint it lands on.
 	keys map[string]*rsa.PublicKey
+	// sessions holds the established crypto session per proxy endpoint,
+	// next to the key it was built for: steady-state sends are GCM-only
+	// under the session key, and the one-time RSA wrap rides the
+	// session's first update (see enclave.Session). A session built for
+	// a superseded key (the endpoint re-attested) is replaced lazily.
+	sessions   map[string]*clientSession
+	noSessions bool
 	// flights single-flights the lazy failover attestation per endpoint:
 	// when many goroutines share one client and fail over simultaneously
 	// (a primary dying under load), exactly one runs the handshake and
@@ -84,6 +99,15 @@ type attestFlight struct {
 	done chan struct{}
 	key  *rsa.PublicKey
 	err  error
+}
+
+// clientSession pairs an endpoint's crypto session with the enclave
+// key it was established against, so a re-attested endpoint (fresh
+// enclave key) invalidates the session instead of sending undecryptable
+// traffic.
+type clientSession struct {
+	pub  *rsa.PublicKey
+	sess *enclave.Session
 }
 
 // New builds a participant session. The trust material may arrive later
@@ -104,6 +128,8 @@ func New(cfg Config) (*Participant, error) {
 		authority:   cfg.Authority,
 		measurement: cfg.Measurement,
 		keys:        make(map[string]*rsa.PublicKey),
+		sessions:    make(map[string]*clientSession),
+		noSessions:  cfg.DisableSessions,
 		flights:     make(map[string]*attestFlight),
 	}, nil
 }
@@ -222,6 +248,71 @@ func (c *Participant) attestOne(ctx context.Context, ep string) (*rsa.PublicKey,
 	return rsaPub, nil
 }
 
+// sessionFor returns ep's crypto session, establishing one bound to
+// the endpoint's currently-pinned enclave key when none exists (or the
+// cached one was built for a superseded key). The RSA wrap runs outside
+// the lock; a racing establisher's session wins and the loser's wrap is
+// discarded.
+func (c *Participant) sessionFor(ep string, key *rsa.PublicKey) (*enclave.Session, error) {
+	c.mu.Lock()
+	if s := c.sessions[ep]; s != nil && s.pub == key {
+		c.mu.Unlock()
+		return s.sess, nil
+	}
+	c.mu.Unlock()
+	sess, err := enclave.NewSession(key)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.sessions[ep]; s != nil && s.pub == key {
+		return s.sess, nil
+	}
+	c.sessions[ep] = &clientSession{pub: key, sess: sess}
+	return sess, nil
+}
+
+// dropSession invalidates ep's session — but only if sess is still the
+// pinned one, so a loser of a concurrent re-establish race cannot tear
+// down the winner's fresh session.
+func (c *Participant) dropSession(ep string, sess *enclave.Session) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s := c.sessions[ep]; s != nil && s.sess == sess {
+		delete(c.sessions, ep)
+	}
+}
+
+// wrapFor seals raw for ep's enclave: under the endpoint's crypto
+// session by default (the first wrap of a session is the establish
+// message carrying the RSA-wrapped key; every later wrap is GCM-only),
+// or the legacy one-shot hybrid wrap with sessions disabled. It returns
+// the session that produced the ciphertext (nil on the legacy path) so
+// the caller can invalidate precisely that session on a typed session
+// rejection. A session whose counter space is exhausted is rotated
+// once, transparently.
+func (c *Participant) wrapFor(ep string, key *rsa.PublicKey, raw []byte) ([]byte, *enclave.Session, error) {
+	if c.noSessions {
+		ct, err := enclave.Encrypt(key, raw)
+		return ct, nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		sess, err := c.sessionFor(ep, key)
+		if err != nil {
+			return nil, nil, err
+		}
+		ct, err := sess.Wrap(raw)
+		if err == nil {
+			return ct, sess, nil
+		}
+		c.dropSession(ep, sess)
+		if attempt > 0 {
+			return nil, nil, err
+		}
+	}
+}
+
 // Busy-tier backoff: when a whole failover walk comes back with every
 // proxy rejecting at the ingress door and at least one of them answering
 // transport.ErrBusy (a full bounded queue — transient by construction),
@@ -311,11 +402,24 @@ func (c *Participant) sendWalk(ctx context.Context, raw []byte, clientID string)
 				continue
 			}
 		}
-		ct, err := enclave.Encrypt(key, raw)
+		ct, sess, err := c.wrapFor(ep, key, raw)
 		if err != nil {
 			return err
 		}
 		_, err = c.tr.SendUpdate(ctx, ep, transport.UpdateRequest{Body: ct, ClientID: clientID})
+		if err != nil && sess != nil && transport.SessionRejected(err) {
+			// The proxy's enclave no longer holds our session (cache
+			// eviction or a restart that kept its sealed identity) and
+			// provably ingested nothing. Re-establish with a full wrap
+			// and resend to the SAME endpoint once — transparent to the
+			// failover walk. A rejection of the fresh establish itself
+			// falls through to the ordinary classification below.
+			c.dropSession(ep, sess)
+			if ct, sess, err = c.wrapFor(ep, key, raw); err != nil {
+				return err
+			}
+			_, err = c.tr.SendUpdate(ctx, ep, transport.UpdateRequest{Body: ct, ClientID: clientID})
+		}
 		if err == nil {
 			return nil
 		}

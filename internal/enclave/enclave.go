@@ -17,6 +17,7 @@
 package enclave
 
 import (
+	"container/list"
 	"crypto/aes"
 	"crypto/cipher"
 	"crypto/rand"
@@ -45,6 +46,11 @@ type Config struct {
 	// ConstantProcessing, when positive, makes every Process call take at
 	// least this long (side-channel hardening, §4.3).
 	ConstantProcessing time.Duration
+	// SessionCacheEntries bounds the crypto session cache (default
+	// DefaultSessionCacheEntries). Each cached session is EPC-accounted
+	// at one page; the LRU evicts beyond the bound and evicted senders
+	// re-establish on the typed session-unknown rejection.
+	SessionCacheEntries int
 }
 
 func (c *Config) fillDefaults() {
@@ -57,6 +63,9 @@ func (c *Config) fillDefaults() {
 	if c.RSABits == 0 {
 		c.RSABits = 2048
 	}
+	if c.SessionCacheEntries == 0 {
+		c.SessionCacheEntries = DefaultSessionCacheEntries
+	}
 }
 
 // Stats reports the enclave's simulated resource state.
@@ -67,6 +76,16 @@ type Stats struct {
 	// PageEvents counts Alloc calls that pushed usage past the EPC limit;
 	// on real SGX each would trigger costly EWB/ELDU paging.
 	PageEvents int
+	// SessionsActive is the current crypto session cache population;
+	// the counters below run over the enclave's lifetime. A miss is a
+	// data message for a session the cache no longer holds (the sender
+	// re-establishes); a replay is an already-admitted counter.
+	SessionsActive      int
+	SessionsEstablished uint64
+	SessionHits         uint64
+	SessionMisses       uint64
+	SessionEvictions    uint64
+	SessionReplays      uint64
 }
 
 // Enclave is a simulated SGX enclave instance.
@@ -80,6 +99,15 @@ type Enclave struct {
 	memUsed  int
 	memPeak  int
 	pageEvts int
+	// sessions is the bounded LRU of receiver-side crypto sessions (see
+	// session.go); sessLRU orders it most-recently-used first.
+	sessions        map[[sessionIDSize]byte]*sessionState
+	sessLRU         *list.List
+	sessEstablished uint64
+	sessHits        uint64
+	sessMisses      uint64
+	sessEvicts      uint64
+	sessReplays     uint64
 }
 
 // New creates an enclave: generates its key pair, computes its measurement
@@ -90,7 +118,12 @@ func New(cfg Config, platform *Platform) (*Enclave, error) {
 	if err != nil {
 		return nil, fmt.Errorf("enclave: generate key pair: %w", err)
 	}
-	e := &Enclave{cfg: cfg, priv: priv}
+	e := &Enclave{
+		cfg:      cfg,
+		priv:     priv,
+		sessions: make(map[[sessionIDSize]byte]*sessionState),
+		sessLRU:  list.New(),
+	}
 	e.measurement = sha256.Sum256([]byte(cfg.CodeIdentity))
 	// Sealing key = H(fuse secret || measurement): per-platform and
 	// per-identity, like SGX's MRENCLAVE-bound sealing.
@@ -148,8 +181,19 @@ func Encrypt(pub *rsa.PublicKey, plaintext []byte) ([]byte, error) {
 // ErrCiphertext is returned for malformed or tampered ciphertexts.
 var ErrCiphertext = errors.New("enclave: invalid ciphertext")
 
-// Decrypt opens a hybrid ciphertext inside the enclave.
+// Decrypt opens a ciphertext inside the enclave: a session establish
+// or data message when the body carries the session magic (see
+// session.go), the legacy hybrid format otherwise. Legacy and session
+// traffic interleave freely on one enclave.
 func (e *Enclave) Decrypt(ciphertext []byte) ([]byte, error) {
+	if len(ciphertext) >= 4 {
+		switch string(ciphertext[:4]) {
+		case sessionMagicEstablish:
+			return e.decryptEstablish(ciphertext)
+		case sessionMagicData:
+			return e.decryptData(ciphertext)
+		}
+	}
 	if len(ciphertext) < 2 {
 		return nil, fmt.Errorf("%w: too short", ErrCiphertext)
 	}
@@ -249,6 +293,10 @@ func (e *Enclave) UnsealLabeled(label string, blob []byte) ([]byte, error) {
 func (e *Enclave) Alloc(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.allocLocked(n)
+}
+
+func (e *Enclave) allocLocked(n int) {
 	e.memUsed += n
 	if e.memUsed > e.memPeak {
 		e.memPeak = e.memUsed
@@ -262,6 +310,10 @@ func (e *Enclave) Alloc(n int) {
 func (e *Enclave) Free(n int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.freeLocked(n)
+}
+
+func (e *Enclave) freeLocked(n int) {
 	e.memUsed -= n
 	if e.memUsed < 0 {
 		e.memUsed = 0
@@ -273,10 +325,16 @@ func (e *Enclave) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return Stats{
-		MemoryUsedBytes:  e.memUsed,
-		MemoryPeakBytes:  e.memPeak,
-		MemoryLimitBytes: e.cfg.MemoryLimitBytes,
-		PageEvents:       e.pageEvts,
+		MemoryUsedBytes:     e.memUsed,
+		MemoryPeakBytes:     e.memPeak,
+		MemoryLimitBytes:    e.cfg.MemoryLimitBytes,
+		PageEvents:          e.pageEvts,
+		SessionsActive:      len(e.sessions),
+		SessionsEstablished: e.sessEstablished,
+		SessionHits:         e.sessHits,
+		SessionMisses:       e.sessMisses,
+		SessionEvictions:    e.sessEvicts,
+		SessionReplays:      e.sessReplays,
 	}
 }
 

@@ -52,3 +52,15 @@ func (h *HopKey) Wrap(plaintext []byte) ([]byte, error) {
 	}
 	return Encrypt(h.pub, plaintext)
 }
+
+// NewSession starts a crypto session against the hop's enclave: one
+// RSA wrap here, then Session.Wrap is GCM-only for every forwarded
+// round (see session.go). Cascade and relay legs use it so steady-state
+// inter-proxy delivery sheds the per-round RSA cost the same way
+// participant ingress does.
+func (h *HopKey) NewSession() (*Session, error) {
+	if h == nil || h.pub == nil {
+		return nil, fmt.Errorf("enclave: no hop key pinned")
+	}
+	return NewSession(h.pub)
+}

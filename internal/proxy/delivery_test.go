@@ -1085,6 +1085,8 @@ func FuzzDeliveryEquivalence(f *testing.F) {
 	f.Add(uint8(2), uint8(2), uint8(4), true, false)
 	f.Add(uint8(3), uint8(3), uint8(5), true, true)
 	f.Add(uint8(2), uint8(2), uint8(4), false, true)
+	f.Add(uint8(2), uint8(2), uint8(6), true, false)
+	f.Add(uint8(3), uint8(1), uint8(7), true, true)
 	f.Fuzz(func(t *testing.T, epochs, shards, c uint8, batch, loop bool) {
 		e := int(epochs)%3 + 1
 		p := int(shards)%4 + 1
@@ -1118,11 +1120,30 @@ func FuzzDeliveryEquivalence(f *testing.F) {
 		defer px.Close()
 		pxEP := tn.serve("loop://front", px)
 
+		// Ingress-format dimension: when set, even-index clients speak the
+		// session-keyed ciphertext (one session per client, persisting
+		// across epochs) while odd clients stay on the legacy hybrid
+		// format — both interleaved must deliver identical aggregates.
+		sessionArm := c&2 == 2
+		sessions := make([]*enclave.Session, clients)
+		if sessionArm {
+			for i := 0; i < clients; i += 2 {
+				s, err := enclave.NewSession(encl.PublicKey())
+				if err != nil {
+					t.Fatal(err)
+				}
+				sessions[i] = s
+			}
+		}
 		sent := make([][]nn.ParamSet, e)
 		for epoch := 0; epoch < e; epoch++ {
 			sent[epoch] = perturbed(initial, clients, float64(epoch*1000))
 			for i, u := range sent[epoch] {
-				sendTyped(t, tn.tr(), encl, pxEP, fmt.Sprintf("c%d", i), u)
+				if sessions[i] != nil {
+					sendSessionTyped(t, tn.tr(), sessions[i], pxEP, fmt.Sprintf("c%d", i), u)
+				} else {
+					sendTyped(t, tn.tr(), encl, pxEP, fmt.Sprintf("c%d", i), u)
+				}
 			}
 		}
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)

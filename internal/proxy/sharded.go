@@ -171,6 +171,16 @@ type ShardedProxy struct {
 	// backoff tick. Keyed by entry seq: delivery lanes run concurrently.
 	dcache deliverCache
 
+	// hopSessions holds one sender-side crypto session per delivery
+	// destination, so cascade and relay legs pay the RSA wrap once per
+	// session instead of once per round. Keyed by destination base; each
+	// entry remembers the hop key it was built for, so a re-registered
+	// remote (fresh attested key after a peer restart) rotates the
+	// session instead of sending undecryptable traffic. Lanes serialize
+	// per destination, but Session.Wrap is concurrency-safe anyway.
+	hsmu        sync.Mutex
+	hopSessions map[string]*hopSession
+
 	mu   sync.Mutex
 	cond *sync.Cond // signals closing/putEpoch transitions
 	// topo is the CURRENT epoch's routing plan and rst its mutable
@@ -511,7 +521,7 @@ func (p *ShardedProxy) ingressOne(body []byte, clientID string, hop int, fromHop
 	p.processT.add(time.Since(start))
 	p.mu.Unlock()
 	if procErr != nil {
-		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusBadRequest, "%s", procErr.Error())
+		return transport.Receipt{Shard: -1}, ingressError(procErr)
 	}
 	if closed != nil {
 		if err := p.packageRound(closed); err != nil {
@@ -523,6 +533,26 @@ func (p *ShardedProxy) ingressOne(body []byte, clientID string, hop int, fromHop
 		}
 	}
 	return transport.Receipt{Shard: shard}, nil
+}
+
+// ingressError maps an enclave-pipeline failure onto the wire
+// vocabulary. A session miss (the cache evicted it, or the enclave
+// restarted and lost its volatile session memory) and a counter replay
+// both become the TYPED 428 session rejection: in either case this
+// attempt provably ingested nothing, and the sender recovers by
+// re-establishing with a full wrap — a generic 4xx here would make the
+// SDK treat the bytes as poison and the dispatcher quarantine a
+// perfectly good round. Everything else stays the 400 the legacy
+// decrypt path always answered.
+func ingressError(err error) error {
+	if errors.Is(err, enclave.ErrSessionUnknown) || errors.Is(err, enclave.ErrSessionReplay) {
+		return &transport.StatusError{
+			Code:           http.StatusPreconditionRequired,
+			SessionUnknown: true,
+			Msg:            err.Error(),
+		}
+	}
+	return transport.Errorf(http.StatusBadRequest, "%s", err.Error())
 }
 
 // HandleBatch ingests a whole drained round from an upstream proxy: a
@@ -645,7 +675,7 @@ func (p *ShardedProxy) HandleBatch(ctx context.Context, req transport.BatchReque
 		if batchID != "" {
 			p.seen.Forget(batchID)
 		}
-		return transport.Receipt{Shard: -1}, transport.Errorf(http.StatusBadRequest, "%s", procErr.Error())
+		return transport.Receipt{Shard: -1}, ingressError(procErr)
 	}
 	if batchID != "" {
 		p.seen.Done(batchID, sender, senderSeq, hasSeq)
@@ -1043,6 +1073,13 @@ type deliverMemo struct {
 	body    []byte // assembled /v1/batch body (hop-wrapped if cascading)
 	id      string // idempotency id for body
 	singles bool   // round too large to batch; use the singles path
+	// sess is the crypto session that wrapped body (nil on the
+	// plaintext server leg): a typed session rejection invalidates
+	// exactly this session plus the memoized body, and the retry
+	// re-wraps under a fresh establish. The idempotency id derives from
+	// the PLAINTEXT payload, so it survives the re-wrap and redelivery
+	// stays exactly-once.
+	sess *enclave.Session
 }
 
 func (c *deliverCache) get(seq uint64) *deliverMemo {
@@ -1072,6 +1109,65 @@ func (c *deliverCache) drop(seq uint64) {
 func batchIDFor(payload []byte) string {
 	sum := sha256.Sum256(payload)
 	return hex.EncodeToString(sum[:16])
+}
+
+// hopSession pairs a destination's crypto session with the hop key it
+// was established against (see ShardedProxy.hopSessions).
+type hopSession struct {
+	key  *enclave.HopKey
+	sess *enclave.Session
+}
+
+// hopSessionFor returns the crypto session for a delivery destination,
+// establishing one against its current hop key when none exists or the
+// cached one was built for a superseded key.
+func (p *ShardedProxy) hopSessionFor(base string, key *enclave.HopKey) (*enclave.Session, error) {
+	p.hsmu.Lock()
+	defer p.hsmu.Unlock()
+	if hs := p.hopSessions[base]; hs != nil && hs.key == key {
+		return hs.sess, nil
+	}
+	sess, err := key.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	if p.hopSessions == nil {
+		p.hopSessions = make(map[string]*hopSession)
+	}
+	p.hopSessions[base] = &hopSession{key: key, sess: sess}
+	return sess, nil
+}
+
+// dropHopSession invalidates a destination's session — only if sess is
+// still the pinned one, so a stale rejection cannot tear down a fresher
+// session.
+func (p *ShardedProxy) dropHopSession(base string, sess *enclave.Session) {
+	p.hsmu.Lock()
+	defer p.hsmu.Unlock()
+	if hs := p.hopSessions[base]; hs != nil && hs.sess == sess {
+		delete(p.hopSessions, base)
+	}
+}
+
+// wrapForHop seals payload for tgt's enclave under the destination's
+// crypto session, rotating the session once if its counter space is
+// exhausted. It returns the session that produced the ciphertext so the
+// caller can invalidate precisely it on a typed session rejection.
+func (p *ShardedProxy) wrapForHop(tgt hopTarget, payload []byte) ([]byte, *enclave.Session, error) {
+	for attempt := 0; ; attempt++ {
+		sess, err := p.hopSessionFor(tgt.base, tgt.key)
+		if err != nil {
+			return nil, nil, fmt.Errorf("proxy: session for %s: %w", tgt.base, err)
+		}
+		ct, err := sess.Wrap(payload)
+		if err == nil {
+			return ct, sess, nil
+		}
+		p.dropHopSession(tgt.base, sess)
+		if attempt > 0 {
+			return nil, nil, fmt.Errorf("proxy: wrap for %s: %w", tgt.base, err)
+		}
+	}
 }
 
 // hopTarget is the resolved destination of one outbox entry: where to
@@ -1162,8 +1258,8 @@ func (p *ShardedProxy) deliverPayload(ctx context.Context, seq uint64, payload [
 			return p.deliverSingles(ctx, seq, env, tgt)
 		}
 		if tgt.key != nil {
-			if enc, err = tgt.key.Wrap(enc); err != nil {
-				return fmt.Errorf("proxy: wrap batch for %s: %w", tgt.base, err)
+			if enc, c.sess, err = p.wrapForHop(tgt, enc); err != nil {
+				return err
 			}
 		}
 		c.body, c.id = enc, batchIDFor(payload)
@@ -1178,6 +1274,15 @@ func (p *ShardedProxy) deliverPayload(ctx context.Context, seq uint64, payload [
 		req.Sender, req.Seq, req.HasSeq = sender, seq, true
 	}
 	if _, err := p.tr.SendBatch(ctx, tgt.base, req); err != nil {
+		if transport.SessionRejected(err) {
+			// The downstream enclave lost our session and provably
+			// ingested nothing: invalidate the memoized body so the next
+			// attempt re-wraps under a fresh establish (the idempotency
+			// id is plaintext-derived and unchanged, so a downstream
+			// that DID apply an earlier attempt still dedups it).
+			p.dropHopSession(tgt.base, c.sess)
+			c.body, c.id, c.sess = nil, "", nil
+		}
 		return classifyDelivery(err)
 	}
 	p.mu.Lock()
@@ -1217,11 +1322,16 @@ func (p *ShardedProxy) deliverSingles(ctx context.Context, seq uint64, env *outb
 func (p *ShardedProxy) forwardOne(ctx context.Context, raw []byte, fwdHop int, tgt hopTarget) error {
 	var err error
 	if tgt.key != nil {
-		ct, werr := tgt.key.Wrap(raw)
+		ct, sess, werr := p.wrapForHop(tgt, raw)
 		if werr != nil {
-			return fmt.Errorf("proxy: wrap for %s: %w", tgt.base, werr)
+			return werr
 		}
 		_, err = p.tr.Hop(ctx, tgt.base, transport.HopRequest{Body: ct, Hop: fwdHop, Secret: tgt.secret})
+		if err != nil && transport.SessionRejected(err) {
+			// Singles wrap fresh per attempt, so dropping the session is
+			// all the recovery the retry needs.
+			p.dropHopSession(tgt.base, sess)
+		}
 	} else {
 		_, err = p.tr.SendUpdate(ctx, tgt.base, transport.UpdateRequest{Body: raw})
 	}
@@ -1254,6 +1364,14 @@ func classifyDelivery(err error) error {
 	}
 	code := se.Code
 	switch {
+	case se.SessionUnknown:
+		// The downstream enclave lost the crypto session this entry was
+		// wrapped under (restart or cache eviction) and provably
+		// ingested nothing. The sender already invalidated the session
+		// and memoized body, so the retry re-establishes — transient,
+		// NOT the permanent 4xx class: quarantining would lose a good
+		// round over a recoverable key-cache condition.
+		return fmt.Errorf("proxy: downstream lost the delivery crypto session (re-establishing on retry): %d %s", code, se.Msg)
 	case se.Stale && code == http.StatusConflict:
 		return outbox.Permanent(fmt.Errorf("proxy: downstream rejected delivery as stale duplicate: %d %s", code, se.Msg))
 	case code >= 400 && code < 500 &&
@@ -1725,8 +1843,16 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 		EnclavePeak:       st.MemoryPeakBytes,
 		EnclavePaging:     st.PageEvents,
 		DecryptMillis:     p.decryptT.meanMillisExact(),
+		DecryptMicros:     p.decryptT.meanMillisExact() * 1000,
 		StoreMillis:       p.storeT.meanMillisExact(),
 		MixMillis:         p.mixT.meanMillisExact(),
 		ProcessMillis:     p.processT.meanMillisExact(),
+
+		SessionsActive:      st.SessionsActive,
+		SessionsEstablished: st.SessionsEstablished,
+		SessionHits:         st.SessionHits,
+		SessionMisses:       st.SessionMisses,
+		SessionEvictions:    st.SessionEvictions,
+		SessionReplays:      st.SessionReplays,
 	}
 }

@@ -88,6 +88,26 @@ func sendTyped(t *testing.T, tr transport.Transport, encl *enclave.Enclave, ep, 
 	}
 }
 
+// sendSessionTyped is the session-crypto twin of sendTyped: the update
+// travels as session ciphertext (establish on the session's first wrap,
+// cheap GCM data messages after).
+func sendSessionTyped(t *testing.T, tr transport.Transport, sess *enclave.Session, ep, clientID string, ps nn.ParamSet) {
+	t.Helper()
+	raw, err := nn.EncodeParamSet(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct, err := sess.Wrap(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := tr.SendUpdate(ctx, ep, transport.UpdateRequest{Body: ct, ClientID: clientID}); err != nil {
+		t.Fatalf("session send: %v", err)
+	}
+}
+
 // deployTier stands up an agg server + front proxy over either
 // transport kind and returns the agg, the proxy and the endpoints
 // participants should use.

@@ -223,6 +223,9 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 		if se.Stale {
 			w.Header().Set(wire.HeaderStale, "1")
 		}
+		if se.SessionUnknown {
+			w.Header().Set(wire.HeaderSessionUnknown, "1")
+		}
 		http.Error(w, se.Msg, se.Code)
 		return
 	}

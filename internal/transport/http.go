@@ -53,9 +53,10 @@ func (t *HTTP) do(req *http.Request) (*http.Response, error) {
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
 	return nil, &StatusError{
-		Code:  resp.StatusCode,
-		Stale: resp.Header.Get(wire.HeaderStale) != "",
-		Msg:   string(bytes.TrimSpace(msg)),
+		Code:           resp.StatusCode,
+		Stale:          resp.Header.Get(wire.HeaderStale) != "",
+		SessionUnknown: resp.Header.Get(wire.HeaderSessionUnknown) != "",
+		Msg:            string(bytes.TrimSpace(msg)),
 	}
 }
 

@@ -106,6 +106,11 @@ type StatusError struct {
 	// Stale marks a 409 as a stale-redelivery rejection
 	// (wire.HeaderStale): permanent, unlike the retryable in-flight 409.
 	Stale bool
+	// SessionUnknown marks a 428 as a crypto-session rejection
+	// (wire.HeaderSessionUnknown): the receiver's enclave no longer
+	// holds the ciphertext's session, nothing was ingested, and the
+	// sender recovers by re-establishing with a full wrap and resending.
+	SessionUnknown bool
 	// Msg is the human-readable rejection reason.
 	Msg string
 }
@@ -126,6 +131,15 @@ func AsStatus(err error) *StatusError {
 		return se
 	}
 	return nil
+}
+
+// SessionRejected reports whether err is the typed crypto-session
+// rejection: the receiver provably ingested nothing, and the sender
+// should re-establish its session (a fresh RSA-wrapped key) and resend
+// the same material.
+func SessionRejected(err error) bool {
+	se := AsStatus(err)
+	return se != nil && se.SessionUnknown
 }
 
 // Unreached reports whether err proves the request never reached the

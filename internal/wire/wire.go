@@ -74,6 +74,13 @@ const (
 	// succeed, so the sender must quarantine the entry instead of
 	// retrying it forever.
 	HeaderStale = "X-Mixnn-Stale"
+	// HeaderSessionUnknown marks a rejection (428) as a crypto-session
+	// miss: the receiver's enclave no longer holds the session the
+	// ciphertext names (cache eviction or a restart), so NOTHING was
+	// ingested and the sender must re-establish with a full RSA wrap and
+	// resend. Distinct from plain 4xx so senders never quarantine or
+	// fail over on what is a recoverable key-cache condition.
+	HeaderSessionUnknown = "X-Mixnn-Session-Unknown"
 	// HeaderProto carries the typed-protocol version a peer speaks. A
 	// missing header means ProtoV1 — exactly what pre-transport binaries
 	// send — so version negotiation is wire-compatible in both
@@ -344,9 +351,26 @@ type ShardedProxyStatus struct {
 	EnclavePeak   int     `json:"enclave_peak_bytes"`
 	EnclavePaging int     `json:"enclave_page_events"`
 	DecryptMillis float64 `json:"decrypt_ms_mean"`
+	// DecryptMicros is the same per-update decrypt mean in µs — the
+	// headline number for the session-crypto path, where the cost sits
+	// far below a millisecond (DecryptMillis stays for older
+	// consumers).
+	DecryptMicros float64 `json:"decrypt_us_mean"`
 	StoreMillis   float64 `json:"store_ms_mean"`
 	MixMillis     float64 `json:"mix_ms_mean"`
 	ProcessMillis float64 `json:"process_ms_mean"`
+	// Crypto session cache observability: the enclave's live session
+	// count plus its lifetime establish/hit/miss/evict/replay counters.
+	// A healthy steady state shows hits ≫ establishes, with misses
+	// clustered around restarts or cache pressure; a sustained miss or
+	// replay rate means senders are re-establishing (and paying RSA)
+	// per send.
+	SessionsActive      int    `json:"sessions_active"`
+	SessionsEstablished uint64 `json:"sessions_established"`
+	SessionHits         uint64 `json:"session_hits"`
+	SessionMisses       uint64 `json:"session_misses"`
+	SessionEvictions    uint64 `json:"session_evictions,omitempty"`
+	SessionReplays      uint64 `json:"session_replays,omitempty"`
 }
 
 // TopologyShardSpec describes one shard in a topology directive. A
