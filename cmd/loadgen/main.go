@@ -47,6 +47,7 @@ func run(args []string) error {
 		seed         = fs.Int64("seed", 1, "base random seed")
 		timeout      = fs.Duration("timeout", 10*time.Minute, "whole-run deadline")
 		out          = fs.String("out", "", "write the LoadgenResult JSON here (e.g. BENCH_loadgen.json)")
+		metricsOut   = fs.String("metrics-out", "", "write the tier's Prometheus text exposition here after the run (validated before writing)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +58,7 @@ func run(args []string) error {
 		QueueDepth: *queueDepth, Workers: *workers,
 		StragglerFrac: *straggler, DisconnectFrac: *disconnect,
 		RSABits: *rsaBits, Seed: *seed, Timeout: *timeout,
+		MetricsOut: *metricsOut,
 	})
 	if err != nil {
 		return err
@@ -69,9 +71,13 @@ func run(args []string) error {
 	fmt.Printf("  round gaps   p50 %.2fms  p95 %.2fms  p99 %.2fms\n", res.RoundGapMsP50, res.RoundGapMsP95, res.RoundGapMsP99)
 	fmt.Printf("  backpressure peak queue %d, %d busy rejections, %d send retries\n", res.PeakIngressQueue, res.BusyRejections, res.SendRetries)
 	fmt.Printf("  churn        %d sessions replaced, %d stragglers, peak outbox lane %d\n", res.Replaced, res.Stragglers, res.PeakLaneDepth)
+	fmt.Printf("  admission    %d overload sends, %d rate-limited 429s, %d shed\n", res.OverloadSends, res.RateLimited429, res.AdmissionShed)
 	fmt.Printf("  allocs/op    %.0f\n", res.AllocsPerUpdate)
 	fmt.Printf("  conservation %v (every acked update accounted for at 1e-9)\n", res.ConservationOK)
 
+	if *metricsOut != "" {
+		fmt.Printf("loadgen: wrote %s\n", *metricsOut)
+	}
 	if *out != "" {
 		enc, err := json.MarshalIndent(res, "", "  ")
 		if err != nil {

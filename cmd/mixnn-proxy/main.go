@@ -56,6 +56,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -106,6 +107,12 @@ func run(args []string) error {
 		workers      = fs.Int("delivery-workers", outbox.DefaultWorkers, "destination lanes delivered concurrently; a dead peer stalls only its own lane")
 		deliveryTO   = fs.Duration("delivery-timeout", outbox.DefaultAttemptTimeout, "per-attempt delivery timeout (raised to -retry if set lower)")
 		seed         = fs.Int64("seed", time.Now().UnixNano(), "mixing randomness seed")
+		endpoint     = fs.String("endpoint", "", "this proxy's advertised base URL in /v1/discover (empty = not advertised)")
+		peers        = fs.String("peers", "", "comma-separated peer front endpoints advertised via /v1/discover for SDK bootstrap")
+		rateLimit    = fs.Float64("rate-limit", 0, "per-sender participant update budget in updates/sec (0 = unlimited)")
+		rateBurst    = fs.Float64("rate-burst", 0, "per-sender token-bucket burst (0 = max(1, -rate-limit))")
+		shedDepth    = fs.Int("shed-queue-depth", 0, "shed ALL participant ingress with 429 while the committed-but-undelivered outbox backlog reaches this (0 = never shed)")
+		metrics      = fs.Bool("metrics", true, "serve the Prometheus text exposition at /v1/metrics")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -155,6 +162,12 @@ func run(args []string) error {
 		RetryMax:        *retry,
 		DeliveryWorkers: *workers,
 		DeliveryTimeout: *deliveryTO,
+		Endpoint:        *endpoint,
+		Peers:           splitPeers(*peers),
+		RatePerSec:      *rateLimit,
+		RateBurst:       *rateBurst,
+		ShedQueueDepth:  *shedDepth,
+		DisableMetrics:  !*metrics,
 	}
 	// A restored tier comes back under the topology it was sealed under,
 	// UNLESS the operator explicitly asked for a different shape on this
@@ -329,6 +342,18 @@ func run(args []string) error {
 		log.Printf("mixnn-proxy: sealed %d-shard tier (%d updates into the round)", len(st.Shards), st.InRound)
 		return shutdownErr
 	}
+}
+
+// splitPeers parses the -peers flag: comma-separated endpoints, blanks
+// dropped so a trailing comma is harmless.
+func splitPeers(s string) []string {
+	var peers []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
+	return peers
 }
 
 // loadShardsFile parses a topology file: a wire.TopologyDirective in

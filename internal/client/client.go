@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
@@ -67,11 +68,15 @@ type Config struct {
 // Participant is the participant-side session handle. It is safe for
 // concurrent use.
 type Participant struct {
-	tr      transport.Transport
-	proxies []string
-	server  string
+	tr     transport.Transport
+	server string
 
-	mu          sync.Mutex
+	mu sync.Mutex
+	// proxies is the ordered failover list. It starts as the configured
+	// static list and is REPLACED by Discover: bootstrapped to the full
+	// peer set learned from one seed and re-ranked by observed health.
+	// Every reader takes a snapshot under mu (proxySnapshot/primary).
+	proxies     []string
 	clientID    string
 	authority   *ecdsa.PublicKey
 	measurement [32]byte
@@ -150,9 +155,137 @@ func (c *Participant) SetEnclaveKey(pub *rsa.PublicKey) {
 	c.keys[c.proxies[0]] = pub
 }
 
-// Proxies returns the session's failover list.
+// Proxies returns the session's current failover list (a copy).
 func (c *Participant) Proxies() []string {
+	return c.proxySnapshot()
+}
+
+// proxySnapshot copies the failover list under the lock; walks iterate
+// the snapshot so a concurrent Discover re-rank cannot skip or repeat
+// an endpoint mid-walk.
+func (c *Participant) proxySnapshot() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return append([]string(nil), c.proxies...)
+}
+
+// primary returns the current head of the failover list.
+func (c *Participant) primary() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.proxies[0]
+}
+
+// maxDiscoverProbes bounds one Discover sweep: a malicious or buggy
+// peer advertising an endless peer list must not turn a bootstrap into
+// an unbounded crawl. 64 covers any plausible front tier many times
+// over.
+const maxDiscoverProbes = 64
+
+// Discover refreshes the failover list from the tier itself: it sweeps
+// /v1/discover starting from the current list (so a single seed
+// endpoint bootstraps the full front set from the peers it advertises,
+// transitively), scores every endpoint by the health its advertisement
+// reports, and REPLACES the failover list with the endpoints ranked
+// healthiest-first. The ranking is what makes failover self-healing: a
+// front that is shedding load advertises a health score strictly below
+// any non-shedding front's, so the next walk tries healthy fronts
+// first without any operator re-configuration.
+//
+// Scoring: a reachable endpoint ranks by its advertised health; an
+// endpoint without a discovery surface (404 / ErrNotSupported — a
+// pre-discovery proxy) scores neutral 0 so static lists keep working
+// unchanged; an unreachable endpoint ranks below everything but stays
+// on the list — it may only be down for a moment, and dropping it
+// would shrink the failover set permanently. The sort is stable over
+// encounter order (configured list first), so ties preserve the
+// operator's ordering. If NO endpoint answered at all, the list is
+// left untouched and an error is returned: an empty sweep says the
+// network is broken, not that every front vanished.
+//
+// Newly learned endpoints carry no trust: sends to them still gate on
+// the same attestation handshake as configured ones (lazy, on first
+// use).
+func (c *Participant) Discover(ctx context.Context) error {
+	frontier := c.proxySnapshot()
+	seen := make(map[string]bool, len(frontier))
+	for _, ep := range frontier {
+		seen[ep] = true
+	}
+	order := make([]string, 0, len(frontier))
+	score := make(map[string]float64, len(frontier))
+	var errs []error
+	reached := 0
+	for probes := 0; len(frontier) > 0 && probes < maxDiscoverProbes; probes++ {
+		ep := frontier[0]
+		frontier = frontier[1:]
+		order = append(order, ep)
+		dr, err := c.tr.Discover(ctx, ep)
+		switch se := transport.AsStatus(err); {
+		case err == nil:
+			reached++
+			score[ep] = dr.Health
+			for _, peer := range dr.Peers {
+				if peer != "" && !seen[peer] {
+					seen[peer] = true
+					frontier = append(frontier, peer)
+				}
+			}
+		case errors.Is(err, transport.ErrNotSupported) ||
+			(se != nil && se.Code == http.StatusNotFound):
+			// A reachable peer without a discovery surface: neutral, not
+			// penalised — a static list of pre-discovery proxies must rank
+			// exactly as configured.
+			reached++
+			score[ep] = 0
+		default:
+			score[ep] = -1
+			errs = append(errs, fmt.Errorf("%s: %w", ep, err))
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	// Endpoints advertised but never probed (probe cap, ctx expiry):
+	// keep them, neutral — known to exist, health unknown.
+	for _, ep := range frontier {
+		order = append(order, ep)
+		score[ep] = 0
+	}
+	if reached == 0 {
+		return fmt.Errorf("client: discovery reached no proxy, keeping the current failover list: %w", errors.Join(errs...))
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		return score[order[i]] > score[order[j]]
+	})
+	c.mu.Lock()
+	c.proxies = order
+	c.mu.Unlock()
+	return nil
+}
+
+// StartDiscovery runs Discover immediately and then every interval
+// until ctx is cancelled, in a background goroutine. Sweep failures
+// are dropped (the list stays as it was; the next tick retries) — the
+// refresh loop is an optimisation of the failover order, never a
+// correctness dependency.
+func (c *Participant) StartDiscovery(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	go func() {
+		_ = c.Discover(ctx)
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				_ = c.Discover(ctx)
+			}
+		}
+	}()
 }
 
 // Attest pins the trust material and runs the attestation handshake
@@ -167,9 +300,10 @@ func (c *Participant) Attest(ctx context.Context, authority *ecdsa.PublicKey, me
 	c.authority = authority
 	c.measurement = measurement
 	c.mu.Unlock()
-	errs := make([]error, len(c.proxies))
+	proxies := c.proxySnapshot()
+	errs := make([]error, len(proxies))
 	var wg sync.WaitGroup
-	for i, ep := range c.proxies {
+	for i, ep := range proxies {
 		wg.Add(1)
 		go func(i int, ep string) {
 			defer wg.Done()
@@ -313,6 +447,31 @@ func (c *Participant) wrapFor(ep string, key *rsa.PublicKey, raw []byte) ([]byte
 	}
 }
 
+// rewrapFresh wraps raw under a brand-new session, so the ciphertext
+// is the self-contained establish frame the enclave can always open.
+// It is the retry path after a typed session rejection: re-wrapping
+// through the cache (wrapFor) is not enough there, because a
+// concurrent sender may have re-established already and cached a
+// session whose OWN establish frame is still in flight — wrapping
+// under it emits a data frame that can race ahead of that establish
+// and be rejected all over again. The fresh session is cached
+// (last-establisher-wins, same policy as sessionFor) so subsequent
+// sends ride it.
+func (c *Participant) rewrapFresh(ep string, key *rsa.PublicKey, raw []byte) ([]byte, *enclave.Session, error) {
+	sess, err := enclave.NewSession(key)
+	if err != nil {
+		return nil, nil, err
+	}
+	ct, err := sess.Wrap(raw) // first wrap of a session = establish
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	c.sessions[ep] = &clientSession{pub: key, sess: sess}
+	c.mu.Unlock()
+	return ct, sess, nil
+}
+
 // Busy-tier backoff: when a whole failover walk comes back with every
 // proxy rejecting at the ingress door and at least one of them answering
 // transport.ErrBusy (a full bounded queue — transient by construction),
@@ -363,15 +522,27 @@ func (c *Participant) SendUpdate(ctx context.Context, ps nn.ParamSet) error {
 	backoff := busyRetryBase
 	for {
 		err := c.sendWalk(ctx, raw, clientID)
-		if err == nil || !errors.Is(err, transport.ErrBusy) {
+		if err == nil {
+			return nil
+		}
+		busy := errors.Is(err, transport.ErrBusy)
+		limited, hint := rateLimited(err)
+		if !busy && !limited {
 			return err
 		}
-		// The walk only reports ErrBusy through the every-proxy-failed
-		// path, so nothing was ingested and a retry cannot double-count.
-		// Equal jitter desynchronises the cohort: a round's worth of
-		// participants hitting a full queue together must not come back
-		// together.
+		// Both failure shapes reach here only through the
+		// every-proxy-failed path, where each attempt provably ingested
+		// nothing, so a retry cannot double-count. Equal jitter
+		// desynchronises the cohort: a round's worth of participants
+		// hitting a full queue (or tripping one rate limiter) together
+		// must not come back together.
 		d := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if limited && hint > d {
+			// Honour the admission gate's Retry-After: coming back
+			// sooner than the peer asked just burns another 429. Jitter
+			// rides on top so the shed cohort still spreads out.
+			d = hint + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		}
 		select {
 		case <-ctx.Done():
 			return fmt.Errorf("client: gave up retrying a busy tier: %w", err)
@@ -383,12 +554,47 @@ func (c *Participant) SendUpdate(ctx context.Context, ps nn.ParamSet) error {
 	}
 }
 
+// rateLimited inspects a walk's joined error for 429 admission
+// rejections, returning whether any proxy answered one and the largest
+// Retry-After hint among them. It traverses the whole join tree
+// (errors.Join exposes Unwrap() []error) instead of errors.As, which
+// would stop at the first StatusError of any code.
+func rateLimited(err error) (bool, time.Duration) {
+	var limited bool
+	var hint time.Duration
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if se, ok := e.(*transport.StatusError); ok {
+			if se.Code == http.StatusTooManyRequests {
+				limited = true
+				if se.RetryAfter > hint {
+					hint = se.RetryAfter
+				}
+			}
+			return
+		}
+		switch u := e.(type) {
+		case interface{ Unwrap() []error }:
+			for _, sub := range u.Unwrap() {
+				walk(sub)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	return limited, hint
+}
+
 // sendWalk runs one failover walk down the proxy list with the
 // SendUpdate semantics above.
 func (c *Participant) sendWalk(ctx context.Context, raw []byte, clientID string) error {
 	var errs []error
 	var err error
-	for _, ep := range c.proxies {
+	for _, ep := range c.proxySnapshot() {
 		c.mu.Lock()
 		key := c.keys[ep]
 		c.mu.Unlock()
@@ -409,13 +615,18 @@ func (c *Participant) sendWalk(ctx context.Context, raw []byte, clientID string)
 		_, err = c.tr.SendUpdate(ctx, ep, transport.UpdateRequest{Body: ct, ClientID: clientID})
 		if err != nil && sess != nil && transport.SessionRejected(err) {
 			// The proxy's enclave no longer holds our session (cache
-			// eviction or a restart that kept its sealed identity) and
-			// provably ingested nothing. Re-establish with a full wrap
-			// and resend to the SAME endpoint once — transparent to the
-			// failover walk. A rejection of the fresh establish itself
-			// falls through to the ordinary classification below.
+			// eviction, a restart that kept its sealed identity, or our
+			// data frame raced ahead of the session's establish frame)
+			// and provably ingested nothing. Re-establish with a full
+			// wrap and resend to the SAME endpoint once — transparent
+			// to the failover walk. The rewrap deliberately bypasses
+			// the session cache: the resent ciphertext must be a
+			// self-contained establish frame, which the enclave can
+			// never reject as unknown (see rewrapFresh), so one retry
+			// suffices. A rejection of the fresh establish itself falls
+			// through to the ordinary classification below.
 			c.dropSession(ep, sess)
-			if ct, sess, err = c.wrapFor(ep, key, raw); err != nil {
+			if ct, sess, err = c.rewrapFresh(ep, key, raw); err != nil {
 				return err
 			}
 			_, err = c.tr.SendUpdate(ctx, ep, transport.UpdateRequest{Body: ct, ClientID: clientID})
@@ -504,7 +715,7 @@ func (c *Participant) WaitForRound(ctx context.Context, minRound int, poll time.
 
 // ProxyStatus fetches the primary proxy's tier status.
 func (c *Participant) ProxyStatus(ctx context.Context) (wire.ShardedProxyStatus, error) {
-	return proxyStatus(ctx, c.tr, c.proxies[0])
+	return proxyStatus(ctx, c.tr, c.primary())
 }
 
 // proxyStatus fetches a proxy status report, shared by the session and
@@ -536,5 +747,5 @@ func (c *Participant) ServerStatus(ctx context.Context) (wire.ServerStatus, erro
 // Admin returns the admin sub-client for the primary proxy's topology
 // plane, authenticated with the tier's inter-proxy secret.
 func (c *Participant) Admin(secret string) *Admin {
-	return NewAdmin(c.tr, c.proxies[0], secret)
+	return NewAdmin(c.tr, c.primary(), secret)
 }

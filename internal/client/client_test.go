@@ -45,6 +45,9 @@ func (r *recordingServer) HandleTopology(ctx context.Context, req transport.Topo
 func (r *recordingServer) HandleStatus(ctx context.Context) (transport.StatusResponse, error) {
 	return transport.StatusResponse{}, transport.ErrNotSupported
 }
+func (r *recordingServer) HandleDiscover(ctx context.Context) (wire.DiscoverResponse, error) {
+	return wire.DiscoverResponse{}, transport.ErrNotSupported
+}
 
 func testUpdate() nn.ParamSet {
 	return nn.NewMLP("net", 4, []int{6}, 2).New(1).SnapshotParams()

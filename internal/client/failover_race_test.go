@@ -80,6 +80,38 @@ func twoProxyTier(t *testing.T, lb *transport.Loopback, primary, backup func(tra
 
 func ident(s transport.Server) transport.Server { return s }
 
+// wedgePrimary parks one raw send inside the gated handler and then
+// fills the depth-1 queue with a second, returning a WaitGroup that
+// drains once gate.release is closed. The two sends MUST be staged
+// sequentially — launched together they race into the depth-1 queue,
+// and if the second arrives before the worker dequeues the first it
+// bounces ErrBusy, leaving the queue empty once the worker parks in
+// the gate (and a Queued>=1 poll waiting forever).
+func wedgePrimary(lb *transport.Loopback, gate *blockingIngress) *sync.WaitGroup {
+	wedged := &sync.WaitGroup{}
+	send := func() {
+		defer wedged.Done()
+		lb.SendUpdate(context.Background(), "loop://primary", transport.UpdateRequest{Body: []byte("wedge")})
+	}
+	wedged.Add(1)
+	go send()
+	<-gate.entered // the worker owns the first send
+	wedged.Add(1)
+	go send()
+	for { // wait until the second fills the queue
+		queued := false
+		for _, s := range lb.Stats() {
+			if s.Endpoint == "loop://primary" && s.Queued >= 1 {
+				queued = true
+			}
+		}
+		if queued {
+			return wedged
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
 // TestFailoverAttestSingleFlight pins the duplicate-attest fix: many
 // goroutines sharing one Participant fail over simultaneously (the
 // primary is dead), and the fallback proxy must see exactly ONE
@@ -159,28 +191,10 @@ func TestSendUpdateFailsOverOnBusy(t *testing.T) {
 
 	// Wedge the primary: one request inside the handler, one filling the
 	// depth-1 queue. (Raw sends — they park in the gate before the real
-	// proxy would decode them.)
-	var wedged sync.WaitGroup
-	for i := 0; i < 2; i++ {
-		wedged.Add(1)
-		go func() {
-			defer wedged.Done()
-			lb.SendUpdate(context.Background(), "loop://primary", transport.UpdateRequest{Body: []byte("wedge")})
-		}()
-	}
-	<-gate.entered // the worker owns one; wait until the other is queued
-	for {
-		queued := false
-		for _, s := range lb.Stats() {
-			if s.Endpoint == "loop://primary" && s.Queued >= 1 {
-				queued = true
-			}
-		}
-		if queued {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// proxy would decode them.) Staged sequentially: the second send may
+	// only go out after the worker owns the first, or the two race into
+	// the depth-1 queue and one bounces ErrBusy, leaving nothing queued.
+	wedged := wedgePrimary(lb, gate)
 
 	if err := c.SendUpdate(ctx, testUpdate()); err != nil {
 		t.Fatalf("send with a busy primary must fail over cleanly, got %v", err)
@@ -190,6 +204,90 @@ func TestSendUpdateFailsOverOnBusy(t *testing.T) {
 	}
 	close(gate.release)
 	wedged.Wait()
+}
+
+// establishDelayer wraps a real proxy and holds every session
+// ESTABLISH frame ("MXSE" magic) for delay before handling it, so
+// data frames wrapped under a just-created session reliably race
+// ahead of the establish that would make the enclave recognise them.
+type establishDelayer struct {
+	transport.Server
+	delay time.Duration
+}
+
+func (d *establishDelayer) HandleUpdate(ctx context.Context, req transport.UpdateRequest) (transport.Receipt, error) {
+	if len(req.Body) >= 4 && string(req.Body[:4]) == "MXSE" {
+		time.Sleep(d.delay)
+	}
+	return d.Server.HandleUpdate(ctx, req)
+}
+
+// TestSendUpdateConcurrentSessionEstablishRace pins the re-establish
+// retry against wire reordering: many goroutines share ONE participant,
+// so all but the first wrap data frames under a session whose establish
+// frame is still in flight (held by the delayer), and every one of them
+// draws a typed 428. The retry must resend a SELF-CONTAINED establish
+// frame — re-wrapping through the session cache can pick up a
+// neighbouring retrier's session whose own establish is also still in
+// flight, drawing a second 428 that surfaces to the caller.
+func TestSendUpdateConcurrentSessionEstablishRace(t *testing.T) {
+	lb := transport.NewLoopback()
+	defer lb.Close()
+	platform, err := enclave.NewPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	encl, err := enclave.New(enclave.Config{CodeIdentity: "mixnn-proxy-sess-race-test"}, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := proxy.NewAggServer(testUpdate(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb.Register("loop://agg", agg)
+	px, err := proxy.NewSharded(proxy.ShardedConfig{
+		Upstream: "loop://agg", K: 2, RoundSize: 8, Shards: 1,
+		Seed: 1, Transport: lb,
+	}, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(px.Close)
+	lb.Register("loop://front", &establishDelayer{Server: px, delay: 5 * time.Millisecond})
+
+	c, err := client.New(client.Config{
+		Proxies: []string{"loop://front"}, Server: "loop://agg",
+		Transport: lb, Authority: platform.AttestationPublicKey(), Measurement: encl.Measurement(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const senders = 8
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, senders)
+	start := make(chan struct{})
+	for i := 0; i < senders; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			errs[i] = c.SendUpdate(ctx, testUpdate())
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("sender %d surfaced a session rejection the retry should absorb: %v", i, err)
+		}
+	}
+	if got := px.Status().Received; got != senders {
+		t.Fatalf("proxy ingested %d updates, want %d", got, senders)
+	}
 }
 
 // TestSendUpdateBusyBackoffBounded pins the busy-retry fix: against a
@@ -226,28 +324,8 @@ func TestSendUpdateBusyBackoffBounded(t *testing.T) {
 	}
 
 	// Wedge the primary: one request inside the handler, one filling the
-	// depth-1 queue.
-	var wedged sync.WaitGroup
-	for i := 0; i < 2; i++ {
-		wedged.Add(1)
-		go func() {
-			defer wedged.Done()
-			lb.SendUpdate(context.Background(), "loop://primary", transport.UpdateRequest{Body: []byte("wedge")})
-		}()
-	}
-	<-gate.entered
-	for {
-		queued := false
-		for _, s := range lb.Stats() {
-			if s.Endpoint == "loop://primary" && s.Queued >= 1 {
-				queued = true
-			}
-		}
-		if queued {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
+	// depth-1 queue (staged sequentially, see wedgePrimary).
+	wedged := wedgePrimary(lb, gate)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
 	defer cancel()

@@ -1,12 +1,14 @@
 package experiment
 
 import (
+	"bytes"
 	"context"
 	"crypto/x509"
 	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,6 +17,7 @@ import (
 	"mixnn/internal/client"
 	"mixnn/internal/enclave"
 	"mixnn/internal/fl"
+	"mixnn/internal/health"
 	"mixnn/internal/nn"
 	"mixnn/internal/proxy"
 	"mixnn/internal/route"
@@ -61,6 +64,11 @@ type LoadgenConfig struct {
 	Seed    int64
 	// Timeout bounds the whole run (0 = 10 minutes).
 	Timeout time.Duration
+	// MetricsOut, when set, writes the tier's Prometheus text exposition
+	// (front-0's /v1/metrics registry plus the harness's loopback-queue
+	// instruments) to this file after the run, self-validated with
+	// health.ValidateExposition.
+	MetricsOut string
 }
 
 // LoadgenResult is the measured outcome, serialised as
@@ -111,6 +119,14 @@ type LoadgenResult struct {
 	// layer-wise mean of every slot observed at the aggregation server
 	// equals the mean of every acked update at 1e-9.
 	ConservationOK bool `json:"conservation_ok"`
+	// OverloadSends counts the phase-E sends that deliberately drove
+	// front-0 past its per-sender rate budget (all of them acked
+	// somewhere — the shed remainder failed over to front-1);
+	// RateLimited429 and AdmissionShed are the fronts' admission-gate
+	// refusal counters across the run.
+	OverloadSends  uint64 `json:"overload_sends"`
+	RateLimited429 uint64 `json:"rate_limited_429"`
+	AdmissionShed  uint64 `json:"admission_shed"`
 }
 
 // loadgenObserver accumulates every update slot the aggregation server
@@ -175,6 +191,7 @@ type loadgenHarness struct {
 	retries    atomic.Uint64
 	replaced   atomic.Uint64
 	stragglers atomic.Uint64
+	overload   atomic.Uint64
 	peakLane   atomic.Int64
 }
 
@@ -196,7 +213,11 @@ const (
 //	                     cascade tier;
 //	phase C (failover):  front-0's ingress dies mid-wave — every
 //	                     in-flight participant fails over to front-1;
-//	phase D (recovery):  the dead relay and front return, partial front
+//	phase D (recovery):  the dead relay and front return;
+//	phase E (overload):  dedicated senders drive front-0 past its
+//	                     per-sender rate budget — the tail of each burst
+//	                     is refused with a typed 429 + Retry-After and
+//	                     must land on front-1 — then partial front
 //	                     rounds are topped off with fillers, everything
 //	                     drains, and the zero-loss check runs.
 func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
@@ -265,6 +286,12 @@ func RunLoadgen(cfg LoadgenConfig) (LoadgenResult, error) {
 		return LoadgenResult{}, err
 	}
 	dur := time.Since(start)
+
+	if cfg.MetricsOut != "" {
+		if err := h.dumpMetrics(cfg.MetricsOut); err != nil {
+			return LoadgenResult{}, err
+		}
+	}
 
 	var after runtime.MemStats
 	runtime.ReadMemStats(&after)
@@ -354,12 +381,20 @@ func (h *loadgenHarness) deploy(ctx context.Context) error {
 
 	// Two fronts with the SAME code identity: one (authority,
 	// measurement) pin covers the participants' whole failover list.
+	// Both advertise the pair on /v1/discover (so a seed-only SDK learns
+	// the full set) and feed their live loopback queue depth into the
+	// admission signals; front-0 additionally runs the per-sender rate
+	// limiter that phase E drives past its budget. The burst equals one
+	// front round, so ordinary wave traffic and round top-off fillers
+	// (at most FrontRound-1 back-to-back sends) never trip it.
+	frontEPs := [2]string{"loop://front-0", "loop://front-1"}
 	for i := 0; i < 2; i++ {
 		encl, err := mkEnclave("mixnn-loadgen-front")
 		if err != nil {
 			return err
 		}
-		h.fronts[i], err = proxy.NewSharded(proxy.ShardedConfig{
+		ep := frontEPs[i]
+		fcfg := proxy.ShardedConfig{
 			Upstream: lgAggEP, NextHop: lgCascadeEP, NextHopKey: cascadeKey, NextHopSecret: lgCascadeSecret,
 			HopSecret:  lgFrontSecret,
 			Routing:    route.ModeHashQuota,
@@ -372,12 +407,20 @@ func (h *loadgenHarness) deploy(ctx context.Context) error {
 			Transport: h.lb,
 			RetryBase: 2 * time.Millisecond, RetryMax: 50 * time.Millisecond,
 			DeliveryWorkers: 3,
-		}, encl, platform)
+			Endpoint:        ep,
+			Peers:           frontEPs[:],
+			IngressDepth:    func() int { return h.lb.QueueDepth(ep) },
+		}
+		if i == 0 {
+			fcfg.RatePerSec = 1
+			fcfg.RateBurst = float64(cfg.FrontRound)
+		}
+		h.fronts[i], err = proxy.NewSharded(fcfg, encl, platform)
 		if err != nil {
 			return err
 		}
-		h.frontEPs[i] = fmt.Sprintf("loop://front-%d", i)
-		h.lb.Register(h.frontEPs[i], h.fronts[i])
+		h.frontEPs[i] = ep
+		h.lb.Register(ep, h.fronts[i])
 		h.frontMeasure = encl.Measurement()
 	}
 
@@ -573,6 +616,37 @@ func (h *loadgenHarness) topOffFronts(ctx context.Context) (int, error) {
 	return fillers, nil
 }
 
+// dumpMetrics writes the run's operator exposition to path: front-0's
+// full /v1/metrics registry (ingress, admission, outbox-lane and
+// session-crypto instruments) plus the harness's loopback-queue
+// instruments, concatenated as one Prometheus text document and
+// re-parsed through health.ValidateExposition before it is written —
+// an unparseable dump fails the run, not the scrape that reads it
+// later.
+func (h *loadgenHarness) dumpMetrics(path string) error {
+	var buf bytes.Buffer
+	if err := h.fronts[0].WriteMetrics(&buf); err != nil {
+		return fmt.Errorf("experiment: loadgen metrics dump: %w", err)
+	}
+	reg := health.NewRegistry()
+	for _, s := range h.lb.Stats() {
+		l := health.Label{Key: "peer", Value: s.Endpoint}
+		reg.NewGauge("mixnn_loopback_queue_peak",
+			"Ingress-queue high watermark per loopback peer.", l).Set(float64(s.Peak))
+		reg.NewCounter("mixnn_loopback_handled_total",
+			"Data-plane requests executed per loopback peer.", l).Set(float64(s.Handled))
+		reg.NewCounter("mixnn_loopback_busy_total",
+			"Sends rejected queue-full (ErrBusy) per loopback peer.", l).Set(float64(s.Busy))
+	}
+	if err := reg.WritePrometheus(&buf); err != nil {
+		return fmt.Errorf("experiment: loadgen metrics dump: %w", err)
+	}
+	if _, err := health.ValidateExposition(bytes.NewReader(buf.Bytes())); err != nil {
+		return fmt.Errorf("experiment: loadgen metrics dump does not parse: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
 // run executes the phased script. See RunLoadgen's doc comment.
 func (h *loadgenHarness) run(ctx context.Context) error {
 	cfg := h.cfg
@@ -679,11 +753,68 @@ func (h *loadgenHarness) run(ctx context.Context) error {
 	// partial round is topped off, and everything must drain to zero.
 	h.lb.Register(h.relayEPs[1], h.relays[1])
 	h.lb.Register(h.frontEPs[0], h.fronts[0])
+
+	// Phase E: overload. Dedicated senders drive front-0 past its
+	// per-sender rate budget; the refused remainder must land on
+	// front-1, nothing may be lost or quarantined.
+	if err := h.overloadPhase(ctx); err != nil {
+		return err
+	}
+
 	if _, err := h.topOffFronts(ctx); err != nil {
 		return err
 	}
 	if err := h.drainTier(ctx); err != nil {
 		return fmt.Errorf("final drain: %w", err)
+	}
+	return nil
+}
+
+// overloadPhase drives front-0's admission gate past its budget: each
+// overload sender fires one front round's worth of sends (the exact
+// burst) plus a few more, back to back. The bucket refills at 1
+// token/sec and the burst completes in well under a second, so the
+// tail provably meets an empty bucket: front-0 answers the typed 429 +
+// Retry-After, the SDK's walk fails over, and front-1 (no limiter)
+// accepts. Every overload update is accumulated into the expected sum,
+// so the final conservation check proves the shed sends were neither
+// lost nor double-ingested across the failover.
+func (h *loadgenHarness) overloadPhase(ctx context.Context) error {
+	const overloadSenders = 3
+	sends := h.cfg.FrontRound + 4
+	before := h.fronts[0].Status().AdmissionRateLimited
+	var wg sync.WaitGroup
+	errs := make([]error, overloadSenders)
+	for s := 0; s < overloadSenders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			part, err := h.newSession(fmt.Sprintf("overload-%d", s))
+			if err != nil {
+				errs[s] = err
+				return
+			}
+			for j := 0; j < sends; j++ {
+				u := h.arch.New(h.cfg.Seed + int64(2_000_000+s*sends+j)).SnapshotParams()
+				h.accumulateExpected([]nn.ParamSet{u})
+				if err := h.sendWithRetry(ctx, part, u); err != nil {
+					errs[s] = fmt.Errorf("send %d: %w", j, err)
+					return
+				}
+				h.overload.Add(1)
+			}
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return fmt.Errorf("experiment: loadgen overload sender %d: %w", s, err)
+		}
+	}
+	limited := h.fronts[0].Status().AdmissionRateLimited - before
+	if limited == 0 {
+		return fmt.Errorf("experiment: loadgen overload: front-0 never answered 429 (%d senders x %d sends against burst %d)",
+			overloadSenders, sends, h.cfg.FrontRound)
 	}
 	return nil
 }
@@ -722,7 +853,16 @@ func (h *loadgenHarness) results(dur time.Duration, before, after runtime.MemSta
 		}
 		busy += s.Busy
 	}
-	fillers := expCount - h.cfg.Participants*h.cfg.Waves
+	var rateLimited, shed uint64
+	for _, f := range h.fronts {
+		st := f.Status()
+		rateLimited += st.AdmissionRateLimited
+		shed += st.AdmissionShed
+		if st.OutboxQuarantined != 0 {
+			return LoadgenResult{}, fmt.Errorf("experiment: loadgen front quarantined %d outbox entries; overload shedding must never poison delivery", st.OutboxQuarantined)
+		}
+	}
+	fillers := expCount - h.cfg.Participants*h.cfg.Waves - int(h.overload.Load())
 	return LoadgenResult{
 		Bench:            "loadgen",
 		Participants:     h.cfg.Participants,
@@ -750,5 +890,8 @@ func (h *loadgenHarness) results(dur time.Duration, before, after runtime.MemSta
 		SendRetries:      h.retries.Load(),
 		AllocsPerUpdate:  float64(after.Mallocs-before.Mallocs) / float64(expCount),
 		ConservationOK:   conserved,
+		OverloadSends:    h.overload.Load(),
+		RateLimited429:   rateLimited,
+		AdmissionShed:    shed,
 	}, nil
 }

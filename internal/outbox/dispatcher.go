@@ -273,6 +273,23 @@ func (d *Dispatcher) Flush(ctx context.Context) error {
 // total at that instant — polling them under load used to read each
 // lane's depth separately, racing the workers' acks in between, and
 // could report totals no single moment ever held.
+// Backlog reports the delivery backlog as two cheap scalars: total
+// pending entries across all lanes and the deepest single lane. It is
+// the admission gate's signal accessor — called on the ingress hot path
+// at snapshot cadence, so it skips LaneStats' per-lane time math and
+// sorted assembly.
+func (d *Dispatcher) Backlog() (pending, maxLane int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, n := range d.q.LaneLens() {
+		pending += n
+		if n > maxLane {
+			maxLane = n
+		}
+	}
+	return pending, maxLane
+}
+
 func (d *Dispatcher) LaneStats() []LaneStat {
 	now := time.Now()
 	d.mu.Lock()

@@ -292,3 +292,10 @@ func (s *AggServer) HandleStatus(ctx context.Context) (transport.StatusResponse,
 	s.mu.Unlock()
 	return transport.StatusResponse{Server: &st}, nil
 }
+
+// HandleDiscover implements transport.Server: the aggregation server is
+// not a failover target for participant ingress, so it advertises
+// nothing.
+func (s *AggServer) HandleDiscover(ctx context.Context) (wire.DiscoverResponse, error) {
+	return wire.DiscoverResponse{}, transport.ErrNotSupported
+}

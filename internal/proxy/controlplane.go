@@ -1,0 +1,231 @@
+package proxy
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"mixnn/internal/health"
+	"mixnn/internal/transport"
+	"mixnn/internal/wire"
+)
+
+// This file is the sharded proxy's control plane: the admission gate in
+// front of participant ingress (token-bucket per sender plus load
+// shedding over live tier signals), the /v1/discover advertisement
+// participant SDKs bootstrap their failover lists from, and the
+// /v1/metrics operator registry. The data plane stays in sharded.go.
+
+// signalCacheTTL bounds how stale the admission gate's Signals snapshot
+// may be. Snapshotting per update would put two extra lock domains
+// (dispatcher, p.mu) on the ingress hot path; 2ms staleness is
+// irrelevant to thresholds that trip on sustained pressure.
+const signalCacheTTL = 2 * time.Millisecond
+
+// initControlPlane wires the admission gate and metrics registry from
+// the config. Called once from NewSharded, before the tier serves.
+func (p *ShardedProxy) initControlPlane() {
+	p.admission = health.NewAdmission(health.AdmissionConfig{
+		RatePerSec:        p.cfg.RatePerSec,
+		Burst:             p.cfg.RateBurst,
+		ShedQueueDepth:    p.cfg.ShedQueueDepth,
+		ShedLaneBacklog:   p.cfg.ShedLaneBacklog,
+		ShedDecryptMicros: p.cfg.ShedDecryptMicros,
+	})
+	if !p.cfg.DisableMetrics {
+		p.metrics = health.NewRegistry()
+		// The decrypt histogram is the one instrument observed inline
+		// (per decrypt); everything else mirrors status counters at
+		// scrape time. Bounds span session-path GCM (~100µs) through
+		// RSA-fallback territory (>5ms).
+		p.decryptHist = p.metrics.NewHistogram("mixnn_decrypt_us",
+			"Per-update enclave decrypt latency in microseconds.",
+			[]float64{50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000})
+	}
+}
+
+// observeDecrypt records one enclave decrypt into the metrics
+// histogram; a no-op with metrics disabled.
+func (p *ShardedProxy) observeDecrypt(d time.Duration) {
+	if p.decryptHist != nil {
+		p.decryptHist.Observe(float64(d) / float64(time.Microsecond))
+	}
+}
+
+// signals returns the admission gate's pressure snapshot, refreshed at
+// most every signalCacheTTL. Lock order: sigMu alone, then (on refresh)
+// the dispatcher's domain and p.mu in turn — never nested inside each
+// other, and nothing takes sigMu while holding either.
+func (p *ShardedProxy) signals() health.Signals {
+	p.sigMu.Lock()
+	defer p.sigMu.Unlock()
+	if time.Since(p.sigAt) < signalCacheTTL {
+		return p.sig
+	}
+	var sig health.Signals
+	pending, maxLane := p.disp.Backlog()
+	sig.LaneBacklog = maxLane
+	if p.cfg.IngressDepth != nil {
+		sig.QueueDepth = p.cfg.IngressDepth()
+	} else {
+		// No transport-level queue to observe (the HTTP daemon has no
+		// bounded ingress queue): the committed-but-undelivered outbox
+		// backlog is the tier's real ingress-to-egress queue, so it
+		// stands in as the depth signal.
+		sig.QueueDepth = pending
+	}
+	p.mu.Lock()
+	sig.DecryptMicros = p.decryptT.meanMillisExact() * 1000
+	p.mu.Unlock()
+	p.sig, p.sigAt = sig, time.Now()
+	return sig
+}
+
+// admit runs the admission gate for one participant update. nil means
+// admitted; otherwise the typed 429 with the Retry-After hint. Anonymous
+// senders (empty ClientID) share one bucket — an unidentified crowd is
+// rate-limited as a whole rather than not at all.
+func (p *ShardedProxy) admit(sender string) error {
+	if !p.admission.Enabled() {
+		return nil
+	}
+	ok, shed, retryAfter := p.admission.Allow(sender, p.signals())
+	if ok {
+		return nil
+	}
+	var msg string
+	if shed {
+		p.admShed.Add(1)
+		msg = "proxy: ingress load-shedding, retry later"
+	} else {
+		p.admRate.Add(1)
+		msg = fmt.Sprintf("proxy: sender %q over its update rate budget", sender)
+	}
+	return &transport.StatusError{
+		Code:       http.StatusTooManyRequests,
+		RetryAfter: retryAfter,
+		Msg:        msg,
+	}
+}
+
+// HandleDiscover implements transport.Server: the control-plane
+// advertisement behind /v1/discover. Peers are endpoint strings only —
+// a client probes each peer's own Discover for its health, and every
+// learned peer still gates on attestation before material flows.
+func (p *ShardedProxy) HandleDiscover(ctx context.Context) (wire.DiscoverResponse, error) {
+	pending, maxLane := p.disp.Backlog()
+	sig := p.signals()
+	shedding := p.admission.Shedding(sig)
+
+	p.mu.Lock()
+	dr := wire.DiscoverResponse{
+		Endpoint:    p.cfg.Endpoint,
+		Peers:       append([]string(nil), p.cfg.Peers...),
+		Epoch:       p.rounds,
+		TopoVersion: p.topo.Version(),
+		RoundSize:   p.topo.RoundSize(),
+		InRound:     p.inRound,
+	}
+	for s := 0; s < p.topo.P(); s++ {
+		dr.Shards = append(dr.Shards, wire.DiscoverShard{
+			Shard: s,
+			Quota: p.topo.Quota(s),
+			Load:  p.rst.Load[s],
+			Addr:  p.topo.Spec(s).Addr,
+		})
+	}
+	p.mu.Unlock()
+
+	dr.QueueDepth = sig.QueueDepth
+	dr.OutboxPending = pending
+	dr.LaneBacklogMax = maxLane
+	dr.DecryptMicros = sig.DecryptMicros
+	dr.Shedding = shedding
+	dr.Health = health.Score(sig, shedding)
+	return dr, nil
+}
+
+// WriteMetrics implements transport.MetricsSource: it syncs the
+// registry from a fresh status snapshot (gauges set, monotonic totals
+// mirrored via Counter.Set — the status fields stay the source of
+// truth, /v1/status stays wire-compatible) and renders Prometheus text
+// exposition. With metrics disabled it returns ErrNotSupported and the
+// HTTP adapter answers 404.
+func (p *ShardedProxy) WriteMetrics(w io.Writer) error {
+	if p.metrics == nil {
+		return transport.ErrNotSupported
+	}
+	st := p.Status()
+	sig := p.signals()
+	shedding := p.admission.Shedding(sig)
+	m := p.metrics
+
+	m.NewCounter("mixnn_ingress_updates_total",
+		"Participant updates ingested (hop 0).").Set(float64(st.Received))
+	m.NewCounter("mixnn_ingress_hops_total",
+		"Cascade updates ingested (hop >= 1).").Set(float64(st.HopReceived))
+	m.NewCounter("mixnn_forwarded_total",
+		"Updates acknowledged downstream.").Set(float64(st.Forwarded))
+	m.NewCounter("mixnn_rounds_total",
+		"Rounds closed and drained.").Set(float64(st.Rounds))
+	m.NewCounter("mixnn_batches_sent_total",
+		"Batch POSTs acknowledged downstream.").Set(float64(st.BatchesSent))
+	m.NewGauge("mixnn_in_round",
+		"Updates received in the open round.").Set(float64(st.InRound))
+	m.NewGauge("mixnn_round_size",
+		"Configured round size C.").Set(float64(st.RoundSize))
+	m.NewGauge("mixnn_topo_version",
+		"Routing-plane topology version.").Set(float64(st.TopoVersion))
+
+	m.NewCounter("mixnn_admission_rate_limited_total",
+		"Updates refused 429: sender over its token-bucket budget.").Set(float64(st.AdmissionRateLimited))
+	m.NewCounter("mixnn_admission_shed_total",
+		"Updates refused 429: tier load-shedding.").Set(float64(st.AdmissionShed))
+	shedV := 0.0
+	if shedding {
+		shedV = 1
+	}
+	m.NewGauge("mixnn_admission_shedding",
+		"1 while the admission gate refuses all ingress.").Set(shedV)
+	m.NewGauge("mixnn_ingress_queue_depth",
+		"Live ingress queue depth feeding this proxy.").Set(float64(sig.QueueDepth))
+	m.NewGauge("mixnn_health_score",
+		"Advertised health score in (0, 1]; higher is healthier.").Set(health.Score(sig, shedding))
+
+	m.NewGauge("mixnn_outbox_pending",
+		"Outbox entries committed but not yet acknowledged downstream.").Set(float64(st.OutboxPending))
+	m.NewGauge("mixnn_outbox_quarantined",
+		"Outbox entries set aside as undeliverable (.bad files).").Set(float64(st.OutboxQuarantined))
+	for _, lane := range st.OutboxLanes {
+		dest := lane.Dest
+		if dest == "" {
+			dest = "downstream"
+		}
+		l := health.Label{Key: "dest", Value: dest}
+		m.NewGauge("mixnn_outbox_lane_pending",
+			"Entries queued per delivery lane.", l).Set(float64(lane.Pending))
+		m.NewGauge("mixnn_outbox_lane_backoff_ms",
+			"Per-lane retry backoff in milliseconds (0 = healthy).", l).Set(lane.BackoffMs)
+		m.NewCounter("mixnn_outbox_lane_delivered_total",
+			"Entries acknowledged per delivery lane.", l).Set(float64(lane.Delivered))
+		m.NewCounter("mixnn_outbox_lane_failures_total",
+			"Transient delivery failures per lane.", l).Set(float64(lane.Failures))
+	}
+
+	m.NewGauge("mixnn_sessions_active",
+		"Live crypto sessions in the enclave cache.").Set(float64(st.SessionsActive))
+	m.NewCounter("mixnn_sessions_established_total",
+		"Crypto sessions established (full RSA wrap).").Set(float64(st.SessionsEstablished))
+	m.NewCounter("mixnn_session_hits_total",
+		"Decrypts served from a cached session.").Set(float64(st.SessionHits))
+	m.NewCounter("mixnn_session_misses_total",
+		"Decrypts that missed the session cache.").Set(float64(st.SessionMisses))
+	m.NewCounter("mixnn_session_evictions_total",
+		"Sessions evicted under cache pressure.").Set(float64(st.SessionEvictions))
+	m.NewCounter("mixnn_session_replays_total",
+		"Ciphertexts rejected as counter replays.").Set(float64(st.SessionReplays))
+
+	return m.WritePrometheus(w)
+}

@@ -1,0 +1,213 @@
+package proxy
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"mixnn/internal/health"
+)
+
+// admissionDeployment stands up a front proxy with the admission gate
+// configured, over httptest.
+func admissionDeployment(t *testing.T, cfg ShardedConfig) (*ShardedProxy, string) {
+	t.Helper()
+	platform, encl := fixtures(t)
+	agg, err := NewAggServer(testArch().New(1).SnapshotParams(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggSrv := httptest.NewServer(agg.Handler())
+	t.Cleanup(aggSrv.Close)
+	cfg.Upstream = aggSrv.URL
+	if cfg.RoundSize == 0 {
+		cfg.RoundSize = 4
+	}
+	if cfg.K == 0 {
+		cfg.K = 2
+	}
+	px, err := NewSharded(cfg, encl, platform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(px.Close)
+	pxSrv := httptest.NewServer(px.Handler())
+	t.Cleanup(pxSrv.Close)
+	return px, pxSrv.URL
+}
+
+// TestAdmissionRateLimitPerSender: a sender over its token budget gets
+// the typed 429 with a Retry-After hint, while OTHER senders stay
+// admitted — the bucket is per-sender, not per-tier.
+func TestAdmissionRateLimitPerSender(t *testing.T) {
+	_, encl := fixtures(t)
+	px, proxyURL := admissionDeployment(t, ShardedConfig{
+		Seed: 7, RatePerSec: 0.001, RateBurst: 1,
+	})
+	ps := testArch().New(2).SnapshotParams()
+
+	resp := sendRaw(t, encl, proxyURL, "heavy", ps)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first send within burst: got %d, want 202", resp.StatusCode)
+	}
+	resp = sendRaw(t, encl, proxyURL, "heavy", ps)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second send over budget: got %d, want 429", resp.StatusCode)
+	}
+	ra, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || ra < 1 {
+		t.Fatalf("429 must carry an integer Retry-After >= 1s, got %q", resp.Header.Get("Retry-After"))
+	}
+	// A different sender has its own bucket and is admitted.
+	resp = sendRaw(t, encl, proxyURL, "light", ps)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("other sender: got %d, want 202 (buckets are per-sender)", resp.StatusCode)
+	}
+	st := px.Status()
+	if st.AdmissionRateLimited != 1 || st.AdmissionShed != 0 {
+		t.Fatalf("status counters: rate_limited=%d shed=%d, want 1/0", st.AdmissionRateLimited, st.AdmissionShed)
+	}
+	if st.Received != 2 {
+		t.Fatalf("ingested %d, want 2 — the refused update must not be counted", st.Received)
+	}
+}
+
+// TestAdmissionShedGate: ingress pressure over the configured depth
+// sheds EVERY participant update with 429 until the pressure clears.
+func TestAdmissionShedGate(t *testing.T) {
+	_, encl := fixtures(t)
+	var depth atomic.Int64
+	px, proxyURL := admissionDeployment(t, ShardedConfig{
+		Seed: 7, ShedQueueDepth: 4,
+		IngressDepth: func() int { return int(depth.Load()) },
+	})
+	ps := testArch().New(2).SnapshotParams()
+
+	depth.Store(10)
+	resp := sendRaw(t, encl, proxyURL, "c0", ps)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("under pressure: got %d, want 429", resp.StatusCode)
+	}
+	// The signals snapshot is cached for signalCacheTTL; wait it out
+	// before flipping the pressure off.
+	depth.Store(0)
+	time.Sleep(3 * signalCacheTTL)
+	resp = sendRaw(t, encl, proxyURL, "c0", ps)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("pressure cleared: got %d, want 202", resp.StatusCode)
+	}
+	if st := px.Status(); st.AdmissionShed != 1 {
+		t.Fatalf("AdmissionShed=%d, want 1", st.AdmissionShed)
+	}
+}
+
+// TestMetricsEndpoint: /v1/metrics serves valid Prometheus text
+// exposition covering the core instrument families, and the admission
+// counters move with the gate.
+func TestMetricsEndpoint(t *testing.T) {
+	_, encl := fixtures(t)
+	px, proxyURL := admissionDeployment(t, ShardedConfig{Seed: 7})
+	ps := testArch().New(2).SnapshotParams()
+	// A full round: the close drains through the outbox, so the
+	// per-lane instruments exist by the time we scrape.
+	for i := 0; i < 4; i++ {
+		resp := sendRaw(t, encl, proxyURL, "c"+strconv.Itoa(i), ps)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("send %d: got %d, want 202", i, resp.StatusCode)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := px.Flush(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(proxyURL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/metrics: got %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type %q, want text/plain exposition", ct)
+	}
+	families, err := health.ValidateExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	have := make(map[string]bool, len(families))
+	for _, f := range families {
+		have[f] = true
+	}
+	for _, want := range []string{
+		"mixnn_ingress_updates_total",
+		"mixnn_admission_rate_limited_total",
+		"mixnn_admission_shed_total",
+		"mixnn_outbox_pending",
+		"mixnn_outbox_lane_pending",
+		"mixnn_session_hits_total",
+		"mixnn_decrypt_us",
+		"mixnn_health_score",
+	} {
+		if !have[want] {
+			t.Errorf("core instrument family %s missing from exposition (got %v)", want, families)
+		}
+	}
+}
+
+// TestMetricsDisabled404: with the registry disabled the endpoint
+// answers 404 — the same wire shape as a binary without the route.
+func TestMetricsDisabled404(t *testing.T) {
+	_, proxyURL := admissionDeployment(t, ShardedConfig{Seed: 7, DisableMetrics: true})
+	resp, err := http.Get(proxyURL + "/v1/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("metrics disabled: got %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHandleDiscover: the advertisement names the proxy's endpoint and
+// peers, reports the shard map, and carries a health score in (0, 1].
+func TestHandleDiscover(t *testing.T) {
+	px, _ := admissionDeployment(t, ShardedConfig{
+		Seed: 7, Shards: 2,
+		Endpoint: "http://front-0", Peers: []string{"http://front-0", "http://front-1"},
+	})
+	dr, err := px.HandleDiscover(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dr.Endpoint != "http://front-0" {
+		t.Fatalf("Endpoint %q, want the configured one", dr.Endpoint)
+	}
+	if len(dr.Peers) != 2 || dr.Peers[1] != "http://front-1" {
+		t.Fatalf("Peers %v, want the configured peer list", dr.Peers)
+	}
+	if len(dr.Shards) != 2 {
+		t.Fatalf("advertised %d shards, want 2", len(dr.Shards))
+	}
+	if dr.Shedding {
+		t.Fatal("an idle proxy must not advertise shedding")
+	}
+	if dr.Health <= 0.1 || dr.Health > 1 {
+		t.Fatalf("idle health %v, want in the non-shedding band (0.1, 1]", dr.Health)
+	}
+	if dr.RoundSize != 4 {
+		t.Fatalf("RoundSize %d, want the configured 4", dr.RoundSize)
+	}
+}

@@ -13,10 +13,12 @@ import (
 	"math/rand"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"mixnn/internal/core"
 	"mixnn/internal/enclave"
+	"mixnn/internal/health"
 	"mixnn/internal/nn"
 	"mixnn/internal/outbox"
 	"mixnn/internal/route"
@@ -132,6 +134,43 @@ type ShardedConfig struct {
 	// HTTPClient overrides the HTTP forwarding client (tests); ignored
 	// when Transport is set.
 	HTTPClient *http.Client
+
+	// Endpoint is this proxy's own advertised base URL on /v1/discover
+	// (how participants should address it); empty = not advertised.
+	Endpoint string
+	// Peers lists sibling front endpoints advertised on /v1/discover so
+	// a participant that knows one seed can learn the full failover set.
+	// Learned peers still gate on attestation before any material flows,
+	// so a wrong (or malicious) peer list cannot redirect updates to an
+	// unattested enclave — it can only waste a probe.
+	Peers []string
+	// RatePerSec enables the per-sender token-bucket admission limiter
+	// on the participant ingress: each ClientID may sustain this many
+	// updates/sec with bursts up to RateBurst (default = RatePerSec,
+	// floor 1). 0 disables rate limiting — the default, so existing
+	// deployments are unchanged. Over-budget sends are refused with a
+	// typed 429 + Retry-After before any enclave work, provably not
+	// ingested.
+	RatePerSec float64
+	RateBurst  float64
+	// Load-shedding thresholds: while ANY enabled signal is at or above
+	// its threshold the participant ingress refuses everything with 429.
+	// Each 0 disables that signal (all default off). The signals are the
+	// live ingress queue depth (IngressDepth), the deepest outbox
+	// delivery lane, and the mean enclave decrypt latency in µs.
+	ShedQueueDepth    int
+	ShedLaneBacklog   int
+	ShedDecryptMicros float64
+	// IngressDepth reports the live ingress queue depth feeding this
+	// proxy (e.g. a closure over Loopback.QueueDepth, or a listener's
+	// accept backlog); nil = the signal falls back to the
+	// committed-but-undelivered outbox backlog, the tier's real
+	// ingress-to-egress queue in deployments with no observable
+	// transport queue (the HTTP daemon).
+	IngressDepth func() int
+	// DisableMetrics turns off the /v1/metrics operator registry; the
+	// endpoint then answers 404, like a binary without it.
+	DisableMetrics bool
 }
 
 // ShardedProxy is the horizontally-scaled MixNN mixing tier: participants
@@ -234,6 +273,19 @@ type ShardedProxy struct {
 	storeT       timing
 	mixT         timing
 	processT     timing
+
+	// Control plane (see controlplane.go): the admission gate in front
+	// of participant ingress, the operator metrics registry behind
+	// /v1/metrics (nil with DisableMetrics), and the short-lived signal
+	// snapshot the gate reads instead of polling queues per update.
+	admission   *health.Admission
+	metrics     *health.Registry
+	decryptHist *health.Histogram
+	admRate     atomic.Uint64 // 429s: sender over its token-bucket budget
+	admShed     atomic.Uint64 // 429s: tier load-shedding
+	sigMu       sync.Mutex
+	sigAt       time.Time
+	sig         health.Signals
 }
 
 // outboxLabel domain-separates outbox entries from other sealed material.
@@ -352,6 +404,7 @@ func NewSharded(cfg ShardedConfig, encl *enclave.Enclave, platform *enclave.Plat
 	}
 	p.seen.SetWindow(cfg.DedupWindow)
 	p.cond = sync.NewCond(&p.mu)
+	p.initControlPlane()
 	p.disp = outbox.NewDispatcher(box, p.deliver, outbox.Options{
 		RetryBase:      cfg.RetryBase,
 		RetryMax:       cfg.RetryMax,
@@ -477,6 +530,12 @@ func (p *ShardedProxy) authorizeHop(secret string, hop int) (int, error) {
 // typed participant request has no depth field, and the HTTP adapter
 // rejects a raw X-Mixnn-Hop header before it reaches this method.
 func (p *ShardedProxy) HandleUpdate(ctx context.Context, req transport.UpdateRequest) (transport.Receipt, error) {
+	// Admission runs BEFORE any enclave work: a refusal here is cheap
+	// and provably not ingested, so the sender can safely back off or
+	// fail over without risking a double-count.
+	if err := p.admit(req.ClientID); err != nil {
+		return transport.Receipt{Shard: -1}, err
+	}
 	return p.ingressOne(req.Body, req.ClientID, 0, false)
 }
 
@@ -506,6 +565,7 @@ func (p *ShardedProxy) ingressOne(body []byte, clientID string, hop int, fromHop
 		t0 := time.Now()
 		plain, err := p.enclave.Decrypt(body)
 		decryptDur := time.Since(t0)
+		p.observeDecrypt(decryptDur)
 		if err != nil {
 			return fmt.Errorf("proxy: decrypt: %w", err)
 		}
@@ -601,6 +661,7 @@ func (p *ShardedProxy) HandleBatch(ctx context.Context, req transport.BatchReque
 		t0 := time.Now()
 		plain, err := p.enclave.Decrypt(body)
 		decryptDur := time.Since(t0)
+		p.observeDecrypt(decryptDur)
 		if err != nil {
 			return fmt.Errorf("proxy: decrypt: %w", err)
 		}
@@ -1854,5 +1915,8 @@ func (p *ShardedProxy) Status() wire.ShardedProxyStatus {
 		SessionMisses:       st.SessionMisses,
 		SessionEvictions:    st.SessionEvictions,
 		SessionReplays:      st.SessionReplays,
+
+		AdmissionRateLimited: p.admRate.Load(),
+		AdmissionShed:        p.admShed.Load(),
 	}
 }

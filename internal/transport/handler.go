@@ -1,13 +1,25 @@
 package transport
 
 import (
+	"bytes"
 	"encoding/hex"
 	"errors"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
 	"mixnn/internal/wire"
 )
+
+// MetricsSource is the optional capability a Server may implement to
+// serve operator metrics: WriteMetrics renders Prometheus text
+// exposition, or returns ErrNotSupported when the tier runs with
+// metrics disabled (the HTTP adapter answers 404 either way — same
+// wire shape as a binary without the endpoint).
+type MetricsSource interface {
+	WriteMetrics(w io.Writer) error
+}
 
 // NewHandler adapts a typed Server onto net/http with the exact wire
 // behaviour the pre-transport handlers had: same routes, headers,
@@ -135,6 +147,38 @@ func NewHandler(s Server) http.Handler {
 			http.Error(w, "empty status", http.StatusInternalServerError)
 		}
 	})
+	mux.HandleFunc("GET /v1/discover", func(w http.ResponseWriter, r *http.Request) {
+		if !checkProto(w, r) {
+			return
+		}
+		dr, err := s.HandleDiscover(r.Context())
+		if err != nil {
+			writeError(w, r, err)
+			return
+		}
+		wire.WriteJSON(w, dr)
+	})
+	if ms, ok := s.(MetricsSource); ok {
+		// The metrics endpoint is an optional capability, not part of the
+		// typed Server contract: a tier without a registry simply has no
+		// route, and the adapter's mux answers 404 — the same wire shape
+		// ErrNotSupported renders.
+		mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
+			if !checkProto(w, r) {
+				return
+			}
+			// Render into a buffer first: a source with metrics disabled
+			// returns ErrNotSupported, which must become a clean 404 — and
+			// headers cannot be unsent.
+			var buf bytes.Buffer
+			if err := ms.WriteMetrics(&buf); err != nil {
+				writeError(w, r, err)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			w.Write(buf.Bytes())
+		})
+	}
 	mux.HandleFunc("GET /v1/admin/topology", func(w http.ResponseWriter, r *http.Request) {
 		if !checkProto(w, r) {
 			return
@@ -225,6 +269,12 @@ func writeError(w http.ResponseWriter, r *http.Request, err error) {
 		}
 		if se.SessionUnknown {
 			w.Header().Set(wire.HeaderSessionUnknown, "1")
+		}
+		if se.RetryAfter > 0 {
+			// Delay-seconds form, rounded up: a sub-second hint must not
+			// truncate to an immediate-retry 0.
+			secs := int((se.RetryAfter + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(secs))
 		}
 		http.Error(w, se.Msg, se.Code)
 		return

@@ -52,12 +52,20 @@ func (t *HTTP) do(req *http.Request) (*http.Response, error) {
 	}
 	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	resp.Body.Close()
-	return nil, &StatusError{
+	se := &StatusError{
 		Code:           resp.StatusCode,
 		Stale:          resp.Header.Get(wire.HeaderStale) != "",
 		SessionUnknown: resp.Header.Get(wire.HeaderSessionUnknown) != "",
 		Msg:            string(bytes.TrimSpace(msg)),
 	}
+	// Retry-After rides admission rejections (429); the delay-seconds
+	// form only — the HTTP-date form is not worth a time parse here.
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs > 0 {
+			se.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, se
 }
 
 // post builds and runs one POST, discarding the response body.
@@ -219,6 +227,20 @@ func (t *HTTP) Topology(ctx context.Context, ep string, req TopologyRequest) (wi
 		return st, err
 	}
 	return st, nil
+}
+
+// Discover implements Transport.
+func (t *HTTP) Discover(ctx context.Context, ep string) (wire.DiscoverResponse, error) {
+	var dr wire.DiscoverResponse
+	resp, err := t.get(ctx, ep+"/v1/discover")
+	if err != nil {
+		return dr, err
+	}
+	defer resp.Body.Close()
+	if err := wire.DecodeJSON(resp.Body, &dr); err != nil {
+		return dr, err
+	}
+	return dr, nil
 }
 
 // Status implements Transport, sniffing which status form the peer

@@ -337,3 +337,28 @@ func (l *Loopback) Status(ctx context.Context, ep string) (StatusResponse, error
 	}
 	return s.HandleStatus(ctx)
 }
+
+// Discover implements Transport. Like the other control-plane verbs it
+// is a direct call: a health probe must not queue behind data-plane
+// ingress — that would make every overloaded peer look unreachable
+// exactly when the SDK needs its health score.
+func (l *Loopback) Discover(ctx context.Context, ep string) (wire.DiscoverResponse, error) {
+	s, err := l.peer(ep)
+	if err != nil {
+		return wire.DiscoverResponse{}, err
+	}
+	return s.HandleDiscover(ctx)
+}
+
+// QueueDepth reports one peer's current data-plane ingress queue length
+// (-1 for an unknown peer): the live signal a server's admission gate
+// reads without snapshotting every peer via Stats.
+func (l *Loopback) QueueDepth(ep string) int {
+	l.mu.RLock()
+	p, ok := l.peers[ep]
+	l.mu.RUnlock()
+	if !ok {
+		return -1
+	}
+	return len(p.jobs)
+}

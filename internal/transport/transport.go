@@ -61,6 +61,10 @@ type Transport interface {
 	Topology(ctx context.Context, ep string, req TopologyRequest) (wire.TopologyStatus, error)
 	// Status fetches the peer's status report (proxy or server form).
 	Status(ctx context.Context, ep string) (StatusResponse, error)
+	// Discover fetches the peer's control-plane advertisement: its peer
+	// list, topology epoch, load signals and health score. SDKs
+	// bootstrap and re-rank their failover lists from it.
+	Discover(ctx context.Context, ep string) (wire.DiscoverResponse, error)
 }
 
 // Server is the receiving side of the typed protocol: what a mixing
@@ -76,6 +80,7 @@ type Server interface {
 	HandleModel(ctx context.Context) (ModelResponse, error)
 	HandleTopology(ctx context.Context, req TopologyRequest) (wire.TopologyStatus, error)
 	HandleStatus(ctx context.Context) (StatusResponse, error)
+	HandleDiscover(ctx context.Context) (wire.DiscoverResponse, error)
 }
 
 // ErrNotSupported marks an operation the receiving tier does not serve;

@@ -55,6 +55,9 @@ func (f *fakeServer) HandleTopology(ctx context.Context, req TopologyRequest) (w
 func (f *fakeServer) HandleStatus(ctx context.Context) (StatusResponse, error) {
 	return StatusResponse{Proxy: &wire.ShardedProxyStatus{RoundSize: 8, Shards: []wire.ShardStatus{{}}}}, f.err
 }
+func (f *fakeServer) HandleDiscover(ctx context.Context) (wire.DiscoverResponse, error) {
+	return wire.DiscoverResponse{Endpoint: "fake", Peers: []string{"peer-a", "peer-b"}, Health: 0.75}, f.err
+}
 
 func pair(t *testing.T) (*fakeServer, *HTTP, string) {
 	t.Helper()

@@ -9,6 +9,7 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"time"
 
 	"mixnn/internal/enclave"
 	"mixnn/internal/wire"
@@ -111,6 +112,11 @@ type StatusError struct {
 	// holds the ciphertext's session, nothing was ingested, and the
 	// sender recovers by re-establishing with a full wrap and resending.
 	SessionUnknown bool
+	// RetryAfter is the peer's backoff hint on a 429 admission
+	// rejection (the standard Retry-After header over HTTP, carried
+	// directly over Loopback): how long the sender should wait before
+	// retrying here. Zero means no hint.
+	RetryAfter time.Duration
 	// Msg is the human-readable rejection reason.
 	Msg string
 }

@@ -23,6 +23,13 @@
 //	                              sharded tier; single proxies are Shards=1)
 //	GET  {proxy}/v1/admin/topology  JSON TopologyStatus: the routing plane's
 //	                              current (and staged) topology
+//	GET  {proxy}/v1/discover      JSON DiscoverResponse: the proxy's peer
+//	                              list, topology epoch, load signals and
+//	                              health score (control plane; SDKs
+//	                              bootstrap their failover list from it)
+//	GET  {proxy}/v1/metrics       Prometheus text exposition (operator
+//	                              metrics; 404 when the proxy runs with
+//	                              metrics disabled)
 //	POST {proxy}/v1/admin/topology  JSON TopologyDirective: stage the next
 //	                              epoch's topology (applied at round close);
 //	                              requires the inter-proxy secret — 403
@@ -371,6 +378,52 @@ type ShardedProxyStatus struct {
 	SessionMisses       uint64 `json:"session_misses"`
 	SessionEvictions    uint64 `json:"session_evictions,omitempty"`
 	SessionReplays      uint64 `json:"session_replays,omitempty"`
+	// Admission-control outcomes: updates refused because the sender was
+	// over its token-bucket budget, and updates refused while the tier
+	// was load-shedding. Both are provably-not-ingested 429 rejections.
+	AdmissionRateLimited uint64 `json:"admission_rate_limited,omitempty"`
+	AdmissionShed        uint64 `json:"admission_shed,omitempty"`
+}
+
+// DiscoverShard is one shard's load view inside a DiscoverResponse.
+type DiscoverShard struct {
+	Shard int    `json:"shard"`
+	Quota int    `json:"quota"`
+	Load  int    `json:"load"`
+	Addr  string `json:"addr,omitempty"`
+}
+
+// DiscoverResponse is the control-plane view a proxy advertises on
+// /v1/discover: who its peers are, where its topology stands, and how
+// loaded it is — condensed into a health score in (0, 1] that SDKs sort
+// their failover lists by. Peers are endpoint strings only; a client
+// probes each peer's own /v1/discover for its health, and every learned
+// peer still gates on attestation before receiving material, so a
+// malicious peer list cannot redirect updates to an unattested enclave.
+type DiscoverResponse struct {
+	// Endpoint is the advertising proxy's own base URL as it wants to be
+	// addressed (may be empty when the proxy does not know it).
+	Endpoint string `json:"endpoint,omitempty"`
+	// Peers lists sibling front endpoints a participant could fail over
+	// to (operator-configured; never includes the proxy itself).
+	Peers []string `json:"peers,omitempty"`
+	// Epoch/TopoVersion locate the proxy in the tier's reshard history.
+	Epoch       int    `json:"epoch"`
+	TopoVersion uint64 `json:"topo_version"`
+	RoundSize   int    `json:"round_size"`
+	InRound     int    `json:"in_round"`
+	// Shards is the per-shard quota/load breakdown of the open round.
+	Shards []DiscoverShard `json:"shards,omitempty"`
+	// Raw pressure signals behind the score (operator diagnostics).
+	QueueDepth     int     `json:"queue_depth"`
+	OutboxPending  int     `json:"outbox_pending"`
+	LaneBacklogMax int     `json:"lane_backlog_max"`
+	DecryptMicros  float64 `json:"decrypt_us_mean"`
+	// Shedding reports the admission gate actively refusing all ingress.
+	Shedding bool `json:"shedding,omitempty"`
+	// Health is the computed score in (0, 1]; higher is healthier, and a
+	// shedding proxy always scores below any non-shedding one.
+	Health float64 `json:"health"`
 }
 
 // TopologyShardSpec describes one shard in a topology directive. A
